@@ -1,0 +1,109 @@
+// Ablation (§3.1 "Balanced vs imbalanced"): why the paper adopts Ulysses-
+// style SP attention over context parallelism — causal masking makes CP's
+// sequence partitioning load-imbalanced, the zigzag trick only mostly fixes
+// it, and head partitioning is exactly balanced.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+#include "src/sim/cp_attention.h"
+
+namespace msmoe {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation — attention partitioning balance (§3.1)",
+              "causal-attention work per rank under CP contiguous / CP zigzag "
+              "/ SP by heads, seq 8192");
+  PrintPaperNote(
+      "CP faces workload imbalance due to causal masking; zigzag mitigates "
+      "but perfect balance remains challenging; the training process is "
+      "constrained by the most imbalanced batch");
+
+  const int64_t seq = 8192;
+  for (int n : {4, 8}) {
+    TablePrinter table({"Partition", "min work", "max work", "max/mean",
+                        "idle fraction (bubble)"});
+    for (AttnPartition partition :
+         {AttnPartition::kCpContiguous, AttnPartition::kCpZigzag,
+          AttnPartition::kSpByHeads}) {
+      const AttnLoadReport report = AnalyzeAttentionLoad(seq, n, partition);
+      double lo = 1.0;
+      double hi = 0.0;
+      for (double work : report.per_rank_work) {
+        lo = std::min(lo, work);
+        hi = std::max(hi, work);
+      }
+      table.AddRow({AttnPartitionName(partition), TablePrinter::Fmt(lo, 4),
+                    TablePrinter::Fmt(hi, 4), TablePrinter::Fmt(report.max_over_mean, 3),
+                    TablePrinter::Fmt(report.bubble_fraction * 100.0, 1) + "%"});
+    }
+    table.Print("n = " + std::to_string(n) + " ranks:");
+  }
+
+  // Per-rank detail for n = 8 (the shape the paper describes).
+  TablePrinter detail({"Rank", "CP contiguous", "CP zigzag", "SP by heads"});
+  const AttnLoadReport contiguous =
+      AnalyzeAttentionLoad(seq, 8, AttnPartition::kCpContiguous);
+  const AttnLoadReport zigzag = AnalyzeAttentionLoad(seq, 8, AttnPartition::kCpZigzag);
+  const AttnLoadReport heads = AnalyzeAttentionLoad(seq, 8, AttnPartition::kSpByHeads);
+  for (int r = 0; r < 8; ++r) {
+    detail.AddRow({TablePrinter::Fmt(static_cast<int64_t>(r)),
+                   TablePrinter::Fmt(contiguous.per_rank_work[static_cast<size_t>(r)], 4),
+                   TablePrinter::Fmt(zigzag.per_rank_work[static_cast<size_t>(r)], 4),
+                   TablePrinter::Fmt(heads.per_rank_work[static_cast<size_t>(r)], 4)});
+  }
+  detail.Print("Work share per rank (n = 8):");
+  // Ring-step packing efficiency (lock-step KV rotation).
+  TablePrinter ring({"Partition", "Ring efficiency (n=8)"});
+  for (AttnPartition partition :
+       {AttnPartition::kCpContiguous, AttnPartition::kCpZigzag,
+        AttnPartition::kSpByHeads}) {
+    ring.AddRow({AttnPartitionName(partition),
+                 TablePrinter::Fmt(AnalyzeRingSchedule(seq, 8, partition).efficiency, 3)});
+  }
+  ring.Print("Ring-attention step packing (every step waits for its most "
+             "loaded rank):");
+
+  // Variable-length production batches: where document boundaries fall
+  // decides CP's load; zigzag breaks, head partitioning does not.
+  const std::vector<int64_t> docs = {4096, 2048, 1024, 512, 256, 128, 64, 32, 16, 8, 4, 4,
+                                     2048, 2048, 2048, 2048, 1024, 64};
+  int64_t total = 0;
+  for (int64_t d : docs) {
+    total += d;
+  }
+  std::vector<int64_t> padded = docs;
+  const int64_t target = ((total + 127) / 128) * 128;
+  if (target > total) {
+    padded.push_back(target - total);
+  }
+  TablePrinter vardoc({"Partition", "max/mean (variable-length batch)",
+                       "idle fraction"});
+  for (AttnPartition partition :
+       {AttnPartition::kCpContiguous, AttnPartition::kCpZigzag,
+        AttnPartition::kSpByHeads}) {
+    const AttnLoadReport report = AnalyzeVariableLengthLoad(padded, 8, partition);
+    vardoc.AddRow({AttnPartitionName(partition),
+                   TablePrinter::Fmt(report.max_over_mean, 3),
+                   TablePrinter::Fmt(report.bubble_fraction * 100.0, 1) + "%"});
+  }
+  vardoc.Print("Packed variable-length documents (per-document causal "
+               "masks):");
+
+  std::printf(
+      "contiguous CP's last rank carries ~2x the mean; zigzag balances the "
+      "uniform case but production variable-length batches re-break it — "
+      "'the entire training process is often constrained by the most "
+      "imbalanced data batch'. Head partitioning is exact for any batch, and "
+      "with GQA it also communicates less (Eq 2) — why MegaScale-MoE adopts "
+      "Ulysses SP.\n");
+}
+
+}  // namespace
+}  // namespace msmoe
+
+int main() {
+  msmoe::Run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Ablation (§7 "Holistic vs. automatic"): compare three schedules of the
+// same MoE-layer graphs — the naive single-stream order (Megatron-style),
+// the hand-tuned holistic schedule the paper ships, and an automatic
+// local-search schedule — plus the event-driven interleaved-1F1B pipeline
+// simulation against the closed-form bubble model.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+#include "src/core/auto_scheduler.h"
+#include "src/core/layer_program.h"
+#include "src/model/config.h"
+#include "src/sim/pipeline_event_sim.h"
+#include "src/sim/pipeline_sim.h"
+
+namespace msmoe {
+namespace {
+
+void ScheduleComparison() {
+  const CostModel cost(MakeCluster("H800", 8).value());
+  TablePrinter table({"Model", "Graph", "Naive 1-stream (us)", "Holistic (us)",
+                      "Auto-searched (us)", "Auto vs holistic"});
+  for (const char* name : {"Mixtral-8x7B", "DeepSeekMoE"}) {
+    const ModelConfig model = ModelConfigByName(name).value();
+    ExecutionOptions holistic = ExecutionOptions::MegaScale(model, 8);
+    holistic.intra_op_overlap = false;  // search the inter-op space only
+    const LayerGraphs graphs = BuildLayerGraphs(cost, model, holistic, 1, model.seq_len, 8);
+
+    for (const auto& [label, ops] :
+         {std::pair<const char*, const std::vector<SimOp>*>{"forward", &graphs.forward},
+          {"backward", &graphs.backward}}) {
+      // Naive: everything serialized on one stream.
+      std::vector<SimOp> naive = *ops;
+      for (SimOp& op : naive) {
+        op.stream = 0;
+      }
+      const double naive_us = ExecuteGraph(naive, 1).makespan;
+
+      ScheduleSearchOptions search;
+      search.iterations = 1500;
+      search.restarts = 3;
+      const ScheduleSearchResult result = SearchSchedule(*ops, search);
+      table.AddRow({name, label, TablePrinter::Fmt(naive_us, 0),
+                    TablePrinter::Fmt(result.declared_makespan_us, 0),
+                    TablePrinter::Fmt(result.best_makespan_us, 0),
+                    TablePrinter::Fmt(
+                        (1.0 - result.best_makespan_us / result.declared_makespan_us) *
+                            100.0,
+                        2) + "%"});
+    }
+  }
+  table.Print("Schedule quality (the hand schedule should be near-optimal; "
+              "the search closes whatever gap remains):");
+}
+
+void PipelineValidation() {
+  TablePrinter table({"p", "v", "M", "Analytic iter (us)", "Event-driven (us)",
+                      "Analytic bubble", "Event bubble", "Peak in-flight"});
+  for (int p : {4, 8}) {
+    for (int v : {1, 2, 4}) {
+      for (int m : {8, 32}) {
+        PipelineConfig analytic;
+        analytic.pp_stages = p;
+        analytic.virtual_stages = v;
+        analytic.num_microbatches = m;
+        analytic.fwd_us = 100.0;
+        analytic.bwd_us = 200.0;
+        const PipelineResult a = SimulatePipeline(analytic);
+
+        PipelineEventConfig event;
+        event.pp_stages = p;
+        event.virtual_stages = v;
+        event.num_microbatches = m;
+        event.fwd_chunk_us = 100.0 / v;
+        event.bwd_chunk_us = 200.0 / v;
+        const PipelineEventResult e = SimulatePipelineEvents(event);
+
+        table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(p)),
+                      TablePrinter::Fmt(static_cast<int64_t>(v)),
+                      TablePrinter::Fmt(static_cast<int64_t>(m)),
+                      TablePrinter::Fmt(a.iteration_us, 0),
+                      TablePrinter::Fmt(e.makespan_us, 0),
+                      TablePrinter::Fmt(a.bubble_fraction, 3),
+                      TablePrinter::Fmt(e.bubble_fraction, 3),
+                      TablePrinter::Fmt(static_cast<int64_t>(e.peak_in_flight))});
+      }
+    }
+  }
+  table.Print("Closed-form pipeline model vs event-driven 1F1B execution:");
+  std::printf(
+      "1F1B bounds in-flight micro-batches (activation memory) and "
+      "interleaving shrinks the bubble. The greedy event-driven scheduler "
+      "stays a few percent above the hand-crafted interleaved schedule's "
+      "closed form - the same holistic-beats-automatic gap as above.\n");
+}
+
+void Run() {
+  PrintHeader("Ablation — holistic vs automatic scheduling + pipeline validation",
+              "schedule search over the real layer graphs; event-driven 1F1B");
+  ScheduleComparison();
+  PipelineValidation();
+}
+
+}  // namespace
+}  // namespace msmoe
+
+int main() {
+  msmoe::Run();
+  return 0;
+}

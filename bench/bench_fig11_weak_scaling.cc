@@ -1,0 +1,71 @@
+// Figure 11: weak-scaling training performance of the 352B MoE model —
+// global batch grows proportionally with the GPU count (360 @ 480 GPUs up
+// to 1080 @ 1440), so per-GPU work is constant and any throughput loss is
+// communication overhead.
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+#include "src/core/sim_trainer.h"
+#include "src/model/config.h"
+
+namespace msmoe {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 11 — weak scaling, Internal-352B on H800",
+              "global batch scales 360->1080 with 480->1440 GPUs");
+  PrintPaperNote(
+      "MegaScale-MoE sustains 1.74x-1.79x over Megatron-LM with near-linear "
+      "scaling; Megatron-LM loses 2.74% throughput as scale grows");
+
+  const ModelConfig model = ModelConfigByName("Internal-352B").value();
+  struct Point {
+    int gpus;
+    int64_t batch;
+  };
+  const Point points[] = {{480, 360}, {720, 540}, {960, 720}, {1440, 1080}};
+
+  TablePrinter table({"#GPUs", "Global Batch", "Megatron (tokens/s)",
+                      "MegaScale (tokens/s)", "Speedup", "Megatron tok/s/GPU",
+                      "MegaScale tok/s/GPU"});
+  double first_megatron_per_gpu = 0.0;
+  double first_megascale_per_gpu = 0.0;
+  double last_megatron_per_gpu = 0.0;
+  double last_megascale_per_gpu = 0.0;
+  for (const Point& point : points) {
+    const ClusterSpec cluster = MakeCluster("H800", point.gpus).value();
+    const IterationReport megatron =
+        SimulateTraining(TrainJobConfig::Megatron(model, cluster, 15, point.batch)).value();
+    const IterationReport megascale =
+        SimulateTraining(TrainJobConfig::MegaScaleMoe(model, cluster, 15, point.batch))
+            .value();
+    const double megatron_per_gpu = megatron.tokens_per_s / point.gpus;
+    const double megascale_per_gpu = megascale.tokens_per_s / point.gpus;
+    if (first_megatron_per_gpu == 0.0) {
+      first_megatron_per_gpu = megatron_per_gpu;
+      first_megascale_per_gpu = megascale_per_gpu;
+    }
+    last_megatron_per_gpu = megatron_per_gpu;
+    last_megascale_per_gpu = megascale_per_gpu;
+    table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(point.gpus)),
+                  TablePrinter::Fmt(point.batch),
+                  TablePrinter::Fmt(megatron.tokens_per_s / 1000.0, 1) + "k",
+                  TablePrinter::Fmt(megascale.tokens_per_s / 1000.0, 1) + "k",
+                  TablePrinter::Fmt(megascale.tokens_per_s / megatron.tokens_per_s, 2) + "x",
+                  TablePrinter::Fmt(megatron_per_gpu, 1),
+                  TablePrinter::Fmt(megascale_per_gpu, 1)});
+  }
+  table.Print("Weak scaling, 352B MoE:");
+  std::printf("per-GPU throughput retention 480 -> 1440 GPUs: Megatron %.2f%%, "
+              "MegaScale %.2f%% (paper: Megatron drops 2.74%%, MegaScale "
+              "near-linear)\n",
+              100.0 * last_megatron_per_gpu / first_megatron_per_gpu,
+              100.0 * last_megascale_per_gpu / first_megascale_per_gpu);
+}
+
+}  // namespace
+}  // namespace msmoe
+
+int main() {
+  msmoe::Run();
+  return 0;
+}

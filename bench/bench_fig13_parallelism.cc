@@ -1,0 +1,99 @@
+// Figure 13: training MFU of the four intra-node parallelism combinations
+// (TP+TP, TP+EP, SP+TP, SP+EP) across the six evaluation models on one
+// 8-GPU H800 node, with all other optimizations disabled. Also reports the
+// §6.2 memory accounting: SP's replicated-attention overhead vs TP.
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+#include "src/base/units.h"
+#include "src/core/layer_program.h"
+#include "src/core/parallelism_planner.h"
+#include "src/model/config.h"
+
+namespace msmoe {
+namespace {
+
+// Per-layer MFU proxy: model GEMM+flash FLOPs / (time * peak).
+double LayerMfu(const CostModel& cost, const ModelConfig& model, const LayerTimes& times,
+                int64_t micro_batch, int n) {
+  const double flops_fwd_bwd = 3.0 *
+                               static_cast<double>(model.LayerFlopsPerToken()) *
+                               static_cast<double>(micro_batch) * model.seq_len;
+  return flops_fwd_bwd /
+         (times.total_us() * n * cost.cluster().gpu.peak_tflops * 1e6);
+}
+
+void Run() {
+  PrintHeader("Figure 13 — parallelism-strategy ablation (one 8-GPU H800 node)",
+              "X+Y = attention strategy + expert strategy; other optimizations "
+              "disabled; global batch 32");
+  PrintPaperNote("SP+EP achieves 14.9%-32.9% higher MFU than TP+TP");
+
+  const CostModel cost(MakeCluster("H800", 8).value());
+  const int64_t micro_batch = 4;  // 32 sequences over 8 ranks of DP... one micro-batch
+
+  TablePrinter table({"Model", "TP+TP MFU (%)", "TP+EP MFU (%)", "SP+TP MFU (%)",
+                      "SP+EP MFU (%)", "SP+EP vs TP+TP"});
+  struct Combo {
+    AttnStrategy attn;
+    FfnStrategy ffn;
+  };
+  const Combo combos[] = {
+      {AttnStrategy::kTensorParallel, FfnStrategy::kTensorParallel},
+      {AttnStrategy::kTensorParallel, FfnStrategy::kExpertParallel},
+      {AttnStrategy::kSequenceParallel, FfnStrategy::kTensorParallel},
+      {AttnStrategy::kSequenceParallel, FfnStrategy::kExpertParallel},
+  };
+  for (const ModelConfig& model : EvaluationModels()) {
+    std::vector<std::string> row = {model.name};
+    double tp_tp_mfu = 0.0;
+    double sp_ep_mfu = 0.0;
+    for (const Combo& combo : combos) {
+      ExecutionOptions options;
+      options.attn = combo.attn;
+      options.ffn = combo.ffn;
+      options.ep_dispatch = ChooseEpDispatch(model.top_k, 8);
+      options.inter_op_overlap = false;
+      options.intra_op_overlap = false;
+      options.sar = false;
+      const LayerTimes times = SimulateLayer(cost, model, options, micro_batch,
+                                             model.seq_len, 8);
+      const double mfu = LayerMfu(cost, model, times, micro_batch, 8);
+      if (combo.attn == AttnStrategy::kTensorParallel &&
+          combo.ffn == FfnStrategy::kTensorParallel) {
+        tp_tp_mfu = mfu;
+      }
+      if (combo.attn == AttnStrategy::kSequenceParallel &&
+          combo.ffn == FfnStrategy::kExpertParallel) {
+        sp_ep_mfu = mfu;
+      }
+      row.push_back(TablePrinter::Fmt(mfu * 100.0, 1));
+    }
+    row.push_back("+" + TablePrinter::Fmt((sp_ep_mfu / tp_tp_mfu - 1.0) * 100.0, 1) + "%");
+    table.AddRow(std::move(row));
+  }
+  table.Print("Per-layer MFU by strategy combination:");
+
+  // §6.2 memory accounting.
+  TablePrinter memory({"Model", "SP state overhead (%)", "SP total overhead (%)"});
+  for (const ModelConfig& model : EvaluationModels()) {
+    MemoryOptions options;
+    options.batch_tokens = 8192;
+    const MemoryFootprint sp = EstimateMemory(model, AttnStrategy::kSequenceParallel,
+                                              FfnStrategy::kExpertParallel, options);
+    const MemoryFootprint tp = EstimateMemory(model, AttnStrategy::kTensorParallel,
+                                              FfnStrategy::kExpertParallel, options);
+    memory.AddRow({model.name,
+                   TablePrinter::Fmt((sp.StateBytes() / tp.StateBytes() - 1.0) * 100.0, 1),
+                   TablePrinter::Fmt((sp.TotalBytes() / tp.TotalBytes() - 1.0) * 100.0, 1)});
+  }
+  memory.Print("§6.2 — SP attention memory overhead vs TP (paper: 1.7%-8.1% "
+               "state, 1.2%-5.4% total):");
+}
+
+}  // namespace
+}  // namespace msmoe
+
+int main() {
+  msmoe::Run();
+  return 0;
+}

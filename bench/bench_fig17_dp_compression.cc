@@ -1,0 +1,85 @@
+// Figure 17: training-loss curves with the §5 DP communication compression
+// (FP32->BF16 cast + all-to-all + local FP32 reduction) vs the FP32
+// reduce-scatter baseline. The paper trains a 7B MoE; this reproduction
+// trains a small MoE LM with real data-parallel ranks (see DESIGN.md for
+// the substitution), and additionally shows the ring-style BF16 reduction
+// the paper rejects. Wire volumes demonstrate the 50% reduction.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+#include "src/core/trainer.h"
+#include "src/parallel/dp_grad_sync.h"
+
+namespace msmoe {
+namespace {
+
+NumericTrainConfig BaseConfig() {
+  NumericTrainConfig config;
+  config.model = TinyMoeConfig(8, 2);
+  config.model.num_layers = 2;
+  config.model.vocab = 32;
+  config.model.seq_len = 16;
+  config.router.num_experts = 8;
+  config.router.top_k = 2;
+  config.router.aux_loss_coeff = 0.01;
+  config.router.experts_per_group = 4;  // per-device balance groups (§3.2)
+  config.dp_size = 4;
+  config.batch_per_rank = 4;
+  config.steps = 120;
+  config.adam.lr = 3e-3;
+  config.precision = TrainPrecision::kBf16;
+  return config;
+}
+
+void Run() {
+  PrintHeader("Figure 17 — DP gradient-communication compression",
+              "BF16 all-to-all + FP32 local reduce vs FP32 reduce-scatter; "
+              "real DP training of a small MoE LM on 4 thread ranks");
+  PrintPaperNote("the two loss curves are nearly identical; wire volume halves");
+
+  NumericTrainConfig fp32 = BaseConfig();
+  fp32.grad_sync = GradSyncMode::kFp32ReduceScatter;
+  NumericTrainConfig bf16 = BaseConfig();
+  bf16.grad_sync = GradSyncMode::kBf16AllToAll;
+  NumericTrainConfig ring = BaseConfig();
+  ring.grad_sync = GradSyncMode::kBf16RingReduce;
+
+  const TrainCurve fp32_curve = TrainLm(fp32);
+  const TrainCurve bf16_curve = TrainLm(bf16);
+  const TrainCurve ring_curve = TrainLm(ring);
+
+  TablePrinter table({"Step", "FP32 RS loss", "BF16 A2A loss", "|diff|",
+                      "BF16 ring loss (rejected design)"});
+  double max_diff = 0.0;
+  for (size_t step = 0; step < fp32_curve.loss.size(); step += 10) {
+    const double diff = std::fabs(fp32_curve.loss[step] - bf16_curve.loss[step]);
+    max_diff = std::max(max_diff, diff);
+    table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(step)),
+                  TablePrinter::Fmt(fp32_curve.loss[step], 4),
+                  TablePrinter::Fmt(bf16_curve.loss[step], 4),
+                  TablePrinter::Fmt(diff, 5),
+                  TablePrinter::Fmt(ring_curve.loss[step], 4)});
+  }
+  table.Print("Loss curves (every 5th step):");
+  std::printf("max |FP32 - BF16 A2A| loss gap over %zu steps: %.5f\n",
+              fp32_curve.loss.size(), max_diff);
+
+  const int64_t grads = 1 << 20;
+  std::printf(
+      "wire volume for %lld FP32 gradients over 8 ranks: FP32 RS %lld MiB, "
+      "BF16 A2A %lld MiB (50%% reduction)\n",
+      static_cast<long long>(grads),
+      static_cast<long long>(GradSyncWireBytes(GradSyncMode::kFp32ReduceScatter, grads, 8) >>
+                             20),
+      static_cast<long long>(GradSyncWireBytes(GradSyncMode::kBf16AllToAll, grads, 8) >> 20));
+}
+
+}  // namespace
+}  // namespace msmoe
+
+int main() {
+  msmoe::Run();
+  return 0;
+}

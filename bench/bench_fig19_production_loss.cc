@@ -1,0 +1,75 @@
+// Figure 19: the normalized training-loss curve of a long production run
+// with periodic restarts (the paper's run: 200B-parameter MoE, 20B
+// activated, >10,000 GPUs, months, multiple restarts shown as colors).
+// This reproduction trains a small MoE LM through repeated
+// checkpoint-and-restart cycles and verifies the loss trajectory is
+// seamless across restarts (identical to an uninterrupted run).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+#include "src/core/trainer.h"
+
+namespace msmoe {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 19 — production-run loss with restarts",
+              "small MoE LM trained through checkpoint/restart cycles "
+              "(restart every 20 steps); normalized loss");
+  PrintPaperNote(
+      "loss continues to converge across restarts with a stable process");
+
+  NumericTrainConfig config;
+  config.model = TinyMoeConfig(8, 2);
+  config.model.num_layers = 2;
+  config.model.vocab = 32;
+  config.model.seq_len = 16;
+  config.router.num_experts = 8;
+  config.router.top_k = 2;
+  config.router.aux_loss_coeff = 0.01;
+  config.dp_size = 2;
+  config.batch_per_rank = 4;
+  config.steps = 120;
+  config.adam.lr = 3e-3;
+  config.restart_every = 20;
+
+  const TrainCurve restarted = TrainLm(config);
+  config.restart_every = 0;
+  const TrainCurve smooth = TrainLm(config);
+
+  const double initial = restarted.loss.front();
+  TablePrinter table({"Step", "Normalized loss (restarted run)",
+                      "Normalized loss (uninterrupted)", "Restart?"});
+  for (size_t step = 0; step < restarted.loss.size(); step += 10) {
+    const bool is_restart =
+        std::find(restarted.restart_steps.begin(), restarted.restart_steps.end(),
+                  static_cast<int64_t>(step)) != restarted.restart_steps.end();
+    table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(step)),
+                  TablePrinter::Fmt(restarted.loss[step] / initial, 4),
+                  TablePrinter::Fmt(smooth.loss[step] / initial, 4),
+                  is_restart ? "restart" : ""});
+  }
+  table.Print("Normalized loss curve:");
+
+  double max_gap = 0.0;
+  for (size_t i = 0; i < restarted.loss.size(); ++i) {
+    max_gap = std::max(max_gap, std::fabs(restarted.loss[i] - smooth.loss[i]));
+  }
+  std::printf("restarts at steps:");
+  for (int64_t step : restarted.restart_steps) {
+    std::printf(" %lld", static_cast<long long>(step));
+  }
+  std::printf("\nmax loss gap vs uninterrupted run: %.2e (exact restore)\n", max_gap);
+  std::printf("loss %.4f -> %.4f over %zu steps\n", restarted.loss.front(),
+              restarted.loss.back(), restarted.loss.size());
+}
+
+}  // namespace
+}  // namespace msmoe
+
+int main() {
+  msmoe::Run();
+  return 0;
+}

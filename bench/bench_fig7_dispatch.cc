@@ -1,0 +1,55 @@
+// Figure 7: comparison of all-gather, reduce-scatter, and all-to-all for
+// token dispatch in Mixtral-8x7B as a function of top-k, on one 8-GPU H800
+// node. Reports both the simulated collective times (the paper's
+// measurement) and the analytic communication volumes (Eqs 3-4), and the
+// dispatch mode the planner consequently selects.
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+#include "src/base/units.h"
+#include "src/core/parallelism_planner.h"
+#include "src/model/config.h"
+#include "src/sim/cost_model.h"
+
+namespace msmoe {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 7 — AG / RS / A2A token-dispatch time vs top-k",
+              "Mixtral-8x7B shapes (h=4096, seq 8192), one 8-GPU H800 node");
+  PrintPaperNote("when top-k > 6 the all-gather-based EP implementation wins");
+
+  const ModelConfig model = ModelConfigByName("Mixtral-8x7B").value();
+  const CostModel cost(MakeCluster("H800", 8).value());
+  const int n = 8;
+  const int64_t tokens_per_rank = model.seq_len / n;
+  const int64_t bytes_per_token = model.hidden * 2;
+
+  TablePrinter table({"top-k", "A2A time (us)", "AG time (us)", "RS time (us)",
+                      "A2A volume (MiB)", "AG volume (MiB)", "Planner picks"});
+  for (int64_t k = 1; k <= 8; ++k) {
+    const double a2a =
+        cost.AllToAllTime(tokens_per_rank * k * bytes_per_token, n, false);
+    const double ag = cost.RingCollectiveTime(tokens_per_rank * bytes_per_token, n, false);
+    const double a2a_volume =
+        EpFfnCommBytes(1, model.seq_len, model.hidden, n, k, EpDispatchMode::kAllToAll) /
+        2.0;  // dispatch half of dispatch+combine
+    const double ag_volume =
+        EpFfnCommBytes(1, model.seq_len, model.hidden, n, k,
+                       EpDispatchMode::kAllGatherScatter) /
+        2.0;
+    table.AddRow({TablePrinter::Fmt(k), TablePrinter::Fmt(a2a, 1),
+                  TablePrinter::Fmt(ag, 1), TablePrinter::Fmt(ag, 1),
+                  TablePrinter::Fmt(a2a_volume / kMiB, 1),
+                  TablePrinter::Fmt(ag_volume / kMiB, 1),
+                  EpDispatchModeName(ChooseEpDispatch(k, n))});
+  }
+  table.Print("Dispatch-communication time vs top-k (AG and RS are symmetric):");
+}
+
+}  // namespace
+}  // namespace msmoe
+
+int main() {
+  msmoe::Run();
+  return 0;
+}

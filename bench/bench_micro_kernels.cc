@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks of the real (CPU) kernels underpinning
+// the numeric substrate: GEMM, grouped GEMM, attention core, router,
+// quantization, and thread-rank collectives. These measure actual wall
+// time (unlike the figure benches, which report simulated cluster time).
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/comm/collective_group.h"
+#include "src/model/attention.h"
+#include "src/model/grouped_gemm.h"
+#include "src/model/router.h"
+#include "src/numerics/quantize.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace msmoe {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({dim, dim}, rng);
+  Tensor b = Tensor::Randn({dim, dim}, rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * dim * dim * dim);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GroupedGemm(benchmark::State& state) {
+  const int64_t experts = state.range(0);
+  Rng rng(2);
+  const int64_t rows = 128;
+  const int64_t h = 64;
+  const int64_t f = 96;
+  Tensor x = Tensor::Randn({rows, h}, rng);
+  std::vector<Tensor> weights;
+  std::vector<int64_t> offsets = {0};
+  for (int64_t e = 0; e < experts; ++e) {
+    weights.push_back(Tensor::Randn({h, f}, rng));
+    offsets.push_back(rows * (e + 1) / experts);
+  }
+  for (auto _ : state) {
+    Tensor y = GroupedGemm(x, offsets, weights);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_GroupedGemm)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_AttentionCore(benchmark::State& state) {
+  const int64_t seq = state.range(0);
+  Rng rng(3);
+  Tensor q = Tensor::Randn({seq, 4, 16}, rng);
+  Tensor k = Tensor::Randn({seq, 2, 16}, rng);
+  Tensor v = Tensor::Randn({seq, 2, 16}, rng);
+  for (auto _ : state) {
+    AttentionCoreCache cache;
+    Tensor out = AttentionCore(q, k, v, 2, &cache);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_AttentionCore)->Arg(32)->Arg(128);
+
+void BM_RouteTokens(benchmark::State& state) {
+  const int64_t experts = state.range(0);
+  Rng rng(4);
+  Tensor logits = Tensor::Randn({256, experts}, rng);
+  RouterConfig config;
+  config.num_experts = experts;
+  config.top_k = 2;
+  config.aux_loss_coeff = 0.01;
+  for (auto _ : state) {
+    RoutingResult routing = RouteTokens(logits, config);
+    benchmark::DoNotOptimize(routing.expert_counts.data());
+  }
+}
+BENCHMARK(BM_RouteTokens)->Arg(8)->Arg(64);
+
+void BM_QuantizeFp8(benchmark::State& state) {
+  Rng rng(5);
+  const int64_t rows = 128;
+  const int64_t cols = 256;
+  std::vector<float> data(static_cast<size_t>(rows * cols));
+  for (auto& v : data) {
+    v = static_cast<float>(rng.NextGaussian());
+  }
+  QuantConfig config;
+  config.granularity = static_cast<QuantGranularity>(state.range(0));
+  for (auto _ : state) {
+    QuantizedMatrix q = Quantize(data.data(), rows, cols, config);
+    benchmark::DoNotOptimize(q.codes.data());
+  }
+  state.SetBytesProcessed(state.iterations() * rows * cols * 4);
+}
+BENCHMARK(BM_QuantizeFp8)
+    ->Arg(static_cast<int>(QuantGranularity::kPerTensor))
+    ->Arg(static_cast<int>(QuantGranularity::kPerToken))
+    ->Arg(static_cast<int>(QuantGranularity::kPerChannelGrouped));
+
+void BM_AllToAll(benchmark::State& state) {
+  const int n = 4;
+  const int64_t count = state.range(0);
+  for (auto _ : state) {
+    CollectiveGroup group(n);
+    RunOnRanks(n, [&](int rank) {
+      std::vector<float> send(static_cast<size_t>(n * count), 1.0f);
+      std::vector<float> recv(static_cast<size_t>(n * count));
+      group.AllToAll(rank, send.data(), recv.data(), count);
+      benchmark::DoNotOptimize(recv.data());
+    });
+  }
+}
+BENCHMARK(BM_AllToAll)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace msmoe
+
+BENCHMARK_MAIN();

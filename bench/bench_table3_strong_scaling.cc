@@ -1,0 +1,59 @@
+// Table 3: strong-scaling training performance of the 352B MoE model on
+// NVIDIA H800 GPUs — Megatron-LM vs MegaScale-MoE at a fixed global batch
+// of 720 sequences, PP = 15, intra-node parallelism 8.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/table.h"
+#include "src/core/sim_trainer.h"
+#include "src/model/config.h"
+
+namespace msmoe {
+namespace {
+
+void Run() {
+  PrintHeader("Table 3 — strong scaling, Internal-352B on H800",
+              "global batch 720, seq 8192, PP=15, TP=8 (Megatron) vs SP=EP=8 "
+              "(MegaScale-MoE); simulated cluster (see DESIGN.md)");
+  PrintPaperNote(
+      "Megatron-LM 39.94s/151.1k tok/s at 240 GPUs down to 7.90s/746.6k at "
+      "1440; MegaScale-MoE 21.61s/272.9k to 4.19s/1407.7k (1.81x-1.88x)");
+
+  const ModelConfig model = ModelConfigByName("Internal-352B").value();
+  TablePrinter table({"System", "#GPUs", "Iteration Time (s)", "Throughput (tokens/s)",
+                      "Training Time for 1T Tokens (days)", "MFU (%)", "Speedup"});
+  const int gpu_counts[] = {240, 480, 720, 960, 1440};
+
+  for (int gpus : gpu_counts) {
+    const ClusterSpec cluster = MakeCluster("H800", gpus).value();
+    const IterationReport report =
+        SimulateTraining(TrainJobConfig::Megatron(model, cluster, 15, 720)).value();
+    table.AddRow({"Megatron-LM", TablePrinter::Fmt(static_cast<int64_t>(gpus)),
+                  TablePrinter::Fmt(report.iteration_s, 2),
+                  TablePrinter::Fmt(report.tokens_per_s / 1000.0, 1) + "k",
+                  TablePrinter::Fmt(report.days_for_1t_tokens, 2),
+                  TablePrinter::Fmt(report.mfu * 100.0, 2), "1.00x"});
+  }
+  for (int gpus : gpu_counts) {
+    const ClusterSpec cluster = MakeCluster("H800", gpus).value();
+    const IterationReport baseline =
+        SimulateTraining(TrainJobConfig::Megatron(model, cluster, 15, 720)).value();
+    const IterationReport report =
+        SimulateTraining(TrainJobConfig::MegaScaleMoe(model, cluster, 15, 720)).value();
+    table.AddRow({"MegaScale-MoE", TablePrinter::Fmt(static_cast<int64_t>(gpus)),
+                  TablePrinter::Fmt(report.iteration_s, 2),
+                  TablePrinter::Fmt(report.tokens_per_s / 1000.0, 1) + "k",
+                  TablePrinter::Fmt(report.days_for_1t_tokens, 2),
+                  TablePrinter::Fmt(report.mfu * 100.0, 2),
+                  TablePrinter::Fmt(baseline.iteration_s / report.iteration_s, 2) + "x"});
+  }
+  table.Print("Strong scaling, 352B MoE, fixed global batch 720:");
+}
+
+}  // namespace
+}  // namespace msmoe
+
+int main() {
+  msmoe::Run();
+  return 0;
+}

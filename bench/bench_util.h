@@ -1,0 +1,24 @@
+// Shared helpers for the reproduction benches (one binary per paper
+// table/figure; each prints the same rows/series the paper reports).
+#ifndef MSMOE_BENCH_BENCH_UTIL_H_
+#define MSMOE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace msmoe {
+
+inline void PrintHeader(const std::string& experiment, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+inline void PrintPaperNote(const std::string& note) {
+  std::printf("paper reference: %s\n\n", note.c_str());
+}
+
+}  // namespace msmoe
+
+#endif  // MSMOE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,83 @@
+// Capacity planning: given a custom MoE architecture, sweep cluster sizes
+// and GPU generations to find configurations that fit in memory and the
+// throughput/MFU each would deliver — the workflow a training-platform team
+// runs before committing GPUs to a job.
+//
+//   $ ./capacity_planner
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/base/units.h"
+#include "src/core/parallelism_planner.h"
+#include "src/core/scaleup_analysis.h"
+#include "src/core/sim_trainer.h"
+#include "src/hw/gpu_spec.h"
+#include "src/model/config.h"
+
+using namespace msmoe;
+
+int main() {
+  // A custom model: 96B total, fine-grained experts.
+  ModelConfig model;
+  model.name = "Custom-96B";
+  model.num_layers = 48;
+  model.hidden = 3072;
+  model.num_heads = 24;
+  model.gqa_ratio = 4;
+  model.ffn_hidden = 9216;
+  model.num_experts = 24;
+  model.top_k = 2;
+  model.seq_len = 8192;
+  std::printf("planning for %s: %.1fB params, %.1fB activated\n\n", model.name.c_str(),
+              static_cast<double>(model.TotalParams()) / 1e9,
+              static_cast<double>(model.ActivatedParamsPerToken()) / 1e9);
+
+  // Is the expert wide enough to scale past the NVLink domain (§7)?
+  for (const char* gpu : {"H800", "H100", "B200"}) {
+    const GpuSpec spec = GpuSpecByName(gpu).value();
+    const int64_t min_width = MinEfficientFfnHidden(spec, /*internode=*/true);
+    std::printf("%s: need h_ffn >= %lld for R > 1 across RDMA — %s (h_ffn = %lld)\n", gpu,
+                static_cast<long long>(min_width),
+                model.ffn_hidden >= min_width ? "OK" : "NOT OK",
+                static_cast<long long>(model.ffn_hidden));
+  }
+  std::printf("\n");
+
+  TablePrinter table({"GPU", "#GPUs", "PP", "Memory/GPU (GiB)", "Fits 80GB?",
+                      "Iteration (s)", "Tokens/s", "MFU (%)"});
+  for (const char* gpu : {"H800", "A100"}) {
+    for (int gpus : {64, 128, 256}) {
+      for (int pp : {2, 4, 8}) {
+        const ClusterSpec cluster = MakeCluster(gpu, gpus).value();
+        if (cluster.TotalGpus() % (cluster.gpus_per_node * pp) != 0) {
+          continue;
+        }
+        MemoryOptions memory_options;
+        memory_options.pp_stages = pp;
+        memory_options.dp_size = gpus / (8 * pp);
+        memory_options.batch_tokens = model.seq_len;
+        memory_options.sar = true;
+        const MemoryFootprint footprint = EstimateMemory(
+            model, AttnStrategy::kSequenceParallel, FfnStrategy::kExpertParallel,
+            memory_options);
+        const double gib = footprint.TotalBytes() / kGiB;
+        const bool fits = gib < 72.0;  // leave headroom below 80 GB
+
+        TrainJobConfig job = TrainJobConfig::MegaScaleMoe(model, cluster, pp,
+                                                          /*global_batch=*/256);
+        const auto report = SimulateTraining(job);
+        if (!report.ok()) {
+          continue;
+        }
+        table.AddRow({gpu, TablePrinter::Fmt(static_cast<int64_t>(gpus)),
+                      TablePrinter::Fmt(static_cast<int64_t>(pp)),
+                      TablePrinter::Fmt(gib, 1), fits ? "yes" : "NO",
+                      TablePrinter::Fmt(report.value().iteration_s, 2),
+                      TablePrinter::Fmt(report.value().tokens_per_s / 1000.0, 0) + "k",
+                      TablePrinter::Fmt(report.value().mfu * 100.0, 1)});
+      }
+    }
+  }
+  table.Print("Candidate deployments (SP+EP, SAR on, BF16 grad compression):");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: plan a communication-efficient parallelism strategy for an
+// MoE model, estimate its memory footprint, and simulate a training
+// iteration against the Megatron-LM baseline.
+//
+//   $ ./quickstart
+//
+// This touches the three public entry points most users need:
+//   PlanParallelism  (src/core/parallelism_planner.h)
+//   EstimateMemory   (src/core/parallelism_planner.h)
+//   SimulateTraining (src/core/sim_trainer.h)
+#include <cstdio>
+
+#include "src/base/units.h"
+#include "src/core/parallelism_planner.h"
+#include "src/core/sim_trainer.h"
+#include "src/hw/gpu_spec.h"
+#include "src/model/config.h"
+
+using namespace msmoe;
+
+int main() {
+  // 1. Pick a model and a cluster. Table 2 models are built in; custom
+  //    configs are plain structs.
+  const ModelConfig model = ModelConfigByName("Mixtral-8x7B").value();
+  const ClusterSpec cluster = MakeCluster("H800", 64).value();
+  std::printf("model: %s (%.1fB params, %.1fB activated per token)\n", model.name.c_str(),
+              static_cast<double>(model.TotalParams()) / 1e9,
+              static_cast<double>(model.ActivatedParamsPerToken()) / 1e9);
+  std::printf("cluster: %d x %s (%d nodes x %d GPUs)\n\n", cluster.TotalGpus(),
+              cluster.gpu.name.c_str(), cluster.num_nodes, cluster.gpus_per_node);
+
+  // 2. Plan the intra-node parallelism (§3): SP attention + EP FFN, with
+  //    the dispatch mode chosen by the top-k/n rule.
+  const ParallelismPlan plan = PlanParallelism(model, cluster, 1, model.seq_len);
+  std::printf("plan: %s\n\n", plan.ToString().c_str());
+
+  // 3. Check the memory story (§3.1): SP replicates attention weights, but
+  //    expert parameters dominate MoE memory.
+  MemoryOptions memory_options;
+  memory_options.batch_tokens = model.seq_len;
+  const MemoryFootprint sp = EstimateMemory(model, plan.attn, plan.ffn, memory_options);
+  const MemoryFootprint tp = EstimateMemory(model, AttnStrategy::kTensorParallel, plan.ffn,
+                                            memory_options);
+  std::printf("memory per GPU: SP %.1f GiB vs TP %.1f GiB (+%.1f%%)\n\n",
+              sp.TotalBytes() / kGiB, tp.TotalBytes() / kGiB,
+              (sp.TotalBytes() / tp.TotalBytes() - 1.0) * 100.0);
+
+  // 4. Simulate a full training iteration for both systems (§6.1).
+  const IterationReport megascale =
+      SimulateTraining(TrainJobConfig::MegaScaleMoe(model, cluster, 2, 64)).value();
+  const IterationReport megatron =
+      SimulateTraining(TrainJobConfig::Megatron(model, cluster, 2, 64)).value();
+  std::printf("MegaScale-MoE: %s\n", megascale.ToString().c_str());
+  std::printf("Megatron-LM:   %s\n", megatron.ToString().c_str());
+  std::printf("speedup: %.2fx\n", megatron.iteration_s / megascale.iteration_s);
+  return 0;
+}

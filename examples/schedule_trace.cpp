@@ -1,0 +1,67 @@
+// Export simulated MoE-layer schedules as Chrome traces for inspection in
+// about://tracing or https://ui.perfetto.dev — the timeline view production
+// schedule work is debugged with.
+//
+//   $ ./schedule_trace [output_dir]
+//
+// Writes three traces of the same Mixtral-8x7B layer: the Megatron-style
+// single-stream schedule, the holistic multi-stream schedule, and the
+// holistic schedule after automatic search.
+#include <cstdio>
+#include <string>
+
+#include "src/core/auto_scheduler.h"
+#include "src/core/layer_program.h"
+#include "src/model/config.h"
+#include "src/sim/trace_export.h"
+
+using namespace msmoe;
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "/tmp";
+  const CostModel cost(MakeCluster("H800", 8).value());
+  const ModelConfig model = ModelConfigByName("Mixtral-8x7B").value();
+
+  // Megatron-style: everything on one stream.
+  ExecutionOptions baseline = ExecutionOptions::MegatronBaseline();
+  const LayerGraphs megatron = BuildLayerGraphs(cost, model, baseline, 1, model.seq_len, 8);
+  const GraphResult megatron_run = ExecuteGraph(megatron.backward, 1);
+  const std::string megatron_path = dir + "/msmoe_megatron_backward.json";
+  if (!WriteChromeTrace(megatron_path, megatron.backward, megatron_run,
+                        "Megatron-style backward")
+           .ok()) {
+    std::fprintf(stderr, "failed to write %s\n", megatron_path.c_str());
+    return 1;
+  }
+
+  // Holistic multi-stream schedule.
+  ExecutionOptions holistic = ExecutionOptions::MegaScale(model, 8);
+  holistic.intra_op_overlap = false;
+  const LayerGraphs ours = BuildLayerGraphs(cost, model, holistic, 1, model.seq_len, 8);
+  const GraphResult ours_run = ExecuteGraph(ours.backward, 2);
+  const std::string ours_path = dir + "/msmoe_holistic_backward.json";
+  if (!WriteChromeTrace(ours_path, ours.backward, ours_run, "holistic backward").ok()) {
+    return 1;
+  }
+
+  // Automatically searched variant.
+  ScheduleSearchOptions search;
+  search.iterations = 1200;
+  search.restarts = 3;
+  const ScheduleSearchResult searched = SearchSchedule(ours.backward, search);
+  const GraphResult searched_run = ExecuteGraph(searched.best_ops, 2);
+  const std::string searched_path = dir + "/msmoe_searched_backward.json";
+  if (!WriteChromeTrace(searched_path, searched.best_ops, searched_run,
+                        "auto-searched backward")
+           .ok()) {
+    return 1;
+  }
+
+  std::printf("wrote traces:\n  %s  (makespan %.0f us)\n  %s  (makespan %.0f us)\n"
+              "  %s  (makespan %.0f us)\n",
+              megatron_path.c_str(), megatron_run.makespan, ours_path.c_str(),
+              ours_run.makespan, searched_path.c_str(), searched_run.makespan);
+  std::printf("open them in https://ui.perfetto.dev to see the comm stream "
+              "(tid 1) sliding under compute (tid 0).\n");
+  return 0;
+}

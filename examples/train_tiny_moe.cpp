@@ -1,0 +1,52 @@
+// End-to-end numeric training of a small MoE language model with the
+// production recipe: data-parallel thread ranks, BF16 compute copies over
+// FP32 masters, the §5 BF16 all-to-all gradient compression, group-wise
+// balance loss, and a mid-run checkpoint restart.
+//
+//   $ ./train_tiny_moe
+//
+// The model is the real thing (GQA attention + RoPE + top-k routed SwiGLU
+// experts with manual backprop), just small enough for a CPU.
+#include <cstdio>
+
+#include "src/core/trainer.h"
+
+using namespace msmoe;
+
+int main() {
+  NumericTrainConfig config;
+  config.model = TinyMoeConfig(/*num_experts=*/8, /*top_k=*/2);
+  config.model.num_layers = 2;
+  config.model.vocab = 32;
+  config.model.seq_len = 16;
+  config.router.num_experts = 8;
+  config.router.top_k = 2;
+  config.router.aux_loss_coeff = 0.01;
+  config.router.experts_per_group = 4;   // balance per device group (§3.2)
+  config.router.capacity_factor = 2.0;   // drop pathological overflow
+  config.dp_size = 2;
+  config.batch_per_rank = 4;
+  config.steps = 120;
+  config.adam.lr = 3e-3;
+  config.precision = TrainPrecision::kBf16;            // FP32 masters kept
+  config.grad_sync = GradSyncMode::kBf16AllToAll;      // §5 compression
+  config.restart_every = 50;                           // checkpoint + restart
+
+  std::printf("training a %lld-parameter MoE LM on %d DP ranks (%s grads, %s compute)\n",
+              static_cast<long long>(
+                  LmParams::ZerosLike(config.model).TotalElements()),
+              config.dp_size, GradSyncModeName(config.grad_sync),
+              TrainPrecisionName(config.precision));
+
+  const TrainCurve curve = TrainLm(config);
+  for (size_t step = 0; step < curve.loss.size(); step += 10) {
+    std::printf("step %3zu  loss %.4f\n", step, curve.loss[step]);
+  }
+  std::printf("final loss %.4f (started at %.4f)\n", curve.loss.back(), curve.loss.front());
+  std::printf("checkpoint restarts at steps:");
+  for (int64_t step : curve.restart_steps) {
+    std::printf(" %lld", static_cast<long long>(step));
+  }
+  std::printf("\n");
+  return curve.loss.back() < curve.loss.front() ? 0 : 1;
+}

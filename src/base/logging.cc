@@ -1,0 +1,75 @@
+#include "src/base/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace msmoe {
+
+LogSeverity MinLogSeverity() {
+  static const LogSeverity severity = [] {
+    const char* env = std::getenv("MSMOE_LOG_LEVEL");
+    if (env == nullptr) {
+      return LogSeverity::kInfo;
+    }
+    int value = std::atoi(env);
+    if (value < 0) {
+      value = 0;
+    }
+    if (value > 4) {
+      value = 4;
+    }
+    return static_cast<LogSeverity>(value);
+  }();
+  return severity;
+}
+
+namespace internal {
+namespace {
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+std::mutex& LogMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+}  // namespace
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << SeverityTag(severity) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace msmoe

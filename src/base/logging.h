@@ -1,0 +1,69 @@
+// Lightweight logging and assertion facilities.
+//
+// The library is used from multi-threaded rank code, so log emission is
+// serialized with a process-wide mutex. CHECK failures abort: they indicate
+// programmer error, never expected runtime conditions (those use Status).
+#ifndef MSMOE_SRC_BASE_LOGGING_H_
+#define MSMOE_SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace msmoe {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Returns the minimum severity that is actually emitted. Controlled by the
+// MSMOE_LOG_LEVEL environment variable (0..4); defaults to kInfo.
+LogSeverity MinLogSeverity();
+
+namespace internal {
+
+// Collects one log statement and emits it (and aborts for kFatal) on
+// destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Turns an ostream expression into void so the CHECK ternary type-checks;
+// operator& binds looser than operator<<.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define MSMOE_LOG(severity)                                                             \
+  ::msmoe::internal::LogMessage(::msmoe::LogSeverity::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+#define MSMOE_CHECK(cond)                                                      \
+  (cond) ? (void)0                                                             \
+         : ::msmoe::internal::Voidify() &                                      \
+               ::msmoe::internal::LogMessage(::msmoe::LogSeverity::kFatal,     \
+                                             __FILE__, __LINE__)               \
+                   .stream()                                                   \
+               << "Check failed: " #cond " "
+
+#define MSMOE_CHECK_EQ(a, b) MSMOE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MSMOE_CHECK_NE(a, b) MSMOE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MSMOE_CHECK_LT(a, b) MSMOE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MSMOE_CHECK_LE(a, b) MSMOE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MSMOE_CHECK_GT(a, b) MSMOE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MSMOE_CHECK_GE(a, b) MSMOE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_BASE_LOGGING_H_

@@ -1,0 +1,59 @@
+#include "src/base/rng.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace msmoe {
+
+uint64_t Rng::NextU64() {
+  // SplitMix64 (Steele, Lea, Flood 2014). Passes BigCrush; one add + three
+  // xor-shift-multiplies, fully deterministic across platforms.
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::NextUniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) { return lo + (hi - lo) * NextUniform(); }
+
+uint64_t Rng::NextIndex(uint64_t n) {
+  MSMOE_CHECK_GT(n, 0u);
+  // Rejection-free modulo bias is negligible for n << 2^64 (our use cases),
+  // but use Lemire's multiply-shift reduction anyway for uniformity.
+  unsigned __int128 product = static_cast<unsigned __int128>(NextU64()) * n;
+  return static_cast<uint64_t>(product >> 64);
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextUniform();
+  double u2 = NextUniform();
+  // Avoid log(0).
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::NextGaussian(double mean, double stddev) { return mean + stddev * NextGaussian(); }
+
+Rng Rng::Fork(uint64_t salt) const {
+  Rng probe(state_ ^ (0xA5A5A5A5A5A5A5A5ULL + salt * 0x9E3779B97F4A7C15ULL));
+  return Rng(probe.NextU64());
+}
+
+}  // namespace msmoe

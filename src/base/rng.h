@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// Training runs, tests, and workload generators must be reproducible across
+// machines, so all randomness flows through this SplitMix64-based generator
+// rather than std::mt19937 (whose distributions are not portable).
+#ifndef MSMOE_SRC_BASE_RNG_H_
+#define MSMOE_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace msmoe {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value (SplitMix64).
+  uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextUniform();
+
+  // Uniform in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextIndex(uint64_t n);
+
+  // Standard normal via Box-Muller (pairs cached).
+  double NextGaussian();
+
+  // Normal with the given mean and stddev.
+  double NextGaussian(double mean, double stddev);
+
+  // Derives an independent generator; stable function of (this seed, salt).
+  Rng Fork(uint64_t salt) const;
+
+ private:
+  uint64_t state_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_BASE_RNG_H_

@@ -1,0 +1,115 @@
+// Status / Result<T>: expected-error reporting without exceptions.
+//
+// Library code returns Status (or Result<T>) for conditions a caller can
+// reasonably encounter (bad config, shape mismatch from user input, ...).
+// Invariant violations use MSMOE_CHECK instead.
+#ifndef MSMOE_SRC_BASE_STATUS_H_
+#define MSMOE_SRC_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/base/logging.h"
+
+namespace msmoe {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+// Human-readable name for a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Formats as "OK" or "CODE: message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status OutOfRange(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+inline Status Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+inline Status Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+
+// Value-or-error carrier. value() CHECK-fails on error, so call sites either
+// propagate status() or assert success.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    MSMOE_CHECK(!std::get<Status>(storage_).ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status ok_status;
+    if (ok()) {
+      return ok_status;
+    }
+    return std::get<Status>(storage_);
+  }
+
+  const T& value() const& {
+    MSMOE_CHECK(ok()) << status().ToString();
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    MSMOE_CHECK(ok()) << status().ToString();
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    MSMOE_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(storage_));
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+#define MSMOE_RETURN_IF_ERROR(expr)        \
+  do {                                     \
+    ::msmoe::Status _status = (expr);      \
+    if (!_status.ok()) {                   \
+      return _status;                      \
+    }                                      \
+  } while (false)
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_BASE_STATUS_H_

@@ -1,0 +1,83 @@
+#include "src/base/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace msmoe {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TablePrinter::Fmt(int64_t value) { return std::to_string(value); }
+
+std::string TablePrinter::ToString(const std::string& title) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].size() > widths[i]) {
+        widths[i] = row[i].size();
+      }
+    }
+  }
+
+  std::ostringstream out;
+  if (!title.empty()) {
+    out << title << "\n";
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out << (i == 0 ? "| " : " ");
+      out << cell;
+      out << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    out << (i == 0 ? "|" : "") << std::string(widths[i] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      if (i > 0) {
+        out << ",";
+      }
+      out << (i < cells.size() ? cells[i] : std::string());
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::fputs(ToString(title).c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace msmoe

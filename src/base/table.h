@@ -1,0 +1,40 @@
+// Column-aligned ASCII table printer used by the benchmark harnesses to
+// reproduce the rows of the paper's tables and figure series.
+#ifndef MSMOE_SRC_BASE_TABLE_H_
+#define MSMOE_SRC_BASE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msmoe {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends one row; cells beyond the header count are dropped, missing cells
+  // render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string Fmt(double value, int precision = 2);
+  static std::string Fmt(int64_t value);
+
+  // Renders the table with a header rule. If title is non-empty it is printed
+  // above the table.
+  std::string ToString(const std::string& title = "") const;
+
+  // Renders as CSV (header row + data rows), for downstream plotting.
+  std::string ToCsv() const;
+
+  void Print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_BASE_TABLE_H_

@@ -1,0 +1,41 @@
+#include "src/comm/collective_group.h"
+
+namespace msmoe {
+
+CollectiveGroup::CollectiveGroup(int size)
+    : size_(size),
+      barrier_(size),
+      send_slots_(static_cast<size_t>(size), nullptr),
+      counts_(static_cast<size_t>(size) * static_cast<size_t>(size), 0),
+      scalars_(static_cast<size_t>(size), 0.0) {
+  MSMOE_CHECK_GT(size, 0);
+}
+
+void CollectiveGroup::Barrier() { barrier_.arrive_and_wait(); }
+
+void CollectiveGroup::PublishCounts(int member, const std::vector<int64_t>& counts) {
+  for (int dst = 0; dst < size_; ++dst) {
+    counts_[static_cast<size_t>(member * size_ + dst)] = counts[static_cast<size_t>(dst)];
+  }
+}
+
+std::vector<double> CollectiveGroup::ExchangeScalars(int member, double value) {
+  scalars_[static_cast<size_t>(member)] = value;
+  Barrier();
+  std::vector<double> out = scalars_;
+  Barrier();
+  return out;
+}
+
+void RunOnRanks(int world_size, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(world_size));
+  for (int rank = 0; rank < world_size; ++rank) {
+    threads.emplace_back([&fn, rank] { fn(rank); });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+}
+
+}  // namespace msmoe

@@ -1,0 +1,204 @@
+// In-process collective communication over thread ranks.
+//
+// This is the repository's NCCL substitute: each "GPU rank" is a thread, and
+// a CollectiveGroup provides barrier-synchronized collectives with exactly
+// the semantics of the NCCL operations the paper uses (all-reduce,
+// all-gather, reduce-scatter, all-to-all(v), broadcast). Reductions are
+// performed in deterministic rank order so every member computes bit-
+// identical results — which the numerical-equivalence tests rely on.
+//
+// Payload precision on the (virtual) wire is emulated by converting values
+// before calling a collective (src/numerics); the group additionally keeps
+// an analytic count of wire bytes per algorithm (ring AG/RS, all-to-all) so
+// tests and benches can assert the communication-volume formulas of §3.
+#ifndef MSMOE_SRC_COMM_COLLECTIVE_GROUP_H_
+#define MSMOE_SRC_COMM_COLLECTIVE_GROUP_H_
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace msmoe {
+
+class CollectiveGroup {
+ public:
+  explicit CollectiveGroup(int size);
+
+  int size() const { return size_; }
+
+  // Analytic bytes a real fabric would have moved (sum over members).
+  uint64_t wire_bytes() const { return wire_bytes_.load(std::memory_order_relaxed); }
+  void ResetWireBytes() { wire_bytes_.store(0, std::memory_order_relaxed); }
+
+  // All members must call every collective, with their own member index.
+
+  void Barrier();
+
+  // recv must hold size() * count elements; member m's send block lands at
+  // recv[m * count .. (m+1) * count).
+  template <typename T>
+  void AllGather(int member, const T* send, T* recv, int64_t count) {
+    PublishSend(member, send);
+    Barrier();
+    for (int src = 0; src < size_; ++src) {
+      std::memcpy(recv + static_cast<int64_t>(src) * count, SendSlot<T>(src),
+                  static_cast<size_t>(count) * sizeof(T));
+    }
+    AccountOnce(member, RingVolume(count * static_cast<int64_t>(sizeof(T))));
+    Barrier();
+  }
+
+  // send holds size() * count elements; member m receives the sum of all
+  // members' m-th blocks into recv (count elements).
+  template <typename T>
+  void ReduceScatter(int member, const T* send, T* recv, int64_t count) {
+    PublishSend(member, send);
+    Barrier();
+    const int64_t offset = static_cast<int64_t>(member) * count;
+    for (int64_t i = 0; i < count; ++i) {
+      double sum = 0.0;
+      for (int src = 0; src < size_; ++src) {
+        sum += static_cast<double>(SendSlot<T>(src)[offset + i]);
+      }
+      recv[i] = static_cast<T>(sum);
+    }
+    AccountOnce(member, RingVolume(count * static_cast<int64_t>(sizeof(T))));
+    Barrier();
+  }
+
+  // Element-wise sum over all members; every member receives the full result.
+  template <typename T>
+  void AllReduce(int member, const T* send, T* recv, int64_t count) {
+    PublishSend(member, send);
+    Barrier();
+    for (int64_t i = 0; i < count; ++i) {
+      double sum = 0.0;
+      for (int src = 0; src < size_; ++src) {
+        sum += static_cast<double>(SendSlot<T>(src)[i]);
+      }
+      recv[i] = static_cast<T>(sum);
+    }
+    AccountOnce(member, 2 * RingVolume(count * static_cast<int64_t>(sizeof(T))));
+    Barrier();
+  }
+
+  // Member `root`'s buffer is copied to every member.
+  template <typename T>
+  void Broadcast(int member, int root, T* data, int64_t count) {
+    if (member == root) {
+      PublishSend(member, data);
+    }
+    Barrier();
+    if (member != root) {
+      std::memcpy(data, SendSlot<T>(root), static_cast<size_t>(count) * sizeof(T));
+    }
+    AccountOnce(member,
+                static_cast<uint64_t>(size_ - 1) *
+                    static_cast<uint64_t>(count * static_cast<int64_t>(sizeof(T))));
+    Barrier();
+  }
+
+  // Fixed-size all-to-all: send and recv hold size() * count elements;
+  // recv[src * count ..] = member src's block addressed to this member.
+  template <typename T>
+  void AllToAll(int member, const T* send, T* recv, int64_t count) {
+    PublishSend(member, send);
+    Barrier();
+    for (int src = 0; src < size_; ++src) {
+      std::memcpy(recv + static_cast<int64_t>(src) * count,
+                  SendSlot<T>(src) + static_cast<int64_t>(member) * count,
+                  static_cast<size_t>(count) * sizeof(T));
+    }
+    AccountOnce(member, A2AVolume(count * static_cast<int64_t>(sizeof(T))));
+    Barrier();
+  }
+
+  // Variable all-to-all. send_counts[d] elements go to member d, packed
+  // contiguously in destination order. On return, *recv_counts[s] holds the
+  // element count received from member s and recv is packed in source order.
+  // recv must have capacity for the total received (callers can size it via
+  // ExchangeCounts below, or pass a vector to the overload in comm_util).
+  template <typename T>
+  void AllToAllV(int member, const T* send, const std::vector<int64_t>& send_counts, T* recv,
+                 std::vector<int64_t>* recv_counts) {
+    MSMOE_CHECK_EQ(static_cast<int>(send_counts.size()), size_);
+    PublishSend(member, send);
+    PublishCounts(member, send_counts);
+    Barrier();
+    recv_counts->assign(static_cast<size_t>(size_), 0);
+    int64_t recv_offset = 0;
+    uint64_t bytes = 0;
+    for (int src = 0; src < size_; ++src) {
+      // Offset of the block addressed to `member` inside src's send buffer.
+      int64_t src_offset = 0;
+      for (int dst = 0; dst < member; ++dst) {
+        src_offset += CountAt(src, dst);
+      }
+      const int64_t n = CountAt(src, member);
+      std::memcpy(recv + recv_offset, SendSlot<T>(src) + src_offset,
+                  static_cast<size_t>(n) * sizeof(T));
+      (*recv_counts)[static_cast<size_t>(src)] = n;
+      recv_offset += n;
+      if (src != member) {
+        bytes += static_cast<uint64_t>(n) * sizeof(T);
+      }
+    }
+    // Each member's received off-rank bytes are its share of the wire volume.
+    wire_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    Barrier();
+  }
+
+  // Shares each member's scalar value; returns the vector of all values.
+  std::vector<double> ExchangeScalars(int member, double value);
+
+ private:
+  template <typename T>
+  const T* SendSlot(int src) const {
+    return static_cast<const T*>(send_slots_[static_cast<size_t>(src)]);
+  }
+
+  void PublishSend(int member, const void* ptr) {
+    send_slots_[static_cast<size_t>(member)] = ptr;
+  }
+  void PublishCounts(int member, const std::vector<int64_t>& counts);
+  int64_t CountAt(int src, int dst) const {
+    return counts_[static_cast<size_t>(src * size_ + dst)];
+  }
+
+  // Ring all-gather / reduce-scatter volume per the standard (g-1)/g * total.
+  uint64_t RingVolume(int64_t bytes_per_member) const {
+    return static_cast<uint64_t>(size_ - 1) * static_cast<uint64_t>(bytes_per_member);
+  }
+  // All-to-all: every member sends (g-1) off-rank blocks of `bytes` each.
+  uint64_t A2AVolume(int64_t bytes_per_block) const {
+    return static_cast<uint64_t>(size_) * static_cast<uint64_t>(size_ - 1) *
+           static_cast<uint64_t>(bytes_per_block) / static_cast<uint64_t>(size_);
+  }
+  // Adds `bytes` exactly once per collective (member 0 accounts).
+  void AccountOnce(int member, uint64_t bytes) {
+    if (member == 0) {
+      wire_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+  }
+
+  const int size_;
+  std::barrier<> barrier_;
+  std::vector<const void*> send_slots_;
+  std::vector<int64_t> counts_;
+  std::vector<double> scalars_;
+  std::atomic<uint64_t> wire_bytes_{0};
+};
+
+// Runs fn(rank) on `world_size` threads and joins them all.
+void RunOnRanks(int world_size, const std::function<void(int)>& fn);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_COMM_COLLECTIVE_GROUP_H_

@@ -1,0 +1,44 @@
+// Ring collective algorithms built from neighbor-to-neighbor exchange.
+//
+// §3.2's efficiency argument for the AG/RS dispatch mode is that "all-gather
+// and reduce-scatter follow a ring-based communication pattern with only
+// neighboring workers": each of the n-1 steps moves one chunk to the next
+// rank. These implementations realize that structure literally — per-step
+// neighbor exchanges — and the tests verify they produce exactly the same
+// results as the direct (one-shot) collectives while touching only
+// neighbors. NeighborExchange is the underlying primitive (a restricted
+// all-to-all where rank r sends only to r+1 and receives only from r-1).
+#ifndef MSMOE_SRC_COMM_RING_ALGORITHMS_H_
+#define MSMOE_SRC_COMM_RING_ALGORITHMS_H_
+
+#include <cstdint>
+
+#include "src/comm/collective_group.h"
+
+namespace msmoe {
+
+// One ring hop: every rank sends `count` floats to rank (rank+1) % n and
+// receives `count` floats from rank (rank-1+n) % n. All ranks must call.
+void NeighborExchange(CollectiveGroup& group, int rank, const float* send, float* recv,
+                      int64_t count);
+
+// Ring all-gather: send holds this rank's chunk (`count` floats); after n-1
+// hops every rank's recv ([n * count]) holds all chunks, chunk r at offset
+// r * count.
+void RingAllGather(CollectiveGroup& group, int rank, const float* send, float* recv,
+                   int64_t count);
+
+// Ring reduce-scatter: send holds n chunks ([n * count]); after n-1 hops
+// rank r's recv ([count]) holds the sum of every rank's chunk r. Partial
+// sums accumulate in FP32 along the ring (deterministic ring order).
+void RingReduceScatter(CollectiveGroup& group, int rank, const float* send, float* recv,
+                       int64_t count);
+
+// Ring all-reduce = ring reduce-scatter + ring all-gather (the classic
+// bandwidth-optimal composition). data is [n * count] = the full payload;
+// `count` is the chunk size (payload must divide evenly).
+void RingAllReduce(CollectiveGroup& group, int rank, float* data, int64_t count);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_COMM_RING_ALGORITHMS_H_

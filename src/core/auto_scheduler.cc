@@ -1,0 +1,134 @@
+#include "src/core/auto_scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+
+namespace msmoe {
+namespace {
+
+// Rebuilds an op list following `order` (a permutation of original indices),
+// remapping dependency indices. `streams[i]` overrides the stream of
+// original op i.
+std::vector<SimOp> Materialize(const std::vector<SimOp>& ops, const std::vector<int>& order,
+                               const std::vector<int>& streams) {
+  std::vector<int> position(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  }
+  std::vector<SimOp> out;
+  out.reserve(ops.size());
+  for (int original : order) {
+    SimOp op = ops[static_cast<size_t>(original)];
+    op.stream = streams[static_cast<size_t>(original)];
+    for (int& dep : op.deps) {
+      dep = position[static_cast<size_t>(dep)];
+    }
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+double Evaluate(const std::vector<SimOp>& ops, const std::vector<int>& order,
+                const std::vector<int>& streams, int num_streams) {
+  return ExecuteGraph(Materialize(ops, order, streams), num_streams).makespan;
+}
+
+// Direct-dependency test for adjacent-swap validity.
+bool DependsDirectly(const SimOp& later, int earlier_index) {
+  return std::find(later.deps.begin(), later.deps.end(), earlier_index) != later.deps.end();
+}
+
+}  // namespace
+
+ScheduleSearchResult SearchSchedule(const std::vector<SimOp>& ops,
+                                    const ScheduleSearchOptions& options) {
+  const int count = static_cast<int>(ops.size());
+  ScheduleSearchResult result;
+  result.declared_makespan_us = ExecuteGraph(ops, options.num_streams).makespan;
+  if (count == 0) {
+    return result;
+  }
+
+  std::vector<int> identity(static_cast<size_t>(count));
+  std::iota(identity.begin(), identity.end(), 0);
+  std::vector<int> declared_streams(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    declared_streams[static_cast<size_t>(i)] = ops[static_cast<size_t>(i)].stream;
+  }
+
+  double best = result.declared_makespan_us;
+  std::vector<int> best_order = identity;
+  std::vector<int> best_streams = declared_streams;
+
+  Rng rng(options.seed);
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    // Start each restart from the declared schedule; the first restart also
+    // explores from a randomly stream-flipped variant.
+    std::vector<int> order = identity;
+    std::vector<int> streams = declared_streams;
+    if (restart > 0) {
+      for (int i = 0; i < count; ++i) {
+        if (ops[static_cast<size_t>(i)].is_comm && rng.NextUniform() < 0.5) {
+          streams[static_cast<size_t>(i)] =
+              static_cast<int>(rng.NextIndex(static_cast<uint64_t>(options.num_streams)));
+        }
+      }
+    }
+    double current = Evaluate(ops, order, streams, options.num_streams);
+
+    for (int iter = 0; iter < options.iterations; ++iter) {
+      ++result.moves_tried;
+      const bool flip_stream = rng.NextUniform() < 0.35;
+      if (flip_stream) {
+        // Move a communication op to another stream.
+        const int index = static_cast<int>(rng.NextIndex(static_cast<uint64_t>(count)));
+        if (!ops[static_cast<size_t>(index)].is_comm) {
+          continue;
+        }
+        const int old_stream = streams[static_cast<size_t>(index)];
+        streams[static_cast<size_t>(index)] =
+            static_cast<int>(rng.NextIndex(static_cast<uint64_t>(options.num_streams)));
+        const double candidate = Evaluate(ops, order, streams, options.num_streams);
+        if (candidate <= current) {
+          current = candidate;
+          ++result.moves_accepted;
+        } else {
+          streams[static_cast<size_t>(index)] = old_stream;
+        }
+      } else {
+        // Swap two adjacent, dependency-free ops (changes FIFO priority).
+        const int position =
+            static_cast<int>(rng.NextIndex(static_cast<uint64_t>(count - 1)));
+        const int a = order[static_cast<size_t>(position)];
+        const int b = order[static_cast<size_t>(position + 1)];
+        if (DependsDirectly(ops[static_cast<size_t>(b)], a)) {
+          continue;  // would break the topological order
+        }
+        std::swap(order[static_cast<size_t>(position)],
+                  order[static_cast<size_t>(position + 1)]);
+        const double candidate = Evaluate(ops, order, streams, options.num_streams);
+        if (candidate <= current) {
+          current = candidate;
+          ++result.moves_accepted;
+        } else {
+          std::swap(order[static_cast<size_t>(position)],
+                    order[static_cast<size_t>(position + 1)]);
+        }
+      }
+    }
+    if (current < best) {
+      best = current;
+      best_order = order;
+      best_streams = streams;
+    }
+  }
+
+  result.best_makespan_us = best;
+  result.best_ops = Materialize(ops, best_order, best_streams);
+  return result;
+}
+
+}  // namespace msmoe

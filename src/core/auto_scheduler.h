@@ -1,0 +1,49 @@
+// Automatic operator scheduling (§7 "Holistic vs. automatic").
+//
+// The paper's inter-operator overlap is hand-scheduled: engineers chose the
+// operator execution order, the stream assignments, and the concurrency of
+// communication with computation. §7 proposes automating that search; this
+// module implements it — a random-restart local search over (a) topological
+// reorderings of the operator list (which fixes each stream's FIFO order)
+// and (b) the stream assignment of communication operators — evaluated
+// against the discrete-event graph executor.
+//
+// The bench (`bench_ablation_scheduler`) compares three schedules of the
+// same MoE-layer backward graph: naive (single-stream, declaration order),
+// the hand-tuned holistic schedule, and the automatic search.
+#ifndef MSMOE_SRC_CORE_AUTO_SCHEDULER_H_
+#define MSMOE_SRC_CORE_AUTO_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/graph.h"
+
+namespace msmoe {
+
+struct ScheduleSearchOptions {
+  int iterations = 2000;      // local-search moves
+  int restarts = 4;           // random restarts
+  uint64_t seed = 1;
+  int num_streams = 2;
+};
+
+struct ScheduleSearchResult {
+  double declared_makespan_us = 0.0;  // the input ordering, as-is
+  double best_makespan_us = 0.0;
+  int moves_tried = 0;
+  int moves_accepted = 0;
+  // The winning schedule, with deps renumbered, runnable via ExecuteGraph.
+  std::vector<SimOp> best_ops;
+};
+
+// Searches for a schedule of `ops` minimizing the simulated makespan. Op
+// dependencies are preserved (only dependency-respecting reorderings and
+// stream flips are explored); compute ops stay on stream 0, communication
+// ops may move between streams.
+ScheduleSearchResult SearchSchedule(const std::vector<SimOp>& ops,
+                                    const ScheduleSearchOptions& options);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_CORE_AUTO_SCHEDULER_H_

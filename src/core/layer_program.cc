@@ -1,0 +1,438 @@
+#include "src/core/layer_program.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace msmoe {
+namespace {
+
+constexpr int64_t kElem = 2;  // BF16 bytes
+
+// Incremental op-graph builder. Communication ops land on stream 1 when
+// multi-stream scheduling (inter-op overlap) is on; everything else, and
+// everything in single-stream mode, lands on stream 0 — which makes the
+// Megatron-style baseline serialize compute behind communication.
+struct OpBuilder {
+  std::vector<SimOp> ops;
+  bool multi_stream = false;
+
+  int Add(std::string name, double duration, bool is_comm, std::string category,
+          std::vector<int> deps) {
+    SimOp op;
+    op.name = std::move(name);
+    op.duration = duration;
+    op.is_comm = is_comm;
+    op.stream = (is_comm && multi_stream) ? 1 : 0;
+    op.deps = std::move(deps);
+    op.category = std::move(category);
+    ops.push_back(std::move(op));
+    return static_cast<int>(ops.size()) - 1;
+  }
+
+  int AddCompute(std::string name, double duration, std::string category,
+                 std::vector<int> deps) {
+    return Add(std::move(name), duration, false, std::move(category), std::move(deps));
+  }
+  int AddComm(std::string name, double duration, std::vector<int> deps) {
+    return Add(std::move(name), duration, true, "comm", std::move(deps));
+  }
+  // A §4.2 fused tile-pipeline kernel: occupies the compute stream, exposes
+  // no communication. The runtime tunes SM allocation per kernel and falls
+  // back to the unfused sequence when overlap cannot win (tiny payloads),
+  // so a fused op never costs more than comm + comp.
+  int AddFused(std::string name, double comm_us, double comp_us, int tiles,
+               double sm_fraction, std::vector<int> deps) {
+    TilePipelineConfig config;
+    config.comm_us = comm_us;
+    config.comp_us = comp_us;
+    config.num_tiles = tiles;
+    config.comm_sm_fraction = sm_fraction;
+    const double fused =
+        std::min(SimulateTilePipeline(config).fused_us, comm_us + comp_us);
+    return Add(std::move(name), fused, false, "fused", std::move(deps));
+  }
+};
+
+// Per-GPU problem dimensions for one micro-batch.
+struct Dims {
+  int64_t b, s, h, f, e, k, m;
+  int64_t t_loc;     // sequence-sharded tokens per GPU
+  int64_t t_full;    // b * s
+  int64_t qkv_out;
+  int64_t hq_loc, d;
+  int64_t rows_ep;   // expert rows per GPU under EP: t_loc * k
+  int64_t rows_tp;   // expert rows per GPU under TP FFN: t_full * k
+  int n;
+};
+
+Dims MakeDims(const ModelConfig& config, int64_t micro_batch, int64_t seq_len, int n) {
+  Dims dims;
+  dims.b = micro_batch;
+  dims.s = seq_len;
+  dims.h = config.hidden;
+  dims.f = config.ffn_hidden;
+  dims.e = config.num_experts;
+  dims.k = config.top_k;
+  dims.m = config.gqa_ratio;
+  dims.t_full = micro_batch * seq_len;
+  dims.t_loc = dims.t_full / n;
+  dims.qkv_out = config.qkv_out_dim();
+  dims.hq_loc = config.num_heads / n;
+  dims.d = config.head_dim();
+  dims.rows_ep = dims.t_loc * dims.k;
+  dims.rows_tp = dims.t_full * dims.k;
+  dims.n = n;
+  return dims;
+}
+
+// Standalone times of the communication and computation halves of the four
+// §4.2 fused pairs plus the remaining layer ops.
+struct PieceTimes {
+  // Attention.
+  double ln_mem, rope_mem, resid_mem;
+  double qkv_gemm, out_gemm, flash;
+  double attn_comm_in, attn_comm_out;  // A2A (SP) or AG/RS (TP)
+  // FFN.
+  double router_gemm, routing_mem, scatter_mem, swiglu_mem, gather_mem;
+  double fc1_gemm, fc3_gemm, fc2_gemm;
+  double ffn_comm_in, ffn_comm_out;
+};
+
+PieceTimes ComputePieces(const CostModel& cost, const ModelConfig& config,
+                         const ExecutionOptions& options, const Dims& dims) {
+  PieceTimes t{};
+  const int n = dims.n;
+  // torch.scatter_add / torch.gather run extra kernels with atomic adds;
+  // the §3.2 CUDA operators with precomputed row maps remove that multiple.
+  const double shuffle_factor = options.efficient_scatter_gather ? 1.0 : 1.8;
+  t.ln_mem = cost.MemBoundTime(2 * kElem * dims.t_loc * dims.h);
+  t.resid_mem = cost.MemBoundTime(3 * kElem * dims.t_loc * dims.h);
+  t.flash = cost.FlashAttentionTime(dims.b, dims.s, dims.hq_loc, dims.d);
+
+  if (options.attn == AttnStrategy::kSequenceParallel) {
+    t.qkv_gemm = cost.GemmTime(dims.t_loc, dims.qkv_out, dims.h);
+    t.out_gemm = cost.GemmTime(dims.t_loc, dims.h, dims.h);
+    t.rope_mem = cost.MemBoundTime(2 * kElem * dims.t_loc * dims.qkv_out);
+    t.attn_comm_in = cost.AllToAllTime(dims.t_loc * dims.qkv_out * kElem, n, false);
+    t.attn_comm_out = cost.AllToAllTime(dims.t_loc * dims.h * kElem, n, false);
+  } else {
+    t.qkv_gemm = cost.GemmTime(dims.t_full, dims.qkv_out / n, dims.h);
+    t.out_gemm = cost.GemmTime(dims.t_full, dims.h, dims.h / n);
+    t.rope_mem = cost.MemBoundTime(2 * kElem * dims.t_full * dims.qkv_out / n);
+    t.attn_comm_in = cost.RingCollectiveTime(dims.t_loc * dims.h * kElem, n, false);
+    t.attn_comm_out = cost.RingCollectiveTime(dims.t_loc * dims.h * kElem, n, false);
+  }
+
+  if (options.ffn == FfnStrategy::kExpertParallel) {
+    const int64_t rows =
+        static_cast<int64_t>(static_cast<double>(dims.rows_ep) * options.ep_load_imbalance);
+    t.router_gemm = cost.GemmTime(dims.t_loc, dims.e, dims.h);
+    t.routing_mem = shuffle_factor * cost.MemBoundTime(4 * kElem * dims.t_loc * dims.e);
+    t.scatter_mem = shuffle_factor * cost.MemBoundTime(2 * kElem * rows * dims.h);
+    t.gather_mem = shuffle_factor * cost.MemBoundTime(2 * kElem * rows * dims.h);
+    t.swiglu_mem = cost.MemBoundTime(3 * kElem * rows * dims.f);
+    t.fc1_gemm = cost.GroupedGemmTime(rows, dims.h, dims.f, dims.e / n);
+    t.fc3_gemm = t.fc1_gemm;
+    t.fc2_gemm = cost.GroupedGemmTime(rows, dims.f, dims.h, dims.e / n);
+    if (options.ep_dispatch == EpDispatchMode::kAllToAll) {
+      t.ffn_comm_in =
+          cost.AllToAllTime(rows * dims.h * kElem, n, options.ep_cross_node);
+      t.ffn_comm_out = t.ffn_comm_in;
+    } else {
+      t.ffn_comm_in = cost.RingCollectiveTime(dims.t_loc * dims.h * kElem, n,
+                                              options.ep_cross_node);
+      t.ffn_comm_out = t.ffn_comm_in;
+    }
+  } else {
+    const int64_t rows = dims.rows_tp;
+    t.router_gemm = cost.GemmTime(dims.t_full, dims.e, dims.h);
+    t.routing_mem = shuffle_factor * cost.MemBoundTime(4 * kElem * dims.t_full * dims.e);
+    t.scatter_mem = shuffle_factor * cost.MemBoundTime(2 * kElem * rows * dims.h);
+    t.gather_mem = shuffle_factor * cost.MemBoundTime(2 * kElem * rows * dims.h);
+    t.swiglu_mem = cost.MemBoundTime(3 * kElem * rows * dims.f / n);
+    t.fc1_gemm = cost.GroupedGemmTime(rows, dims.h, dims.f / n, dims.e);
+    t.fc3_gemm = t.fc1_gemm;
+    t.fc2_gemm = cost.GroupedGemmTime(rows, dims.f / n, dims.h, dims.e);
+    t.ffn_comm_in = cost.RingCollectiveTime(dims.t_loc * dims.h * kElem, n, false);
+    t.ffn_comm_out = t.ffn_comm_in;
+  }
+  (void)config;
+  return t;
+}
+
+// --- Forward graph ---
+std::vector<SimOp> BuildForward(const PieceTimes& t, const ExecutionOptions& options) {
+  OpBuilder builder;
+  builder.multi_stream = options.inter_op_overlap;
+  const bool fuse = options.intra_op_overlap;
+  const double a2a_sm =
+      options.attn == AttnStrategy::kSequenceParallel ? options.a2a_sm_fraction : 0.0;
+  const double ep_sm = (options.ffn == FfnStrategy::kExpertParallel &&
+                        options.ep_dispatch == EpDispatchMode::kAllToAll)
+                           ? options.a2a_sm_fraction
+                           : 0.0;
+
+  // Attention.
+  int last = builder.AddCompute("ln1", t.ln_mem, "mem", {});
+  if (options.attn == AttnStrategy::kTensorParallel) {
+    // TP: gather tokens first, then QKV.
+    if (fuse) {
+      last = builder.AddFused("ag+qkv", t.attn_comm_in, t.qkv_gemm + t.rope_mem,
+                              options.overlap_tiles, 0.0, {last});
+    } else {
+      last = builder.AddComm("ag_in", t.attn_comm_in, {last});
+      last = builder.AddCompute("qkv", t.qkv_gemm, "gemm", {last});
+      last = builder.AddCompute("rope", t.rope_mem, "mem", {last});
+    }
+    last = builder.AddCompute("flash", t.flash, "flash", {last});
+    if (fuse) {
+      last = builder.AddFused("out+rs", t.attn_comm_out, t.out_gemm, options.overlap_tiles,
+                              0.0, {last});
+    } else {
+      last = builder.AddCompute("out_proj", t.out_gemm, "gemm", {last});
+      last = builder.AddComm("rs_out", t.attn_comm_out, {last});
+    }
+  } else {
+    // SP: QKV on local tokens, A2A to head sharding, attention, A2A back.
+    if (fuse) {
+      last = builder.AddFused("qkv+a2a", t.attn_comm_in, t.qkv_gemm + t.rope_mem,
+                              options.overlap_tiles, a2a_sm, {last});
+    } else {
+      last = builder.AddCompute("qkv", t.qkv_gemm, "gemm", {last});
+      last = builder.AddCompute("rope", t.rope_mem, "mem", {last});
+      last = builder.AddComm("a2a_in", t.attn_comm_in, {last});
+    }
+    last = builder.AddCompute("flash", t.flash, "flash", {last});
+    if (fuse) {
+      last = builder.AddFused("a2a+out", t.attn_comm_out, t.out_gemm, options.overlap_tiles,
+                              a2a_sm, {last});
+    } else {
+      last = builder.AddComm("a2a_out", t.attn_comm_out, {last});
+      last = builder.AddCompute("out_proj", t.out_gemm, "gemm", {last});
+    }
+  }
+  last = builder.AddCompute("resid1", t.resid_mem, "mem", {last});
+
+  // FFN.
+  last = builder.AddCompute("ln2", t.ln_mem, "mem", {last});
+  last = builder.AddCompute("router", t.router_gemm + t.routing_mem, "gemm", {last});
+  int fc1;
+  if (fuse) {
+    fc1 = builder.AddFused("disp+scatter+fc1", t.ffn_comm_in, t.scatter_mem + t.fc1_gemm,
+                           options.overlap_tiles, ep_sm, {last});
+  } else {
+    const int disp = builder.AddComm("dispatch", t.ffn_comm_in, {last});
+    const int scatter = builder.AddCompute("scatter", t.scatter_mem, "mem", {disp});
+    fc1 = builder.AddCompute("fc1", t.fc1_gemm, "gemm", {scatter});
+  }
+  const int fc3 = builder.AddCompute("fc3", t.fc3_gemm, "gemm", {fc1});
+  const int swiglu = builder.AddCompute("swiglu", t.swiglu_mem, "mem", {fc1, fc3});
+  if (fuse) {
+    last = builder.AddFused("fc2+gather+comb", t.ffn_comm_out, t.fc2_gemm + t.gather_mem,
+                            options.overlap_tiles, ep_sm, {swiglu});
+  } else {
+    const int fc2 = builder.AddCompute("fc2", t.fc2_gemm, "gemm", {swiglu});
+    const int gather = builder.AddCompute("gather", t.gather_mem, "mem", {fc2});
+    last = builder.AddComm("combine", t.ffn_comm_out, {gather});
+  }
+  builder.AddCompute("resid2", t.resid_mem, "mem", {last});
+  return std::move(builder.ops);
+}
+
+// --- Backward graph ---
+// Gemm backward = dgrad + wgrad, each the forward cost; flash backward is
+// ~2x forward; communication volumes mirror the forward. Weight-gradient
+// GEMMs have no downstream consumers inside the layer, so the holistic
+// schedule (§4.1) orders them under the backward communications; SAR
+// rematerialization ops (re-RMSNorm, re-all-gather, re-SwiGLU) are likewise
+// hidden under gradient communication (Fig 8b).
+std::vector<SimOp> BuildBackward(const PieceTimes& t, const ExecutionOptions& options) {
+  OpBuilder builder;
+  builder.multi_stream = options.inter_op_overlap;
+  const bool fuse = options.intra_op_overlap;
+  const double a2a_sm =
+      options.attn == AttnStrategy::kSequenceParallel ? options.a2a_sm_fraction : 0.0;
+  const double ep_sm = (options.ffn == FfnStrategy::kExpertParallel &&
+                        options.ep_dispatch == EpDispatchMode::kAllToAll)
+                           ? options.a2a_sm_fraction
+                           : 0.0;
+
+  int last = builder.AddCompute("d_resid2", t.resid_mem, "mem", {});
+
+  // FFN backward: combine-comm backward first, with fc2_in recompute (SAR)
+  // overlapped under it.
+  int recompute_fc2_in = -1;
+  const int comb_bwd = builder.AddComm("d_combine", t.ffn_comm_out, {last});
+  if (options.sar) {
+    recompute_fc2_in = builder.AddCompute("re_swiglu", t.swiglu_mem, "recompute", {});
+  }
+  std::vector<int> fc2_deps = {comb_bwd};
+  if (recompute_fc2_in >= 0) {
+    fc2_deps.push_back(recompute_fc2_in);
+  }
+  const int dgather = builder.AddCompute("d_gather", t.gather_mem, "mem", {comb_bwd});
+  const int fc2_dgrad = builder.AddCompute("fc2_dgrad", t.fc2_gemm, "gemm",
+                                           [&] {
+                                             std::vector<int> deps = fc2_deps;
+                                             deps.push_back(dgather);
+                                             return deps;
+                                           }());
+  const int dswiglu = builder.AddCompute("d_swiglu", t.swiglu_mem, "mem", {fc2_dgrad});
+  const int fc1_dgrad = builder.AddCompute("fc1_dgrad", t.fc1_gemm, "gemm", {dswiglu});
+  const int fc3_dgrad = builder.AddCompute("fc3_dgrad", t.fc3_gemm, "gemm", {dswiglu});
+
+  // SAR: ffn_in re-obtained via re-RMSNorm + re-all-gather (comm), hidden
+  // under the FC2 backward computation; needed by the wgrads below.
+  int re_ffn_in = -1;
+  if (options.sar) {
+    const int re_ln2 = builder.AddCompute("re_ln2", t.ln_mem, "recompute", {});
+    re_ffn_in = builder.AddComm("re_ag_ffn_in", t.ffn_comm_in, {re_ln2});
+  }
+
+  // Dispatch backward returns dx to token owners; wgrads overlap it.
+  const int disp_bwd = builder.AddComm("d_dispatch", t.ffn_comm_in, {fc1_dgrad, fc3_dgrad});
+  auto wgrad_deps = [&](int dep) {
+    std::vector<int> deps = {dep};
+    if (re_ffn_in >= 0) {
+      deps.push_back(re_ffn_in);
+    }
+    return deps;
+  };
+  builder.AddCompute("fc2_wgrad", t.fc2_gemm, "gemm", fc2_deps);
+  builder.AddCompute("fc1_wgrad", t.fc1_gemm, "gemm", wgrad_deps(dswiglu));
+  builder.AddCompute("fc3_wgrad", t.fc3_gemm, "gemm", wgrad_deps(dswiglu));
+
+  const int dscatter = builder.AddCompute("d_scatter", t.scatter_mem, "mem", {disp_bwd});
+  const int drouter =
+      builder.AddCompute("d_router", t.router_gemm + t.routing_mem, "gemm", {dscatter});
+  const int dln2 = builder.AddCompute("d_ln2", t.ln_mem, "mem", {drouter});
+
+  // Attention backward.
+  int attn_last;
+  if (options.attn == AttnStrategy::kTensorParallel) {
+    const int ag_dy = builder.AddComm("ag_dy", t.attn_comm_out, {dln2});
+    const int out_dgrad = builder.AddCompute("out_dgrad", t.out_gemm, "gemm", {ag_dy});
+    builder.AddCompute("out_wgrad", t.out_gemm, "gemm", {ag_dy});
+    const int flash_bwd =
+        builder.AddCompute("flash_bwd", 2.0 * t.flash, "flash", {out_dgrad});
+    const int qkv_dgrad = builder.AddCompute("qkv_dgrad", t.qkv_gemm, "gemm", {flash_bwd});
+    builder.AddCompute("qkv_wgrad", t.qkv_gemm, "gemm", {flash_bwd});
+    attn_last = builder.AddComm("rs_dx", t.attn_comm_in, {qkv_dgrad});
+  } else {
+    int out_dgrad;
+    if (fuse) {
+      out_dgrad = builder.AddFused("dout+a2a", t.attn_comm_out, t.out_gemm,
+                                   options.overlap_tiles, a2a_sm, {dln2});
+    } else {
+      const int dgrad = builder.AddCompute("out_dgrad", t.out_gemm, "gemm", {dln2});
+      out_dgrad = builder.AddComm("a2a_dattn", t.attn_comm_out, {dgrad});
+    }
+    builder.AddCompute("out_wgrad", t.out_gemm, "gemm", {dln2});
+    const int flash_bwd =
+        builder.AddCompute("flash_bwd", 2.0 * t.flash, "flash", {out_dgrad});
+    int qkv_in;
+    if (fuse) {
+      qkv_in = builder.AddFused("a2a+dqkv", t.attn_comm_in, t.qkv_gemm + t.rope_mem,
+                                options.overlap_tiles, a2a_sm, {flash_bwd});
+    } else {
+      const int a2a_back = builder.AddComm("a2a_dqkv", t.attn_comm_in, {flash_bwd});
+      const int rope_bwd = builder.AddCompute("rope_bwd", t.rope_mem, "mem", {a2a_back});
+      qkv_in = builder.AddCompute("qkv_dgrad", t.qkv_gemm, "gemm", {rope_bwd});
+    }
+    builder.AddCompute("qkv_wgrad", t.qkv_gemm, "gemm", {qkv_in});
+    attn_last = qkv_in;
+  }
+  const int dln1 = builder.AddCompute("d_ln1", t.ln_mem, "mem", {attn_last});
+  builder.AddCompute("d_resid1", t.resid_mem, "mem", {dln1});
+  // The §4.2 note: EP sm contention applies to fused EP kernels only.
+  (void)ep_sm;
+  return std::move(builder.ops);
+}
+
+}  // namespace
+
+LayerGraphs BuildLayerGraphs(const CostModel& cost, const ModelConfig& config,
+                             const ExecutionOptions& options, int64_t micro_batch,
+                             int64_t seq_len, int n) {
+  const Dims dims = MakeDims(config, micro_batch, seq_len, n);
+  const PieceTimes pieces = ComputePieces(cost, config, options, dims);
+  LayerGraphs graphs;
+  graphs.forward = BuildForward(pieces, options);
+  graphs.backward = BuildBackward(pieces, options);
+  return graphs;
+}
+
+LayerTimes SimulateLayer(const CostModel& cost, const ModelConfig& config,
+                         const ExecutionOptions& options, int64_t micro_batch,
+                         int64_t seq_len, int n) {
+  const LayerGraphs graphs = BuildLayerGraphs(cost, config, options, micro_batch, seq_len, n);
+  const GraphResult fwd = ExecuteGraph(graphs.forward, 2);
+  const GraphResult bwd = ExecuteGraph(graphs.backward, 2);
+
+  LayerTimes times;
+  times.fwd_us = fwd.makespan;
+  times.bwd_us = bwd.makespan;
+  times.fwd_exposed_comm_us = fwd.exposed_comm;
+  times.bwd_exposed_comm_us = bwd.exposed_comm;
+  times.fwd_comm_us = fwd.comm_busy;
+  times.bwd_comm_us = bwd.comm_busy;
+  if (options.full_recompute) {
+    // The layer forward re-runs (communication included) before backward.
+    times.bwd_us += fwd.makespan;
+    times.bwd_exposed_comm_us += fwd.exposed_comm;
+    times.bwd_comm_us += fwd.comm_busy;
+  }
+  for (const auto& [category, busy] : fwd.category_busy) {
+    times.category_us[category] += busy * (options.full_recompute ? 2.0 : 1.0);
+  }
+  for (const auto& [category, busy] : bwd.category_busy) {
+    times.category_us[category] += busy;
+  }
+  return times;
+}
+
+std::vector<OverlapPairReport> IntraOverlapPairs(const CostModel& cost,
+                                                 const ModelConfig& config,
+                                                 const ExecutionOptions& options,
+                                                 int64_t micro_batch, int64_t seq_len,
+                                                 int n) {
+  const Dims dims = MakeDims(config, micro_batch, seq_len, n);
+  const PieceTimes t = ComputePieces(cost, config, options, dims);
+  const double a2a_sm =
+      options.attn == AttnStrategy::kSequenceParallel ? options.a2a_sm_fraction : 0.0;
+  const double ep_sm = (options.ffn == FfnStrategy::kExpertParallel &&
+                        options.ep_dispatch == EpDispatchMode::kAllToAll)
+                           ? options.a2a_sm_fraction
+                           : 0.0;
+
+  // The non-overlapped baseline (§6.2 "lacking fine-grained overlap") runs
+  // comm and compute back to back AND performs the token shuffle with the
+  // torch-style multi-kernel operators that the fused kernels replace.
+  constexpr double kTorchShuffleFactor = 2.5;
+  auto report = [&](std::string name, double comm, double comp, double sm,
+                    double shuffle_mem) {
+    TilePipelineConfig pipe;
+    pipe.comm_us = comm;
+    pipe.comp_us = comp + shuffle_mem;
+    pipe.num_tiles = options.overlap_tiles;
+    pipe.comm_sm_fraction = sm;
+    const TilePipelineResult result = SimulateTilePipeline(pipe);
+    OverlapPairReport out;
+    out.name = std::move(name);
+    out.comm_us = comm;
+    out.comp_us = comp + shuffle_mem;
+    out.fused_us = std::min(result.fused_us, out.comm_us + out.comp_us);
+    out.unfused_us = comm + comp + kTorchShuffleFactor * shuffle_mem;
+    return out;
+  };
+
+  return {
+      report("QKV+A2A", t.attn_comm_in, t.qkv_gemm + t.rope_mem, a2a_sm, 0.0),
+      report("A2A+OutProj", t.attn_comm_out, t.out_gemm, a2a_sm, 0.0),
+      report("AG+scatter+GroupedGEMM", t.ffn_comm_in, t.fc1_gemm, ep_sm, t.scatter_mem),
+      report("GroupedGEMM+gather+RS", t.ffn_comm_out, t.fc2_gemm, ep_sm, t.gather_mem),
+  };
+}
+
+}  // namespace msmoe

@@ -1,0 +1,127 @@
+// MoE-layer operator programs and their simulated execution (§4).
+//
+// A layer program is the Fig 20 operator list turned into a SimOp graph for
+// one GPU of the model-parallel group, under a chosen strategy combination
+// and optimization set:
+//
+//   - inter_op_overlap: communication ops move to a second stream and
+//     independent computation (weight-grads, rematerialization) is ordered
+//     to run under them — the holistic schedule of §4.1.
+//   - intra_op_overlap: directly-dependent comm+compute pairs (QKV+A2A,
+//     A2A+OutProj, AG+scatter+GroupedGEMM, GroupedGEMM+gather+RS) fuse into
+//     tile pipelines (§4.2) whose duration comes from SimulateTilePipeline.
+//   - sar: selective activation rematerialization — recompute ops are added
+//     to the backward pass, scheduled under gradient communication (§4.1).
+//
+// Executing the graphs yields the per-layer times and the exposed-comm
+// breakdown that the Fig 12/13/15/16 benches report.
+#ifndef MSMOE_SRC_CORE_LAYER_PROGRAM_H_
+#define MSMOE_SRC_CORE_LAYER_PROGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/parallelism_planner.h"
+#include "src/model/config.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/graph.h"
+#include "src/sim/overlap_sim.h"
+
+namespace msmoe {
+
+struct ExecutionOptions {
+  AttnStrategy attn = AttnStrategy::kSequenceParallel;
+  FfnStrategy ffn = FfnStrategy::kExpertParallel;
+  EpDispatchMode ep_dispatch = EpDispatchMode::kAllToAll;
+  bool inter_op_overlap = true;
+  bool intra_op_overlap = true;
+  bool sar = true;
+  int overlap_tiles = 16;
+  // SM fraction ceded to all-to-all inside fused kernels (§4.2).
+  double a2a_sm_fraction = 0.04;
+  // Place the EP group across nodes (dispatch/combine ride RDMA instead of
+  // NVLink) — the §7 scale-up scenario. Viable when R > 1 (Eq 9).
+  bool ep_cross_node = false;
+  // Expert-parallel load factor: the busiest rank processes this multiple
+  // of the mean routed tokens (§3.2's balance loss + token dropping keep it
+  // near 1 but never exactly 1; TP-FFN replicates all tokens and is immune).
+  double ep_load_imbalance = 1.15;
+  // MegaScale-MoE's CUDA scatter/gather with precomputed row maps (§3.2);
+  // when false, token shuffling costs the torch.scatter_add/gather multiple
+  // (extra kernels + atomics) the paper replaces.
+  bool efficient_scatter_gather = true;
+  // Full activation recomputation in the backward pass. Without SAR, MoE
+  // activation footprints force Megatron-style baselines to recompute the
+  // whole layer forward before its backward (§4.1's memory-pressure point).
+  bool full_recompute = false;
+
+  // The Megatron-LM baseline configuration.
+  static ExecutionOptions MegatronBaseline() {
+    ExecutionOptions options;
+    options.attn = AttnStrategy::kTensorParallel;
+    options.ffn = FfnStrategy::kTensorParallel;
+    options.inter_op_overlap = false;
+    options.intra_op_overlap = false;
+    options.sar = false;
+    options.efficient_scatter_gather = false;
+    options.full_recompute = true;
+    return options;
+  }
+  // The full MegaScale-MoE configuration for a model.
+  static ExecutionOptions MegaScale(const ModelConfig& config, int n) {
+    ExecutionOptions options;
+    options.ep_dispatch = ChooseEpDispatch(config.top_k, n);
+    return options;
+  }
+};
+
+struct LayerTimes {
+  double fwd_us = 0.0;
+  double bwd_us = 0.0;
+  double fwd_exposed_comm_us = 0.0;
+  double bwd_exposed_comm_us = 0.0;
+  double fwd_comm_us = 0.0;  // total comm durations (overlapped or not)
+  double bwd_comm_us = 0.0;
+  std::map<std::string, double> category_us;  // summed fwd+bwd
+
+  double total_us() const { return fwd_us + bwd_us; }
+  double exposed_comm_us() const { return fwd_exposed_comm_us + bwd_exposed_comm_us; }
+};
+
+// The raw operator graphs of one layer (for schedule search and
+// inspection); SimulateLayer executes them.
+struct LayerGraphs {
+  std::vector<SimOp> forward;
+  std::vector<SimOp> backward;
+};
+
+LayerGraphs BuildLayerGraphs(const CostModel& cost, const ModelConfig& config,
+                             const ExecutionOptions& options, int64_t micro_batch,
+                             int64_t seq_len, int n);
+
+// Simulates one MoE layer (forward and backward) for one micro-batch of
+// `micro_batch` sequences of length `seq_len` on a model-parallel group of
+// size n.
+LayerTimes SimulateLayer(const CostModel& cost, const ModelConfig& config,
+                         const ExecutionOptions& options, int64_t micro_batch,
+                         int64_t seq_len, int n);
+
+// The four §4.2 fused pairs with their standalone and fused times (Fig 15).
+struct OverlapPairReport {
+  std::string name;
+  double comm_us = 0.0;
+  double comp_us = 0.0;
+  double fused_us = 0.0;
+  double unfused_us = 0.0;
+};
+
+std::vector<OverlapPairReport> IntraOverlapPairs(const CostModel& cost,
+                                                 const ModelConfig& config,
+                                                 const ExecutionOptions& options,
+                                                 int64_t micro_batch, int64_t seq_len, int n);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_CORE_LAYER_PROGRAM_H_

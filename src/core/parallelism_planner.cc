@@ -1,0 +1,139 @@
+#include "src/core/parallelism_planner.h"
+
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/sim/cost_model.h"
+
+namespace msmoe {
+namespace {
+
+constexpr double kElemBytes = 2.0;   // BF16 activations/params
+constexpr double kFp32Bytes = 4.0;
+
+}  // namespace
+
+const char* AttnStrategyName(AttnStrategy strategy) {
+  return strategy == AttnStrategy::kTensorParallel ? "TP" : "SP";
+}
+
+const char* FfnStrategyName(FfnStrategy strategy) {
+  return strategy == FfnStrategy::kTensorParallel ? "TP" : "EP";
+}
+
+double TpAttentionCommBytes(int64_t b, int64_t s, int64_t h, int n) {
+  // Eq 1: 2bsh(n-1)/n (all-gather in, reduce-scatter out).
+  return kElemBytes * 2.0 * static_cast<double>(b) * s * h * (n - 1) / n;
+}
+
+double SpAttentionCommBytes(int64_t b, int64_t s, int64_t h, int n, int64_t m) {
+  // Eq 2: TP volume scaled by (2 + 2/m) / n — two all-to-alls whose payload
+  // per token is h(1+2/m)/n in and h/n out.
+  return TpAttentionCommBytes(b, s, h, n) * (2.0 + 2.0 / static_cast<double>(m)) /
+         static_cast<double>(n) / 2.0;
+}
+
+double TpFfnCommBytes(int64_t b, int64_t s, int64_t h, int n) {
+  // Eq 4: same all-gather + reduce-scatter as TP attention.
+  return kElemBytes * 2.0 * static_cast<double>(b) * s * h * (n - 1) / n;
+}
+
+double EpFfnCommBytes(int64_t b, int64_t s, int64_t h, int n, int64_t k,
+                      EpDispatchMode mode) {
+  if (mode == EpDispatchMode::kAllToAll) {
+    // Eq 3: dispatch + combine all-to-alls of the k routed copies.
+    return kElemBytes * 2.0 * static_cast<double>(k) / n * static_cast<double>(b) * s * h *
+           (n - 1) / n;
+  }
+  // All-gather + reduce-scatter of the full hidden tensor (== TP volume).
+  return TpFfnCommBytes(b, s, h, n);
+}
+
+EpDispatchMode ChooseEpDispatch(int64_t top_k, int n) {
+  // A2A moves k/n of the AG/RS payload but at kA2AEfficiency of the bus:
+  // switch when k/n >= efficiency, i.e. k >= n * 0.75 (k > 6 for n = 8,
+  // matching Fig 7).
+  if (static_cast<double>(top_k) >= CostModel::kA2AEfficiency * n) {
+    return EpDispatchMode::kAllGatherScatter;
+  }
+  return EpDispatchMode::kAllToAll;
+}
+
+MemoryFootprint EstimateMemory(const ModelConfig& config, AttnStrategy attn,
+                               FfnStrategy ffn, const MemoryOptions& options) {
+  const int n = options.mp_size;
+  const double layers_per_stage =
+      static_cast<double>(config.num_layers) / options.pp_stages;
+
+  // Attention params (incl. router, norms) per GPU.
+  double attn_params = static_cast<double>(config.AttentionParams() + config.RouterParams());
+  if (attn == AttnStrategy::kTensorParallel) {
+    attn_params /= n;  // sharded
+  }
+  // Expert params per GPU: both EP and TP split them n ways.
+  const double ffn_params = static_cast<double>(config.ExpertParams()) / n;
+  (void)ffn;
+
+  const double params_per_gpu = (attn_params + ffn_params) * layers_per_stage;
+
+  MemoryFootprint footprint;
+  footprint.param_bytes = params_per_gpu * kElemBytes;
+  // Main gradients are FP32. Under SP the hierarchical synchronization's
+  // first step is an intra-node reduce-scatter (Appendix A.1), so gradients
+  // of the replicated attention parameters are stored sharded — only the
+  // BF16 weights themselves are replicated.
+  double grad_elems = params_per_gpu;
+  if (attn == AttnStrategy::kSequenceParallel) {
+    const double replicated = attn_params * layers_per_stage;
+    grad_elems = replicated / n + (params_per_gpu - replicated);
+  }
+  footprint.grad_bytes = grad_elems * kFp32Bytes;
+  // ZeRO-1: FP32 master + Adam m/v sharded over the DP group. SP's
+  // replicated attention parameters shard across n*dp ranks, so the
+  // optimizer overhead of replication divides away (§3.1).
+  double optimizer_elems = params_per_gpu;
+  if (attn == AttnStrategy::kSequenceParallel) {
+    const double replicated = attn_params * layers_per_stage;
+    optimizer_elems = replicated / n + (params_per_gpu - replicated);
+  }
+  footprint.optimizer_bytes = optimizer_elems / options.dp_size * 3.0 * kFp32Bytes;
+
+  footprint.activation_bytes =
+      (options.sar ? config.ActivationBytesWithSar(options.batch_tokens, n)
+                   : config.ActivationBytesFull(options.batch_tokens, n)) *
+      layers_per_stage;
+  return footprint;
+}
+
+std::string ParallelismPlan::ToString() const {
+  std::ostringstream out;
+  out << AttnStrategyName(attn) << "+" << FfnStrategyName(ffn) << " (dispatch "
+      << EpDispatchModeName(ep_dispatch) << "), attn comm "
+      << attn_comm_bytes / (1024.0 * 1024.0) << " MiB vs TP "
+      << baseline_attn_comm_bytes / (1024.0 * 1024.0) << " MiB, ffn comm "
+      << ffn_comm_bytes / (1024.0 * 1024.0) << " MiB vs TP "
+      << baseline_ffn_comm_bytes / (1024.0 * 1024.0) << " MiB";
+  return out.str();
+}
+
+ParallelismPlan PlanParallelism(const ModelConfig& config, const ClusterSpec& cluster,
+                                int64_t micro_batch, int64_t seq_len) {
+  const int n = cluster.gpus_per_node;
+  ParallelismPlan plan;
+  plan.attn = AttnStrategy::kSequenceParallel;
+  plan.ffn = FfnStrategy::kExpertParallel;
+  plan.ep_dispatch = ChooseEpDispatch(config.top_k, n);
+  plan.attn_comm_bytes =
+      SpAttentionCommBytes(micro_batch, seq_len, config.hidden, n, config.gqa_ratio);
+  plan.ffn_comm_bytes = EpFfnCommBytes(micro_batch, seq_len, config.hidden, n,
+                                       config.top_k, plan.ep_dispatch);
+  plan.baseline_attn_comm_bytes =
+      TpAttentionCommBytes(micro_batch, seq_len, config.hidden, n);
+  plan.baseline_ffn_comm_bytes = TpFfnCommBytes(micro_batch, seq_len, config.hidden, n);
+  // The chosen strategies never communicate more than the TP baseline.
+  MSMOE_CHECK_LE(plan.attn_comm_bytes, plan.baseline_attn_comm_bytes * 1.0001);
+  MSMOE_CHECK_LE(plan.ffn_comm_bytes, plan.baseline_ffn_comm_bytes * 1.0001);
+  return plan;
+}
+
+}  // namespace msmoe

@@ -1,0 +1,79 @@
+// Communication-efficient parallelism planning (§3).
+//
+// Encodes the paper's analysis: per-layer communication volumes of the four
+// attention/FFN strategy combinations (Eqs 1-4), the top-k-vs-n rule that
+// picks the EP dispatch mode (Fig 7), and the memory accounting that shows
+// SP attention's parameter replication is affordable for MoE models (§3.1,
+// §6.2). PlanParallelism returns the combination MegaScale-MoE deploys:
+// SP attention + EP FFN inside the node, PP across nodes.
+#ifndef MSMOE_SRC_CORE_PARALLELISM_PLANNER_H_
+#define MSMOE_SRC_CORE_PARALLELISM_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/hw/gpu_spec.h"
+#include "src/model/config.h"
+#include "src/parallel/ep_ffn.h"
+
+namespace msmoe {
+
+enum class AttnStrategy { kTensorParallel, kSequenceParallel };
+enum class FfnStrategy { kTensorParallel, kExpertParallel };
+
+const char* AttnStrategyName(AttnStrategy strategy);
+const char* FfnStrategyName(FfnStrategy strategy);
+
+// --- Per-layer forward communication volumes in BYTES (BF16 elements), for
+// micro-batch b, sequence s, model-parallel size n (Eqs 1-4). ---
+double TpAttentionCommBytes(int64_t b, int64_t s, int64_t h, int n);
+double SpAttentionCommBytes(int64_t b, int64_t s, int64_t h, int n, int64_t m);
+double TpFfnCommBytes(int64_t b, int64_t s, int64_t h, int n);
+double EpFfnCommBytes(int64_t b, int64_t s, int64_t h, int n, int64_t k,
+                      EpDispatchMode mode);
+
+// Dispatch-mode rule (Fig 7): all-to-all until its volume advantage k/n
+// outweighs its bus-efficiency deficit; all-gather + reduce-scatter beyond.
+EpDispatchMode ChooseEpDispatch(int64_t top_k, int n);
+
+// --- Memory accounting (per GPU, bytes) for a strategy combination. ---
+struct MemoryFootprint {
+  double param_bytes = 0.0;       // BF16 parameters
+  double grad_bytes = 0.0;        // FP32 main grads
+  double optimizer_bytes = 0.0;   // FP32 master + Adam m, v (ZeRO over dp)
+  double activation_bytes = 0.0;  // one micro-batch in flight, per layer sum
+
+  double StateBytes() const { return param_bytes + grad_bytes + optimizer_bytes; }
+  double TotalBytes() const { return StateBytes() + activation_bytes; }
+};
+
+struct MemoryOptions {
+  int mp_size = 8;          // intra-node model parallel size n
+  int dp_size = 8;          // ZeRO sharding degree for optimizer states
+  int pp_stages = 1;        // layers divide across stages
+  int64_t batch_tokens = 8192;  // b * s of one micro-batch
+  bool sar = false;         // selective activation rematerialization
+};
+
+MemoryFootprint EstimateMemory(const ModelConfig& config, AttnStrategy attn,
+                               FfnStrategy ffn, const MemoryOptions& options);
+
+// --- The plan. ---
+struct ParallelismPlan {
+  AttnStrategy attn = AttnStrategy::kSequenceParallel;
+  FfnStrategy ffn = FfnStrategy::kExpertParallel;
+  EpDispatchMode ep_dispatch = EpDispatchMode::kAllToAll;
+  double attn_comm_bytes = 0.0;  // per layer forward
+  double ffn_comm_bytes = 0.0;
+  double baseline_attn_comm_bytes = 0.0;  // TP equivalents, for reporting
+  double baseline_ffn_comm_bytes = 0.0;
+
+  std::string ToString() const;
+};
+
+ParallelismPlan PlanParallelism(const ModelConfig& config, const ClusterSpec& cluster,
+                                int64_t micro_batch, int64_t seq_len);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_CORE_PARALLELISM_PLANNER_H_

@@ -1,0 +1,46 @@
+#include "src/core/scaleup_analysis.h"
+
+#include <cmath>
+
+#include "src/base/units.h"
+
+namespace msmoe {
+namespace {
+
+constexpr double kElemBytes = 2.0;  // BF16 on the wire
+
+}  // namespace
+
+ScaleupRatio ComputeScaleupRatio(int64_t b, int64_t s, int64_t h, int64_t h_ffn, int64_t k,
+                                 int n, double bandwidth_bytes_per_us,
+                                 double peak_flops_per_us) {
+  ScaleupRatio result;
+  const double bsh = static_cast<double>(b) * s * h;
+  // Eq 5: dispatch + combine of the k routed copies, each (n-1)/n off-rank.
+  result.comm_time_us = kElemBytes * 2.0 * static_cast<double>(k) * bsh *
+                        (static_cast<double>(n - 1) / n) / n / bandwidth_bytes_per_us;
+  // Eq 6: three grouped GEMMs (FC1, FC3, FC2), 2 FLOPs per MAC.
+  result.comp_time_us = 2.0 * 3.0 * static_cast<double>(k) * bsh *
+                        static_cast<double>(h_ffn) / n / peak_flops_per_us;
+  result.exact_ratio = result.comp_time_us / result.comm_time_us;
+  result.approx_ratio = ScaleupRatioApprox(h_ffn, bandwidth_bytes_per_us,
+                                           peak_flops_per_us);
+  return result;
+}
+
+double ScaleupRatioApprox(int64_t h_ffn, double bandwidth_bytes_per_us,
+                          double peak_flops_per_us) {
+  // Eq 9 with the FLOP factor 2 and wire bytes 2 made explicit:
+  // R = (6 k bsh h_ffn / n / peak) / (4 k bsh / n / bw) * (n/(n-1) -> 1)
+  //   = 3/2 * h_ffn * bw / peak  (per-element units cancel).
+  return 1.5 * static_cast<double>(h_ffn) * bandwidth_bytes_per_us / peak_flops_per_us;
+}
+
+int64_t MinEfficientFfnHidden(const GpuSpec& gpu, bool internode) {
+  const double bandwidth = GBps(internode ? gpu.nic_gbps : gpu.nvlink_gbps);
+  const double peak = Tflops(gpu.peak_tflops);
+  // R(h_ffn) = 1  =>  h_ffn = 2/3 * peak / bandwidth.
+  return static_cast<int64_t>(std::ceil(peak / bandwidth / 1.5));
+}
+
+}  // namespace msmoe

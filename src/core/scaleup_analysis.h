@@ -1,0 +1,44 @@
+// The §7 "Scale up" analysis: the compute/communication ratio R of the MoE
+// FFN under SP+EP scaling (Eqs 5-9).
+//
+//   comm_time = 2k * bsh(n-1)/n / n / bandwidth
+//   comp_time = 3k * bs * h * h_ffn / n / peak
+//   R = comp/comm ~= 3/2 * h_ffn * bandwidth / peak          (Eq 9)
+//
+// R > 1 means expert computation can fully hide dispatch/combine
+// communication; R is independent of expert count, top-k, hidden size,
+// parallel size and batch — only the expert intermediate width and the
+// hardware ratio matter.
+#ifndef MSMOE_SRC_CORE_SCALEUP_ANALYSIS_H_
+#define MSMOE_SRC_CORE_SCALEUP_ANALYSIS_H_
+
+#include <cstdint>
+
+#include "src/hw/gpu_spec.h"
+
+namespace msmoe {
+
+struct ScaleupRatio {
+  double comm_time_us = 0.0;
+  double comp_time_us = 0.0;
+  double exact_ratio = 0.0;   // comp / comm with the (n-1)/n term (Eq 8)
+  double approx_ratio = 0.0;  // Eq 9 limit
+};
+
+// Exact Eq 5-8 evaluation for a concrete configuration. `bandwidth` and
+// `peak` come from the GPU spec (bytes/us and FLOPs/us); elements are BF16.
+ScaleupRatio ComputeScaleupRatio(int64_t b, int64_t s, int64_t h, int64_t h_ffn, int64_t k,
+                                 int n, double bandwidth_bytes_per_us,
+                                 double peak_flops_per_us);
+
+// Eq 9: R ~= 3/2 * h_ffn * bandwidth / peak (per-element bytes folded in).
+double ScaleupRatioApprox(int64_t h_ffn, double bandwidth_bytes_per_us,
+                          double peak_flops_per_us);
+
+// Smallest expert intermediate width sustaining R > 1 on the given GPU,
+// i.e. the §7 "expert dimension is sufficiently large" threshold.
+int64_t MinEfficientFfnHidden(const GpuSpec& gpu, bool internode);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_CORE_SCALEUP_ANALYSIS_H_

@@ -1,0 +1,144 @@
+#include "src/core/sim_trainer.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/base/units.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/pipeline_sim.h"
+
+namespace msmoe {
+
+TrainJobConfig TrainJobConfig::Megatron(const ModelConfig& model, const ClusterSpec& cluster,
+                                        int pp_stages, int64_t global_batch) {
+  TrainJobConfig config;
+  config.model = model;
+  config.cluster = cluster;
+  config.pp_stages = pp_stages;
+  config.global_batch = global_batch;
+  config.seq_len = model.seq_len;
+  config.exec = ExecutionOptions::MegatronBaseline();
+  config.grad_sync = GradSyncMode::kFp32ReduceScatter;
+  config.grad_sync_overlap = 0.3;
+  return config;
+}
+
+TrainJobConfig TrainJobConfig::MegaScaleMoe(const ModelConfig& model,
+                                            const ClusterSpec& cluster, int pp_stages,
+                                            int64_t global_batch) {
+  TrainJobConfig config;
+  config.model = model;
+  config.cluster = cluster;
+  config.pp_stages = pp_stages;
+  config.global_batch = global_batch;
+  config.seq_len = model.seq_len;
+  config.exec = ExecutionOptions::MegaScale(model, cluster.gpus_per_node);
+  config.grad_sync = GradSyncMode::kBf16AllToAll;  // §5 DP compression
+  config.grad_sync_overlap = 0.95;                 // holistic scheduling hides it
+  return config;
+}
+
+std::string IterationReport::ToString() const {
+  std::ostringstream out;
+  out << "iter " << iteration_s << " s, " << tokens_per_s / 1000.0 << "k tokens/s, MFU "
+      << mfu * 100.0 << "%, 1T tokens in " << days_for_1t_tokens << " days";
+  return out.str();
+}
+
+Result<IterationReport> SimulateTraining(const TrainJobConfig& config) {
+  const ModelConfig& model = config.model;
+  const ClusterSpec& cluster = config.cluster;
+  const int n = cluster.gpus_per_node;  // intra-node model parallelism
+  const int total_gpus = cluster.TotalGpus();
+  if (total_gpus % (n * config.pp_stages) != 0) {
+    return InvalidArgument("cluster does not factor into mp x pp x dp");
+  }
+  const int dp = total_gpus / (n * config.pp_stages);
+  const int64_t micro_per_dp = config.global_batch / (dp * config.micro_batch);
+  if (micro_per_dp == 0) {
+    return InvalidArgument("global batch too small for this dp size");
+  }
+
+  CostModel cost(cluster);
+
+  // Per-micro-batch, per-stage work.
+  const LayerTimes layer =
+      SimulateLayer(cost, model, config.exec, config.micro_batch, config.seq_len, n);
+  const double layers_per_stage =
+      static_cast<double>(model.num_layers) / config.pp_stages;
+  // Embedding + LM head work lands on the boundary stages; amortize.
+  const int64_t tokens_per_micro = config.micro_batch * config.seq_len;
+  const double head_fwd = cost.GemmTime(tokens_per_micro / n, model.vocab, model.hidden);
+  const double fwd_us = layers_per_stage * layer.fwd_us + head_fwd / config.pp_stages;
+  const double bwd_us =
+      layers_per_stage * layer.bwd_us + 2.0 * head_fwd / config.pp_stages;
+
+  // Pipeline boundary p2p: sequence-sharded activations, inter-node.
+  const double p2p_us =
+      cost.P2PTime(tokens_per_micro / n * model.hidden * 2, /*internode=*/true);
+
+  // DP gradient sync + param all-gather over the NIC. Per-GPU sharded
+  // parameter elements (SP's replicated attention syncs hierarchically with
+  // the same inter-node volume, Appendix A.1).
+  const double params_per_gpu =
+      static_cast<double>(model.LayerParams()) / n * layers_per_stage +
+      static_cast<double>(model.vocab * model.hidden) * 2.0 / (n * config.pp_stages);
+  const int64_t grad_bytes_per_elem =
+      config.grad_sync == GradSyncMode::kFp32ReduceScatter ? 4 : 2;
+  const double grad_sync_us =
+      cost.RingCollectiveTime(
+          static_cast<int64_t>(params_per_gpu) * grad_bytes_per_elem / dp, dp,
+          /*internode=*/true) +
+      cost.RingCollectiveTime(static_cast<int64_t>(params_per_gpu) * 2 / dp, dp,
+                              /*internode=*/true);  // BF16 param all-gather
+
+  // Optimizer step: memory-bound over FP32 master + m + v + grads.
+  const double optimizer_us =
+      cost.MemBoundTime(static_cast<int64_t>(params_per_gpu) * (4 * 4) / dp);
+
+  PipelineConfig pipeline;
+  pipeline.pp_stages = config.pp_stages;
+  pipeline.virtual_stages = config.pp_stages > 1 ? config.virtual_stages : 1;
+  pipeline.num_microbatches = static_cast<int>(micro_per_dp);
+  pipeline.fwd_us = fwd_us;
+  pipeline.bwd_us = bwd_us;
+  pipeline.p2p_us = p2p_us;
+  pipeline.grad_sync_us = grad_sync_us;
+  pipeline.optimizer_us = optimizer_us;
+  pipeline.grad_sync_overlap = config.grad_sync_overlap;
+  const PipelineResult pipe = SimulatePipeline(pipeline);
+
+  IterationReport report;
+  report.dp_size = dp;
+  report.num_microbatches = static_cast<int>(micro_per_dp);
+  report.iteration_s = UsToSeconds(pipe.iteration_us);
+  const double tokens_per_iter =
+      static_cast<double>(config.global_batch) * config.seq_len;
+  report.tokens_per_s = tokens_per_iter / report.iteration_s;
+  const double model_flops =
+      static_cast<double>(model.ModelFlopsPerToken()) * tokens_per_iter;
+  report.mfu = model_flops / (report.iteration_s * total_gpus *
+                              cluster.gpu.peak_tflops * 1e12);
+  report.days_for_1t_tokens = 1e12 / report.tokens_per_s / 86400.0;
+
+  // Breakdown (per GPU, per iteration).
+  const double micros = static_cast<double>(micro_per_dp);
+  auto category = [&](const char* name) {
+    auto it = layer.category_us.find(name);
+    return it == layer.category_us.end() ? 0.0 : it->second;
+  };
+  report.exposed_comm_s =
+      UsToSeconds(micros * layers_per_stage * layer.exposed_comm_us() +
+                  pipe.exposed_p2p_us + pipe.exposed_sync_us);
+  report.flash_s = UsToSeconds(micros * layers_per_stage * category("flash"));
+  report.gemm_s = UsToSeconds(micros * layers_per_stage *
+                                  (category("gemm") + category("fused")) +
+                              micros * 3.0 * head_fwd / config.pp_stages);
+  report.other_s =
+      std::max(0.0, report.iteration_s -
+                        (report.exposed_comm_s + report.flash_s + report.gemm_s));
+  return report;
+}
+
+}  // namespace msmoe

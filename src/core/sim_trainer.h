@@ -1,0 +1,61 @@
+// End-to-end simulated training iteration (the Table 3 / Fig 11 / Fig 12
+// harness): pipeline parallelism across nodes, SP/TP + EP/TP inside the
+// node, DP gradient synchronization, optimizer step, MFU accounting.
+#ifndef MSMOE_SRC_CORE_SIM_TRAINER_H_
+#define MSMOE_SRC_CORE_SIM_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/core/layer_program.h"
+#include "src/core/parallelism_planner.h"
+#include "src/hw/gpu_spec.h"
+#include "src/model/config.h"
+#include "src/parallel/dp_grad_sync.h"
+
+namespace msmoe {
+
+struct TrainJobConfig {
+  ModelConfig model;
+  ClusterSpec cluster;
+  int pp_stages = 1;
+  int virtual_stages = 2;
+  int64_t global_batch = 720;       // sequences per iteration
+  int64_t micro_batch = 1;          // sequences per micro-batch
+  int64_t seq_len = 8192;
+  ExecutionOptions exec;
+  GradSyncMode grad_sync = GradSyncMode::kFp32ReduceScatter;
+  // Fraction of DP sync hidden under backward (§4.1 holistic scheduling).
+  double grad_sync_overlap = 0.3;
+
+  // The two evaluated systems at a given cluster size.
+  static TrainJobConfig Megatron(const ModelConfig& model, const ClusterSpec& cluster,
+                                 int pp_stages, int64_t global_batch);
+  static TrainJobConfig MegaScaleMoe(const ModelConfig& model, const ClusterSpec& cluster,
+                                     int pp_stages, int64_t global_batch);
+};
+
+struct IterationReport {
+  double iteration_s = 0.0;
+  double tokens_per_s = 0.0;
+  double mfu = 0.0;
+  double days_for_1t_tokens = 0.0;
+  // Per-iteration per-GPU time breakdown (seconds), Fig 12a categories.
+  double exposed_comm_s = 0.0;
+  double flash_s = 0.0;
+  double gemm_s = 0.0;      // incl. fused comm+GEMM kernels
+  double other_s = 0.0;     // memory-bound ops, bubble, sync tail, optimizer
+  int dp_size = 0;
+  int num_microbatches = 0;
+
+  std::string ToString() const;
+};
+
+// Simulates one iteration. Fails if the cluster does not factor into
+// (mp = gpus_per_node) x pp_stages x dp.
+Result<IterationReport> SimulateTraining(const TrainJobConfig& config);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_CORE_SIM_TRAINER_H_

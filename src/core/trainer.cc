@@ -1,0 +1,299 @@
+#include "src/core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/comm/collective_group.h"
+#include "src/model/flat_adam.h"
+#include "src/numerics/bf16.h"
+#include "src/numerics/fp8.h"
+#include "src/numerics/quantize.h"
+
+namespace msmoe {
+
+const char* TrainPrecisionName(TrainPrecision precision) {
+  switch (precision) {
+    case TrainPrecision::kFp32:
+      return "fp32";
+    case TrainPrecision::kBf16:
+      return "bf16";
+    case TrainPrecision::kFp8:
+      return "fp8";
+  }
+  return "unknown";
+}
+
+void MakeTrainingBatch(const ModelConfig& model, uint64_t seed, int64_t step, int rank,
+                       int64_t batch, std::vector<int64_t>* inputs,
+                       std::vector<int64_t>* targets) {
+  Rng rng = Rng(seed).Fork(static_cast<uint64_t>(step) * 1000003ULL +
+                           static_cast<uint64_t>(rank));
+  const int64_t tokens = batch * model.seq_len;
+  inputs->resize(static_cast<size_t>(tokens));
+  targets->resize(static_cast<size_t>(tokens));
+  for (int64_t b = 0; b < batch; ++b) {
+    int64_t previous = 0;
+    for (int64_t i = 0; i < model.seq_len; ++i) {
+      const int64_t token = static_cast<int64_t>(rng.NextIndex(
+          static_cast<uint64_t>(model.vocab)));
+      (*inputs)[static_cast<size_t>(b * model.seq_len + i)] = token;
+      // Previous-token copy: solvable only through attention, learnable
+      // quickly by a 2-layer model (unlike modular addition).
+      (*targets)[static_cast<size_t>(b * model.seq_len + i)] = previous;
+      previous = token;
+    }
+  }
+}
+
+void RoundParams(LmParams& params, TrainPrecision precision) {
+  switch (precision) {
+    case TrainPrecision::kFp32:
+      return;
+    case TrainPrecision::kBf16:
+      params.ForEach([](const std::string&, Tensor& tensor) {
+        for (int64_t i = 0; i < tensor.numel(); ++i) {
+          tensor[i] = Bf16Round(tensor[i]);
+        }
+      });
+      return;
+    case TrainPrecision::kFp8:
+      // Per-tensor amax-scaled E4M3 (the multi-precision optimizer of §7
+      // stores FP8 compute copies; masters stay FP32 in Adam).
+      params.ForEach([](const std::string&, Tensor& tensor) {
+        float amax = 0.0f;
+        for (int64_t i = 0; i < tensor.numel(); ++i) {
+          amax = std::max(amax, std::fabs(tensor[i]));
+        }
+        const float scale = amax > 0.0f ? amax / Fp8MaxFinite(Fp8Format::kE4M3) : 1.0f;
+        for (int64_t i = 0; i < tensor.numel(); ++i) {
+          tensor[i] = Fp8RoundE4M3(tensor[i] / scale) * scale;
+        }
+      });
+      return;
+  }
+}
+
+namespace {
+
+// Per-token (1 x h) FP8 rounding of hidden states (§7), straight-through.
+void RoundActivationsPerToken(Tensor& hidden) {
+  const int64_t rows = hidden.dim(0);
+  const int64_t cols = hidden.dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    float amax = 0.0f;
+    float* row = hidden.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      amax = std::max(amax, std::fabs(row[c]));
+    }
+    const float scale = amax > 0.0f ? amax / Fp8MaxFinite(Fp8Format::kE4M3) : 1.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      row[c] = Fp8RoundE4M3(row[c] / scale) * scale;
+    }
+  }
+}
+
+// Rounds a flat buffer to the chosen wire precision (per-128-group scaled
+// E4M3 for FP8, matching the grouped quantization of §5).
+void RoundFlatForWire(float* data, int64_t count, TrainPrecision precision) {
+  switch (precision) {
+    case TrainPrecision::kFp32:
+      return;
+    case TrainPrecision::kBf16:
+      for (int64_t i = 0; i < count; ++i) {
+        data[i] = Bf16Round(data[i]);
+      }
+      return;
+    case TrainPrecision::kFp8: {
+      constexpr int64_t kGroup = 128;
+      for (int64_t begin = 0; begin < count; begin += kGroup) {
+        const int64_t end = std::min(count, begin + kGroup);
+        float amax = 0.0f;
+        for (int64_t i = begin; i < end; ++i) {
+          amax = std::max(amax, std::fabs(data[i]));
+        }
+        const float scale = amax > 0.0f ? amax / Fp8MaxFinite(Fp8Format::kE4M3) : 1.0f;
+        for (int64_t i = begin; i < end; ++i) {
+          data[i] = Fp8RoundE4M3(data[i] / scale) * scale;
+        }
+      }
+      return;
+    }
+  }
+}
+
+std::vector<float> SaveParams(const LmParams& params) {
+  std::vector<float> blob;
+  params.ForEachConst([&blob](const std::string&, const Tensor& tensor) {
+    for (int64_t i = 0; i < tensor.numel(); ++i) {
+      blob.push_back(tensor[i]);
+    }
+  });
+  return blob;
+}
+
+void LoadParams(LmParams& params, const std::vector<float>& blob) {
+  size_t cursor = 0;
+  params.ForEach([&](const std::string&, Tensor& tensor) {
+    for (int64_t i = 0; i < tensor.numel(); ++i) {
+      tensor[i] = blob[cursor++];
+    }
+  });
+  MSMOE_CHECK_EQ(cursor, blob.size());
+}
+
+}  // namespace
+
+TrainCurve TrainLm(const NumericTrainConfig& config) {
+  const int dp = config.dp_size;
+  MSMOE_CHECK_GE(dp, 1);
+  CollectiveGroup group(dp);
+  TrainCurve curve;
+  curve.loss.assign(static_cast<size_t>(config.steps), 0.0);
+
+  RunOnRanks(dp, [&](int rank) {
+    // Identical init on every rank.
+    Rng rng(config.seed);
+    LmParams params = LmParams::Init(config.model, rng);
+
+    // Replicated-optimizer path state.
+    AdamOptimizer adam(config.adam);
+    if (!config.zero_shard_optimizer) {
+      for (Tensor* t : params.TensorList()) {
+        adam.Register(t);
+      }
+    }
+
+    ActivationTransform activation_transform = nullptr;
+    if (config.precision == TrainPrecision::kFp8) {
+      activation_transform = RoundActivationsPerToken;
+    }
+
+    const int64_t total_elems = params.TotalElements();
+    // Pad the flat gradient buffer so it shards evenly over the DP group.
+    const int64_t padded = ((total_elems + dp - 1) / dp) * dp;
+    const int64_t shard = padded / dp;
+    std::vector<float> flat(static_cast<size_t>(padded), 0.0f);
+
+    // ZeRO-1 path state: this rank's FP32 master shard + Adam moments.
+    FlatAdam flat_adam(config.adam, config.zero_shard_optimizer ? shard : 0);
+    std::vector<float> master_shard;
+    if (config.zero_shard_optimizer) {
+      std::vector<float> full = SaveParams(params);
+      full.resize(static_cast<size_t>(padded), 0.0f);
+      master_shard.assign(full.begin() + rank * shard, full.begin() + (rank + 1) * shard);
+    }
+
+    auto run_step = [&](int64_t step, bool record) {
+      // Low-precision compute copy; masters stay FP32 (in `params` or in the
+      // ZeRO master shard).
+      LmParams compute = params;
+      RoundParams(compute, config.precision);
+
+      // FP32 gradient accumulation over micro-batches (§5: the main grads
+      // stay FP32 throughout; only the post-accumulation communication is
+      // compressed).
+      LmParams grads = LmParams::ZerosLike(config.model);
+      LmStepStats stats;
+      const int64_t accum = std::max<int64_t>(1, config.grad_accum_steps);
+      for (int64_t micro = 0; micro < accum; ++micro) {
+        std::vector<int64_t> inputs;
+        std::vector<int64_t> targets;
+        MakeTrainingBatch(config.model, config.seed, step * accum + micro, rank,
+                          config.batch_per_rank, &inputs, &targets);
+        const LmStepStats micro_stats =
+            LmForwardBackward(compute, config.model, config.router, inputs, targets,
+                              config.batch_per_rank, &grads, activation_transform);
+        stats.ce_loss += micro_stats.ce_loss / static_cast<double>(accum);
+        stats.aux_loss += micro_stats.aux_loss / static_cast<double>(accum);
+      }
+      if (accum > 1) {
+        grads.Scale(1.0f / static_cast<float>(accum));
+      }
+
+      // Flatten the gradients.
+      size_t cursor = 0;
+      grads.ForEachConst([&](const std::string&, const Tensor& tensor) {
+        for (int64_t i = 0; i < tensor.numel(); ++i) {
+          flat[cursor++] = tensor[i];
+        }
+      });
+      std::fill(flat.begin() + static_cast<int64_t>(cursor), flat.end(), 0.0f);
+
+      if (config.zero_shard_optimizer) {
+        // ZeRO-1: reduce this rank's gradient shard, update the master
+        // shard, and all-gather the updated parameters on the chosen wire.
+        std::vector<float> grad_shard =
+            SyncGradShard(group, rank, flat.data(), padded, config.grad_sync);
+        for (float& g : grad_shard) {
+          g /= static_cast<float>(dp);
+        }
+        flat_adam.Step(grad_shard.data(), master_shard.data());
+        std::vector<float> wire = master_shard;
+        RoundFlatForWire(wire.data(), shard, config.param_gather_precision);
+        group.AllGather(rank, wire.data(), flat.data(), shard);
+        cursor = 0;
+        params.ForEach([&](const std::string&, Tensor& tensor) {
+          for (int64_t i = 0; i < tensor.numel(); ++i) {
+            tensor[i] = flat[cursor++];
+          }
+        });
+      } else {
+        AllReduceGrads(group, rank, flat.data(), padded, config.grad_sync);
+        cursor = 0;
+        grads.ForEach([&](const std::string&, Tensor& tensor) {
+          for (int64_t i = 0; i < tensor.numel(); ++i) {
+            tensor[i] = flat[cursor++] / static_cast<float>(dp);
+          }
+        });
+        adam.Step(grads.TensorListConst());
+      }
+
+      if (record && rank == 0) {
+        curve.loss[static_cast<size_t>(step)] = stats.ce_loss;
+      }
+      return stats.ce_loss;
+    };
+
+    auto save_opt = [&] {
+      return config.zero_shard_optimizer ? flat_adam.SaveState() : adam.SaveState();
+    };
+    auto load_opt = [&](const std::vector<float>& blob) {
+      if (config.zero_shard_optimizer) {
+        flat_adam.LoadState(blob);
+      } else {
+        adam.LoadState(blob);
+      }
+    };
+
+    // Warmup ("checkpoint to continue from", Fig 18's 176B scenario).
+    for (int64_t step = 0; step < config.warmup_steps; ++step) {
+      run_step(-config.warmup_steps + step - 1000000, /*record=*/false);
+    }
+
+    std::vector<float> checkpoint_params = SaveParams(params);
+    std::vector<float> checkpoint_master = master_shard;
+    std::vector<float> checkpoint_opt = save_opt();
+
+    for (int64_t step = 0; step < config.steps; ++step) {
+      if (config.restart_every > 0 && step > 0 && step % config.restart_every == 0) {
+        // Checkpoint the current state, tear down, and restore — the Fig 19
+        // restart pattern. The curve must continue seamlessly.
+        checkpoint_params = SaveParams(params);
+        checkpoint_master = master_shard;
+        checkpoint_opt = save_opt();
+        LoadParams(params, checkpoint_params);
+        master_shard = checkpoint_master;
+        load_opt(checkpoint_opt);
+        if (rank == 0) {
+          curve.restart_steps.push_back(step);
+        }
+      }
+      run_step(step, /*record=*/true);
+    }
+  });
+  return curve;
+}
+
+}  // namespace msmoe

@@ -1,0 +1,86 @@
+// Real (non-simulated) data-parallel training of a small MoE LM over the
+// thread-rank collectives — the substrate for the convergence experiments:
+//
+//   Fig 17: BF16 all-to-all DP gradient compression vs FP32 reduce-scatter.
+//   Fig 18: FP8 vs BF16 training (from scratch and continued).
+//   Fig 19: long production run with periodic checkpoint restarts.
+//
+// Every rank holds a replica initialized from the same seed; gradients are
+// synchronized with the selected GradSyncMode and averaged, so the replicas
+// stay bit-identical and rank 0's loss is the curve.
+//
+// Precision emulation (the paper's hardware FP8/BF16 pipelines are
+// substituted by software rounding, see DESIGN.md):
+//   kBf16: parameters rounded to BF16 before each forward/backward
+//          (FP32 masters kept by Adam).
+//   kFp8:  parameters rounded through per-tensor-scaled E4M3 and hidden
+//          activations rounded per-token between layers (§7's per-token
+//          quantization), straight-through in backward.
+#ifndef MSMOE_SRC_CORE_TRAINER_H_
+#define MSMOE_SRC_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/model/lm.h"
+#include "src/model/optimizer.h"
+#include "src/model/router.h"
+#include "src/parallel/dp_grad_sync.h"
+
+namespace msmoe {
+
+enum class TrainPrecision { kFp32, kBf16, kFp8 };
+
+const char* TrainPrecisionName(TrainPrecision precision);
+
+struct NumericTrainConfig {
+  ModelConfig model = TinyMoeConfig();
+  RouterConfig router;
+  int dp_size = 2;
+  GradSyncMode grad_sync = GradSyncMode::kFp32ReduceScatter;
+  TrainPrecision precision = TrainPrecision::kBf16;
+  AdamConfig adam;
+  int64_t batch_per_rank = 2;  // sequences per rank per micro-batch
+  // Micro-batches accumulated per optimizer step (pipeline-parallel style).
+  // Accumulation is ALWAYS in FP32 (§5, Fig 10): gradients are cast to the
+  // wire precision exactly once, after the full accumulation.
+  int64_t grad_accum_steps = 1;
+  int64_t steps = 50;
+  uint64_t seed = 1234;
+  // Fig 19: checkpoint every `restart_every` steps and immediately restart
+  // from that checkpoint (0 disables). Exercises save/restore continuity.
+  int64_t restart_every = 0;
+  // Fig 18 "continue training": run this many warmup steps first and treat
+  // them as the loaded checkpoint (0 = train from scratch).
+  int64_t warmup_steps = 0;
+  // ZeRO-1 (§2.2): shard FP32 masters and Adam moments over the DP group;
+  // each rank updates its shard and parameters are re-gathered every step.
+  bool zero_shard_optimizer = false;
+  // Wire precision of the ZeRO parameter all-gather. §7's multi-precision
+  // optimizer stores FP8 compute parameters, halving this collective; the
+  // FP32 masters live only in the owner's shard.
+  TrainPrecision param_gather_precision = TrainPrecision::kFp32;
+};
+
+struct TrainCurve {
+  std::vector<double> loss;            // CE loss per step (rank 0)
+  std::vector<int64_t> restart_steps;  // steps at which a restart occurred
+};
+
+// Runs the training job on config.dp_size rank threads and returns the
+// loss curve.
+TrainCurve TrainLm(const NumericTrainConfig& config);
+
+// The synthetic task: token i's target is input[i-1] (previous-token copy,
+// solvable only through attention). Deterministic in (seed, step, rank).
+void MakeTrainingBatch(const ModelConfig& model, uint64_t seed, int64_t step, int rank,
+                       int64_t batch, std::vector<int64_t>* inputs,
+                       std::vector<int64_t>* targets);
+
+// Precision helpers (exposed for tests).
+void RoundParams(LmParams& params, TrainPrecision precision);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_CORE_TRAINER_H_

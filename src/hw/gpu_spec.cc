@@ -1,0 +1,64 @@
+#include "src/hw/gpu_spec.h"
+
+#include "src/base/units.h"
+
+namespace msmoe {
+
+const std::vector<GpuSpec>& AllGpuSpecs() {
+  // name, peak TFLOPS (BF16 dense), mem GB, mem TB/s, NVLink GB/s, NIC GB/s,
+  // SMs, year. Table 4 rows first, then the Fig 1 evolution points.
+  static const std::vector<GpuSpec> specs = {
+      {"H800", 989.0, 80.0, 3.4, 400.0, 50.0, 132, 2023},
+      {"A100", 312.0, 80.0, 2.0, 600.0, 25.0, 108, 2020},
+      {"H20", 148.0, 96.0, 4.0, 900.0, 50.0, 78, 2024},
+      {"V100", 125.0, 32.0, 0.9, 300.0, 12.5, 80, 2017},
+      {"H100", 989.0, 80.0, 3.35, 900.0, 50.0, 132, 2022},
+      {"B200", 2250.0, 192.0, 8.0, 1800.0, 100.0, 148, 2024},
+  };
+  return specs;
+}
+
+Result<GpuSpec> GpuSpecByName(const std::string& name) {
+  for (const GpuSpec& spec : AllGpuSpecs()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  return InvalidArgument("unknown GPU: " + name);
+}
+
+double ClusterSpec::NvlinkBusBw() const { return GBps(gpu.nvlink_gbps * nvlink_efficiency); }
+
+double ClusterSpec::NicBusBw() const { return GBps(gpu.nic_gbps * nic_efficiency); }
+
+double ClusterSpec::HbmBw() const {
+  return GBps(gpu.memory_bw_tbps * 1000.0 * memory_bw_efficiency);
+}
+
+double ClusterSpec::GemmRate() const { return Tflops(gpu.peak_tflops * gemm_efficiency); }
+
+double ClusterSpec::GroupedGemmRate() const {
+  return Tflops(gpu.peak_tflops * grouped_gemm_efficiency);
+}
+
+Result<ClusterSpec> MakeCluster(const std::string& gpu_name, int num_gpus) {
+  Result<GpuSpec> gpu = GpuSpecByName(gpu_name);
+  if (!gpu.ok()) {
+    return gpu.status();
+  }
+  ClusterSpec cluster;
+  cluster.gpu = gpu.value();
+  cluster.gpus_per_node = 8;
+  if (num_gpus < cluster.gpus_per_node) {
+    cluster.gpus_per_node = num_gpus;
+    cluster.num_nodes = 1;
+  } else {
+    if (num_gpus % cluster.gpus_per_node != 0) {
+      return InvalidArgument("num_gpus must be a multiple of 8");
+    }
+    cluster.num_nodes = num_gpus / cluster.gpus_per_node;
+  }
+  return cluster;
+}
+
+}  // namespace msmoe

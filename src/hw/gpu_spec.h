@@ -1,0 +1,72 @@
+// Hardware descriptions used by the cluster simulator.
+//
+// The numbers come straight from the paper: Table 4 (H800 / A100 / H20
+// specifications used in the evaluation) and Figure 1 (the GPU-evolution
+// trend motivating the communication bottleneck). NIC bandwidth follows the
+// paper's deployment description (H100/H800 SXM nodes with 400 Gb/s RDMA
+// NICs per GPU; Appendix A.1 uses 50 GB/s).
+#ifndef MSMOE_SRC_HW_GPU_SPEC_H_
+#define MSMOE_SRC_HW_GPU_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace msmoe {
+
+struct GpuSpec {
+  std::string name;
+  double peak_tflops = 0.0;      // dense BF16 tensor-core peak
+  double memory_gb = 0.0;        // HBM capacity
+  double memory_bw_tbps = 0.0;   // HBM bandwidth, TB/s
+  double nvlink_gbps = 0.0;      // per-GPU NVLink bandwidth, GB/s (unidirectional bus)
+  double nic_gbps = 0.0;         // per-GPU RDMA bandwidth, GB/s
+  int sm_count = 0;              // streaming multiprocessors
+  int year = 0;                  // release year (Fig 1)
+
+  // Ratio of communication bandwidth to compute (bytes per FLOP * 1e3),
+  // the quantity whose decline Fig 1 illustrates.
+  double NvlinkBytesPerKiloFlop() const { return nvlink_gbps / peak_tflops; }
+};
+
+// Table 4 GPUs: "H800", "A100", "H20"; Fig 1 evolution adds "V100", "H100",
+// "B200".
+Result<GpuSpec> GpuSpecByName(const std::string& name);
+const std::vector<GpuSpec>& AllGpuSpecs();
+
+// A training cluster: homogeneous nodes of `gpus_per_node` GPUs joined by
+// NVLink, nodes joined by RDMA.
+struct ClusterSpec {
+  GpuSpec gpu;
+  int num_nodes = 1;
+  int gpus_per_node = 8;
+
+  // Achievable fractions of the datasheet numbers (collective bus bandwidth
+  // and GEMM efficiency never hit peak in practice). NVLink figures are
+  // aggregate bidirectional bandwidth; ring-collective bus bandwidth lands
+  // around 40-45% of them (one direction, protocol overhead).
+  double nvlink_efficiency = 0.42;
+  double nic_efficiency = 0.80;
+  double gemm_efficiency = 0.45;       // large-GEMM fraction of peak FLOPs
+  double grouped_gemm_efficiency = 0.38;  // grouped GEMMs are a bit worse
+  double memory_bw_efficiency = 0.60;
+
+  int TotalGpus() const { return num_nodes * gpus_per_node; }
+
+  // Effective bandwidths in bytes/us.
+  double NvlinkBusBw() const;
+  double NicBusBw() const;
+  double HbmBw() const;
+  // Effective compute rates in FLOPs/us.
+  double GemmRate() const;
+  double GroupedGemmRate() const;
+};
+
+// The evaluation cluster: `gpu_name` nodes of 8, enough nodes for num_gpus.
+Result<ClusterSpec> MakeCluster(const std::string& gpu_name, int num_gpus);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_HW_GPU_SPEC_H_

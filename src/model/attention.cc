@@ -1,0 +1,136 @@
+#include "src/model/attention.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace msmoe {
+namespace {
+
+void CheckShapes(const Tensor& q, const Tensor& k, const Tensor& v, int64_t gqa_ratio) {
+  MSMOE_CHECK_EQ(q.ndim(), 3);
+  MSMOE_CHECK_EQ(k.ndim(), 3);
+  MSMOE_CHECK_EQ(v.ndim(), 3);
+  MSMOE_CHECK_EQ(q.dim(0), k.dim(0));
+  MSMOE_CHECK_EQ(k.dim(0), v.dim(0));
+  MSMOE_CHECK_EQ(q.dim(1), k.dim(1) * gqa_ratio);
+  MSMOE_CHECK_EQ(k.dim(1), v.dim(1));
+  MSMOE_CHECK_EQ(q.dim(2), k.dim(2));
+  MSMOE_CHECK_EQ(k.dim(2), v.dim(2));
+}
+
+}  // namespace
+
+Tensor AttentionCore(const Tensor& q, const Tensor& k, const Tensor& v, int64_t gqa_ratio,
+                     AttentionCoreCache* cache) {
+  CheckShapes(q, k, v, gqa_ratio);
+  const int64_t s = q.dim(0);
+  const int64_t hq = q.dim(1);
+  const int64_t d = q.dim(2);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  Tensor out({s, hq, d});
+  Tensor probs({hq, s, s});
+  for (int64_t head = 0; head < hq; ++head) {
+    const int64_t kv_head = head / gqa_ratio;
+    for (int64_t t = 0; t < s; ++t) {
+      // Scores over keys 0..t (causal), softmax inline.
+      float* prob_row = probs.data() + (head * s + t) * s;
+      const float* q_vec = q.data() + (t * hq + head) * d;
+      float max_score = -1e30f;
+      for (int64_t u = 0; u <= t; ++u) {
+        const float* k_vec = k.data() + (u * k.dim(1) + kv_head) * d;
+        float dot = 0.0f;
+        for (int64_t e = 0; e < d; ++e) {
+          dot += q_vec[e] * k_vec[e];
+        }
+        prob_row[u] = dot * scale;
+        max_score = std::max(max_score, prob_row[u]);
+      }
+      double total = 0.0;
+      for (int64_t u = 0; u <= t; ++u) {
+        prob_row[u] = std::exp(prob_row[u] - max_score);
+        total += prob_row[u];
+      }
+      const float inv_total = static_cast<float>(1.0 / total);
+      float* out_vec = out.data() + (t * hq + head) * d;
+      for (int64_t e = 0; e < d; ++e) {
+        out_vec[e] = 0.0f;
+      }
+      for (int64_t u = 0; u <= t; ++u) {
+        prob_row[u] *= inv_total;
+        const float* v_vec = v.data() + (u * v.dim(1) + kv_head) * d;
+        for (int64_t e = 0; e < d; ++e) {
+          out_vec[e] += prob_row[u] * v_vec[e];
+        }
+      }
+      for (int64_t u = t + 1; u < s; ++u) {
+        prob_row[u] = 0.0f;
+      }
+    }
+  }
+  if (cache != nullptr) {
+    cache->probs = std::move(probs);
+  }
+  return out;
+}
+
+AttentionCoreGrads AttentionCoreBackward(const Tensor& dout, const Tensor& q, const Tensor& k,
+                                         const Tensor& v, int64_t gqa_ratio,
+                                         const AttentionCoreCache& cache) {
+  CheckShapes(q, k, v, gqa_ratio);
+  const int64_t s = q.dim(0);
+  const int64_t hq = q.dim(1);
+  const int64_t hkv = k.dim(1);
+  const int64_t d = q.dim(2);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  AttentionCoreGrads grads;
+  grads.dq = Tensor({s, hq, d});
+  grads.dk = Tensor({s, hkv, d});
+  grads.dv = Tensor({s, hkv, d});
+
+  for (int64_t head = 0; head < hq; ++head) {
+    const int64_t kv_head = head / gqa_ratio;
+    for (int64_t t = 0; t < s; ++t) {
+      const float* prob_row = cache.probs.data() + (head * s + t) * s;
+      const float* dout_vec = dout.data() + (t * hq + head) * d;
+      const float* q_vec = q.data() + (t * hq + head) * d;
+      float* dq_vec = grads.dq.data() + (t * hq + head) * d;
+
+      // dV[u] += p[u] * dout; dp[u] = dout . v[u].
+      // Softmax backward: dscore[u] = p[u] * (dp[u] - sum_w p[w] dp[w]).
+      double dot_p_dp = 0.0;
+      // First pass computes dp and the weighted sum.
+      // Reuse a small stack buffer via vector for clarity (s is small here).
+      std::vector<float> dp(static_cast<size_t>(t) + 1);
+      for (int64_t u = 0; u <= t; ++u) {
+        const float* v_vec = v.data() + (u * hkv + kv_head) * d;
+        float acc = 0.0f;
+        for (int64_t e = 0; e < d; ++e) {
+          acc += dout_vec[e] * v_vec[e];
+        }
+        dp[static_cast<size_t>(u)] = acc;
+        dot_p_dp += static_cast<double>(prob_row[u]) * acc;
+      }
+      for (int64_t u = 0; u <= t; ++u) {
+        const float p_u = prob_row[u];
+        const float dscore = p_u * (dp[static_cast<size_t>(u)] - static_cast<float>(dot_p_dp));
+        const float* k_vec = k.data() + (u * hkv + kv_head) * d;
+        float* dk_vec = grads.dk.data() + (u * hkv + kv_head) * d;
+        float* dv_vec = grads.dv.data() + (u * hkv + kv_head) * d;
+        for (int64_t e = 0; e < d; ++e) {
+          dq_vec[e] += dscore * scale * k_vec[e];
+          dk_vec[e] += dscore * scale * q_vec[e];
+          dv_vec[e] += p_u * dout_vec[e];
+        }
+      }
+    }
+  }
+  return grads;
+}
+
+}  // namespace msmoe

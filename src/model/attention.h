@@ -1,0 +1,39 @@
+// Causal grouped-query attention core (the "FlashAttention" operator of the
+// paper's operator decomposition), with explicit backward.
+//
+// Layout: q is [s, Hq, d], k/v are [s, Hkv, d] with Hq = gqa_ratio * Hkv
+// (Table 1's m). Query head hq attends through kv head hq / gqa_ratio.
+// Scores use the 1/sqrt(d) scaling and a causal mask.
+#ifndef MSMOE_SRC_MODEL_ATTENTION_H_
+#define MSMOE_SRC_MODEL_ATTENTION_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace msmoe {
+
+struct AttentionCoreCache {
+  // Softmax probabilities, [Hq, s, s] (row t masked beyond t). Retained for
+  // the backward pass; the real system recomputes these inside the flash
+  // kernel, here the CPU substrate stores them.
+  Tensor probs;
+};
+
+// Returns the attention output [s, Hq, d].
+Tensor AttentionCore(const Tensor& q, const Tensor& k, const Tensor& v, int64_t gqa_ratio,
+                     AttentionCoreCache* cache);
+
+struct AttentionCoreGrads {
+  Tensor dq;  // [s, Hq, d]
+  Tensor dk;  // [s, Hkv, d]
+  Tensor dv;  // [s, Hkv, d]
+};
+
+AttentionCoreGrads AttentionCoreBackward(const Tensor& dout, const Tensor& q, const Tensor& k,
+                                         const Tensor& v, int64_t gqa_ratio,
+                                         const AttentionCoreCache& cache);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_MODEL_ATTENTION_H_

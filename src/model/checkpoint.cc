@@ -1,0 +1,111 @@
+#include "src/model/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace msmoe {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'S', 'M', 'C'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* file) const {
+    if (file != nullptr) {
+      std::fclose(file);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+std::vector<float> FlattenParams(const LmParams& params) {
+  std::vector<float> blob;
+  params.ForEachConst([&blob](const std::string&, const Tensor& tensor) {
+    blob.insert(blob.end(), tensor.data(), tensor.data() + tensor.numel());
+  });
+  return blob;
+}
+
+Status SaveCheckpoint(const std::string& path, const LmParams& params,
+                      const std::vector<float>& optimizer_state) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Internal("cannot open checkpoint for writing: " + path);
+  }
+  const std::vector<float> flat = FlattenParams(params);
+  const uint64_t param_count = flat.size();
+  const uint64_t opt_count = optimizer_state.size();
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), file.get()) != sizeof(kMagic) ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, file.get()) != 1 ||
+      std::fwrite(&param_count, sizeof(param_count), 1, file.get()) != 1 ||
+      std::fwrite(&opt_count, sizeof(opt_count), 1, file.get()) != 1) {
+    return Internal("checkpoint header write failed: " + path);
+  }
+  if (param_count > 0 &&
+      std::fwrite(flat.data(), sizeof(float), flat.size(), file.get()) != flat.size()) {
+    return Internal("checkpoint parameter write failed: " + path);
+  }
+  if (opt_count > 0 && std::fwrite(optimizer_state.data(), sizeof(float),
+                                   optimizer_state.size(),
+                                   file.get()) != optimizer_state.size()) {
+    return Internal("checkpoint optimizer write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Checkpoint> LoadCheckpoint(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return FailedPrecondition("checkpoint not found: " + path);
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t param_count = 0;
+  uint64_t opt_count = 0;
+  if (std::fread(magic, 1, sizeof(magic), file.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return InvalidArgument("not a MegaScale-MoE checkpoint: " + path);
+  }
+  if (std::fread(&version, sizeof(version), 1, file.get()) != 1 || version != kVersion) {
+    return InvalidArgument("unsupported checkpoint version in " + path);
+  }
+  if (std::fread(&param_count, sizeof(param_count), 1, file.get()) != 1 ||
+      std::fread(&opt_count, sizeof(opt_count), 1, file.get()) != 1) {
+    return InvalidArgument("truncated checkpoint header: " + path);
+  }
+  Checkpoint checkpoint;
+  checkpoint.params.resize(param_count);
+  checkpoint.optimizer_state.resize(opt_count);
+  if (param_count > 0 && std::fread(checkpoint.params.data(), sizeof(float), param_count,
+                                    file.get()) != param_count) {
+    return InvalidArgument("truncated checkpoint parameters: " + path);
+  }
+  if (opt_count > 0 && std::fread(checkpoint.optimizer_state.data(), sizeof(float),
+                                  opt_count, file.get()) != opt_count) {
+    return InvalidArgument("truncated checkpoint optimizer state: " + path);
+  }
+  return checkpoint;
+}
+
+Status RestoreParams(LmParams& params, const std::vector<float>& blob) {
+  int64_t total = 0;
+  params.ForEachConst(
+      [&total](const std::string&, const Tensor& tensor) { total += tensor.numel(); });
+  if (total != static_cast<int64_t>(blob.size())) {
+    return InvalidArgument("checkpoint has " + std::to_string(blob.size()) +
+                           " parameters but the model expects " + std::to_string(total));
+  }
+  size_t cursor = 0;
+  params.ForEach([&](const std::string&, Tensor& tensor) {
+    for (int64_t i = 0; i < tensor.numel(); ++i) {
+      tensor[i] = blob[cursor++];
+    }
+  });
+  return Status::Ok();
+}
+
+}  // namespace msmoe

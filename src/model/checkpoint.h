@@ -1,0 +1,41 @@
+// Binary checkpointing for model parameters and optimizer state.
+//
+// Production MoE runs last months and restart repeatedly (Fig 19); the
+// checkpoint is the contract that makes restarts loss-transparent. Format:
+//   magic "MSMC" | u32 version | u64 param_count | u64 opt_count
+//   | param_count floats | opt_count floats
+// Errors (missing file, bad magic, truncation, size mismatch) surface as
+// Status — a corrupt checkpoint must never silently load.
+#ifndef MSMOE_SRC_MODEL_CHECKPOINT_H_
+#define MSMOE_SRC_MODEL_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/model/lm.h"
+
+namespace msmoe {
+
+struct Checkpoint {
+  std::vector<float> params;
+  std::vector<float> optimizer_state;
+};
+
+// Writes params (flattened in ForEach order) and the optimizer blob.
+Status SaveCheckpoint(const std::string& path, const LmParams& params,
+                      const std::vector<float>& optimizer_state);
+
+// Reads and validates a checkpoint file.
+Result<Checkpoint> LoadCheckpoint(const std::string& path);
+
+// Copies a flat parameter blob back into params; fails on element-count
+// mismatch (e.g. the checkpoint belongs to a different model config).
+Status RestoreParams(LmParams& params, const std::vector<float>& blob);
+
+// Flattens params in ForEach order (the SaveCheckpoint layout).
+std::vector<float> FlattenParams(const LmParams& params);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_MODEL_CHECKPOINT_H_

@@ -1,0 +1,139 @@
+#include "src/model/config.h"
+
+namespace msmoe {
+
+int64_t ModelConfig::AttentionParams() const {
+  return hidden * qkv_out_dim() + hidden * hidden + 2 * hidden;
+}
+
+int64_t ModelConfig::RouterParams() const { return hidden * num_experts; }
+
+int64_t ModelConfig::ExpertParams() const { return num_experts * 3 * hidden * ffn_hidden; }
+
+int64_t ModelConfig::LayerParams() const {
+  return AttentionParams() + RouterParams() + ExpertParams();
+}
+
+int64_t ModelConfig::TotalParams() const {
+  return num_layers * LayerParams() + 2 * vocab * hidden;  // embedding + LM head
+}
+
+int64_t ModelConfig::ActivatedParamsPerToken() const {
+  return num_layers * (AttentionParams() + RouterParams() + top_k * 3 * hidden * ffn_hidden) +
+         2 * vocab * hidden;
+}
+
+int64_t ModelConfig::AttentionGemmFlopsPerToken() const {
+  return 2 * hidden * qkv_out_dim() + 2 * hidden * hidden;
+}
+
+int64_t ModelConfig::AttentionCoreFlopsPerToken() const {
+  // Causal attention touches s/2 keys on average: 2 GEMMs (QK^T and PV) of
+  // 2*h*(s/2) FLOPs per token.
+  return 2 * 2 * hidden * (seq_len / 2);
+}
+
+int64_t ModelConfig::ExpertFlopsPerToken() const {
+  return top_k * 3 * 2 * hidden * ffn_hidden;
+}
+
+int64_t ModelConfig::LayerFlopsPerToken() const {
+  return AttentionGemmFlopsPerToken() + AttentionCoreFlopsPerToken() +
+         2 * hidden * num_experts + ExpertFlopsPerToken();
+}
+
+int64_t ModelConfig::ModelFlopsPerToken() const {
+  // Backward is ~2x forward for GEMM work.
+  return 3 * (num_layers * LayerFlopsPerToken() + 2 * hidden * vocab);
+}
+
+double ModelConfig::ActivationBytesFull(int64_t batch_tokens, int64_t mp_size) const {
+  const double n = static_cast<double>(mp_size);
+  const double k = static_cast<double>(top_k);
+  const double f = static_cast<double>(ffn_hidden) / static_cast<double>(hidden);
+  const double m = static_cast<double>(gqa_ratio);
+  const double elements = (2.0 * n + 2.0 * k + 3.0 * k * f + 12.0 + 5.0 / m) *
+                          static_cast<double>(batch_tokens) * static_cast<double>(hidden) / n;
+  return elements * 2.0;  // BF16
+}
+
+double ModelConfig::ActivationBytesWithSar(int64_t batch_tokens, int64_t mp_size) const {
+  const double n = static_cast<double>(mp_size);
+  const double k = static_cast<double>(top_k);
+  const double f = static_cast<double>(ffn_hidden) / static_cast<double>(hidden);
+  const double m = static_cast<double>(gqa_ratio);
+  const double elements = (2.0 * k * f + 4.0 + 2.0 / m) * static_cast<double>(batch_tokens) *
+                          static_cast<double>(hidden) / n;
+  return elements * 2.0;
+}
+
+namespace {
+
+// Table 2: #layers, h, #heads, m, h_ffn, #experts, top-k. Plus the Fig 16 /
+// Fig 17 / Fig 18 auxiliary models with representative shapes.
+std::vector<ModelConfig> BuildModels() {
+  auto make = [](std::string name, int64_t layers, int64_t h, int64_t heads, int64_t m,
+                 int64_t ffn, int64_t experts, int64_t k) {
+    ModelConfig config;
+    config.name = std::move(name);
+    config.num_layers = layers;
+    config.hidden = h;
+    config.num_heads = heads;
+    config.gqa_ratio = m;
+    config.ffn_hidden = ffn;
+    config.num_experts = experts;
+    config.top_k = k;
+    return config;
+  };
+  return {
+      make("Internal-352B", 60, 4096, 32, 4, 14336, 32, 3),
+      make("Mixtral-8x7B", 32, 4096, 32, 4, 14336, 8, 2),
+      make("Mixtral-8x22B", 56, 6144, 48, 6, 16384, 8, 2),
+      make("Hunyuan-Large", 64, 6400, 80, 10, 18304, 16, 1),
+      make("Phi-3.5-MoE", 32, 4096, 32, 4, 6400, 16, 2),
+      make("DeepSeekMoE", 28, 2048, 16, 1, 1408, 64, 6),
+      // Fig 16's second model.
+      make("Mixtral-8x2B", 24, 2048, 16, 4, 7168, 8, 2),
+      // Convergence-experiment stand-ins (Figs 17/18).
+      make("Internal-7B", 24, 2048, 16, 4, 5632, 16, 2),
+      make("Internal-35B", 32, 3072, 24, 4, 8192, 16, 2),
+  };
+}
+
+}  // namespace
+
+Result<ModelConfig> ModelConfigByName(const std::string& name) {
+  static const std::vector<ModelConfig> models = BuildModels();
+  for (const ModelConfig& model : models) {
+    if (model.name == name) {
+      return model;
+    }
+  }
+  return InvalidArgument("unknown model: " + name);
+}
+
+const std::vector<ModelConfig>& EvaluationModels() {
+  static const std::vector<ModelConfig> models = [] {
+    std::vector<ModelConfig> all = BuildModels();
+    all.resize(6);  // the six Table 2 rows, in order (M1-M6 of Fig 15)
+    return all;
+  }();
+  return models;
+}
+
+ModelConfig TinyMoeConfig(int64_t num_experts, int64_t top_k) {
+  ModelConfig config;
+  config.name = "tiny";
+  config.num_layers = 2;
+  config.hidden = 32;
+  config.num_heads = 4;
+  config.gqa_ratio = 2;
+  config.ffn_hidden = 48;
+  config.num_experts = num_experts;
+  config.top_k = top_k;
+  config.vocab = 64;
+  config.seq_len = 16;
+  return config;
+}
+
+}  // namespace msmoe

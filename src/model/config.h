@@ -1,0 +1,70 @@
+// MoE model configurations (Table 2 of the paper) and the analytic
+// parameter / FLOP / activation accounting used by both the simulator and
+// the benchmark harnesses.
+//
+// Symbols follow Table 1: b micro-batch, s sequence length, h hidden size,
+// n model-parallel size, m = #query heads / #kv heads, k = top-k.
+#ifndef MSMOE_SRC_MODEL_CONFIG_H_
+#define MSMOE_SRC_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace msmoe {
+
+struct ModelConfig {
+  std::string name;
+  int64_t num_layers = 0;
+  int64_t hidden = 0;        // h
+  int64_t num_heads = 0;     // query heads
+  int64_t gqa_ratio = 1;     // m = query heads per kv head
+  int64_t ffn_hidden = 0;    // h_ffn, per expert
+  int64_t num_experts = 0;
+  int64_t top_k = 1;
+  int64_t vocab = 65536;
+  int64_t seq_len = 8192;
+
+  int64_t head_dim() const { return hidden / num_heads; }
+  int64_t kv_heads() const { return num_heads / gqa_ratio; }
+  // Width of the fused QKV projection output: h * (1 + 2/m).
+  int64_t qkv_out_dim() const { return hidden + 2 * kv_heads() * head_dim(); }
+
+  // --- Parameter counts (per layer unless noted) ---
+  int64_t AttentionParams() const;        // Wqkv + Wo + 2 RMSNorm gains
+  int64_t RouterParams() const;           // h * num_experts
+  int64_t ExpertParams() const;           // all experts: 3 * h * h_ffn each
+  int64_t LayerParams() const;
+  int64_t TotalParams() const;            // embeddings + layers + head
+  int64_t ActivatedParamsPerToken() const;  // dense-equivalent active params
+
+  // --- FLOPs per token, forward pass, one layer ---
+  // GEMM-only accounting (what the paper's MFU counts: FlashAttention and
+  // GEMMs), model FLOPs = 3x forward for fwd+bwd.
+  int64_t AttentionGemmFlopsPerToken() const;   // qkv + out projections
+  int64_t AttentionCoreFlopsPerToken() const;   // flash attention (causal)
+  int64_t ExpertFlopsPerToken() const;          // 3 grouped GEMMs * top_k
+  int64_t LayerFlopsPerToken() const;           // fwd only
+  int64_t ModelFlopsPerToken() const;           // fwd+bwd, all layers + head
+
+  // --- Activation bytes of one layer (Appendix A.2), BF16 activations ---
+  // Full set: (2n + 2k + 3kf + 12 + 5/m) * b*s*h / n elements.
+  double ActivationBytesFull(int64_t batch_tokens, int64_t mp_size) const;
+  // With selective rematerialization: (2kf + 4 + 2/m) * b*s*h / n.
+  double ActivationBytesWithSar(int64_t batch_tokens, int64_t mp_size) const;
+};
+
+// Table 2 names: "Internal-352B", "Mixtral-8x7B", "Mixtral-8x22B",
+// "Hunyuan-Large", "Phi-3.5-MoE", "DeepSeekMoE". Also "Mixtral-8x2B"
+// (Fig 16) and "Internal-7B" / "Internal-35B" (Figs 17/18 stand-ins).
+Result<ModelConfig> ModelConfigByName(const std::string& name);
+const std::vector<ModelConfig>& EvaluationModels();  // the six Table 2 rows
+
+// Small config for numeric tests and convergence runs on CPU.
+ModelConfig TinyMoeConfig(int64_t num_experts = 8, int64_t top_k = 2);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_MODEL_CONFIG_H_

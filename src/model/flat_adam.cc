@@ -1,0 +1,63 @@
+#include "src/model/flat_adam.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace msmoe {
+
+FlatAdam::FlatAdam(AdamConfig config, int64_t shard_elems)
+    : config_(config), shard_elems_(shard_elems) {
+  MSMOE_CHECK_GE(shard_elems, 0);
+  m_.assign(static_cast<size_t>(shard_elems), 0.0f);
+  v_.assign(static_cast<size_t>(shard_elems), 0.0f);
+}
+
+void FlatAdam::Step(const float* grad, float* master) {
+  ++step_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+  double clip_scale = 1.0;
+  if (config_.grad_clip_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (int64_t i = 0; i < shard_elems_; ++i) {
+      norm_sq += static_cast<double>(grad[i]) * grad[i];
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.grad_clip_norm) {
+      clip_scale = config_.grad_clip_norm / norm;
+    }
+  }
+  for (int64_t i = 0; i < shard_elems_; ++i) {
+    const double g = static_cast<double>(grad[i]) * clip_scale;
+    m_[static_cast<size_t>(i)] = static_cast<float>(
+        config_.beta1 * m_[static_cast<size_t>(i)] + (1.0 - config_.beta1) * g);
+    v_[static_cast<size_t>(i)] = static_cast<float>(
+        config_.beta2 * v_[static_cast<size_t>(i)] + (1.0 - config_.beta2) * g * g);
+    const double m_hat = m_[static_cast<size_t>(i)] / bias1;
+    const double v_hat = v_[static_cast<size_t>(i)] / bias2;
+    double update = m_hat / (std::sqrt(v_hat) + config_.eps);
+    if (config_.weight_decay > 0.0) {
+      update += config_.weight_decay * master[i];
+    }
+    master[i] = static_cast<float>(master[i] - config_.lr * update);
+  }
+}
+
+std::vector<float> FlatAdam::SaveState() const {
+  std::vector<float> blob;
+  blob.reserve(1 + m_.size() + v_.size());
+  blob.push_back(static_cast<float>(step_));
+  blob.insert(blob.end(), m_.begin(), m_.end());
+  blob.insert(blob.end(), v_.begin(), v_.end());
+  return blob;
+}
+
+void FlatAdam::LoadState(const std::vector<float>& blob) {
+  MSMOE_CHECK_EQ(blob.size(), 1 + m_.size() + v_.size());
+  step_ = static_cast<int64_t>(blob[0]);
+  std::copy(blob.begin() + 1, blob.begin() + 1 + static_cast<int64_t>(m_.size()), m_.begin());
+  std::copy(blob.begin() + 1 + static_cast<int64_t>(m_.size()), blob.end(), v_.begin());
+}
+
+}  // namespace msmoe

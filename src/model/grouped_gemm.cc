@@ -1,0 +1,60 @@
+#include "src/model/grouped_gemm.h"
+
+#include "src/base/logging.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace msmoe {
+
+Tensor GroupedGemm(const Tensor& x, const std::vector<int64_t>& offsets,
+                   const std::vector<Tensor>& weights) {
+  MSMOE_CHECK_EQ(x.ndim(), 2);
+  MSMOE_CHECK(!weights.empty());
+  MSMOE_CHECK_EQ(offsets.size(), weights.size() + 1);
+  MSMOE_CHECK_EQ(offsets.back(), x.dim(0));
+  const int64_t in_dim = x.dim(1);
+  const int64_t out_dim = weights[0].dim(1);
+
+  Tensor y({x.dim(0), out_dim});
+  for (size_t e = 0; e < weights.size(); ++e) {
+    const Tensor& w = weights[e];
+    MSMOE_CHECK_EQ(w.dim(0), in_dim);
+    MSMOE_CHECK_EQ(w.dim(1), out_dim);
+    const int64_t begin = offsets[e];
+    const int64_t rows = offsets[e + 1] - begin;
+    if (rows == 0) {
+      continue;
+    }
+    Gemm(false, false, rows, out_dim, in_dim, 1.0f, x.data() + begin * in_dim, w.data(), 0.0f,
+         y.data() + begin * out_dim);
+  }
+  return y;
+}
+
+GroupedGemmGrads GroupedGemmBackward(const Tensor& dy, const Tensor& x,
+                                     const std::vector<int64_t>& offsets,
+                                     const std::vector<Tensor>& weights) {
+  const int64_t in_dim = x.dim(1);
+  const int64_t out_dim = dy.dim(1);
+  MSMOE_CHECK_EQ(dy.dim(0), x.dim(0));
+
+  GroupedGemmGrads grads;
+  grads.dx = Tensor({x.dim(0), in_dim});
+  grads.dweights.reserve(weights.size());
+  for (size_t e = 0; e < weights.size(); ++e) {
+    grads.dweights.emplace_back(weights[e].shape());
+    const int64_t begin = offsets[e];
+    const int64_t rows = offsets[e + 1] - begin;
+    if (rows == 0) {
+      continue;
+    }
+    // dx = dy @ W^T
+    Gemm(false, true, rows, in_dim, out_dim, 1.0f, dy.data() + begin * out_dim,
+         weights[e].data(), 0.0f, grads.dx.data() + begin * in_dim);
+    // dW = x^T @ dy
+    Gemm(true, false, in_dim, out_dim, rows, 1.0f, x.data() + begin * in_dim,
+         dy.data() + begin * out_dim, 0.0f, grads.dweights[e].data());
+  }
+  return grads;
+}
+
+}  // namespace msmoe

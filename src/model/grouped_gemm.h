@@ -1,0 +1,30 @@
+// Grouped GEMM: one matmul per expert over contiguous row ranges of a
+// dispatched token tensor (the GroupedGEMM operator of the paper).
+#ifndef MSMOE_SRC_MODEL_GROUPED_GEMM_H_
+#define MSMOE_SRC_MODEL_GROUPED_GEMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace msmoe {
+
+// x is [total_rows, in_dim]; rows [offsets[e], offsets[e+1]) belong to expert
+// e and are multiplied by weights[e] ([in_dim, out_dim]). Returns
+// [total_rows, out_dim].
+Tensor GroupedGemm(const Tensor& x, const std::vector<int64_t>& offsets,
+                   const std::vector<Tensor>& weights);
+
+struct GroupedGemmGrads {
+  Tensor dx;
+  std::vector<Tensor> dweights;
+};
+
+GroupedGemmGrads GroupedGemmBackward(const Tensor& dy, const Tensor& x,
+                                     const std::vector<int64_t>& offsets,
+                                     const std::vector<Tensor>& weights);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_MODEL_GROUPED_GEMM_H_

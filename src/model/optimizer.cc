@@ -1,0 +1,87 @@
+#include "src/model/optimizer.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace msmoe {
+
+void AdamOptimizer::Register(Tensor* param) {
+  MSMOE_CHECK(param != nullptr);
+  MSMOE_CHECK_EQ(step_, 0) << "cannot register params after stepping";
+  params_.push_back(param);
+  m_.emplace_back(param->shape());
+  v_.emplace_back(param->shape());
+}
+
+void AdamOptimizer::Step(const std::vector<const Tensor*>& grads) {
+  MSMOE_CHECK_EQ(grads.size(), params_.size());
+  ++step_;
+
+  double clip_scale = 1.0;
+  if (config_.grad_clip_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (const Tensor* grad : grads) {
+      for (int64_t i = 0; i < grad->numel(); ++i) {
+        norm_sq += static_cast<double>((*grad)[i]) * (*grad)[i];
+      }
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.grad_clip_norm) {
+      clip_scale = config_.grad_clip_norm / norm;
+    }
+  }
+
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    Tensor& param = *params_[p];
+    const Tensor& grad = *grads[p];
+    MSMOE_CHECK(SameShape(param, grad));
+    Tensor& m = m_[p];
+    Tensor& v = v_[p];
+    for (int64_t i = 0; i < param.numel(); ++i) {
+      const double g = static_cast<double>(grad[i]) * clip_scale;
+      m[i] = static_cast<float>(config_.beta1 * m[i] + (1.0 - config_.beta1) * g);
+      v[i] = static_cast<float>(config_.beta2 * v[i] + (1.0 - config_.beta2) * g * g);
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      double update = m_hat / (std::sqrt(v_hat) + config_.eps);
+      if (config_.weight_decay > 0.0) {
+        update += config_.weight_decay * param[i];
+      }
+      param[i] = static_cast<float>(param[i] - config_.lr * update);
+    }
+  }
+}
+
+std::vector<float> AdamOptimizer::SaveState() const {
+  std::vector<float> blob;
+  blob.push_back(static_cast<float>(step_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    for (int64_t i = 0; i < m_[p].numel(); ++i) {
+      blob.push_back(m_[p][i]);
+    }
+    for (int64_t i = 0; i < v_[p].numel(); ++i) {
+      blob.push_back(v_[p][i]);
+    }
+  }
+  return blob;
+}
+
+void AdamOptimizer::LoadState(const std::vector<float>& blob) {
+  MSMOE_CHECK(!blob.empty());
+  step_ = static_cast<int64_t>(blob[0]);
+  size_t cursor = 1;
+  for (size_t p = 0; p < params_.size(); ++p) {
+    for (int64_t i = 0; i < m_[p].numel(); ++i) {
+      m_[p][i] = blob[cursor++];
+    }
+    for (int64_t i = 0; i < v_[p].numel(); ++i) {
+      v_[p][i] = blob[cursor++];
+    }
+  }
+  MSMOE_CHECK_EQ(cursor, blob.size());
+}
+
+}  // namespace msmoe

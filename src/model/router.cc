@@ -1,0 +1,196 @@
+#include "src/model/router.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/logging.h"
+#include "src/base/math_util.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace msmoe {
+
+RoutingResult RouteTokens(const Tensor& logits, const RouterConfig& config) {
+  MSMOE_CHECK_EQ(logits.ndim(), 2);
+  const int64_t tokens = logits.dim(0);
+  const int64_t experts = logits.dim(1);
+  MSMOE_CHECK_EQ(experts, config.num_experts);
+  MSMOE_CHECK_GE(config.top_k, 1);
+  MSMOE_CHECK_LE(config.top_k, experts);
+  const int64_t k = config.top_k;
+
+  RoutingResult result;
+  result.tokens = tokens;
+  result.top_k = k;
+  result.probs = Softmax(logits);
+  result.expert_index.assign(static_cast<size_t>(tokens * k), 0);
+  result.combine_weight = Tensor({tokens, k});
+  result.dropped.assign(static_cast<size_t>(tokens * k), 0);
+  result.expert_counts.assign(static_cast<size_t>(experts), 0);
+
+  // Top-k selection per token (descending prob, ties by lower expert index),
+  // then renormalize the selected probabilities to combine weights.
+  for (int64_t t = 0; t < tokens; ++t) {
+    const float* p = result.probs.data() + t * experts;
+    std::vector<int64_t> order(static_cast<size_t>(experts));
+    for (int64_t e = 0; e < experts; ++e) {
+      order[static_cast<size_t>(e)] = e;
+    }
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [p](int64_t a, int64_t b) {
+                        if (p[a] != p[b]) {
+                          return p[a] > p[b];
+                        }
+                        return a < b;
+                      });
+    double selected_sum = 0.0;
+    for (int64_t slot = 0; slot < k; ++slot) {
+      selected_sum += p[order[static_cast<size_t>(slot)]];
+    }
+    for (int64_t slot = 0; slot < k; ++slot) {
+      const int64_t e = order[static_cast<size_t>(slot)];
+      result.expert_index[static_cast<size_t>(t * k + slot)] = e;
+      result.combine_weight.At(t, slot) = static_cast<float>(p[e] / selected_sum);
+    }
+  }
+
+  // Capacity-based dropping, in token order per expert.
+  int64_t capacity = 0;
+  if (config.capacity_factor > 0.0) {
+    capacity = static_cast<int64_t>(
+        std::ceil(config.capacity_factor * static_cast<double>(tokens * k) /
+                  static_cast<double>(experts)));
+  }
+  for (int64_t t = 0; t < tokens; ++t) {
+    for (int64_t slot = 0; slot < k; ++slot) {
+      const int64_t e = result.expert_index[static_cast<size_t>(t * k + slot)];
+      auto& count = result.expert_counts[static_cast<size_t>(e)];
+      if (capacity > 0 && count >= capacity) {
+        result.dropped[static_cast<size_t>(t * k + slot)] = 1;
+        result.combine_weight.At(t, slot) = 0.0f;
+      } else {
+        ++count;
+      }
+    }
+  }
+
+  // Group-wise auxiliary balance loss:
+  //   L = coeff * G * sum_g f_g * P_g,
+  // f_g = fraction of routed copies to group g (pre-drop, constant w.r.t.
+  // gradients), P_g = mean over tokens of total group probability.
+  if (config.aux_loss_coeff > 0.0) {
+    const int64_t group_size = std::max<int64_t>(1, config.experts_per_group);
+    const int64_t groups = CeilDiv(experts, group_size);
+    std::vector<double> routed_fraction(static_cast<size_t>(groups), 0.0);
+    std::vector<double> mean_prob(static_cast<size_t>(groups), 0.0);
+    for (int64_t t = 0; t < tokens; ++t) {
+      for (int64_t slot = 0; slot < k; ++slot) {
+        const int64_t e = result.expert_index[static_cast<size_t>(t * k + slot)];
+        routed_fraction[static_cast<size_t>(e / group_size)] += 1.0;
+      }
+      for (int64_t e = 0; e < experts; ++e) {
+        mean_prob[static_cast<size_t>(e / group_size)] += result.probs.At(t, e);
+      }
+    }
+    double loss = 0.0;
+    for (int64_t g = 0; g < groups; ++g) {
+      routed_fraction[static_cast<size_t>(g)] /= static_cast<double>(tokens * k);
+      mean_prob[static_cast<size_t>(g)] /= static_cast<double>(tokens);
+      loss += routed_fraction[static_cast<size_t>(g)] * mean_prob[static_cast<size_t>(g)];
+    }
+    result.aux_loss = config.aux_loss_coeff * static_cast<double>(groups) * loss;
+  }
+  return result;
+}
+
+Tensor RouterBackward(const RoutingResult& routing, const Tensor& dcombine_weight,
+                      const RouterConfig& config) {
+  const int64_t tokens = routing.tokens;
+  const int64_t experts = config.num_experts;
+  const int64_t k = routing.top_k;
+  MSMOE_CHECK_EQ(dcombine_weight.dim(0), tokens);
+  MSMOE_CHECK_EQ(dcombine_weight.dim(1), k);
+
+  // d(loss)/d(probs): from combine weights w_i = p_i / S with S the selected
+  // sum: dw_i/dp_j = (delta_ij - w_i) / S for selected j, plus the aux-loss
+  // term coeff * G * f_g / tokens on every prob.
+  Tensor dprobs({tokens, experts});
+  for (int64_t t = 0; t < tokens; ++t) {
+    double selected_sum = 0.0;
+    for (int64_t slot = 0; slot < k; ++slot) {
+      const int64_t e = routing.expert_index[static_cast<size_t>(t * k + slot)];
+      selected_sum += routing.probs.At(t, e);
+    }
+    // sum_i dL/dw_i * w_i (over kept slots).
+    double dot = 0.0;
+    for (int64_t slot = 0; slot < k; ++slot) {
+      if (routing.dropped[static_cast<size_t>(t * k + slot)] != 0) {
+        continue;
+      }
+      dot += static_cast<double>(dcombine_weight.At(t, slot)) *
+             routing.combine_weight.At(t, slot);
+    }
+    for (int64_t slot = 0; slot < k; ++slot) {
+      const int64_t e = routing.expert_index[static_cast<size_t>(t * k + slot)];
+      double grad = -dot;
+      if (routing.dropped[static_cast<size_t>(t * k + slot)] == 0) {
+        grad += dcombine_weight.At(t, slot);
+      }
+      dprobs.At(t, e) += static_cast<float>(grad / selected_sum);
+    }
+  }
+  if (config.aux_loss_coeff > 0.0) {
+    const int64_t group_size = std::max<int64_t>(1, config.experts_per_group);
+    const int64_t groups = CeilDiv(experts, group_size);
+    std::vector<double> routed_fraction(static_cast<size_t>(groups), 0.0);
+    for (int64_t t = 0; t < tokens; ++t) {
+      for (int64_t slot = 0; slot < k; ++slot) {
+        const int64_t e = routing.expert_index[static_cast<size_t>(t * k + slot)];
+        routed_fraction[static_cast<size_t>(e / group_size)] += 1.0;
+      }
+    }
+    for (int64_t g = 0; g < groups; ++g) {
+      routed_fraction[static_cast<size_t>(g)] /= static_cast<double>(tokens * k);
+    }
+    const double factor = config.aux_loss_coeff * static_cast<double>(groups) /
+                          static_cast<double>(tokens);
+    for (int64_t t = 0; t < tokens; ++t) {
+      for (int64_t e = 0; e < experts; ++e) {
+        dprobs.At(t, e) +=
+            static_cast<float>(factor * routed_fraction[static_cast<size_t>(e / group_size)]);
+      }
+    }
+  }
+  return SoftmaxBackward(dprobs, routing.probs);
+}
+
+DispatchPlan BuildDispatchPlan(const RoutingResult& routing, int64_t num_experts) {
+  const int64_t tokens = routing.tokens;
+  const int64_t k = routing.top_k;
+  DispatchPlan plan;
+  plan.slot_to_row.assign(static_cast<size_t>(tokens * k), -1);
+  plan.expert_offsets.assign(static_cast<size_t>(num_experts + 1), 0);
+
+  for (int64_t e = 0; e < num_experts; ++e) {
+    plan.expert_offsets[static_cast<size_t>(e + 1)] =
+        plan.expert_offsets[static_cast<size_t>(e)] +
+        routing.expert_counts[static_cast<size_t>(e)];
+  }
+  const int64_t total = plan.expert_offsets[static_cast<size_t>(num_experts)];
+  plan.row_map.assign(static_cast<size_t>(total), 0);
+
+  std::vector<int64_t> cursor(plan.expert_offsets.begin(), plan.expert_offsets.end() - 1);
+  for (int64_t t = 0; t < tokens; ++t) {
+    for (int64_t slot = 0; slot < k; ++slot) {
+      if (routing.dropped[static_cast<size_t>(t * k + slot)] != 0) {
+        continue;
+      }
+      const int64_t e = routing.expert_index[static_cast<size_t>(t * k + slot)];
+      const int64_t row = cursor[static_cast<size_t>(e)]++;
+      plan.row_map[static_cast<size_t>(row)] = t;
+      plan.slot_to_row[static_cast<size_t>(t * k + slot)] = row;
+    }
+  }
+  return plan;
+}
+
+}  // namespace msmoe

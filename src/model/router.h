@@ -1,0 +1,74 @@
+// MoE router: softmax gating, top-k selection, group-wise auxiliary load-
+// balance loss, and capacity-based token dropping (§3.2 "Load balance").
+//
+// Following DeepSeek-V2 (as the paper does), balance is computed per expert
+// *group* — the experts co-located on one GPU — rather than per expert:
+// group the experts into groups of `experts_per_group` and balance the load
+// across groups.
+#ifndef MSMOE_SRC_MODEL_ROUTER_H_
+#define MSMOE_SRC_MODEL_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace msmoe {
+
+struct RouterConfig {
+  int64_t num_experts = 0;
+  int64_t top_k = 1;
+  // Coefficient of the auxiliary balance loss; 0 disables it.
+  double aux_loss_coeff = 0.0;
+  // Per-expert capacity = ceil(capacity_factor * tokens * top_k / num_experts);
+  // 0 disables dropping. Token-copies beyond capacity are dropped in token
+  // order, matching capacity-based MoE training.
+  double capacity_factor = 0.0;
+  // Experts per device group for the balance loss (1 = per-expert balance).
+  int64_t experts_per_group = 1;
+};
+
+struct RoutingResult {
+  int64_t tokens = 0;
+  int64_t top_k = 0;
+  // Selected expert of each (token, slot): [tokens * top_k].
+  std::vector<int64_t> expert_index;
+  // Combine weights (renormalized top-k probabilities), zeroed for dropped
+  // copies: [tokens, top_k].
+  Tensor combine_weight;
+  // Full softmax probabilities, [tokens, num_experts] (backward cache).
+  Tensor probs;
+  // Dropped flags, [tokens * top_k].
+  std::vector<uint8_t> dropped;
+  // Kept token-copies per expert.
+  std::vector<int64_t> expert_counts;
+  double aux_loss = 0.0;
+};
+
+// Routes tokens given gate logits [tokens, num_experts].
+RoutingResult RouteTokens(const Tensor& logits, const RouterConfig& config);
+
+// Gradient of (combine-weight consumers + aux loss) w.r.t. the gate logits.
+// dcombine_weight is [tokens, top_k].
+Tensor RouterBackward(const RoutingResult& routing, const Tensor& dcombine_weight,
+                      const RouterConfig& config);
+
+// A dispatch plan groups kept token-copies into contiguous per-expert row
+// ranges — the precomputed mapping of the paper's CUDA scatter/gather
+// operators.
+struct DispatchPlan {
+  // GatherRows source row for each dispatched row (length = total kept).
+  std::vector<int64_t> row_map;
+  // Dispatched row index of (token, slot) or -1 when dropped: [tokens*top_k].
+  std::vector<int64_t> slot_to_row;
+  // Row range [expert_offsets[e], expert_offsets[e+1]) per expert.
+  std::vector<int64_t> expert_offsets;
+
+  int64_t total_rows() const { return static_cast<int64_t>(row_map.size()); }
+};
+
+DispatchPlan BuildDispatchPlan(const RoutingResult& routing, int64_t num_experts);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_MODEL_ROUTER_H_

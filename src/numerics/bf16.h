@@ -1,0 +1,59 @@
+// Software-emulated bfloat16.
+//
+// Conversion uses round-to-nearest-even on the truncated 16 mantissa bits,
+// matching the hardware cast used by mixed-precision training frameworks.
+// Only conversion fidelity matters for the paper's compression experiments
+// (DP gradient synchronization in BF16, §5), so arithmetic is performed by
+// converting through float.
+#ifndef MSMOE_SRC_NUMERICS_BF16_H_
+#define MSMOE_SRC_NUMERICS_BF16_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace msmoe {
+
+class BF16 {
+ public:
+  BF16() : bits_(0) {}
+  explicit BF16(float value) : bits_(FromFloatBits(value)) {}
+
+  static BF16 FromBits(uint16_t bits) {
+    BF16 out;
+    out.bits_ = bits;
+    return out;
+  }
+
+  uint16_t bits() const { return bits_; }
+
+  float ToFloat() const {
+    const uint32_t expanded = static_cast<uint32_t>(bits_) << 16;
+    float out;
+    std::memcpy(&out, &expanded, sizeof(out));
+    return out;
+  }
+
+  explicit operator float() const { return ToFloat(); }
+
+ private:
+  static uint16_t FromFloatBits(float value) {
+    uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    // NaN: keep a quiet NaN pattern, never round a NaN into Inf.
+    if ((bits & 0x7F800000u) == 0x7F800000u && (bits & 0x007FFFFFu) != 0) {
+      return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+    }
+    // Round to nearest even: add 0x7FFF plus the LSB of the surviving part.
+    const uint32_t lsb = (bits >> 16) & 1u;
+    bits += 0x7FFFu + lsb;
+    return static_cast<uint16_t>(bits >> 16);
+  }
+
+  uint16_t bits_;
+};
+
+inline float Bf16Round(float value) { return BF16(value).ToFloat(); }
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_NUMERICS_BF16_H_

@@ -1,0 +1,41 @@
+// Software-emulated 8-bit floating point in the two formats used by Hopper
+// tensor cores: E4M3 (4-bit exponent, 3-bit mantissa, no infinities, max
+// finite 448) and E5M2 (5-bit exponent, 2-bit mantissa, max finite 57344).
+//
+// Conversions follow the NVIDIA saturating cast: values beyond the maximum
+// finite magnitude clamp to it rather than overflowing, and rounding is
+// round-to-nearest-even. The paper uses E4M3 for all compressed tensors (§5).
+#ifndef MSMOE_SRC_NUMERICS_FP8_H_
+#define MSMOE_SRC_NUMERICS_FP8_H_
+
+#include <cstdint>
+
+namespace msmoe {
+
+enum class Fp8Format {
+  kE4M3,
+  kE5M2,
+};
+
+// Largest representable finite magnitude of the format (448 or 57344).
+float Fp8MaxFinite(Fp8Format format);
+
+// Encodes a float into the 8-bit code (sign | exponent | mantissa), with
+// saturation and round-to-nearest-even. NaN input yields the format's NaN.
+uint8_t Fp8Encode(float value, Fp8Format format);
+
+// Decodes an 8-bit code back to float (exact).
+float Fp8Decode(uint8_t code, Fp8Format format);
+
+// Round-trips through the format: the quantization applied by an FP8 cast.
+inline float Fp8Round(float value, Fp8Format format) {
+  return Fp8Decode(Fp8Encode(value, format), format);
+}
+
+// Fixed-format convenience wrappers.
+inline float Fp8RoundE4M3(float value) { return Fp8Round(value, Fp8Format::kE4M3); }
+inline float Fp8RoundE5M2(float value) { return Fp8Round(value, Fp8Format::kE5M2); }
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_NUMERICS_FP8_H_

@@ -1,0 +1,169 @@
+#include "src/numerics/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/logging.h"
+#include "src/base/math_util.h"
+
+namespace msmoe {
+namespace {
+
+float AmaxToScale(float amax, Fp8Format format) {
+  if (amax <= 0.0f || !std::isfinite(amax)) {
+    return 1.0f;
+  }
+  return amax / Fp8MaxFinite(format);
+}
+
+// Computes amax over a strided slice.
+float SliceAmax(const float* data, int64_t count, int64_t stride) {
+  float amax = 0.0f;
+  for (int64_t i = 0; i < count; ++i) {
+    amax = std::max(amax, std::fabs(data[i * stride]));
+  }
+  return amax;
+}
+
+}  // namespace
+
+const char* QuantGranularityName(QuantGranularity granularity) {
+  switch (granularity) {
+    case QuantGranularity::kPerTensor:
+      return "per-tensor";
+    case QuantGranularity::kPerToken:
+      return "per-token";
+    case QuantGranularity::kPerChannel:
+      return "per-channel";
+    case QuantGranularity::kPerChannelGrouped:
+      return "per-channel-grouped";
+  }
+  return "unknown";
+}
+
+QuantizedMatrix Quantize(const float* data, int64_t rows, int64_t cols,
+                         const QuantConfig& config) {
+  MSMOE_CHECK_GE(rows, 0);
+  MSMOE_CHECK_GE(cols, 0);
+  QuantizedMatrix out;
+  out.rows = rows;
+  out.cols = cols;
+  out.config = config;
+  out.codes.resize(static_cast<size_t>(rows * cols));
+
+  auto encode_with_scale = [&](int64_t r, int64_t c, float scale) {
+    const float value = data[r * cols + c];
+    out.codes[static_cast<size_t>(r * cols + c)] = Fp8Encode(value / scale, config.format);
+  };
+
+  switch (config.granularity) {
+    case QuantGranularity::kPerTensor: {
+      const float amax = SliceAmax(data, rows * cols, 1);
+      const float scale = AmaxToScale(amax, config.format);
+      out.scales = {scale};
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+          encode_with_scale(r, c, scale);
+        }
+      }
+      break;
+    }
+    case QuantGranularity::kPerToken: {
+      out.scales.resize(static_cast<size_t>(rows));
+      for (int64_t r = 0; r < rows; ++r) {
+        const float amax = SliceAmax(data + r * cols, cols, 1);
+        const float scale = AmaxToScale(amax, config.format);
+        out.scales[static_cast<size_t>(r)] = scale;
+        for (int64_t c = 0; c < cols; ++c) {
+          encode_with_scale(r, c, scale);
+        }
+      }
+      break;
+    }
+    case QuantGranularity::kPerChannel: {
+      out.scales.resize(static_cast<size_t>(cols));
+      for (int64_t c = 0; c < cols; ++c) {
+        const float amax = SliceAmax(data + c, rows, cols);
+        const float scale = AmaxToScale(amax, config.format);
+        out.scales[static_cast<size_t>(c)] = scale;
+      }
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+          encode_with_scale(r, c, out.scales[static_cast<size_t>(c)]);
+        }
+      }
+      break;
+    }
+    case QuantGranularity::kPerChannelGrouped: {
+      MSMOE_CHECK_GT(config.group_size, 0);
+      const int64_t num_groups = std::max<int64_t>(1, CeilDiv(rows, config.group_size));
+      out.scales.resize(static_cast<size_t>(num_groups * cols));
+      for (int64_t g = 0; g < num_groups; ++g) {
+        const int64_t row_begin = g * config.group_size;
+        const int64_t row_end = std::min(rows, row_begin + config.group_size);
+        for (int64_t c = 0; c < cols; ++c) {
+          const float amax =
+              SliceAmax(data + row_begin * cols + c, row_end - row_begin, cols);
+          const float scale = AmaxToScale(amax, config.format);
+          out.scales[static_cast<size_t>(g * cols + c)] = scale;
+          for (int64_t r = row_begin; r < row_end; ++r) {
+            encode_with_scale(r, c, scale);
+          }
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void Dequantize(const QuantizedMatrix& quantized, float* out) {
+  const int64_t rows = quantized.rows;
+  const int64_t cols = quantized.cols;
+  const QuantConfig& config = quantized.config;
+
+  auto scale_at = [&](int64_t r, int64_t c) -> float {
+    switch (config.granularity) {
+      case QuantGranularity::kPerTensor:
+        return quantized.scales[0];
+      case QuantGranularity::kPerToken:
+        return quantized.scales[static_cast<size_t>(r)];
+      case QuantGranularity::kPerChannel:
+        return quantized.scales[static_cast<size_t>(c)];
+      case QuantGranularity::kPerChannelGrouped: {
+        const int64_t group = r / config.group_size;
+        return quantized.scales[static_cast<size_t>(group * cols + c)];
+      }
+    }
+    return 1.0f;
+  };
+
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      const uint8_t code = quantized.codes[static_cast<size_t>(r * cols + c)];
+      out[r * cols + c] = Fp8Decode(code, config.format) * scale_at(r, c);
+    }
+  }
+}
+
+std::vector<float> QuantizeRoundTrip(const float* data, int64_t rows, int64_t cols,
+                                     const QuantConfig& config) {
+  QuantizedMatrix quantized = Quantize(data, rows, cols, config);
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+  Dequantize(quantized, out.data());
+  return out;
+}
+
+double QuantizationMaxError(const float* data, int64_t rows, int64_t cols,
+                            const QuantConfig& config) {
+  const std::vector<float> round_trip = QuantizeRoundTrip(data, rows, cols, config);
+  double max_error = 0.0;
+  for (int64_t i = 0; i < rows * cols; ++i) {
+    max_error = std::max(max_error,
+                         static_cast<double>(std::fabs(round_trip[static_cast<size_t>(i)] -
+                                                       data[i])));
+  }
+  return max_error;
+}
+
+}  // namespace msmoe

@@ -1,0 +1,76 @@
+// FP8 quantization schemes used by the communication-compression paths (§5
+// and §7 "FP8 training").
+//
+// A quantized tensor stores 8-bit codes plus FP32 scales. The granularity of
+// the scales is the design knob the paper tunes:
+//   - kPerTensor:  one scale for the whole tensor (baseline; too coarse for
+//                  SwiGLU activations, §7).
+//   - kPerToken:   one scale per row (1 x h), used for forward activation
+//                  communication.
+//   - kPerChannel: one scale per column, used for backward gradient
+//                  communication.
+//   - kPerChannelGrouped: per-channel scales recomputed for every group of
+//                  `group_size` rows along the token dimension (e.g. 128),
+//                  the paper's refinement for backward propagation.
+//
+// Scales are amax-based: scale = amax / max_finite, codes = round(x / scale).
+#ifndef MSMOE_SRC_NUMERICS_QUANTIZE_H_
+#define MSMOE_SRC_NUMERICS_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/numerics/fp8.h"
+
+namespace msmoe {
+
+enum class QuantGranularity {
+  kPerTensor,
+  kPerToken,
+  kPerChannel,
+  kPerChannelGrouped,
+};
+
+const char* QuantGranularityName(QuantGranularity granularity);
+
+struct QuantConfig {
+  Fp8Format format = Fp8Format::kE4M3;
+  QuantGranularity granularity = QuantGranularity::kPerTensor;
+  // Rows per scale group for kPerChannelGrouped; ignored otherwise.
+  int64_t group_size = 128;
+};
+
+// An FP8-quantized row-major [rows x cols] matrix.
+struct QuantizedMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  QuantConfig config;
+  std::vector<uint8_t> codes;   // rows * cols
+  std::vector<float> scales;    // layout depends on granularity
+
+  // Bytes on the wire (codes + scales); what a compressed collective moves.
+  int64_t WireBytes() const {
+    return static_cast<int64_t>(codes.size()) +
+           static_cast<int64_t>(scales.size()) * static_cast<int64_t>(sizeof(float));
+  }
+};
+
+// Quantizes `data` (row-major rows x cols). Zero tensors get scale 1.
+QuantizedMatrix Quantize(const float* data, int64_t rows, int64_t cols,
+                         const QuantConfig& config);
+
+// Dequantizes into `out` (must hold rows * cols floats).
+void Dequantize(const QuantizedMatrix& quantized, float* out);
+
+// Round-trip convenience: returns the dequantized values.
+std::vector<float> QuantizeRoundTrip(const float* data, int64_t rows, int64_t cols,
+                                     const QuantConfig& config);
+
+// Max absolute elementwise error of quantizing `data` under `config`.
+double QuantizationMaxError(const float* data, int64_t rows, int64_t cols,
+                            const QuantConfig& config);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_NUMERICS_QUANTIZE_H_

@@ -1,0 +1,92 @@
+#include "src/parallel/distributed_lm.h"
+
+#include "src/base/logging.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace msmoe {
+
+std::vector<int64_t> ShardTokenIds(const std::vector<int64_t>& full_ids, int64_t batch,
+                                   int64_t seq_len, int rank, int n) {
+  MSMOE_CHECK_EQ(static_cast<int64_t>(full_ids.size()), batch * seq_len);
+  MSMOE_CHECK_EQ(seq_len % n, 0);
+  const int64_t s_local = seq_len / n;
+  std::vector<int64_t> local(static_cast<size_t>(batch * s_local));
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t t = 0; t < s_local; ++t) {
+      local[static_cast<size_t>(b * s_local + t)] =
+          full_ids[static_cast<size_t>(b * seq_len + rank * s_local + t)];
+    }
+  }
+  return local;
+}
+
+DistributedLmStats DistributedLmForwardBackward(
+    const ShardContext& ctx, const ModelConfig& config, const RouterConfig& router,
+    const ParallelMoeLayerOptions& options, const LmParams& params,
+    const std::vector<int64_t>& input_ids_local,
+    const std::vector<int64_t>& target_ids_local, int64_t batch, int64_t seq_len,
+    LmParams* grads) {
+  const int n = ctx.size();
+  const int64_t s_local = seq_len / n;
+  const int64_t t_local = batch * s_local;
+  MSMOE_CHECK_EQ(static_cast<int64_t>(input_ids_local.size()), t_local);
+  MSMOE_CHECK_EQ(static_cast<int64_t>(target_ids_local.size()), t_local);
+  const int64_t h = config.hidden;
+
+  // Embedding lookup (token-local).
+  Tensor hidden({t_local, h});
+  for (int64_t t = 0; t < t_local; ++t) {
+    const int64_t id = input_ids_local[static_cast<size_t>(t)];
+    MSMOE_CHECK_GE(id, 0);
+    MSMOE_CHECK_LT(id, config.vocab);
+    std::copy(params.embedding.data() + id * h, params.embedding.data() + (id + 1) * h,
+              hidden.data() + t * h);
+  }
+
+  // Macro MoE layers (collectives inside).
+  std::vector<ParallelMoeLayerCache> caches(static_cast<size_t>(config.num_layers));
+  DistributedLmStats stats;
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    hidden = ParallelMoeLayerForward(ctx, config, router,
+                                     params.layers[static_cast<size_t>(l)], hidden, batch,
+                                     seq_len, options, &caches[static_cast<size_t>(l)]);
+    stats.aux_loss += caches[static_cast<size_t>(l)].routing.aux_loss;
+  }
+
+  // Final norm + LM head + CE (token-local).
+  Tensor final_inv_rms;
+  Tensor normed = RmsNorm(hidden, params.final_gain, &final_inv_rms);
+  Tensor logits = MatMul(normed, params.lm_head);
+  CrossEntropyResult ce = CrossEntropy(logits, target_ids_local);
+  stats.ce_loss = ce.mean_loss;
+  // Gradient of the GLOBAL mean loss: each rank holds 1/n of the tokens.
+  ce.dlogits.ScaleInPlace(1.0f / static_cast<float>(n));
+
+  MatMulGrads head_grads = MatMulBackward(ce.dlogits, normed, params.lm_head);
+  grads->lm_head.AddInPlace(head_grads.db);
+  RmsNormGrads final_grads =
+      RmsNormBackward(head_grads.da, hidden, params.final_gain, final_inv_rms);
+  grads->final_gain.AddInPlace(final_grads.dgain);
+
+  Tensor dhidden = std::move(final_grads.dx);
+  for (int64_t l = config.num_layers - 1; l >= 0; --l) {
+    ParallelMoeLayerGrads layer_grads = ParallelMoeLayerBackward(
+        ctx, config, router, params.layers[static_cast<size_t>(l)], dhidden, batch, seq_len,
+        options, caches[static_cast<size_t>(l)]);
+    grads->layers[static_cast<size_t>(l)].Accumulate(layer_grads.dparams);
+    dhidden = std::move(layer_grads.dx_local);
+  }
+
+  // Embedding backward (token-local scatter-add).
+  for (int64_t t = 0; t < t_local; ++t) {
+    const int64_t id = input_ids_local[static_cast<size_t>(t)];
+    float* dst = grads->embedding.data() + id * h;
+    const float* src = dhidden.data() + t * h;
+    for (int64_t c = 0; c < h; ++c) {
+      dst[c] += src[c];
+    }
+  }
+  return stats;
+}
+
+}  // namespace msmoe

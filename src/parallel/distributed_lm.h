@@ -1,0 +1,50 @@
+// Distributed MoE language model over a model-parallel group: the complete
+// numeric MegaScale-MoE stack.
+//
+// With sequence sharding, everything outside the MoE layer is token-local:
+// rank r embeds its sequence slice, runs the §4.1 macro layers (SP attention
+// + EP FFN + SAR) with their internal collectives, applies the final
+// RMSNorm and LM head to its local tokens, and computes the local cross
+// entropy. The global mean loss is the average of the rank losses (equal
+// shards), so each rank scales its CE gradient by 1/n.
+//
+// Gradient completeness after one call:
+//   - embedding, norms, attention, router, LM head: PARTIAL (local tokens;
+//     sum across the MP group = the single-rank gradient — synchronized
+//     hierarchically with DP in training, Appendix A.1),
+//   - expert weights: COMPLETE on the owner rank, zero elsewhere.
+#ifndef MSMOE_SRC_PARALLEL_DISTRIBUTED_LM_H_
+#define MSMOE_SRC_PARALLEL_DISTRIBUTED_LM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/model/lm.h"
+#include "src/model/router.h"
+#include "src/parallel/parallel_moe_layer.h"
+
+namespace msmoe {
+
+struct DistributedLmStats {
+  double ce_loss = 0.0;   // mean CE over this rank's tokens
+  double aux_loss = 0.0;  // balance loss over this rank's tokens
+};
+
+// input/target ids hold this rank's slice: [batch * seq_len / n] tokens laid
+// out (b, t_local) where global position = rank * s_local + t_local.
+// params holds the FULL model (replicated; experts used by owner only).
+// Gradients of the GLOBAL mean loss are accumulated into *grads.
+DistributedLmStats DistributedLmForwardBackward(
+    const ShardContext& ctx, const ModelConfig& config, const RouterConfig& router,
+    const ParallelMoeLayerOptions& options, const LmParams& params,
+    const std::vector<int64_t>& input_ids_local, const std::vector<int64_t>& target_ids_local,
+    int64_t batch, int64_t seq_len, LmParams* grads);
+
+// Helper: rank r's slice of full [batch * seq_len] token ids.
+std::vector<int64_t> ShardTokenIds(const std::vector<int64_t>& full_ids, int64_t batch,
+                                   int64_t seq_len, int rank, int n);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_PARALLEL_DISTRIBUTED_LM_H_

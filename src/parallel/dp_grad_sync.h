@@ -1,0 +1,63 @@
+// Data-parallel gradient synchronization paths (§5, Fig 10).
+//
+// Three strategies over a DP group of n ranks, all returning this rank's
+// reduced gradient shard (ZeRO-style — the owner then updates its optimizer
+// shard and parameters are re-gathered):
+//
+//   kFp32ReduceScatter:  the safe baseline — FP32 on the wire.
+//   kBf16AllToAll:       the paper's compression — one-time FP32->BF16 cast,
+//                        all-to-all of BF16 shards, LOCAL accumulation in
+//                        FP32. Halves wire volume; avoids repeated BF16
+//                        accumulation entirely.
+//   kBf16RingReduce:     the risky design the paper rejects — emulates a
+//                        ring reduce-scatter whose partial sums are kept in
+//                        BF16 at every hop, compounding rounding error
+//                        (included to demonstrate why §5 uses all-to-all).
+//
+// Includes the memory-efficient in-place packing trick: BF16 codes are
+// packed into the first half of the FP32 input buffer and the second half
+// serves as the receive buffer, so peak memory never exceeds the original
+// FP32 allocation.
+#ifndef MSMOE_SRC_PARALLEL_DP_GRAD_SYNC_H_
+#define MSMOE_SRC_PARALLEL_DP_GRAD_SYNC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/comm/collective_group.h"
+
+namespace msmoe {
+
+enum class GradSyncMode {
+  kFp32ReduceScatter,
+  kBf16AllToAll,
+  kBf16RingReduce,
+};
+
+const char* GradSyncModeName(GradSyncMode mode);
+
+// Reduces `grads` (count floats, identical layout on every rank) across the
+// group; returns this rank's shard (count / n floats, count must divide).
+// The reduction is a plain sum (callers average by pre-scaling).
+std::vector<float> SyncGradShard(CollectiveGroup& group, int rank, const float* grads,
+                                 int64_t count, GradSyncMode mode);
+
+// Convenience: full all-reduced gradients via shard sync + all-gather, so
+// trainers that keep replicated optimizer state can use any mode.
+void AllReduceGrads(CollectiveGroup& group, int rank, float* grads, int64_t count,
+                    GradSyncMode mode);
+
+// Wire bytes each mode moves for `count` FP32 gradients on n ranks (per
+// rank-pair volume, for the Fig 10 "50% reduction" claim).
+int64_t GradSyncWireBytes(GradSyncMode mode, int64_t count, int n);
+
+// In-place packing used by kBf16AllToAll: stores the BF16 codes of
+// buffer[0..count) in the first count/2 float slots (two codes per float).
+// UnpackBf16InPlace expands them back to floats. Round-trips exactly to
+// BF16 precision while never growing the allocation.
+void PackBf16InPlace(float* buffer, int64_t count);
+void UnpackBf16InPlace(float* buffer, int64_t count);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_PARALLEL_DP_GRAD_SYNC_H_

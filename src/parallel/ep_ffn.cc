@@ -1,0 +1,447 @@
+#include "src/parallel/ep_ffn.h"
+
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/model/grouped_gemm.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace msmoe {
+namespace {
+
+// Local expert weight views (the module only multiplies by the owner's
+// experts; weights arrive as the full vector so tests can share one set).
+std::vector<Tensor> LocalWeights(const std::vector<Tensor>& all, int rank, int64_t e_local) {
+  std::vector<Tensor> local;
+  local.reserve(static_cast<size_t>(e_local));
+  for (int64_t e = 0; e < e_local; ++e) {
+    local.push_back(all[static_cast<size_t>(rank * e_local + e)]);
+  }
+  return local;
+}
+
+struct ExpertBlock {
+  Tensor fc1, fc3, fc2_in, fc2_out;
+};
+
+// Runs FC1/FC3 -> SwiGLU -> FC2 over rows grouped by local expert.
+ExpertBlock RunExperts(const Tensor& ffn_in, const std::vector<int64_t>& offsets,
+                       const std::vector<Tensor>& w1, const std::vector<Tensor>& w3,
+                       const std::vector<Tensor>& w2) {
+  ExpertBlock block;
+  block.fc1 = GroupedGemm(ffn_in, offsets, w1);
+  block.fc3 = GroupedGemm(ffn_in, offsets, w3);
+  block.fc2_in = SwiGlu(block.fc1, block.fc3);
+  block.fc2_out = GroupedGemm(block.fc2_in, offsets, w2);
+  return block;
+}
+
+}  // namespace
+
+const char* EpDispatchModeName(EpDispatchMode mode) {
+  switch (mode) {
+    case EpDispatchMode::kAllToAll:
+      return "all-to-all";
+    case EpDispatchMode::kAllGatherScatter:
+      return "all-gather+scatter";
+  }
+  return "unknown";
+}
+
+Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispatchMode mode,
+                    const std::vector<Tensor>& w1, const std::vector<Tensor>& w3,
+                    const std::vector<Tensor>& w2, const Tensor& x_local,
+                    const RoutingResult& routing_local, EpFfnCache* cache) {
+  const int n = ctx.size();
+  const int64_t experts = config.num_experts;
+  MSMOE_CHECK_EQ(experts % n, 0);
+  const int64_t e_local = experts / n;
+  const int64_t h = config.hidden;
+  const int64_t t_local = x_local.dim(0);
+  const int64_t k = routing_local.top_k;
+  MSMOE_CHECK_EQ(routing_local.tokens, t_local);
+
+  const std::vector<Tensor> w1_loc = LocalWeights(w1, ctx.rank, e_local);
+  const std::vector<Tensor> w3_loc = LocalWeights(w3, ctx.rank, e_local);
+  const std::vector<Tensor> w2_loc = LocalWeights(w2, ctx.rank, e_local);
+
+  if (mode == EpDispatchMode::kAllToAll) {
+    // --- Dispatch: pack kept token copies by destination (expert owner). ---
+    cache->send_counts.assign(static_cast<size_t>(n), 0);
+    cache->send_token.clear();
+    cache->send_slot.clear();
+    std::vector<int64_t> send_expert;
+    std::vector<float> send_rows;
+    for (int dst = 0; dst < n; ++dst) {
+      for (int64_t t = 0; t < t_local; ++t) {
+        for (int64_t slot = 0; slot < k; ++slot) {
+          if (routing_local.dropped[static_cast<size_t>(t * k + slot)] != 0) {
+            continue;
+          }
+          const int64_t e = routing_local.expert_index[static_cast<size_t>(t * k + slot)];
+          if (e / e_local != dst) {
+            continue;
+          }
+          ++cache->send_counts[static_cast<size_t>(dst)];
+          cache->send_token.push_back(t);
+          cache->send_slot.push_back(slot);
+          send_expert.push_back(e);
+          const float* row = x_local.data() + t * h;
+          send_rows.insert(send_rows.end(), row, row + h);
+        }
+      }
+    }
+    std::vector<int64_t> row_send_counts(static_cast<size_t>(n));
+    for (int dst = 0; dst < n; ++dst) {
+      row_send_counts[static_cast<size_t>(dst)] =
+          cache->send_counts[static_cast<size_t>(dst)] * h;
+    }
+
+    // Exchange expert ids, then rows.
+    std::vector<int64_t> recv_expert(static_cast<size_t>(t_local * k) * n);
+    std::vector<int64_t> id_recv_counts;
+    ctx.group->AllToAllV(ctx.rank, send_expert.data(), cache->send_counts,
+                         recv_expert.data(), &id_recv_counts);
+    cache->recv_counts = id_recv_counts;
+    int64_t total_recv = 0;
+    for (int64_t c : cache->recv_counts) {
+      total_recv += c;
+    }
+    recv_expert.resize(static_cast<size_t>(total_recv));
+    std::vector<float> recv_rows(static_cast<size_t>(total_recv * h));
+    std::vector<int64_t> row_recv_counts;
+    ctx.group->AllToAllV(ctx.rank, send_rows.data(), row_send_counts, recv_rows.data(),
+                         &row_recv_counts);
+
+    // --- Group received rows by local expert (stable: source-rank order is
+    // preserved within each expert, the tile-friendly order of §4.2). ---
+    std::vector<int64_t> counts(static_cast<size_t>(e_local), 0);
+    for (int64_t i = 0; i < total_recv; ++i) {
+      const int64_t e = recv_expert[static_cast<size_t>(i)] - ctx.rank * e_local;
+      MSMOE_CHECK_GE(e, 0);
+      MSMOE_CHECK_LT(e, e_local);
+      ++counts[static_cast<size_t>(e)];
+    }
+    cache->local_offsets.assign(static_cast<size_t>(e_local + 1), 0);
+    for (int64_t e = 0; e < e_local; ++e) {
+      cache->local_offsets[static_cast<size_t>(e + 1)] =
+          cache->local_offsets[static_cast<size_t>(e)] + counts[static_cast<size_t>(e)];
+    }
+    std::vector<int64_t> cursor(cache->local_offsets.begin(), cache->local_offsets.end() - 1);
+    cache->recv_to_sorted.assign(static_cast<size_t>(total_recv), 0);
+    cache->ffn_in = Tensor({total_recv, h});
+    for (int64_t i = 0; i < total_recv; ++i) {
+      const int64_t e = recv_expert[static_cast<size_t>(i)] - ctx.rank * e_local;
+      const int64_t row = cursor[static_cast<size_t>(e)]++;
+      cache->recv_to_sorted[static_cast<size_t>(i)] = row;
+      std::copy(recv_rows.begin() + static_cast<int64_t>(i) * h,
+                recv_rows.begin() + (static_cast<int64_t>(i) + 1) * h,
+                cache->ffn_in.data() + row * h);
+    }
+
+    // --- Expert computation. ---
+    ExpertBlock block = RunExperts(cache->ffn_in, cache->local_offsets, w1_loc, w3_loc,
+                                   w2_loc);
+    cache->fc1_out = std::move(block.fc1);
+    cache->fc3_out = std::move(block.fc3);
+    cache->fc2_in = std::move(block.fc2_in);
+    cache->fc2_out = std::move(block.fc2_out);
+
+    // --- Combine: un-sort to receive order, send back, weighted sum. ---
+    std::vector<float> return_rows(static_cast<size_t>(total_recv * h));
+    for (int64_t i = 0; i < total_recv; ++i) {
+      const int64_t row = cache->recv_to_sorted[static_cast<size_t>(i)];
+      std::copy(cache->fc2_out.data() + row * h, cache->fc2_out.data() + (row + 1) * h,
+                return_rows.begin() + static_cast<int64_t>(i) * h);
+    }
+    std::vector<int64_t> return_send_counts(static_cast<size_t>(n));
+    for (int src = 0; src < n; ++src) {
+      return_send_counts[static_cast<size_t>(src)] =
+          cache->recv_counts[static_cast<size_t>(src)] * h;
+    }
+    const int64_t total_sent = static_cast<int64_t>(cache->send_token.size());
+    cache->returned_rows = Tensor({total_sent, h});
+    std::vector<int64_t> ignored;
+    ctx.group->AllToAllV(ctx.rank, return_rows.data(), return_send_counts,
+                         cache->returned_rows.data(), &ignored);
+
+    Tensor y_local({t_local, h});
+    for (int64_t i = 0; i < total_sent; ++i) {
+      const int64_t t = cache->send_token[static_cast<size_t>(i)];
+      const int64_t slot = cache->send_slot[static_cast<size_t>(i)];
+      const float weight = routing_local.combine_weight.At(t, slot);
+      const float* row = cache->returned_rows.data() + i * h;
+      float* out = y_local.data() + t * h;
+      for (int64_t c = 0; c < h; ++c) {
+        out[c] += weight * row[c];
+      }
+    }
+    return y_local;
+  }
+
+  // --- kAllGatherScatter ---
+  const int64_t t_total = t_local * n;
+  cache->x_all = Tensor({t_total, h});
+  ctx.group->AllGather(ctx.rank, x_local.data(), cache->x_all.data(), t_local * h);
+
+  // All-gather routing metadata (-1 expert marks a dropped copy).
+  std::vector<int64_t> idx_local(static_cast<size_t>(t_local * k));
+  std::vector<float> weight_local(static_cast<size_t>(t_local * k));
+  for (int64_t i = 0; i < t_local * k; ++i) {
+    idx_local[static_cast<size_t>(i)] = routing_local.dropped[static_cast<size_t>(i)] != 0
+                                            ? -1
+                                            : routing_local.expert_index[static_cast<size_t>(i)];
+    weight_local[static_cast<size_t>(i)] =
+        routing_local.combine_weight[static_cast<size_t>(i)];
+  }
+  std::vector<int64_t> idx_all(static_cast<size_t>(t_total * k));
+  std::vector<float> weight_all(static_cast<size_t>(t_total * k));
+  ctx.group->AllGather(ctx.rank, idx_local.data(), idx_all.data(), t_local * k);
+  ctx.group->AllGather(ctx.rank, weight_local.data(), weight_all.data(), t_local * k);
+
+  // Local scatter: keep only copies routed to this rank's experts, grouped
+  // by expert (global token order within each expert).
+  cache->copy_token.clear();
+  cache->copy_slot.clear();
+  cache->copy_weight.clear();
+  cache->local_offsets.assign(static_cast<size_t>(e_local + 1), 0);
+  for (int64_t e = 0; e < e_local; ++e) {
+    const int64_t e_global = ctx.rank * e_local + e;
+    for (int64_t t = 0; t < t_total; ++t) {
+      for (int64_t slot = 0; slot < k; ++slot) {
+        if (idx_all[static_cast<size_t>(t * k + slot)] == e_global) {
+          cache->copy_token.push_back(t);
+          cache->copy_slot.push_back(slot);
+          cache->copy_weight.push_back(weight_all[static_cast<size_t>(t * k + slot)]);
+        }
+      }
+    }
+    cache->local_offsets[static_cast<size_t>(e + 1)] =
+        static_cast<int64_t>(cache->copy_token.size());
+  }
+  const int64_t rows = static_cast<int64_t>(cache->copy_token.size());
+  cache->ffn_in = GatherRows(cache->x_all, cache->copy_token);
+
+  ExpertBlock block = RunExperts(cache->ffn_in, cache->local_offsets, w1_loc, w3_loc, w2_loc);
+  cache->fc1_out = std::move(block.fc1);
+  cache->fc3_out = std::move(block.fc3);
+  cache->fc2_in = std::move(block.fc2_in);
+  cache->fc2_out = std::move(block.fc2_out);
+
+  // Gather into a full tensor with combine weights applied, then
+  // reduce-scatter so each rank ends with its own tokens fully combined.
+  Tensor full_out({t_total, h});
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t t = cache->copy_token[static_cast<size_t>(i)];
+    const float weight = cache->copy_weight[static_cast<size_t>(i)];
+    const float* row = cache->fc2_out.data() + i * h;
+    float* out = full_out.data() + t * h;
+    for (int64_t c = 0; c < h; ++c) {
+      out[c] += weight * row[c];
+    }
+  }
+  Tensor y_local({t_local, h});
+  ctx.group->ReduceScatter(ctx.rank, full_out.data(), y_local.data(), t_local * h);
+  return y_local;
+}
+
+EpFfnGrads EpFfnBackward(const ShardContext& ctx, const ModelConfig& config,
+                         EpDispatchMode mode, const std::vector<Tensor>& w1,
+                         const std::vector<Tensor>& w3, const std::vector<Tensor>& w2,
+                         const Tensor& dy_local, const RoutingResult& routing_local,
+                         const EpFfnCache& cache) {
+  const int n = ctx.size();
+  const int64_t e_local = config.num_experts / n;
+  const int64_t h = config.hidden;
+  const int64_t t_local = dy_local.dim(0);
+  const int64_t k = routing_local.top_k;
+
+  const std::vector<Tensor> w1_loc = LocalWeights(w1, ctx.rank, e_local);
+  const std::vector<Tensor> w3_loc = LocalWeights(w3, ctx.rank, e_local);
+  const std::vector<Tensor> w2_loc = LocalWeights(w2, ctx.rank, e_local);
+
+  EpFfnGrads grads;
+  grads.dcombine_local = Tensor({t_local, k});
+
+  if (mode == EpDispatchMode::kAllToAll) {
+    const int64_t total_sent = static_cast<int64_t>(cache.send_token.size());
+    int64_t total_recv = 0;
+    for (int64_t c : cache.recv_counts) {
+      total_recv += c;
+    }
+
+    // Combine backward at the source: weight the incoming grad per copy and
+    // read off the combine-weight gradient.
+    std::vector<float> dreturned(static_cast<size_t>(total_sent * h));
+    for (int64_t i = 0; i < total_sent; ++i) {
+      const int64_t t = cache.send_token[static_cast<size_t>(i)];
+      const int64_t slot = cache.send_slot[static_cast<size_t>(i)];
+      const float weight = routing_local.combine_weight.At(t, slot);
+      const float* dy_row = dy_local.data() + t * h;
+      const float* ret_row = cache.returned_rows.data() + i * h;
+      float dot = 0.0f;
+      for (int64_t c = 0; c < h; ++c) {
+        dreturned[static_cast<size_t>(i * h + c)] = weight * dy_row[c];
+        dot += dy_row[c] * ret_row[c];
+      }
+      grads.dcombine_local.At(t, slot) = dot;
+    }
+
+    // Ship per-copy grads to the expert owners (same pattern as dispatch).
+    std::vector<int64_t> row_send_counts(static_cast<size_t>(n));
+    for (int dst = 0; dst < n; ++dst) {
+      row_send_counts[static_cast<size_t>(dst)] =
+          cache.send_counts[static_cast<size_t>(dst)] * h;
+    }
+    std::vector<float> drecv(static_cast<size_t>(total_recv * h));
+    std::vector<int64_t> ignored;
+    ctx.group->AllToAllV(ctx.rank, dreturned.data(), row_send_counts, drecv.data(),
+                         &ignored);
+
+    // Sort to grouped order and run the expert backward chain.
+    Tensor dfc2_out({total_recv, h});
+    for (int64_t i = 0; i < total_recv; ++i) {
+      const int64_t row = cache.recv_to_sorted[static_cast<size_t>(i)];
+      std::copy(drecv.begin() + static_cast<int64_t>(i) * h,
+                drecv.begin() + (static_cast<int64_t>(i) + 1) * h,
+                dfc2_out.data() + row * h);
+    }
+    GroupedGemmGrads fc2_grads =
+        GroupedGemmBackward(dfc2_out, cache.fc2_in, cache.local_offsets, w2_loc);
+    grads.dw2 = std::move(fc2_grads.dweights);
+    SwiGluGrads swiglu_grads = SwiGluBackward(fc2_grads.dx, cache.fc1_out, cache.fc3_out);
+    GroupedGemmGrads fc1_grads =
+        GroupedGemmBackward(swiglu_grads.dgate, cache.ffn_in, cache.local_offsets, w1_loc);
+    GroupedGemmGrads fc3_grads =
+        GroupedGemmBackward(swiglu_grads.dlinear, cache.ffn_in, cache.local_offsets, w3_loc);
+    grads.dw1 = std::move(fc1_grads.dweights);
+    grads.dw3 = std::move(fc3_grads.dweights);
+    Tensor dffn_in = Add(fc1_grads.dx, fc3_grads.dx);
+
+    // Un-sort and return the input grads to the token owners.
+    std::vector<float> dffn_recv_order(static_cast<size_t>(total_recv * h));
+    for (int64_t i = 0; i < total_recv; ++i) {
+      const int64_t row = cache.recv_to_sorted[static_cast<size_t>(i)];
+      std::copy(dffn_in.data() + row * h, dffn_in.data() + (row + 1) * h,
+                dffn_recv_order.begin() + static_cast<int64_t>(i) * h);
+    }
+    std::vector<int64_t> return_counts(static_cast<size_t>(n));
+    for (int src = 0; src < n; ++src) {
+      return_counts[static_cast<size_t>(src)] = cache.recv_counts[static_cast<size_t>(src)] * h;
+    }
+    std::vector<float> dx_rows(static_cast<size_t>(total_sent * h));
+    ctx.group->AllToAllV(ctx.rank, dffn_recv_order.data(), return_counts, dx_rows.data(),
+                         &ignored);
+
+    grads.dx_local = Tensor({t_local, h});
+    for (int64_t i = 0; i < total_sent; ++i) {
+      const int64_t t = cache.send_token[static_cast<size_t>(i)];
+      const float* row = dx_rows.data() + static_cast<int64_t>(i) * h;
+      float* out = grads.dx_local.data() + t * h;
+      for (int64_t c = 0; c < h; ++c) {
+        out[c] += row[c];
+      }
+    }
+    return grads;
+  }
+
+  // --- kAllGatherScatter ---
+  const int64_t t_total = t_local * n;
+  const int64_t rows = static_cast<int64_t>(cache.copy_token.size());
+
+  // Backward of reduce-scatter: all-gather the output grads.
+  Tensor dy_all({t_total, h});
+  ctx.group->AllGather(ctx.rank, dy_local.data(), dy_all.data(), t_local * h);
+
+  // Combine backward per processed copy.
+  Tensor dfc2_out({rows, h});
+  Tensor dcombine_all({t_total, k});
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t t = cache.copy_token[static_cast<size_t>(i)];
+    const int64_t slot = cache.copy_slot[static_cast<size_t>(i)];
+    const float weight = cache.copy_weight[static_cast<size_t>(i)];
+    const float* dy_row = dy_all.data() + t * h;
+    const float* fc2_row = cache.fc2_out.data() + i * h;
+    float dot = 0.0f;
+    float* dfc2_row = dfc2_out.data() + i * h;
+    for (int64_t c = 0; c < h; ++c) {
+      dfc2_row[c] = weight * dy_row[c];
+      dot += dy_row[c] * fc2_row[c];
+    }
+    dcombine_all.At(t, slot) = dot;
+  }
+
+  GroupedGemmGrads fc2_grads =
+      GroupedGemmBackward(dfc2_out, cache.fc2_in, cache.local_offsets, w2_loc);
+  grads.dw2 = std::move(fc2_grads.dweights);
+  SwiGluGrads swiglu_grads = SwiGluBackward(fc2_grads.dx, cache.fc1_out, cache.fc3_out);
+  GroupedGemmGrads fc1_grads =
+      GroupedGemmBackward(swiglu_grads.dgate, cache.ffn_in, cache.local_offsets, w1_loc);
+  GroupedGemmGrads fc3_grads =
+      GroupedGemmBackward(swiglu_grads.dlinear, cache.ffn_in, cache.local_offsets, w3_loc);
+  grads.dw1 = std::move(fc1_grads.dweights);
+  grads.dw3 = std::move(fc3_grads.dweights);
+  Tensor dffn_in = Add(fc1_grads.dx, fc3_grads.dx);
+
+  // Scatter input grads into the full tensor, reduce-scatter back to owners.
+  Tensor dx_all = ScatterAddRows(dffn_in, cache.copy_token, t_total);
+  grads.dx_local = Tensor({t_local, h});
+  ctx.group->ReduceScatter(ctx.rank, dx_all.data(), grads.dx_local.data(), t_local * h);
+
+  // Combine-weight grads are partial per expert owner; reduce-scatter over
+  // token owners completes them.
+  ctx.group->ReduceScatter(ctx.rank, dcombine_all.data(), grads.dcombine_local.data(),
+                           t_local * k);
+  return grads;
+}
+
+void EpFfnRematerialize(const ShardContext& ctx, const ModelConfig& config,
+                        EpDispatchMode mode, const Tensor& x_local, EpFfnCache* cache) {
+  const int n = ctx.size();
+  const int64_t h = config.hidden;
+  const int64_t t_local = x_local.dim(0);
+
+  if (cache->ffn_in.empty()) {
+    if (mode == EpDispatchMode::kAllToAll) {
+      // Re-pack the rows this rank dispatched (send_token preserves the
+      // forward order) and replay the all-to-all.
+      const int64_t total_sent = static_cast<int64_t>(cache->send_token.size());
+      std::vector<float> send_rows(static_cast<size_t>(total_sent * h));
+      for (int64_t i = 0; i < total_sent; ++i) {
+        const int64_t t = cache->send_token[static_cast<size_t>(i)];
+        std::copy(x_local.data() + t * h, x_local.data() + (t + 1) * h,
+                  send_rows.begin() + i * h);
+      }
+      std::vector<int64_t> row_send_counts(static_cast<size_t>(n));
+      for (int dst = 0; dst < n; ++dst) {
+        row_send_counts[static_cast<size_t>(dst)] =
+            cache->send_counts[static_cast<size_t>(dst)] * h;
+      }
+      int64_t total_recv = 0;
+      for (int64_t c : cache->recv_counts) {
+        total_recv += c;
+      }
+      std::vector<float> recv_rows(static_cast<size_t>(total_recv * h));
+      std::vector<int64_t> ignored;
+      ctx.group->AllToAllV(ctx.rank, send_rows.data(), row_send_counts, recv_rows.data(),
+                           &ignored);
+      cache->ffn_in = Tensor({total_recv, h});
+      for (int64_t i = 0; i < total_recv; ++i) {
+        const int64_t row = cache->recv_to_sorted[static_cast<size_t>(i)];
+        std::copy(recv_rows.begin() + i * h, recv_rows.begin() + (i + 1) * h,
+                  cache->ffn_in.data() + row * h);
+      }
+    } else {
+      if (cache->x_all.empty()) {
+        cache->x_all = Tensor({t_local * n, h});
+        ctx.group->AllGather(ctx.rank, x_local.data(), cache->x_all.data(), t_local * h);
+      }
+      cache->ffn_in = GatherRows(cache->x_all, cache->copy_token);
+    }
+  }
+  if (cache->fc2_in.empty()) {
+    cache->fc2_in = SwiGlu(cache->fc1_out, cache->fc3_out);
+  }
+}
+
+}  // namespace msmoe

@@ -1,0 +1,94 @@
+// Expert-parallel feed-forward network (§3.2) with the two dispatch modes
+// the paper's adaptive communication strategy chooses between:
+//
+//   kAllToAll:         classic EP — all-to-all token dispatch to expert
+//                      owners, grouped GEMM, all-to-all combine. Volume
+//                      2k/n * bsh(n-1)/n (Eq 3).
+//   kAllGatherScatter: for large top-k — all-gather every rank's tokens,
+//                      fuse a local scatter that keeps only rows routed to
+//                      local experts, grouped GEMM, weighted assembly into a
+//                      full tensor, reduce-scatter combine. Volume
+//                      2bsh(n-1)/n, identical to TP (Eq 4) but ring-friendly
+//                      (Fig 6/7).
+//
+// Rank r owns experts [r*E/n, (r+1)*E/n). Both modes produce bitwise-equal
+// results to the single-rank reference (same routing in, same combine out);
+// expert-weight gradients are complete on the owner rank (no extra sync).
+#ifndef MSMOE_SRC_PARALLEL_EP_FFN_H_
+#define MSMOE_SRC_PARALLEL_EP_FFN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/model/router.h"
+#include "src/parallel/sp_attention.h"
+#include "src/tensor/tensor.h"
+
+namespace msmoe {
+
+enum class EpDispatchMode {
+  kAllToAll,
+  kAllGatherScatter,
+};
+
+const char* EpDispatchModeName(EpDispatchMode mode);
+
+struct EpFfnCache {
+  // Expert computation inputs/outputs, rows grouped by local expert.
+  Tensor ffn_in;    // [R, h]
+  Tensor fc1_out;   // [R, f]
+  Tensor fc3_out;   // [R, f]
+  Tensor fc2_in;    // [R, f]
+  Tensor fc2_out;   // [R, h]
+  std::vector<int64_t> local_offsets;  // [E_local + 1] row ranges
+
+  // kAllToAll bookkeeping.
+  std::vector<int64_t> send_counts;   // rows sent to each rank
+  std::vector<int64_t> recv_counts;   // rows received from each rank
+  std::vector<int64_t> send_token;    // per sent row: local token index
+  std::vector<int64_t> send_slot;     // per sent row: top-k slot
+  std::vector<int64_t> recv_to_sorted;  // received row -> grouped row
+  Tensor returned_rows;               // expert outputs back at the source
+
+  // kAllGatherScatter bookkeeping.
+  Tensor x_all;                         // [t_total, h] gathered tokens
+  std::vector<int64_t> copy_token;      // per grouped row: global token index
+  std::vector<int64_t> copy_slot;       // per grouped row: slot of that token
+  std::vector<float> copy_weight;       // per grouped row: combine weight
+};
+
+// x_local: [t_local, h]; routing_local: routing of exactly those tokens.
+// weights w1/w3/w2 hold ALL experts; the module touches only rank r's range.
+// Returns the weighted expert output [t_local, h] (no residual).
+Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispatchMode mode,
+                    const std::vector<Tensor>& w1, const std::vector<Tensor>& w3,
+                    const std::vector<Tensor>& w2, const Tensor& x_local,
+                    const RoutingResult& routing_local, EpFfnCache* cache);
+
+struct EpFfnGrads {
+  Tensor dx_local;       // [t_local, h]
+  Tensor dcombine_local; // [t_local, k] gradient w.r.t. combine weights
+  // Gradients for this rank's experts only, indexed 0..E_local-1.
+  std::vector<Tensor> dw1, dw3, dw2;
+};
+
+EpFfnGrads EpFfnBackward(const ShardContext& ctx, const ModelConfig& config,
+                         EpDispatchMode mode, const std::vector<Tensor>& w1,
+                         const std::vector<Tensor>& w3, const std::vector<Tensor>& w2,
+                         const Tensor& dy_local, const RoutingResult& routing_local,
+                         const EpFfnCache& cache);
+
+// Selective-activation-rematerialization support (§4.1): rebuilds cache
+// fields the forward pass dropped — `ffn_in` (and `x_all` in AG mode) by
+// RE-RUNNING the dispatch communication from the recomputed layer input
+// (the paper's "re-performing RMSNorm and all-gather"), and `fc2_in` by
+// re-applying SwiGLU to the retained fc1/fc3 outputs. Collective: all ranks
+// of the group must call it together. Fields already present are left
+// untouched.
+void EpFfnRematerialize(const ShardContext& ctx, const ModelConfig& config,
+                        EpDispatchMode mode, const Tensor& x_local, EpFfnCache* cache);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_PARALLEL_EP_FFN_H_

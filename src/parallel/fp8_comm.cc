@@ -1,0 +1,119 @@
+#include "src/parallel/fp8_comm.h"
+
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/math_util.h"
+
+namespace msmoe {
+namespace {
+
+int64_t ScalesPerChunk(int64_t rows, int64_t cols, const QuantConfig& config) {
+  switch (config.granularity) {
+    case QuantGranularity::kPerTensor:
+      return 1;
+    case QuantGranularity::kPerToken:
+      return rows;
+    case QuantGranularity::kPerChannel:
+      return cols;
+    case QuantGranularity::kPerChannelGrouped:
+      return std::max<int64_t>(1, CeilDiv(rows, config.group_size)) * cols;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Tensor Fp8ReduceScatter(CollectiveGroup& group, int rank, const Tensor& data,
+                        int64_t shard_rows, const QuantConfig& config) {
+  const int n = group.size();
+  MSMOE_CHECK_EQ(data.ndim(), 2);
+  MSMOE_CHECK_EQ(data.dim(0), n * shard_rows);
+  const int64_t cols = data.dim(1);
+  const int64_t chunk_codes = shard_rows * cols;
+  const int64_t chunk_scales = ScalesPerChunk(shard_rows, cols, config);
+
+  // Quantize each destination chunk independently.
+  std::vector<uint8_t> send_codes(static_cast<size_t>(n * chunk_codes));
+  std::vector<float> send_scales(static_cast<size_t>(n * chunk_scales));
+  for (int dst = 0; dst < n; ++dst) {
+    QuantizedMatrix q =
+        Quantize(data.data() + static_cast<int64_t>(dst) * chunk_codes, shard_rows, cols,
+                 config);
+    MSMOE_CHECK_EQ(static_cast<int64_t>(q.scales.size()), chunk_scales);
+    std::copy(q.codes.begin(), q.codes.end(),
+              send_codes.begin() + static_cast<int64_t>(dst) * chunk_codes);
+    std::copy(q.scales.begin(), q.scales.end(),
+              send_scales.begin() + static_cast<int64_t>(dst) * chunk_scales);
+  }
+
+  std::vector<uint8_t> recv_codes(send_codes.size());
+  std::vector<float> recv_scales(send_scales.size());
+  group.AllToAll(rank, send_codes.data(), recv_codes.data(), chunk_codes);
+  group.AllToAll(rank, send_scales.data(), recv_scales.data(), chunk_scales);
+
+  // Dequantize each source's chunk and reduce in FP32 (double accumulator).
+  Tensor out({shard_rows, cols});
+  std::vector<double> acc(static_cast<size_t>(chunk_codes), 0.0);
+  std::vector<float> dequant(static_cast<size_t>(chunk_codes));
+  for (int src = 0; src < n; ++src) {
+    QuantizedMatrix q;
+    q.rows = shard_rows;
+    q.cols = cols;
+    q.config = config;
+    q.codes.assign(recv_codes.begin() + static_cast<int64_t>(src) * chunk_codes,
+                   recv_codes.begin() + static_cast<int64_t>(src + 1) * chunk_codes);
+    q.scales.assign(recv_scales.begin() + static_cast<int64_t>(src) * chunk_scales,
+                    recv_scales.begin() + static_cast<int64_t>(src + 1) * chunk_scales);
+    Dequantize(q, dequant.data());
+    for (int64_t i = 0; i < chunk_codes; ++i) {
+      acc[static_cast<size_t>(i)] += dequant[static_cast<size_t>(i)];
+    }
+  }
+  for (int64_t i = 0; i < chunk_codes; ++i) {
+    out[i] = static_cast<float>(acc[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+Tensor Fp8AllGather(CollectiveGroup& group, int rank, const Tensor& local,
+                    const QuantConfig& config) {
+  const int n = group.size();
+  MSMOE_CHECK_EQ(local.ndim(), 2);
+  const int64_t rows = local.dim(0);
+  const int64_t cols = local.dim(1);
+  const int64_t chunk_codes = rows * cols;
+  const int64_t chunk_scales = ScalesPerChunk(rows, cols, config);
+
+  QuantizedMatrix q = Quantize(local.data(), rows, cols, config);
+  std::vector<uint8_t> all_codes(static_cast<size_t>(n * chunk_codes));
+  std::vector<float> all_scales(static_cast<size_t>(n * chunk_scales));
+  group.AllGather(rank, q.codes.data(), all_codes.data(), chunk_codes);
+  group.AllGather(rank, q.scales.data(), all_scales.data(), chunk_scales);
+
+  Tensor out({n * rows, cols});
+  for (int src = 0; src < n; ++src) {
+    QuantizedMatrix chunk;
+    chunk.rows = rows;
+    chunk.cols = cols;
+    chunk.config = config;
+    chunk.codes.assign(all_codes.begin() + static_cast<int64_t>(src) * chunk_codes,
+                       all_codes.begin() + static_cast<int64_t>(src + 1) * chunk_codes);
+    chunk.scales.assign(all_scales.begin() + static_cast<int64_t>(src) * chunk_scales,
+                        all_scales.begin() + static_cast<int64_t>(src + 1) * chunk_scales);
+    Dequantize(chunk, out.data() + static_cast<int64_t>(src) * chunk_codes);
+  }
+  return out;
+}
+
+int64_t Fp8ReduceScatterWireBytes(int64_t rows, int64_t cols, const QuantConfig& config,
+                                  int n) {
+  const int64_t per_chunk = rows * cols + ScalesPerChunk(rows, cols, config) * 4;
+  return (n - 1) * per_chunk;
+}
+
+int64_t Bf16ReduceScatterWireBytes(int64_t rows, int64_t cols, int n) {
+  return (n - 1) * rows * cols * 2;
+}
+
+}  // namespace msmoe

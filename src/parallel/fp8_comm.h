@@ -1,0 +1,40 @@
+// FP8 communication compression for tensor-parallel collectives (§5).
+//
+// In FP8 training the paper replaces the BF16 TP reduce-scatter with an FP8
+// all-to-all (per-token-quantized activations) reduced in FP32 at the
+// receiver, and the backward all-gather with FP8-quantized gradients
+// (per-channel, grouped along the token dimension). Both are implemented
+// here over the thread-rank collectives: 8-bit codes plus FP32 scales
+// travel on the (virtual) wire, the reduction is exact FP32.
+#ifndef MSMOE_SRC_PARALLEL_FP8_COMM_H_
+#define MSMOE_SRC_PARALLEL_FP8_COMM_H_
+
+#include <cstdint>
+
+#include "src/comm/collective_group.h"
+#include "src/numerics/quantize.h"
+#include "src/tensor/tensor.h"
+
+namespace msmoe {
+
+// Reduce-scatter with an FP8 wire: `data` is [n * shard_rows, cols] on every
+// rank (chunk r destined for rank r). Each chunk is quantized independently,
+// exchanged all-to-all, dequantized, and summed in FP32. Returns this rank's
+// [shard_rows, cols] reduction.
+Tensor Fp8ReduceScatter(CollectiveGroup& group, int rank, const Tensor& data,
+                        int64_t shard_rows, const QuantConfig& config);
+
+// All-gather with an FP8 wire: quantizes `local` ([rows, cols]), gathers all
+// ranks' codes and scales, dequantizes into [n * rows, cols].
+Tensor Fp8AllGather(CollectiveGroup& group, int rank, const Tensor& local,
+                    const QuantConfig& config);
+
+// Wire bytes for the FP8 vs BF16 variants of a reduce-scatter of
+// [rows, cols] per rank (for reporting compression ratios).
+int64_t Fp8ReduceScatterWireBytes(int64_t rows, int64_t cols, const QuantConfig& config,
+                                  int n);
+int64_t Bf16ReduceScatterWireBytes(int64_t rows, int64_t cols, int n);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_PARALLEL_FP8_COMM_H_

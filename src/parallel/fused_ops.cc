@@ -1,0 +1,150 @@
+#include "src/parallel/fused_ops.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/math_util.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace msmoe {
+
+Tensor FusedAllGatherGemm(const ShardContext& ctx, const Tensor& x_local, const Tensor& w,
+                          int64_t row_tile) {
+  MSMOE_CHECK_EQ(x_local.ndim(), 2);
+  MSMOE_CHECK_EQ(w.ndim(), 2);
+  MSMOE_CHECK_EQ(x_local.dim(1), w.dim(0));
+  MSMOE_CHECK_GT(row_tile, 0);
+  const int n = ctx.size();
+  const int64_t rows_local = x_local.dim(0);
+  const int64_t k = x_local.dim(1);
+  const int64_t cols = w.dim(1);
+
+  // "Arrival buffer": the all-gather delivers source-rank chunks; the ring
+  // order seen by rank r is r, r+1, ..., r-1 (own chunk is already local).
+  std::vector<float> gathered(static_cast<size_t>(n) * rows_local * k);
+  ctx.group->AllGather(ctx.rank, x_local.data(), gathered.data(), rows_local * k);
+
+  Tensor y({static_cast<int64_t>(n) * rows_local, cols});
+  for (int step = 0; step < n; ++step) {
+    const int src = (ctx.rank + step) % n;  // arrival order
+    const float* chunk = gathered.data() + static_cast<int64_t>(src) * rows_local * k;
+    // Tile the chunk's GEMM: each tile is "signaled" independently.
+    for (int64_t tile_begin = 0; tile_begin < rows_local; tile_begin += row_tile) {
+      const int64_t tile_rows = std::min(row_tile, rows_local - tile_begin);
+      Gemm(false, false, tile_rows, cols, k, 1.0f, chunk + tile_begin * k, w.data(), 0.0f,
+           y.data() + (static_cast<int64_t>(src) * rows_local + tile_begin) * cols);
+    }
+  }
+  return y;
+}
+
+Tensor FusedGemmReduceScatter(const ShardContext& ctx, const Tensor& x_local,
+                              const Tensor& w_shard, int64_t row_tile) {
+  MSMOE_CHECK_EQ(x_local.ndim(), 2);
+  MSMOE_CHECK_EQ(x_local.dim(1), w_shard.dim(0));
+  MSMOE_CHECK_GT(row_tile, 0);
+  const int n = ctx.size();
+  const int64_t rows = x_local.dim(0);
+  MSMOE_CHECK_EQ(rows % n, 0);
+  const int64_t k_shard = x_local.dim(1);
+  const int64_t cols = w_shard.dim(1);
+  const int64_t rows_out = rows / n;
+
+  Tensor y_local({rows_out, cols});
+  // Tile along the output-row dimension. Each tile's partial GEMM completes,
+  // then its reduce-scatter is issued — tile communications interleave with
+  // the next tile's computation on a GPU; here the dataflow equivalence is
+  // the contract. Tiles must align with the reduce-scatter chunking, so the
+  // tile unit is rows_out rows split further by row_tile.
+  std::vector<float> partial(static_cast<size_t>(rows) * cols);
+  std::vector<float> tile_out(static_cast<size_t>(row_tile) * cols);
+  for (int64_t tile_begin = 0; tile_begin < rows_out; tile_begin += row_tile) {
+    const int64_t tile_rows = std::min(row_tile, rows_out - tile_begin);
+    // Compute this tile's partial for EVERY destination chunk (the GEMM
+    // covers all rows whose reduce-scatter lands in this tile position).
+    for (int dst = 0; dst < n; ++dst) {
+      const int64_t row0 = static_cast<int64_t>(dst) * rows_out + tile_begin;
+      Gemm(false, false, tile_rows, cols, k_shard, 1.0f, x_local.data() + row0 * k_shard,
+           w_shard.data(), 0.0f, partial.data() + row0 * cols);
+    }
+    // Issue the tile's reduce-scatter: each member contributes its partial
+    // rows for every destination; member dst receives the summed tile.
+    std::vector<float> send(static_cast<size_t>(n) * tile_rows * cols);
+    for (int dst = 0; dst < n; ++dst) {
+      const int64_t row0 = static_cast<int64_t>(dst) * rows_out + tile_begin;
+      std::copy(partial.data() + row0 * cols, partial.data() + (row0 + tile_rows) * cols,
+                send.data() + static_cast<int64_t>(dst) * tile_rows * cols);
+    }
+    tile_out.resize(static_cast<size_t>(tile_rows) * cols);
+    ctx.group->ReduceScatter(ctx.rank, send.data(), tile_out.data(), tile_rows * cols);
+    std::copy(tile_out.begin(), tile_out.begin() + tile_rows * cols,
+              y_local.data() + tile_begin * cols);
+  }
+  return y_local;
+}
+
+Tensor FusedAllGatherScatterGroupedGemm(const ShardContext& ctx, const Tensor& x_local,
+                                        const std::vector<int64_t>& token_expert,
+                                        const std::vector<Tensor>& expert_weights,
+                                        int64_t experts_per_rank,
+                                        std::vector<int64_t>* row_token) {
+  const int n = ctx.size();
+  const int64_t t_local = x_local.dim(0);
+  const int64_t h = x_local.dim(1);
+  MSMOE_CHECK_EQ(static_cast<int64_t>(token_expert.size()), t_local);
+  const int64_t cols = expert_weights[0].dim(1);
+
+  // Exchange tokens and routing chunk by chunk (arrival order = ring from
+  // own rank, matching FusedAllGatherGemm).
+  std::vector<float> x_all(static_cast<size_t>(n) * t_local * h);
+  ctx.group->AllGather(ctx.rank, x_local.data(), x_all.data(), t_local * h);
+  std::vector<int64_t> expert_all(static_cast<size_t>(n) * t_local);
+  ctx.group->AllGather(ctx.rank, token_expert.data(), expert_all.data(), t_local);
+
+  // Local scatter fused with arrival: as each source chunk lands, append its
+  // rows routed to local experts into per-expert buckets. Iterating sources
+  // in ring order yields rows sorted by (expert, source-arrival) — the §4.2
+  // order that minimizes per-tile dependency count.
+  const int64_t e_first = static_cast<int64_t>(ctx.rank) * experts_per_rank;
+  std::vector<std::vector<int64_t>> bucket(static_cast<size_t>(experts_per_rank));
+  for (int step = 0; step < n; ++step) {
+    const int src = (ctx.rank + step) % n;
+    for (int64_t t = 0; t < t_local; ++t) {
+      const int64_t global_token = static_cast<int64_t>(src) * t_local + t;
+      const int64_t e = expert_all[static_cast<size_t>(global_token)] - e_first;
+      if (e >= 0 && e < experts_per_rank) {
+        bucket[static_cast<size_t>(e)].push_back(global_token);
+      }
+    }
+  }
+
+  row_token->clear();
+  for (const auto& rows : bucket) {
+    row_token->insert(row_token->end(), rows.begin(), rows.end());
+  }
+  const int64_t total_rows = static_cast<int64_t>(row_token->size());
+  Tensor y({total_rows, cols});
+
+  // GroupedGEMM: each expert's GEMM runs once its rows are complete (after
+  // the last chunk that contributes to it — here, bucket-by-bucket).
+  int64_t out_row = 0;
+  for (int64_t e = 0; e < experts_per_rank; ++e) {
+    const auto& rows = bucket[static_cast<size_t>(e)];
+    if (rows.empty()) {
+      continue;
+    }
+    Tensor ffn_in({static_cast<int64_t>(rows.size()), h});
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::copy(x_all.data() + rows[i] * h, x_all.data() + (rows[i] + 1) * h,
+                ffn_in.data() + static_cast<int64_t>(i) * h);
+    }
+    const Tensor& w = expert_weights[static_cast<size_t>(e_first + e)];
+    Gemm(false, false, static_cast<int64_t>(rows.size()), cols, h, 1.0f, ffn_in.data(),
+         w.data(), 0.0f, y.data() + out_row * cols);
+    out_row += static_cast<int64_t>(rows.size());
+  }
+  return y;
+}
+
+}  // namespace msmoe

@@ -1,0 +1,57 @@
+// Functional (CPU) versions of the §4.2 fused communication-computation
+// kernels.
+//
+// On GPUs these fuse tile-level communication signals into GEMM kernels; on
+// the thread-rank substrate the same dataflow is expressed by interleaving
+// per-chunk communication with per-tile computation. What these implement —
+// and what the tests verify — is the *functional* contract of the fused
+// kernels: processing tiles in arrival order, with any tile split, produces
+// bitwise the same result as the unfused collective-then-GEMM sequence. The
+// timing benefit is modeled separately by src/sim/overlap_sim.
+#ifndef MSMOE_SRC_PARALLEL_FUSED_OPS_H_
+#define MSMOE_SRC_PARALLEL_FUSED_OPS_H_
+
+#include <cstdint>
+
+#include "src/parallel/sp_attention.h"
+#include "src/tensor/tensor.h"
+
+namespace msmoe {
+
+// all-gather + GEMM (the TP-attention entry kernel, Fig 9 pattern):
+//   Y = AllGather(x_local) @ w
+// x_local is [rows_local, k]; w is [k, cols]; Y is [n * rows_local, cols].
+// The GEMM over source-rank chunk r starts as soon as chunk r "arrives";
+// row_tile controls the tile granularity within each chunk.
+Tensor FusedAllGatherGemm(const ShardContext& ctx, const Tensor& x_local, const Tensor& w,
+                          int64_t row_tile);
+
+// GEMM + reduce-scatter (the TP-attention exit kernel):
+//   Y_local = ReduceScatter(x_local @ w_shard)
+// Row-parallel linear: x_local is [rows, k_shard] (this rank's slice of the
+// contraction dim), w_shard is [k_shard, cols]; every rank's partial output
+// is summed and row-chunk r lands on rank r: Y_local is [rows / n, cols].
+// The communication of each row tile is issued as soon as its partial GEMM
+// finishes.
+Tensor FusedGemmReduceScatter(const ShardContext& ctx, const Tensor& x_local,
+                              const Tensor& w_shard, int64_t row_tile);
+
+// all-gather + local scatter + grouped GEMM (the EP dispatch kernel):
+// gathers every rank's tokens chunk by chunk, selects the rows routed to
+// this rank's experts as each chunk arrives (tokens sorted by expert, then
+// source rank — the §4.2 ordering), and runs the expert GEMM per expert as
+// soon as the expert's rows are complete.
+//
+// token_expert[t] is the expert of local token t (single-expert routing for
+// this kernel's contract; the full top-k path lives in EpFfnForward).
+// Returns the grouped rows' GEMM output [R_local, cols] and fills
+// *row_token with the global token index of each grouped row.
+Tensor FusedAllGatherScatterGroupedGemm(const ShardContext& ctx, const Tensor& x_local,
+                                        const std::vector<int64_t>& token_expert,
+                                        const std::vector<Tensor>& expert_weights,
+                                        int64_t experts_per_rank,
+                                        std::vector<int64_t>* row_token);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_PARALLEL_FUSED_OPS_H_

@@ -1,0 +1,136 @@
+#include "src/parallel/parallel_moe_layer.h"
+
+#include "src/base/logging.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace msmoe {
+namespace {
+
+int64_t TensorBytes(const Tensor& tensor) {
+  return tensor.numel() * static_cast<int64_t>(sizeof(float));
+}
+
+}  // namespace
+
+int64_t ParallelMoeLayerCache::CacheBytes() const {
+  int64_t total = 0;
+  total += TensorBytes(hidden_in) + TensorBytes(ln1_out) + TensorBytes(ln1_inv_rms);
+  total += TensorBytes(ln2_in) + TensorBytes(ln2_out) + TensorBytes(ln2_inv_rms);
+  total += TensorBytes(routing.combine_weight) + TensorBytes(routing.probs);
+  // SP attention cache.
+  total += TensorBytes(attn.q_heads) + TensorBytes(attn.k_heads) + TensorBytes(attn.v_heads);
+  total += TensorBytes(attn.attn_heads) + TensorBytes(attn.attn_local) +
+           TensorBytes(attn.ln_in_local);
+  for (const AttentionCoreCache& core : attn.attn) {
+    total += TensorBytes(core.probs);
+  }
+  // EP FFN cache.
+  total += TensorBytes(ffn.ffn_in) + TensorBytes(ffn.fc1_out) + TensorBytes(ffn.fc3_out) +
+           TensorBytes(ffn.fc2_in) + TensorBytes(ffn.fc2_out) +
+           TensorBytes(ffn.returned_rows) + TensorBytes(ffn.x_all);
+  return total;
+}
+
+Tensor ParallelMoeLayerForward(const ShardContext& ctx, const ModelConfig& config,
+                               const RouterConfig& router, const MoeLayerParams& params,
+                               const Tensor& x_local, int64_t batch, int64_t seq_len,
+                               const ParallelMoeLayerOptions& options,
+                               ParallelMoeLayerCache* cache) {
+  cache->hidden_in = x_local;
+
+  // Attention block.
+  cache->ln1_out = RmsNorm(x_local, params.ln1_gain, &cache->ln1_inv_rms);
+  Tensor attn_out = SpAttentionForward(ctx, config, params.w_qkv, params.w_out,
+                                       cache->ln1_out, batch, seq_len, &cache->attn);
+  cache->ln2_in = Add(x_local, attn_out);
+
+  // Expert block.
+  cache->ln2_out = RmsNorm(cache->ln2_in, params.ln2_gain, &cache->ln2_inv_rms);
+  Tensor gate_logits = MatMul(cache->ln2_out, params.w_gate);
+  cache->routing = RouteTokens(gate_logits, router);
+  Tensor ffn_out = EpFfnForward(ctx, config, options.dispatch, params.w1, params.w3,
+                                params.w2, cache->ln2_out, cache->routing, &cache->ffn);
+  Tensor y = Add(cache->ln2_in, ffn_out);
+
+  if (options.sar) {
+    // Drop the recomputable activations (§4.1): the two RMSNorm outputs
+    // (SpAttentionCache keeps its own copy of ln1_out as ln_in_local), the
+    // dispatched expert input, and the SwiGLU output. Backward re-derives
+    // them via ParallelMoeLayerBackward's rematerialization step.
+    cache->ln1_out = Tensor();
+    cache->attn.ln_in_local = Tensor();
+    cache->ln2_out = Tensor();
+    cache->ffn.ffn_in = Tensor();
+    cache->ffn.fc2_in = Tensor();
+    cache->ffn.x_all = Tensor();
+  }
+  return y;
+}
+
+ParallelMoeLayerGrads ParallelMoeLayerBackward(
+    const ShardContext& ctx, const ModelConfig& config, const RouterConfig& router,
+    const MoeLayerParams& params, const Tensor& dy_local, int64_t batch, int64_t seq_len,
+    const ParallelMoeLayerOptions& options, const ParallelMoeLayerCache& cache) {
+  const int n = ctx.size();
+  const int64_t e_local = config.num_experts / n;
+
+  // Work on a shallow copy so rematerialization can fill dropped fields.
+  ParallelMoeLayerCache& mutable_cache = const_cast<ParallelMoeLayerCache&>(cache);
+  if (options.sar) {
+    // Re-perform RMSNorm (and the dispatch communication) to rebuild the
+    // activations the forward pass dropped — Fig 8b's rematerialization.
+    if (mutable_cache.ln2_out.empty()) {
+      mutable_cache.ln2_out = RmsNorm(mutable_cache.ln2_in, params.ln2_gain, nullptr);
+    }
+    EpFfnRematerialize(ctx, config, options.dispatch, mutable_cache.ln2_out,
+                       &mutable_cache.ffn);
+    if (mutable_cache.ln1_out.empty()) {
+      mutable_cache.ln1_out = RmsNorm(mutable_cache.hidden_in, params.ln1_gain, nullptr);
+    }
+    if (mutable_cache.attn.ln_in_local.empty()) {
+      mutable_cache.attn.ln_in_local = mutable_cache.ln1_out;
+    }
+  }
+
+  ParallelMoeLayerGrads grads;
+  grads.dparams = MoeLayerParams::ZerosLike(config);
+
+  // Expert block backward: dy feeds both the FFN branch and (via the
+  // residual) ln2_in directly.
+  EpFfnGrads ffn_grads = EpFfnBackward(ctx, config, options.dispatch, params.w1, params.w3,
+                                       params.w2, dy_local, cache.routing, cache.ffn);
+  for (int64_t e = 0; e < e_local; ++e) {
+    const size_t global = static_cast<size_t>(ctx.rank * e_local + e);
+    grads.dparams.w1[global] = std::move(ffn_grads.dw1[static_cast<size_t>(e)]);
+    grads.dparams.w3[global] = std::move(ffn_grads.dw3[static_cast<size_t>(e)]);
+    grads.dparams.w2[global] = std::move(ffn_grads.dw2[static_cast<size_t>(e)]);
+  }
+
+  // Router backward.
+  Tensor dgate_logits = RouterBackward(cache.routing, ffn_grads.dcombine_local, router);
+  MatMulGrads gate_grads = MatMulBackward(dgate_logits, cache.ln2_out, params.w_gate);
+  grads.dparams.w_gate = std::move(gate_grads.db);
+  Tensor dln2_out = std::move(ffn_grads.dx_local);
+  dln2_out.AddInPlace(gate_grads.da);
+
+  // Second RMSNorm + residual.
+  RmsNormGrads ln2_grads =
+      RmsNormBackward(dln2_out, cache.ln2_in, params.ln2_gain, cache.ln2_inv_rms);
+  grads.dparams.ln2_gain = std::move(ln2_grads.dgain);
+  Tensor dln2_in = Add(ln2_grads.dx, dy_local);
+
+  // Attention block backward.
+  SpAttentionGrads attn_grads = SpAttentionBackward(ctx, config, params.w_qkv, params.w_out,
+                                                    dln2_in, batch, seq_len, cache.attn);
+  grads.dparams.w_qkv = std::move(attn_grads.dw_qkv);
+  grads.dparams.w_out = std::move(attn_grads.dw_out);
+
+  // First RMSNorm + residual.
+  RmsNormGrads ln1_grads = RmsNormBackward(attn_grads.dx_local, cache.hidden_in,
+                                           params.ln1_gain, cache.ln1_inv_rms);
+  grads.dparams.ln1_gain = std::move(ln1_grads.dgain);
+  grads.dx_local = Add(ln1_grads.dx, dln2_in);
+  return grads;
+}
+
+}  // namespace msmoe

@@ -1,0 +1,56 @@
+// Tensor-parallel (Megatron-style) attention with sequence-parallel
+// LayerNorm boundaries — the baseline strategy the paper replaces (§3.1).
+//
+// Weights are head-sharded: rank r computes query heads [r*Hq/n, (r+1)*Hq/n)
+// and the matching kv heads. Activations enter and leave sequence-sharded;
+// the module all-gathers the full token set on entry and reduce-scatters the
+// partial output projections on exit — the 2bsh(n-1)/n critical-path volume
+// of Eq 1 that SP attention avoids.
+//
+// The module accepts the FULL weights and internally uses rank r's shard, so
+// equivalence tests can share one parameter set across strategies.
+#ifndef MSMOE_SRC_PARALLEL_TP_ATTENTION_H_
+#define MSMOE_SRC_PARALLEL_TP_ATTENTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/attention.h"
+#include "src/model/config.h"
+#include "src/parallel/sp_attention.h"
+#include "src/tensor/tensor.h"
+
+namespace msmoe {
+
+struct TpAttentionCache {
+  Tensor x_full;       // all-gathered input [b*s, h]
+  Tensor q, k, v;      // local heads, post-RoPE, full sequence
+  std::vector<AttentionCoreCache> attn;
+  Tensor attn_out;     // local-head attention output [b*s, Hq/n*d]
+};
+
+// x_local: [batch * s_local, h], same layout contract as SpAttentionForward.
+Tensor TpAttentionForward(const ShardContext& ctx, const ModelConfig& config,
+                          const Tensor& w_qkv, const Tensor& w_out, const Tensor& x_local,
+                          int64_t batch, int64_t seq_len, TpAttentionCache* cache);
+
+struct TpAttentionGrads {
+  Tensor dx_local;
+  // Shard gradients (full sums — TP needs no extra intra-group sync):
+  Tensor dw_qkv_shard;  // [h, (Hq/n + 2*Hkv/n) * d]
+  Tensor dw_out_shard;  // [Hq/n*d, h]
+};
+
+TpAttentionGrads TpAttentionBackward(const ShardContext& ctx, const ModelConfig& config,
+                                     const Tensor& w_qkv, const Tensor& w_out,
+                                     const Tensor& dy_local, int64_t batch, int64_t seq_len,
+                                     const TpAttentionCache& cache);
+
+// The column slice of w_qkv used by rank `rank` (for checking shard grads).
+Tensor TpQkvShard(const ModelConfig& config, const Tensor& w_qkv, int rank, int size);
+// The row slice of w_out used by rank `rank`.
+Tensor TpOutShard(const ModelConfig& config, const Tensor& w_out, int rank, int size);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_PARALLEL_TP_ATTENTION_H_

@@ -1,0 +1,62 @@
+// Analytic operator cost models over a ClusterSpec.
+//
+// Compute operators use a roofline: time = max(FLOPs / effective_rate,
+// bytes_touched / HBM_bw) — which is what makes MoE's memory-bound routing /
+// scatter / gather ops stay expensive on faster GPUs (the MFU-vs-compute
+// observation of Fig 12). Collectives use the standard ring formulas;
+// all-to-all carries an efficiency penalty relative to all-gather /
+// reduce-scatter because every rank talks to every other rather than to its
+// ring neighbors (§3.2, Fig 7) and it occupies SMs rather than copy engines.
+#ifndef MSMOE_SRC_SIM_COST_MODEL_H_
+#define MSMOE_SRC_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/hw/gpu_spec.h"
+
+namespace msmoe {
+
+class CostModel {
+ public:
+  explicit CostModel(ClusterSpec cluster) : cluster_(cluster) {}
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+  // Fraction of all-gather/reduce-scatter bus efficiency that all-to-all
+  // achieves. Tuned so the Fig 7 crossover (AG beats A2A beyond top-k ~ 6 on
+  // an 8-GPU node) is reproduced: crossover at k = n * kA2AEfficiency.
+  static constexpr double kA2AEfficiency = 0.75;
+
+  // Per-element bytes of activations/weights on the wire and in HBM (BF16).
+  static constexpr int64_t kElemBytes = 2;
+
+  // --- Compute (all times in us) ---
+  double GemmTime(int64_t m, int64_t n, int64_t k) const;
+  // Grouped GEMM over `groups` experts with `rows` total rows; per-group
+  // GEMMs are [rows/groups, out] x [in, out] at grouped-GEMM efficiency.
+  double GroupedGemmTime(int64_t rows, int64_t in_dim, int64_t out_dim,
+                         int64_t groups) const;
+  // Causal flash attention: batch sequences of length s, `heads` query
+  // heads of dim d (GQA does not change FLOPs).
+  double FlashAttentionTime(int64_t batch, int64_t seq, int64_t heads, int64_t d) const;
+  // Memory-bound op that reads+writes `bytes` total.
+  double MemBoundTime(int64_t bytes) const;
+
+  // --- Collectives ---
+  // Ring all-gather / reduce-scatter where each rank ends (or starts) with
+  // `bytes_per_rank` and the full payload is n * bytes_per_rank.
+  double RingCollectiveTime(int64_t bytes_per_rank, int n, bool internode) const;
+  // All-to-all where each rank sends bytes_per_rank total (1/n to each peer).
+  double AllToAllTime(int64_t bytes_per_rank, int n, bool internode) const;
+  // Point-to-point transfer (pipeline-parallel boundary).
+  double P2PTime(int64_t bytes, bool internode) const;
+
+  double BusBw(bool internode) const;
+
+ private:
+  ClusterSpec cluster_;
+};
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_SIM_COST_MODEL_H_

@@ -1,0 +1,202 @@
+#include "src/sim/cp_attention.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace msmoe {
+namespace {
+
+// Causal work of one token at absolute position t: it attends to t+1 keys.
+double TokenWork(int64_t position) { return static_cast<double>(position + 1); }
+
+double RangeWork(int64_t begin, int64_t end) {
+  // sum_{t=begin}^{end-1} (t+1) = end(end+1)/2 - begin(begin+1)/2.
+  auto triangle = [](int64_t x) {
+    return static_cast<double>(x) * (static_cast<double>(x) + 1.0) / 2.0;
+  };
+  return triangle(end) - triangle(begin);
+}
+
+}  // namespace
+
+const char* AttnPartitionName(AttnPartition partition) {
+  switch (partition) {
+    case AttnPartition::kCpContiguous:
+      return "CP contiguous";
+    case AttnPartition::kCpZigzag:
+      return "CP zigzag";
+    case AttnPartition::kSpByHeads:
+      return "SP by heads (Ulysses)";
+  }
+  return "unknown";
+}
+
+AttnLoadReport AnalyzeAttentionLoad(int64_t seq_len, int n, AttnPartition partition) {
+  MSMOE_CHECK_GT(n, 0);
+  MSMOE_CHECK_EQ(seq_len % n, 0);
+  AttnLoadReport report;
+  report.per_rank_work.assign(static_cast<size_t>(n), 0.0);
+  const double total = RangeWork(0, seq_len);
+
+  switch (partition) {
+    case AttnPartition::kCpContiguous: {
+      const int64_t chunk = seq_len / n;
+      for (int r = 0; r < n; ++r) {
+        report.per_rank_work[static_cast<size_t>(r)] =
+            RangeWork(static_cast<int64_t>(r) * chunk, (static_cast<int64_t>(r) + 1) * chunk) /
+            total;
+      }
+      break;
+    }
+    case AttnPartition::kCpZigzag: {
+      MSMOE_CHECK_EQ(seq_len % (2 * n), 0);
+      const int64_t slice = seq_len / (2 * n);
+      for (int r = 0; r < n; ++r) {
+        const int64_t head_slice = r;
+        const int64_t tail_slice = 2 * n - 1 - r;
+        report.per_rank_work[static_cast<size_t>(r)] =
+            (RangeWork(head_slice * slice, (head_slice + 1) * slice) +
+             RangeWork(tail_slice * slice, (tail_slice + 1) * slice)) /
+            total;
+      }
+      break;
+    }
+    case AttnPartition::kSpByHeads: {
+      // Every rank runs the full causal pattern for 1/n of the heads.
+      for (int r = 0; r < n; ++r) {
+        report.per_rank_work[static_cast<size_t>(r)] = 1.0 / n;
+      }
+      break;
+    }
+  }
+
+  const double max_work =
+      *std::max_element(report.per_rank_work.begin(), report.per_rank_work.end());
+  const double mean = 1.0 / n;
+  report.max_over_mean = max_work / mean;
+  report.bubble_fraction = 1.0 - mean / max_work;
+  return report;
+}
+
+RingStepReport AnalyzeRingSchedule(int64_t seq_len, int n, AttnPartition partition) {
+  MSMOE_CHECK_GT(n, 0);
+  RingStepReport report;
+
+  if (partition == AttnPartition::kSpByHeads) {
+    // Ulysses exchanges heads once up front; attention runs in one fully
+    // packed step on every rank.
+    report.step_makespan = {1.0};
+    report.efficiency = 1.0;
+    return report;
+  }
+
+  // Slice ownership: contiguous -> n slices of s/n, rank r owns slice r;
+  // zigzag -> 2n slices of s/(2n), rank r owns slices {r, 2n-1-r}.
+  const int slices_per_rank = partition == AttnPartition::kCpZigzag ? 2 : 1;
+  const int total_slices = n * slices_per_rank;
+  MSMOE_CHECK_EQ(seq_len % total_slices, 0);
+  auto slices_of = [&](int rank) {
+    std::vector<int> slices;
+    if (partition == AttnPartition::kCpZigzag) {
+      slices = {rank, 2 * n - 1 - rank};
+    } else {
+      slices = {rank};
+    }
+    return slices;
+  };
+  // Work of query-slice q against key-slice k, in units of a full
+  // slice-pair block: 1 below the diagonal, 1/2 on it, 0 above.
+  auto block_work = [](int q, int k) {
+    if (k < q) {
+      return 1.0;
+    }
+    if (k == q) {
+      return 0.5;
+    }
+    return 0.0;
+  };
+
+  double useful = 0.0;
+  for (int step = 0; step < n; ++step) {
+    double makespan = 0.0;
+    for (int rank = 0; rank < n; ++rank) {
+      const int kv_owner = (rank - step + n) % n;
+      double work = 0.0;
+      for (int q : slices_of(rank)) {
+        for (int k : slices_of(kv_owner)) {
+          work += block_work(q, k);
+        }
+      }
+      useful += work;
+      makespan = std::max(makespan, work);
+    }
+    report.step_makespan.push_back(makespan);
+  }
+  double total_makespan = 0.0;
+  for (double m : report.step_makespan) {
+    total_makespan += m;
+  }
+  report.efficiency = useful / (static_cast<double>(n) * total_makespan);
+  return report;
+}
+
+AttnLoadReport AnalyzeVariableLengthLoad(const std::vector<int64_t>& doc_lengths, int n,
+                                         AttnPartition partition) {
+  int64_t seq_len = 0;
+  for (int64_t length : doc_lengths) {
+    MSMOE_CHECK_GT(length, 0);
+    seq_len += length;
+  }
+  MSMOE_CHECK_EQ(seq_len % n, 0);
+
+  // Per-token work under per-document causal masking.
+  std::vector<double> token_work(static_cast<size_t>(seq_len));
+  int64_t cursor = 0;
+  double total = 0.0;
+  for (int64_t length : doc_lengths) {
+    for (int64_t i = 0; i < length; ++i) {
+      token_work[static_cast<size_t>(cursor + i)] = TokenWork(i);
+      total += TokenWork(i);
+    }
+    cursor += length;
+  }
+
+  AttnLoadReport report;
+  report.per_rank_work.assign(static_cast<size_t>(n), 0.0);
+  switch (partition) {
+    case AttnPartition::kCpContiguous: {
+      const int64_t chunk = seq_len / n;
+      for (int64_t t = 0; t < seq_len; ++t) {
+        report.per_rank_work[static_cast<size_t>(t / chunk)] +=
+            token_work[static_cast<size_t>(t)] / total;
+      }
+      break;
+    }
+    case AttnPartition::kCpZigzag: {
+      MSMOE_CHECK_EQ(seq_len % (2 * n), 0);
+      const int64_t slice = seq_len / (2 * n);
+      for (int64_t t = 0; t < seq_len; ++t) {
+        const int64_t slice_index = t / slice;
+        const int64_t rank = slice_index < n ? slice_index : 2 * n - 1 - slice_index;
+        report.per_rank_work[static_cast<size_t>(rank)] +=
+            token_work[static_cast<size_t>(t)] / total;
+      }
+      break;
+    }
+    case AttnPartition::kSpByHeads: {
+      for (int r = 0; r < n; ++r) {
+        report.per_rank_work[static_cast<size_t>(r)] = 1.0 / n;
+      }
+      break;
+    }
+  }
+  const double max_work =
+      *std::max_element(report.per_rank_work.begin(), report.per_rank_work.end());
+  const double mean = 1.0 / n;
+  report.max_over_mean = max_work / mean;
+  report.bubble_fraction = 1.0 - mean / max_work;
+  return report;
+}
+
+}  // namespace msmoe

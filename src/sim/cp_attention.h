@@ -1,0 +1,65 @@
+// Context-parallel attention load analysis (§3.1 "Balanced vs imbalanced").
+//
+// Context parallelism partitions every activation along the sequence, so
+// with causal masking rank r's attention work is proportional to the prefix
+// its tokens attend to: contiguous chunks make the last rank do ~2x the
+// mean work, and in large-scale training the whole step waits for the most
+// loaded rank. The zigzag strategy pairs head and tail slices to rebalance,
+// "although achieving perfect balance remains challenging". Ulysses-style
+// SP partitions by heads instead — every rank sees the full sequence for
+// 1/n of the heads, which is exactly balanced — and that is why the paper
+// adopts it. This module quantifies all three.
+#ifndef MSMOE_SRC_SIM_CP_ATTENTION_H_
+#define MSMOE_SRC_SIM_CP_ATTENTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace msmoe {
+
+enum class AttnPartition {
+  kCpContiguous,  // CP, rank r owns tokens [r*s/n, (r+1)*s/n)
+  kCpZigzag,      // CP, rank r owns slices r and 2n-1-r of 2n slices
+  kSpByHeads,     // Ulysses SP: full sequence, 1/n of the heads
+};
+
+const char* AttnPartitionName(AttnPartition partition);
+
+struct AttnLoadReport {
+  // Causal-attention work per rank, normalized so the total is 1.
+  std::vector<double> per_rank_work;
+  double max_over_mean = 0.0;  // the step waits for the most loaded rank
+  // Fraction of a step lost to imbalance: 1 - mean/max.
+  double bubble_fraction = 0.0;
+};
+
+// seq_len must divide by n (and by 2n for zigzag).
+AttnLoadReport AnalyzeAttentionLoad(int64_t seq_len, int n, AttnPartition partition);
+
+// Ring-attention step schedule: CP exchanges KV chunks around a ring over n
+// steps; every step waits for its most-loaded rank. Total FLOPs may balance
+// (zigzag does), yet per-step skew still costs time — this is the §3.1
+// "perfect balance remains challenging" effect, and it also "disturbs the
+// training pipeline".
+struct RingStepReport {
+  // Per-step makespan (max over ranks), in units of one full block-pair.
+  std::vector<double> step_makespan;
+  // Useful work / (n * sum of step makespans): 1.0 = perfectly packed.
+  double efficiency = 0.0;
+};
+
+RingStepReport AnalyzeRingSchedule(int64_t seq_len, int n, AttnPartition partition);
+
+// Variable-length batches: production batches pack documents of different
+// lengths with per-document causal masks, so a token's attention work
+// depends on its position INSIDE its document. CP partitions by absolute
+// position, so where document boundaries fall decides each rank's load —
+// "the entire training process is often constrained by the most imbalanced
+// data batch" (§3.1). Head partitioning stays exact for any batch.
+// doc_lengths must sum to a multiple of n (and 2n for zigzag).
+AttnLoadReport AnalyzeVariableLengthLoad(const std::vector<int64_t>& doc_lengths, int n,
+                                         AttnPartition partition);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_SIM_CP_ATTENTION_H_

@@ -1,0 +1,22 @@
+#include "src/sim/engine.h"
+
+#include "src/base/logging.h"
+
+namespace msmoe {
+
+void SimEngine::Schedule(double time, std::function<void()> fn) {
+  MSMOE_CHECK_GE(time, now_);
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+double SimEngine::Run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.fn();
+  }
+  return now_;
+}
+
+}  // namespace msmoe

@@ -1,0 +1,52 @@
+// Minimal discrete-event engine: a time-ordered queue of callbacks.
+//
+// All simulated performance results in this repository (Tables/Figures of
+// §6 reproduced on a laptop) come from graphs of operators executed on this
+// engine with analytic cost models (src/sim/cost_model.h).
+#ifndef MSMOE_SRC_SIM_ENGINE_H_
+#define MSMOE_SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace msmoe {
+
+class SimEngine {
+ public:
+  double now() const { return now_; }
+
+  // Schedules fn at absolute time `time` (>= now). Events at equal times run
+  // in scheduling order (stable).
+  void Schedule(double time, std::function<void()> fn);
+  void ScheduleAfter(double delay, std::function<void()> fn) {
+    Schedule(now_ + delay, std::move(fn));
+  }
+
+  // Runs until the queue drains; returns the final clock.
+  double Run();
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_SIM_ENGINE_H_

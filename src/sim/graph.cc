@@ -1,0 +1,142 @@
+#include "src/sim/graph.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/sim/engine.h"
+
+namespace msmoe {
+namespace {
+
+// Length of (union of a) minus (union of b), for exposed-comm accounting.
+double UncoveredLength(std::vector<std::pair<double, double>> a,
+                       std::vector<std::pair<double, double>> b) {
+  auto normalize = [](std::vector<std::pair<double, double>>& intervals) {
+    std::sort(intervals.begin(), intervals.end());
+    std::vector<std::pair<double, double>> merged;
+    for (const auto& interval : intervals) {
+      if (interval.second <= interval.first) {
+        continue;
+      }
+      if (!merged.empty() && interval.first <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, interval.second);
+      } else {
+        merged.push_back(interval);
+      }
+    }
+    intervals = std::move(merged);
+  };
+  normalize(a);
+  normalize(b);
+  double uncovered = 0.0;
+  size_t j = 0;
+  for (const auto& [start, end] : a) {
+    double cursor = start;
+    while (cursor < end) {
+      while (j < b.size() && b[j].second <= cursor) {
+        ++j;
+      }
+      if (j == b.size() || b[j].first >= end) {
+        uncovered += end - cursor;
+        break;
+      }
+      if (b[j].first > cursor) {
+        uncovered += b[j].first - cursor;
+      }
+      cursor = std::min(end, b[j].second);
+    }
+  }
+  return uncovered;
+}
+
+}  // namespace
+
+GraphResult ExecuteGraph(const std::vector<SimOp>& ops, int num_streams) {
+  const int count = static_cast<int>(ops.size());
+  GraphResult result;
+  result.timings.assign(static_cast<size_t>(count), OpTiming{});
+  if (count == 0) {
+    return result;
+  }
+
+  // Per-stream FIFO queues in declaration order.
+  std::vector<std::vector<int>> stream_queue(static_cast<size_t>(num_streams));
+  std::vector<int> pending_deps(static_cast<size_t>(count), 0);
+  std::vector<std::vector<int>> dependents(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    MSMOE_CHECK_LT(ops[static_cast<size_t>(i)].stream, num_streams);
+    stream_queue[static_cast<size_t>(ops[static_cast<size_t>(i)].stream)].push_back(i);
+    for (int dep : ops[static_cast<size_t>(i)].deps) {
+      MSMOE_CHECK_GE(dep, 0);
+      MSMOE_CHECK_LT(dep, i) << "deps must reference earlier ops";
+      ++pending_deps[static_cast<size_t>(i)];
+      dependents[static_cast<size_t>(dep)].push_back(i);
+    }
+  }
+
+  SimEngine engine;
+  std::vector<size_t> stream_head(static_cast<size_t>(num_streams), 0);
+  std::vector<bool> stream_busy(static_cast<size_t>(num_streams), false);
+  std::vector<bool> done(static_cast<size_t>(count), false);
+  int completed = 0;
+
+  // Try to launch the head op of a stream; reentrant via engine callbacks.
+  std::function<void(int)> try_launch = [&](int stream) {
+    if (stream_busy[static_cast<size_t>(stream)]) {
+      return;
+    }
+    auto& queue = stream_queue[static_cast<size_t>(stream)];
+    size_t& head = stream_head[static_cast<size_t>(stream)];
+    if (head >= queue.size()) {
+      return;
+    }
+    const int op_index = queue[head];
+    if (pending_deps[static_cast<size_t>(op_index)] > 0) {
+      return;
+    }
+    ++head;
+    stream_busy[static_cast<size_t>(stream)] = true;
+    const double start = engine.now();
+    const double end = start + ops[static_cast<size_t>(op_index)].duration;
+    result.timings[static_cast<size_t>(op_index)] = OpTiming{start, end};
+    engine.Schedule(end, [&, op_index, stream] {
+      done[static_cast<size_t>(op_index)] = true;
+      ++completed;
+      stream_busy[static_cast<size_t>(stream)] = false;
+      for (int dependent : dependents[static_cast<size_t>(op_index)]) {
+        --pending_deps[static_cast<size_t>(dependent)];
+      }
+      // A completion can unblock head ops on any stream.
+      for (int s = 0; s < num_streams; ++s) {
+        try_launch(s);
+      }
+    });
+  };
+
+  engine.Schedule(0.0, [&] {
+    for (int s = 0; s < num_streams; ++s) {
+      try_launch(s);
+    }
+  });
+  result.makespan = engine.Run();
+  MSMOE_CHECK_EQ(completed, count) << "dependency cycle or stream deadlock";
+
+  std::vector<std::pair<double, double>> comm_intervals;
+  std::vector<std::pair<double, double>> compute_intervals;
+  for (int i = 0; i < count; ++i) {
+    const SimOp& op = ops[static_cast<size_t>(i)];
+    const OpTiming& timing = result.timings[static_cast<size_t>(i)];
+    result.category_busy[op.category] += op.duration;
+    if (op.is_comm) {
+      result.comm_busy += op.duration;
+      comm_intervals.emplace_back(timing.start, timing.end);
+    } else {
+      result.compute_busy += op.duration;
+      compute_intervals.emplace_back(timing.start, timing.end);
+    }
+  }
+  result.exposed_comm = UncoveredLength(comm_intervals, compute_intervals);
+  return result;
+}
+
+}  // namespace msmoe

@@ -1,0 +1,59 @@
+#include "src/sim/param_sync.h"
+
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/sim/graph.h"
+
+namespace msmoe {
+
+ParamSyncResult ParamSyncTime(const CostModel& cost, int64_t per_gpu_shard_bytes, int n,
+                              int d, int chunks) {
+  MSMOE_CHECK_GT(chunks, 0);
+  ParamSyncResult result;
+
+  // Parameter synchronization moves GB-scale messages, where ring
+  // collectives reach ~90% of NVLink bandwidth (unlike the smaller
+  // activation collectives the training-time cost model is calibrated for).
+  constexpr double kLargeMessageNvlinkEfficiency = 0.90;
+  const double intra_scale =
+      cost.cluster().nvlink_efficiency / kLargeMessageNvlinkEfficiency;
+
+  // TP: inter-node reduce-scatter + all-gather of the P/n shard over d ranks.
+  result.tp_us =
+      2.0 * cost.RingCollectiveTime(per_gpu_shard_bytes / d, d, /*internode=*/true);
+
+  // SP: full replica P = n * shard per GPU.
+  const int64_t replica_bytes = per_gpu_shard_bytes * n;
+  // Intra-node RS + AG of the replica over n ranks (NVLink).
+  result.sp_intra_us =
+      2.0 * cost.RingCollectiveTime(replica_bytes / n, n, /*internode=*/false) *
+      intra_scale;
+  // Inter-node RS + AG of the P/n chunk over d ranks (NIC) — same as TP.
+  result.sp_inter_us =
+      2.0 * cost.RingCollectiveTime(per_gpu_shard_bytes / d, d, /*internode=*/true);
+
+  // Pipelined hierarchical schedule: chunk c flows intra-RS (NVLink) ->
+  // inter-RS+AG (NIC) -> intra-AG (NVLink). Stream 0 models NVLink, stream 1
+  // the NIC; FIFO order matches the dependency order.
+  const double intra_rs_chunk = result.sp_intra_us / 2.0 / chunks;
+  const double inter_chunk = result.sp_inter_us / chunks;
+  const double intra_ag_chunk = result.sp_intra_us / 2.0 / chunks;
+  std::vector<SimOp> ops;
+  std::vector<int> inter_idx(static_cast<size_t>(chunks));
+  for (int c = 0; c < chunks; ++c) {
+    ops.push_back(SimOp{"intra_rs", intra_rs_chunk, true, 0, {}, "comm"});
+    ops.push_back(
+        SimOp{"inter", inter_chunk, true, 1, {static_cast<int>(ops.size()) - 1}, "comm"});
+    inter_idx[static_cast<size_t>(c)] = static_cast<int>(ops.size()) - 1;
+  }
+  for (int c = 0; c < chunks; ++c) {
+    ops.push_back(
+        SimOp{"intra_ag", intra_ag_chunk, true, 0, {inter_idx[static_cast<size_t>(c)]},
+              "comm"});
+  }
+  result.sp_us = ExecuteGraph(ops, 2).makespan;
+  return result;
+}
+
+}  // namespace msmoe

@@ -1,0 +1,37 @@
+// Parameter/gradient synchronization time model for SP vs TP attention
+// (Fig 14, Appendix A.1).
+//
+// Setting: model-parallel size n inside a node, d data-parallel replicas
+// across nodes. Under TP each GPU stores a P/n shard and synchronizes it
+// across d nodes (inter-node reduce-scatter + all-gather). Under SP each GPU
+// replicates the full P, synchronized by the four-step hierarchical schedule:
+// intra-node RS, inter-node RS, inter-node AG, intra-node AG — with the
+// intra-node steps running on NVLink and pipelined in chunks against the
+// NIC steps (Fig 5b). Because the inter-node volume is identical (2*(P/n)*
+// (d-1)/d) and the intra-node work hides under it, SP's sync time lands
+// within a few percent of TP's — the Fig 14 result.
+#ifndef MSMOE_SRC_SIM_PARAM_SYNC_H_
+#define MSMOE_SRC_SIM_PARAM_SYNC_H_
+
+#include <cstdint>
+
+#include "src/sim/cost_model.h"
+
+namespace msmoe {
+
+struct ParamSyncResult {
+  double tp_us = 0.0;
+  double sp_us = 0.0;
+  double sp_intra_us = 0.0;  // standalone intra-node time (before pipelining)
+  double sp_inter_us = 0.0;  // standalone inter-node time
+};
+
+// per_gpu_shard_bytes is the TP per-GPU attention shard (P/n); the SP
+// replica is n times that. `chunks` is the pipelining granularity of the
+// hierarchical schedule.
+ParamSyncResult ParamSyncTime(const CostModel& cost, int64_t per_gpu_shard_bytes, int n,
+                              int d, int chunks = 8);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_SIM_PARAM_SYNC_H_

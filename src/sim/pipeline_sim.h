@@ -1,0 +1,39 @@
+// Pipeline-parallel iteration-time model (interleaved 1F1B, §2.2).
+//
+// Megatron-LM-style interleaved 1F1B with p stages and v virtual stages per
+// device: per-device useful work is M * (F + B) for M micro-batches; the
+// pipeline bubble is (p - 1) * (F + B) / v; boundary activations travel
+// point-to-point each micro-batch (overlappable except at fill/drain); the
+// data-parallel gradient sync and the optimizer step close the iteration.
+#ifndef MSMOE_SRC_SIM_PIPELINE_SIM_H_
+#define MSMOE_SRC_SIM_PIPELINE_SIM_H_
+
+namespace msmoe {
+
+struct PipelineConfig {
+  int pp_stages = 1;            // p
+  int virtual_stages = 1;       // v (interleaved 1F1B)
+  int num_microbatches = 1;     // M
+  double fwd_us = 0.0;          // F: forward of one micro-batch on one device
+  double bwd_us = 0.0;          // B: backward of one micro-batch on one device
+  double p2p_us = 0.0;          // one boundary transfer of one micro-batch
+  double grad_sync_us = 0.0;    // DP gradient synchronization (full volume)
+  double optimizer_us = 0.0;
+  // Fraction of grad_sync hidden under backward computation (Megatron
+  // overlaps partially; MegaScale's holistic schedule hides nearly all).
+  double grad_sync_overlap = 0.0;
+};
+
+struct PipelineResult {
+  double iteration_us = 0.0;
+  double bubble_us = 0.0;
+  double exposed_p2p_us = 0.0;
+  double exposed_sync_us = 0.0;
+  double bubble_fraction = 0.0;  // bubble / iteration
+};
+
+PipelineResult SimulatePipeline(const PipelineConfig& config);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_SIM_PIPELINE_SIM_H_

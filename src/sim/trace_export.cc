@@ -1,0 +1,76 @@
+#include "src/sim/trace_export.h"
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "src/base/logging.h"
+
+namespace msmoe {
+namespace {
+
+// Minimal JSON string escaping (names are ASCII identifiers in practice).
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToChromeTrace(const std::vector<SimOp>& ops, const GraphResult& result,
+                          const std::string& process_name) {
+  MSMOE_CHECK_EQ(ops.size(), result.timings.size());
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\""
+      << JsonEscape(process_name) << "\"}}";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const SimOp& op = ops[i];
+    const OpTiming& timing = result.timings[i];
+    out << ",{\"name\":\"" << JsonEscape(op.name) << "\",\"cat\":\""
+        << JsonEscape(op.category.empty() ? "op" : op.category)
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << op.stream << ",\"ts\":" << timing.start
+        << ",\"dur\":" << (timing.end - timing.start) << ",\"args\":{\"comm\":"
+        << (op.is_comm ? "true" : "false") << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status WriteChromeTrace(const std::string& path, const std::vector<SimOp>& ops,
+                        const GraphResult& result, const std::string& process_name) {
+  const std::string json = ToChromeTrace(ops, result, process_name);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(std::fopen(path.c_str(), "wb"),
+                                                       &std::fclose);
+  if (file == nullptr) {
+    return Internal("cannot open trace file for writing: " + path);
+  }
+  if (std::fwrite(json.data(), 1, json.size(), file.get()) != json.size()) {
+    return Internal("trace write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace msmoe

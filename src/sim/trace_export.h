@@ -1,0 +1,32 @@
+// Chrome-trace (about://tracing, Perfetto) export of simulated timelines.
+//
+// Production schedule debugging lives and dies by timeline visualization;
+// this writes the graph executor's per-op timings in the Chrome trace-event
+// JSON format so a simulated MoE-layer schedule can be inspected exactly
+// like a real profiler capture (streams appear as threads, categories as
+// colors).
+#ifndef MSMOE_SRC_SIM_TRACE_EXPORT_H_
+#define MSMOE_SRC_SIM_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sim/graph.h"
+
+namespace msmoe {
+
+// Serializes one executed graph as a Chrome trace-event JSON document.
+// Streams map to thread ids ("tid"), op categories to trace categories,
+// durations are in microseconds (the trace format's native unit).
+std::string ToChromeTrace(const std::vector<SimOp>& ops, const GraphResult& result,
+                          const std::string& process_name = "msmoe-sim");
+
+// Writes the trace to a file; fails with a Status on IO errors.
+Status WriteChromeTrace(const std::string& path, const std::vector<SimOp>& ops,
+                        const GraphResult& result,
+                        const std::string& process_name = "msmoe-sim");
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_SIM_TRACE_EXPORT_H_

@@ -1,0 +1,172 @@
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace msmoe {
+namespace {
+
+int64_t NumelOf(const std::vector<int64_t>& shape) {
+  int64_t numel = 1;
+  for (int64_t d : shape) {
+    MSMOE_CHECK_GE(d, 0);
+    numel *= d;
+  }
+  return numel;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)), numel_(NumelOf(shape_)) {
+  data_.assign(static_cast<size_t>(numel_), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor out(std::move(shape));
+  out.Fill(value);
+  return out;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng& rng, float mean, float stddev) {
+  Tensor out(std::move(shape));
+  for (int64_t i = 0; i < out.numel_; ++i) {
+    out.data_[static_cast<size_t>(i)] = static_cast<float>(rng.NextGaussian(mean, stddev));
+  }
+  return out;
+}
+
+Tensor Tensor::Uniform(std::vector<int64_t> shape, Rng& rng, float lo, float hi) {
+  Tensor out(std::move(shape));
+  for (int64_t i = 0; i < out.numel_; ++i) {
+    out.data_[static_cast<size_t>(i)] = static_cast<float>(rng.NextUniform(lo, hi));
+  }
+  return out;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape, std::vector<float> values) {
+  Tensor out;
+  out.shape_ = std::move(shape);
+  out.numel_ = NumelOf(out.shape_);
+  MSMOE_CHECK_EQ(out.numel_, static_cast<int64_t>(values.size()));
+  out.data_ = std::move(values);
+  return out;
+}
+
+int64_t Tensor::dim(int i) const {
+  MSMOE_CHECK_GE(i, 0);
+  MSMOE_CHECK_LT(i, ndim());
+  return shape_[static_cast<size_t>(i)];
+}
+
+float& Tensor::At(int64_t i, int64_t j) {
+  MSMOE_CHECK_EQ(ndim(), 2);
+  MSMOE_CHECK_LT(i, shape_[0]);
+  MSMOE_CHECK_LT(j, shape_[1]);
+  return data_[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+float Tensor::At(int64_t i, int64_t j) const { return const_cast<Tensor*>(this)->At(i, j); }
+
+float& Tensor::At(int64_t i, int64_t j, int64_t k) {
+  MSMOE_CHECK_EQ(ndim(), 3);
+  MSMOE_CHECK_LT(i, shape_[0]);
+  MSMOE_CHECK_LT(j, shape_[1]);
+  MSMOE_CHECK_LT(k, shape_[2]);
+  return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+
+float Tensor::At(int64_t i, int64_t j, int64_t k) const {
+  return const_cast<Tensor*>(this)->At(i, j, k);
+}
+
+Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
+  MSMOE_CHECK_EQ(NumelOf(new_shape), numel_);
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.numel_ = numel_;
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::Fill(float value) { data_.assign(data_.size(), value); }
+
+void Tensor::AddInPlace(const Tensor& other) {
+  MSMOE_CHECK(SameShape(*this, other)) << ShapeString() << " vs " << other.ShapeString();
+  for (int64_t i = 0; i < numel_; ++i) {
+    data_[static_cast<size_t>(i)] += other.data_[static_cast<size_t>(i)];
+  }
+}
+
+void Tensor::ScaleInPlace(float factor) {
+  for (float& v : data_) {
+    v *= factor;
+  }
+}
+
+void Tensor::AxpyInPlace(float alpha, const Tensor& other) {
+  MSMOE_CHECK(SameShape(*this, other));
+  for (int64_t i = 0; i < numel_; ++i) {
+    data_[static_cast<size_t>(i)] += alpha * other.data_[static_cast<size_t>(i)];
+  }
+}
+
+Tensor Tensor::SliceRows(int64_t row_begin, int64_t row_end) const {
+  MSMOE_CHECK_EQ(ndim(), 2);
+  MSMOE_CHECK_LE(0, row_begin);
+  MSMOE_CHECK_LE(row_begin, row_end);
+  MSMOE_CHECK_LE(row_end, shape_[0]);
+  const int64_t cols = shape_[1];
+  Tensor out({row_end - row_begin, cols});
+  std::copy(data_.begin() + static_cast<size_t>(row_begin * cols),
+            data_.begin() + static_cast<size_t>(row_end * cols), out.data_.begin());
+  return out;
+}
+
+double Tensor::SumAbs() const {
+  double total = 0.0;
+  for (float v : data_) {
+    total += std::fabs(static_cast<double>(v));
+  }
+  return total;
+}
+
+double Tensor::MaxAbs() const {
+  double max_abs = 0.0;
+  for (float v : data_) {
+    max_abs = std::fmax(max_abs, std::fabs(static_cast<double>(v)));
+  }
+  return max_abs;
+}
+
+double Tensor::RelativeL2Diff(const Tensor& other) const {
+  MSMOE_CHECK(SameShape(*this, other));
+  double diff_sq = 0.0;
+  double ref_sq = 0.0;
+  for (int64_t i = 0; i < numel_; ++i) {
+    const double d = static_cast<double>(data_[static_cast<size_t>(i)]) -
+                     static_cast<double>(other.data_[static_cast<size_t>(i)]);
+    diff_sq += d * d;
+    ref_sq += static_cast<double>(other.data_[static_cast<size_t>(i)]) *
+              static_cast<double>(other.data_[static_cast<size_t>(i)]);
+  }
+  if (ref_sq == 0.0) {
+    return diff_sq == 0.0 ? 0.0 : std::sqrt(diff_sq);
+  }
+  return std::sqrt(diff_sq / ref_sq);
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    out << (i > 0 ? ", " : "") << shape_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) { return a.shape() == b.shape(); }
+
+}  // namespace msmoe

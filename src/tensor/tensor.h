@@ -1,0 +1,90 @@
+// Dense row-major float32 tensor.
+//
+// This is the numeric substrate under the real (non-simulated) training
+// path: the MoE transformer modules, the parallel strategies, and the
+// convergence experiments all move data through Tensor. Storage is always
+// contiguous row-major float32; lower-precision formats (BF16/FP8) exist
+// only as conversion steps (src/numerics), mirroring how mixed-precision
+// training keeps FP32 master values.
+#ifndef MSMOE_SRC_TENSOR_TENSOR_H_
+#define MSMOE_SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+
+namespace msmoe {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape);
+
+  // Factories.
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  // I.i.d. N(mean, stddev) entries, deterministic in rng.
+  static Tensor Randn(std::vector<int64_t> shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  // Uniform in [lo, hi).
+  static Tensor Uniform(std::vector<int64_t> shape, Rng& rng, float lo, float hi);
+  static Tensor FromVector(std::vector<int64_t> shape, std::vector<float> values);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int i) const;
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) {
+    MSMOE_CHECK_LT(i, numel_);
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    MSMOE_CHECK_LT(i, numel_);
+    return data_[static_cast<size_t>(i)];
+  }
+
+  // 2-D / 3-D element access (bounds-checked).
+  float& At(int64_t i, int64_t j);
+  float At(int64_t i, int64_t j) const;
+  float& At(int64_t i, int64_t j, int64_t k);
+  float At(int64_t i, int64_t j, int64_t k) const;
+
+  // Reinterprets the shape; the element count must match.
+  Tensor Reshaped(std::vector<int64_t> new_shape) const;
+
+  void Fill(float value);
+  void AddInPlace(const Tensor& other);       // this += other (same shape)
+  void ScaleInPlace(float factor);            // this *= factor
+  void AxpyInPlace(float alpha, const Tensor& other);  // this += alpha * other
+
+  // Returns rows [row_begin, row_end) of a 2-D tensor as a new tensor.
+  Tensor SliceRows(int64_t row_begin, int64_t row_end) const;
+
+  double SumAbs() const;
+  double MaxAbs() const;
+  // Frobenius-norm relative difference vs other (same shape).
+  double RelativeL2Diff(const Tensor& other) const;
+
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+  int64_t numel_ = 0;
+};
+
+// True when shapes match exactly.
+bool SameShape(const Tensor& a, const Tensor& b);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/comm/collective_group.h"
+#include "src/parallel/fused_ops.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace msmoe {
+namespace {
+
+// The fused kernels must be bitwise equal to the unfused collective-then-
+// GEMM sequence for any tile size — the §4.2 functional contract.
+
+class FusedAgGemmTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(FusedAgGemmTest, MatchesUnfusedForAnyTileSize) {
+  const int n = 4;
+  const int64_t rows_local = 6;
+  const int64_t k = 8;
+  const int64_t cols = 5;
+  const int64_t tile = GetParam();
+
+  Rng rng(1);
+  std::vector<Tensor> x_locals;
+  for (int rank = 0; rank < n; ++rank) {
+    x_locals.push_back(Tensor::Randn({rows_local, k}, rng));
+  }
+  Tensor w = Tensor::Randn({k, cols}, rng);
+
+  // Reference: gather then one GEMM.
+  Tensor x_full({n * rows_local, k});
+  for (int rank = 0; rank < n; ++rank) {
+    std::copy(x_locals[static_cast<size_t>(rank)].data(),
+              x_locals[static_cast<size_t>(rank)].data() + rows_local * k,
+              x_full.data() + rank * rows_local * k);
+  }
+  Tensor y_ref = MatMul(x_full, w);
+
+  CollectiveGroup group(n);
+  std::vector<Tensor> y(n);
+  RunOnRanks(n, [&](int rank) {
+    ShardContext ctx{&group, rank};
+    y[static_cast<size_t>(rank)] =
+        FusedAllGatherGemm(ctx, x_locals[static_cast<size_t>(rank)], w, tile);
+  });
+  for (int rank = 0; rank < n; ++rank) {
+    EXPECT_EQ(y[static_cast<size_t>(rank)].RelativeL2Diff(y_ref), 0.0)
+        << "rank " << rank << " tile " << tile;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, FusedAgGemmTest,
+                         ::testing::Values<int64_t>(1, 2, 3, 6, 100));
+
+class FusedGemmRsTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(FusedGemmRsTest, MatchesUnfusedForAnyTileSize) {
+  const int n = 4;
+  const int64_t rows = 8;  // divisible by n
+  const int64_t k_total = 12;
+  const int64_t cols = 5;
+  const int64_t k_shard = k_total / n;
+  const int64_t tile = GetParam();
+
+  Rng rng(2);
+  Tensor x_full({rows, k_total});
+  Tensor w_full({k_total, cols});
+  x_full = Tensor::Randn({rows, k_total}, rng);
+  w_full = Tensor::Randn({k_total, cols}, rng);
+  Tensor y_ref = MatMul(x_full, w_full);
+
+  CollectiveGroup group(n);
+  std::vector<Tensor> y(n);
+  RunOnRanks(n, [&](int rank) {
+    // Rank's contraction-dim slices.
+    Tensor x_shard({rows, k_shard});
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy(x_full.data() + r * k_total + rank * k_shard,
+                x_full.data() + r * k_total + (rank + 1) * k_shard,
+                x_shard.data() + r * k_shard);
+    }
+    Tensor w_shard = w_full.SliceRows(rank * k_shard, (rank + 1) * k_shard);
+    ShardContext ctx{&group, rank};
+    y[static_cast<size_t>(rank)] = FusedGemmReduceScatter(ctx, x_shard, w_shard, tile);
+  });
+  const int64_t rows_out = rows / n;
+  for (int rank = 0; rank < n; ++rank) {
+    Tensor ref_chunk = y_ref.SliceRows(rank * rows_out, (rank + 1) * rows_out);
+    EXPECT_LT(y[static_cast<size_t>(rank)].RelativeL2Diff(ref_chunk), 1e-6)
+        << "rank " << rank << " tile " << tile;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, FusedGemmRsTest,
+                         ::testing::Values<int64_t>(1, 2, 8));
+
+TEST(FusedAgScatterGroupedGemmTest, MatchesPerExpertReference) {
+  const int n = 2;
+  const int64_t t_local = 8;
+  const int64_t h = 6;
+  const int64_t cols = 4;
+  const int64_t experts = 4;
+  const int64_t e_local = experts / n;
+
+  Rng rng(3);
+  std::vector<Tensor> x_locals;
+  std::vector<std::vector<int64_t>> routing(n);
+  for (int rank = 0; rank < n; ++rank) {
+    x_locals.push_back(Tensor::Randn({t_local, h}, rng));
+    for (int64_t t = 0; t < t_local; ++t) {
+      routing[static_cast<size_t>(rank)].push_back(
+          static_cast<int64_t>(rng.NextIndex(experts)));
+    }
+  }
+  std::vector<Tensor> weights;
+  for (int64_t e = 0; e < experts; ++e) {
+    weights.push_back(Tensor::Randn({h, cols}, rng));
+  }
+
+  CollectiveGroup group(n);
+  std::vector<Tensor> y(n);
+  std::vector<std::vector<int64_t>> row_tokens(n);
+  RunOnRanks(n, [&](int rank) {
+    ShardContext ctx{&group, rank};
+    y[static_cast<size_t>(rank)] = FusedAllGatherScatterGroupedGemm(
+        ctx, x_locals[static_cast<size_t>(rank)], routing[static_cast<size_t>(rank)],
+        weights, e_local, &row_tokens[static_cast<size_t>(rank)]);
+  });
+
+  // Reference: per global token, y_row = x_token @ W[expert]; check each
+  // grouped row against it and that every kept row belongs to a local expert.
+  auto global_x = [&](int64_t token) {
+    const int src = static_cast<int>(token / t_local);
+    return x_locals[static_cast<size_t>(src)].SliceRows(token % t_local,
+                                                        token % t_local + 1);
+  };
+  auto global_expert = [&](int64_t token) {
+    const int src = static_cast<int>(token / t_local);
+    return routing[static_cast<size_t>(src)][static_cast<size_t>(token % t_local)];
+  };
+  int64_t total_rows = 0;
+  for (int rank = 0; rank < n; ++rank) {
+    const auto& tokens = row_tokens[static_cast<size_t>(rank)];
+    total_rows += static_cast<int64_t>(tokens.size());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const int64_t e = global_expert(tokens[i]);
+      EXPECT_EQ(e / e_local, rank) << "row routed to wrong owner";
+      Tensor ref = MatMul(global_x(tokens[i]), weights[static_cast<size_t>(e)]);
+      for (int64_t c = 0; c < cols; ++c) {
+        EXPECT_NEAR(y[static_cast<size_t>(rank)].At(static_cast<int64_t>(i), c),
+                    ref.At(0, c), 1e-6);
+      }
+    }
+    // Rows are grouped by expert (non-decreasing local expert index).
+    int64_t previous = -1;
+    for (int64_t token : tokens) {
+      const int64_t e = global_expert(token);
+      EXPECT_GE(e, previous);
+      previous = e;
+    }
+  }
+  EXPECT_EQ(total_rows, n * t_local);  // every token processed exactly once
+}
+
+TEST(FusedAgScatterGroupedGemmTest, EmptyExpertHandled) {
+  // All tokens to expert 0: rank 1's experts get nothing.
+  const int n = 2;
+  const int64_t t_local = 4;
+  const int64_t h = 4;
+  Rng rng(4);
+  std::vector<Tensor> weights;
+  for (int e = 0; e < 4; ++e) {
+    weights.push_back(Tensor::Randn({h, 3}, rng));
+  }
+  Tensor x = Tensor::Randn({t_local, h}, rng);
+  std::vector<int64_t> routing(static_cast<size_t>(t_local), 0);
+
+  CollectiveGroup group(n);
+  std::vector<int64_t> rows0, rows1;
+  RunOnRanks(n, [&](int rank) {
+    ShardContext ctx{&group, rank};
+    std::vector<int64_t>& rows = rank == 0 ? rows0 : rows1;
+    Tensor y = FusedAllGatherScatterGroupedGemm(ctx, x, routing, weights, 2, &rows);
+    if (rank == 1) {
+      EXPECT_EQ(y.dim(0), 0);
+    }
+  });
+  EXPECT_EQ(rows0.size(), static_cast<size_t>(n * t_local));
+  EXPECT_TRUE(rows1.empty());
+}
+
+}  // namespace
+}  // namespace msmoe

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "src/base/units.h"
+#include "src/hw/gpu_spec.h"
+
+namespace msmoe {
+namespace {
+
+TEST(GpuSpecTest, Table4RowsPresent) {
+  for (const char* name : {"H800", "A100", "H20"}) {
+    Result<GpuSpec> spec = GpuSpecByName(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_GT(spec.value().peak_tflops, 0.0);
+  }
+  EXPECT_EQ(GpuSpecByName("H800").value().peak_tflops, 989.0);
+  EXPECT_EQ(GpuSpecByName("A100").value().nvlink_gbps, 600.0);
+  EXPECT_EQ(GpuSpecByName("H20").value().memory_gb, 96.0);
+}
+
+TEST(GpuSpecTest, UnknownGpuRejected) { EXPECT_FALSE(GpuSpecByName("TPUv4").ok()); }
+
+TEST(GpuSpecTest, Figure1TrendCommBytesPerFlopDeclines) {
+  // Fig 1's point: compute grows faster than interconnect. Bytes-per-FLOP
+  // must decline from V100 to H800.
+  const double v100 = GpuSpecByName("V100").value().NvlinkBytesPerKiloFlop();
+  const double a100 = GpuSpecByName("A100").value().NvlinkBytesPerKiloFlop();
+  const double h800 = GpuSpecByName("H800").value().NvlinkBytesPerKiloFlop();
+  EXPECT_GT(v100, a100);
+  EXPECT_GT(a100, h800);
+}
+
+TEST(ClusterSpecTest, MakeClusterShapes) {
+  ClusterSpec cluster = MakeCluster("H800", 32).value();
+  EXPECT_EQ(cluster.num_nodes, 4);
+  EXPECT_EQ(cluster.gpus_per_node, 8);
+  EXPECT_EQ(cluster.TotalGpus(), 32);
+}
+
+TEST(ClusterSpecTest, SmallClusterSingleNode) {
+  ClusterSpec cluster = MakeCluster("H800", 4).value();
+  EXPECT_EQ(cluster.num_nodes, 1);
+  EXPECT_EQ(cluster.gpus_per_node, 4);
+}
+
+TEST(ClusterSpecTest, NonMultipleRejected) {
+  EXPECT_FALSE(MakeCluster("H800", 12).ok());
+}
+
+TEST(ClusterSpecTest, EffectiveRatesBelowPeak) {
+  ClusterSpec cluster = MakeCluster("H800", 8).value();
+  EXPECT_LT(cluster.GemmRate(), Tflops(cluster.gpu.peak_tflops));
+  EXPECT_LT(cluster.NvlinkBusBw(), GBps(cluster.gpu.nvlink_gbps));
+  EXPECT_LT(cluster.GroupedGemmRate(), cluster.GemmRate());
+}
+
+}  // namespace
+}  // namespace msmoe

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/numerics/bf16.h"
+#include "src/numerics/fp8.h"
+#include "src/numerics/quantize.h"
+
+namespace msmoe {
+namespace {
+
+TEST(Bf16Test, ExactValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -0.25f, 65536.0f}) {
+    EXPECT_EQ(Bf16Round(v), v) << v;
+  }
+}
+
+TEST(Bf16Test, RoundsToNearest) {
+  // 1.0 + 2^-9 is halfway-ish below bf16 resolution (2^-8 around 1.0):
+  // it must round to 1.0 or 1.00390625, never anything else.
+  const float rounded = Bf16Round(1.0f + 0.001f);
+  EXPECT_TRUE(rounded == 1.0f || rounded == 1.00390625f);
+}
+
+TEST(Bf16Test, RelativeErrorBounded) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = static_cast<float>(rng.NextGaussian(0.0, 100.0));
+    const float r = Bf16Round(v);
+    // bf16 has 8 mantissa bits -> rel error <= 2^-9.
+    EXPECT_LE(std::fabs(r - v), std::fabs(v) * (1.0f / 256.0f) + 1e-30f);
+  }
+}
+
+TEST(Bf16Test, NanPreserved) {
+  const float nan = std::nanf("");
+  EXPECT_TRUE(std::isnan(Bf16Round(nan)));
+}
+
+TEST(Bf16Test, InfPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(Bf16Round(inf), inf);
+  EXPECT_EQ(Bf16Round(-inf), -inf);
+}
+
+TEST(Fp8Test, MaxFinite) {
+  EXPECT_EQ(Fp8MaxFinite(Fp8Format::kE4M3), 448.0f);
+  EXPECT_EQ(Fp8MaxFinite(Fp8Format::kE5M2), 57344.0f);
+}
+
+TEST(Fp8Test, E4M3ExactValues) {
+  // Values exactly representable in E4M3 survive a round trip.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 1.75f, 448.0f, -448.0f, 0.875f, 240.0f}) {
+    EXPECT_EQ(Fp8RoundE4M3(v), v) << v;
+  }
+}
+
+TEST(Fp8Test, E4M3Saturates) {
+  EXPECT_EQ(Fp8RoundE4M3(1000.0f), 448.0f);
+  EXPECT_EQ(Fp8RoundE4M3(-1000.0f), -448.0f);
+  EXPECT_EQ(Fp8RoundE4M3(449.0f), 448.0f);
+}
+
+TEST(Fp8Test, E5M2Saturates) {
+  EXPECT_EQ(Fp8RoundE5M2(1e6f), 57344.0f);
+  EXPECT_EQ(Fp8RoundE5M2(-1e6f), -57344.0f);
+}
+
+TEST(Fp8Test, E4M3Subnormals) {
+  // Smallest subnormal is 2^-9 = 0.001953125.
+  const float min_subnormal = 0.001953125f;
+  EXPECT_EQ(Fp8RoundE4M3(min_subnormal), min_subnormal);
+  // Half of it rounds to 0 (ties to even).
+  EXPECT_EQ(Fp8RoundE4M3(min_subnormal / 2.0f), 0.0f);
+  // Values well below the subnormal quantum vanish.
+  EXPECT_EQ(Fp8RoundE4M3(1e-8f), 0.0f);
+}
+
+TEST(Fp8Test, NanRoundTrips) {
+  EXPECT_TRUE(std::isnan(Fp8Round(std::nanf(""), Fp8Format::kE4M3)));
+  EXPECT_TRUE(std::isnan(Fp8Round(std::nanf(""), Fp8Format::kE5M2)));
+}
+
+TEST(Fp8Test, SignPreserved) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const float v = static_cast<float>(rng.NextGaussian(0.0, 10.0));
+    const float r = Fp8RoundE4M3(v);
+    if (r != 0.0f) {
+      EXPECT_EQ(std::signbit(r), std::signbit(v)) << v;
+    }
+  }
+}
+
+TEST(Fp8Test, E4M3RelativeErrorBounded) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    // Stay in the normal range [2^-6, 448).
+    const float v = static_cast<float>(rng.NextUniform(0.016, 440.0));
+    const float r = Fp8RoundE4M3(v);
+    // 3 mantissa bits -> rel error <= 2^-4.
+    EXPECT_LE(std::fabs(r - v), v / 16.0f + 1e-30f) << v;
+  }
+}
+
+TEST(Fp8Test, MonotoneEncoding) {
+  // Decoded values of consecutive positive codes must increase (E4M3).
+  float prev = -1.0f;
+  for (int code = 0; code < 0x7F; ++code) {  // skip NaN at 0x7F
+    const float value = Fp8Decode(static_cast<uint8_t>(code), Fp8Format::kE4M3);
+    EXPECT_GT(value, prev) << code;
+    prev = value;
+  }
+}
+
+TEST(Fp8Test, EncodeDecodeAllCodesStable) {
+  // Every finite code must re-encode to itself (quantization idempotent).
+  for (int code = 0; code < 256; ++code) {
+    const float value = Fp8Decode(static_cast<uint8_t>(code), Fp8Format::kE4M3);
+    if (std::isnan(value)) {
+      continue;
+    }
+    const uint8_t re = Fp8Encode(value, Fp8Format::kE4M3);
+    EXPECT_EQ(Fp8Decode(re, Fp8Format::kE4M3), value) << code;
+  }
+}
+
+class QuantizeGranularityTest : public ::testing::TestWithParam<QuantGranularity> {};
+
+TEST_P(QuantizeGranularityTest, RoundTripErrorBounded) {
+  Rng rng(11);
+  const int64_t rows = 64;
+  const int64_t cols = 16;
+  std::vector<float> data(static_cast<size_t>(rows * cols));
+  for (auto& v : data) {
+    v = static_cast<float>(rng.NextGaussian(0.0, 2.0));
+  }
+  QuantConfig config;
+  config.granularity = GetParam();
+  config.group_size = 16;
+  QuantizedMatrix q = Quantize(data.data(), rows, cols, config);
+  std::vector<float> back(data.size());
+  Dequantize(q, back.data());
+  // amax-scaled E4M3: rel error vs the slice amax <= 2^-4 per element of the
+  // normal range; allow a loose absolute bound derived from the global amax.
+  float amax = 0.0f;
+  for (float v : data) {
+    amax = std::max(amax, std::fabs(v));
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_LE(std::fabs(back[i] - data[i]), amax / 16.0f) << i;
+  }
+}
+
+TEST_P(QuantizeGranularityTest, ZeroTensorStaysZero) {
+  std::vector<float> data(128, 0.0f);
+  QuantConfig config;
+  config.granularity = GetParam();
+  const std::vector<float> back = QuantizeRoundTrip(data.data(), 8, 16, config);
+  for (float v : back) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGranularities, QuantizeGranularityTest,
+                         ::testing::Values(QuantGranularity::kPerTensor,
+                                           QuantGranularity::kPerToken,
+                                           QuantGranularity::kPerChannel,
+                                           QuantGranularity::kPerChannelGrouped));
+
+TEST(QuantizeTest, PerTokenBeatsPerTensorOnSkewedRows) {
+  // One huge row and one tiny row: per-tensor scaling destroys the tiny row,
+  // per-token preserves it — the reason §7 moves SwiGLU to per-token quant.
+  const int64_t rows = 2;
+  const int64_t cols = 8;
+  std::vector<float> data(static_cast<size_t>(rows * cols));
+  for (int64_t c = 0; c < cols; ++c) {
+    data[static_cast<size_t>(c)] = 400.0f;          // big row
+    data[static_cast<size_t>(cols + c)] = 0.01f;    // small row
+  }
+  QuantConfig per_tensor;
+  per_tensor.granularity = QuantGranularity::kPerTensor;
+  QuantConfig per_token;
+  per_token.granularity = QuantGranularity::kPerToken;
+  const double err_tensor = QuantizationMaxError(data.data(), rows, cols, per_tensor);
+  const double err_token = QuantizationMaxError(data.data(), rows, cols, per_token);
+  EXPECT_LT(err_token, err_tensor);
+  // Per-token keeps the small row to within its own 1/16 relative error.
+  const std::vector<float> back = QuantizeRoundTrip(data.data(), rows, cols, per_token);
+  EXPECT_NEAR(back[static_cast<size_t>(cols)], 0.01f, 0.01f / 16.0f);
+}
+
+TEST(QuantizeTest, GroupedTracksShiftingChannelScale) {
+  // A channel whose magnitude drifts over tokens: grouped per-channel scales
+  // adapt per 4-row group and beat a single per-channel scale.
+  const int64_t rows = 16;
+  const int64_t cols = 4;
+  Rng rng(23);
+  std::vector<float> data(static_cast<size_t>(rows * cols));
+  for (int64_t r = 0; r < rows; ++r) {
+    // Group magnitudes 1e-4, 1e-2, 1, 1e2: the full span exceeds E4M3's
+    // dynamic range, so a single per-channel scale flushes the small groups
+    // to zero while per-group scales keep them at 1/16 relative error.
+    const double magnitude = std::pow(10.0, static_cast<double>(r / 4) * 2.0 - 4.0);
+    for (int64_t c = 0; c < cols; ++c) {
+      data[static_cast<size_t>(r * cols + c)] =
+          static_cast<float>(rng.NextGaussian(0.0, 1.0) * magnitude);
+    }
+  }
+  QuantConfig per_channel;
+  per_channel.granularity = QuantGranularity::kPerChannel;
+  QuantConfig grouped;
+  grouped.granularity = QuantGranularity::kPerChannelGrouped;
+  grouped.group_size = 4;
+  auto first_group_error = [&](const QuantConfig& config) {
+    const std::vector<float> back = QuantizeRoundTrip(data.data(), rows, cols, config);
+    double total = 0.0;
+    for (size_t i = 0; i < static_cast<size_t>(4 * cols); ++i) {
+      total += std::fabs(back[i] - data[i]);
+    }
+    return total;
+  };
+  // The small-magnitude rows are crushed by the tensor-wide channel scale but
+  // preserved by their own group scale — the paper's motivation for grouping
+  // backward quantization along the token dimension.
+  EXPECT_LT(first_group_error(grouped), first_group_error(per_channel) * 0.25);
+}
+
+TEST(QuantizeTest, WireBytesAccounting) {
+  QuantConfig config;
+  config.granularity = QuantGranularity::kPerToken;
+  std::vector<float> data(32 * 64, 1.0f);
+  QuantizedMatrix q = Quantize(data.data(), 32, 64, config);
+  // 32*64 codes + 32 scales * 4 bytes.
+  EXPECT_EQ(q.WireBytes(), 32 * 64 + 32 * 4);
+  // FP8 wire is ~4x smaller than FP32 at realistic hidden widths.
+  EXPECT_LT(q.WireBytes() * 3, static_cast<int64_t>(data.size() * sizeof(float)));
+}
+
+TEST(QuantizeTest, GranularityNames) {
+  EXPECT_STREQ(QuantGranularityName(QuantGranularity::kPerTensor), "per-tensor");
+  EXPECT_STREQ(QuantGranularityName(QuantGranularity::kPerChannelGrouped),
+               "per-channel-grouped");
+}
+
+}  // namespace
+}  // namespace msmoe

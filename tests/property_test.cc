@@ -1,0 +1,400 @@
+// Property-based sweeps: invariants that must hold across parameter ranges,
+// exercised with parameterized gtest over shapes, group sizes, and formats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/comm/collective_group.h"
+#include "src/comm/hierarchical.h"
+#include "src/model/attention.h"
+#include "src/model/config.h"
+#include "src/model/router.h"
+#include "src/numerics/bf16.h"
+#include "src/numerics/quantize.h"
+#include "src/parallel/sp_attention.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace msmoe {
+namespace {
+
+// --- Collectives: linearity, consistency, and cross-op identities over a
+// sweep of group sizes and payload sizes. ---
+
+class CollectiveSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int64_t>> {};
+
+TEST_P(CollectiveSweepTest, AllReduceEqualsGatherThenSum) {
+  const auto [n, count] = GetParam();
+  CollectiveGroup ar_group(n);
+  CollectiveGroup ag_group(n);
+  std::vector<bool> ok(static_cast<size_t>(n), false);
+  RunOnRanks(n, [&, n = n, count = count](int rank) {
+    Rng rng(static_cast<uint64_t>(rank * 7919 + count));
+    std::vector<float> send(static_cast<size_t>(count));
+    for (auto& v : send) {
+      v = static_cast<float>(rng.NextGaussian());
+    }
+    std::vector<float> reduced(static_cast<size_t>(count));
+    ar_group.AllReduce(rank, send.data(), reduced.data(), count);
+
+    std::vector<float> gathered(static_cast<size_t>(n * count));
+    ag_group.AllGather(rank, send.data(), gathered.data(), count);
+    bool match = true;
+    for (int64_t i = 0; i < count; ++i) {
+      double sum = 0.0;
+      for (int src = 0; src < n; ++src) {
+        sum += static_cast<double>(gathered[static_cast<size_t>(src * count + i)]);
+      }
+      if (std::fabs(static_cast<float>(sum) - reduced[static_cast<size_t>(i)]) > 1e-5) {
+        match = false;
+      }
+    }
+    ok[static_cast<size_t>(rank)] = match;
+  });
+  for (int rank = 0; rank < n; ++rank) {
+    EXPECT_TRUE(ok[static_cast<size_t>(rank)]) << rank;
+  }
+}
+
+TEST_P(CollectiveSweepTest, AllToAllIsSelfInverse) {
+  // A2A twice with symmetric block layout returns the original buffer.
+  const auto [n, count] = GetParam();
+  CollectiveGroup group(n);
+  std::vector<bool> ok(static_cast<size_t>(n), false);
+  RunOnRanks(n, [&, n = n, count = count](int rank) {
+    Rng rng(static_cast<uint64_t>(rank + 31));
+    std::vector<float> original(static_cast<size_t>(n * count));
+    for (auto& v : original) {
+      v = static_cast<float>(rng.NextGaussian());
+    }
+    std::vector<float> once(original.size());
+    std::vector<float> twice(original.size());
+    group.AllToAll(rank, original.data(), once.data(), count);
+    group.AllToAll(rank, once.data(), twice.data(), count);
+    ok[static_cast<size_t>(rank)] = twice == original;
+  });
+  for (int rank = 0; rank < n; ++rank) {
+    EXPECT_TRUE(ok[static_cast<size_t>(rank)]) << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeSweep, CollectiveSweepTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                                            ::testing::Values<int64_t>(1, 7, 64)));
+
+class HierarchicalSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HierarchicalSweepTest, MatchesFlatForAnyTopology) {
+  const auto [nodes, per_node] = GetParam();
+  const int world = nodes * per_node;
+  const int64_t count = 53;  // not divisible by per_node: exercises padding
+  HierarchicalComm hier(nodes, per_node);
+  CollectiveGroup flat(world);
+  std::vector<double> max_err(static_cast<size_t>(world), 0.0);
+  RunOnRanks(world, [&](int rank) {
+    Rng rng(static_cast<uint64_t>(rank + 1));
+    std::vector<float> data(static_cast<size_t>(count));
+    for (auto& v : data) {
+      v = static_cast<float>(rng.NextGaussian());
+    }
+    std::vector<float> expected(static_cast<size_t>(count));
+    flat.AllReduce(rank, data.data(), expected.data(), count);
+    hier.AllReduce(rank, data.data(), count);
+    double err = 0.0;
+    for (int64_t i = 0; i < count; ++i) {
+      err = std::max(err, static_cast<double>(std::fabs(
+                              data[static_cast<size_t>(i)] -
+                              expected[static_cast<size_t>(i)])));
+    }
+    max_err[static_cast<size_t>(rank)] = err;
+  });
+  for (int rank = 0; rank < world; ++rank) {
+    EXPECT_LT(max_err[static_cast<size_t>(rank)], 1e-4) << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, HierarchicalSweepTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+// --- GEMM vs a naive triple loop over a shape sweep. ---
+
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(GemmShapeTest, MatchesNaiveReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 10007 + n * 101 + k));
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  Tensor c = MatMul(a, b);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double expected = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        expected += static_cast<double>(a.At(i, p)) * b.At(p, j);
+      }
+      EXPECT_NEAR(c.At(i, j), expected, 1e-4 * std::max(1.0, std::fabs(expected)))
+          << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapeTest,
+                         ::testing::Values(std::make_tuple<int64_t, int64_t, int64_t>(1, 1, 1),
+                                           std::make_tuple<int64_t, int64_t, int64_t>(1, 5, 3),
+                                           std::make_tuple<int64_t, int64_t, int64_t>(7, 1, 4),
+                                           std::make_tuple<int64_t, int64_t, int64_t>(8, 8, 8),
+                                           std::make_tuple<int64_t, int64_t, int64_t>(13, 7,
+                                                                                      11)));
+
+// --- RoPE: rotation-group property and norm preservation across shapes. ---
+
+class RopeSweepTest : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(RopeSweepTest, RotationsCompose) {
+  // rotate(x, p) then rotate(., q) == rotate(x, p + q) elementwise.
+  const auto [heads, head_dim] = GetParam();
+  Rng rng(17);
+  const int64_t tokens = 3;
+  Tensor x = Tensor::Randn({tokens, heads, head_dim}, rng);
+  Tensor sequential = x;
+  RopeInPlace(sequential, {2, 5, 9}, heads, head_dim);
+  // Second rotation by +3 for every token.
+  RopeInPlace(sequential, {3, 3, 3}, heads, head_dim);
+  Tensor direct = x;
+  RopeInPlace(direct, {5, 8, 12}, heads, head_dim);
+  EXPECT_LT(sequential.RelativeL2Diff(direct), 1e-5);
+}
+
+TEST_P(RopeSweepTest, PreservesPairNorms) {
+  const auto [heads, head_dim] = GetParam();
+  Rng rng(19);
+  Tensor x = Tensor::Randn({4, heads, head_dim}, rng);
+  Tensor rotated = x;
+  RopeInPlace(rotated, {1, 100, 10000, 123456}, heads, head_dim);
+  double before = 0.0;
+  double after = 0.0;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    before += static_cast<double>(x[i]) * x[i];
+    after += static_cast<double>(rotated[i]) * rotated[i];
+  }
+  EXPECT_NEAR(after, before, 1e-3 * before);
+}
+
+INSTANTIATE_TEST_SUITE_P(HeadShapes, RopeSweepTest,
+                         ::testing::Combine(::testing::Values<int64_t>(1, 2, 4),
+                                            ::testing::Values<int64_t>(2, 8, 64)));
+
+// --- Router invariants over (experts, top-k). ---
+
+class RouterSweepTest : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(RouterSweepTest, InvariantsHold) {
+  const auto [experts, k] = GetParam();
+  if (k > experts) {
+    GTEST_SKIP();
+  }
+  Rng rng(static_cast<uint64_t>(experts * 100 + k));
+  const int64_t tokens = 24;
+  Tensor logits = Tensor::Randn({tokens, experts}, rng);
+  RouterConfig config;
+  config.num_experts = experts;
+  config.top_k = k;
+  RoutingResult routing = RouteTokens(logits, config);
+
+  // (1) combine weights sum to 1 per token and are non-negative.
+  for (int64_t t = 0; t < tokens; ++t) {
+    double sum = 0.0;
+    for (int64_t slot = 0; slot < k; ++slot) {
+      EXPECT_GE(routing.combine_weight.At(t, slot), 0.0f);
+      sum += routing.combine_weight.At(t, slot);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5) << t;
+  }
+  // (2) each token's selected experts are distinct.
+  for (int64_t t = 0; t < tokens; ++t) {
+    for (int64_t a = 0; a < k; ++a) {
+      for (int64_t b = a + 1; b < k; ++b) {
+        EXPECT_NE(routing.expert_index[static_cast<size_t>(t * k + a)],
+                  routing.expert_index[static_cast<size_t>(t * k + b)]);
+      }
+    }
+  }
+  // (3) selected experts have the k highest probabilities.
+  for (int64_t t = 0; t < tokens; ++t) {
+    float min_selected = 1.0f;
+    for (int64_t slot = 0; slot < k; ++slot) {
+      min_selected = std::min(
+          min_selected,
+          routing.probs.At(t, routing.expert_index[static_cast<size_t>(t * k + slot)]));
+    }
+    int num_higher = 0;
+    for (int64_t e = 0; e < experts; ++e) {
+      if (routing.probs.At(t, e) > min_selected) {
+        ++num_higher;
+      }
+    }
+    EXPECT_LT(num_higher, k) << t;
+  }
+  // (4) counts match the dispatch plan.
+  const int64_t total = std::accumulate(routing.expert_counts.begin(),
+                                        routing.expert_counts.end(), int64_t{0});
+  EXPECT_EQ(total, tokens * k);
+  DispatchPlan plan = BuildDispatchPlan(routing, experts);
+  EXPECT_EQ(plan.total_rows(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExpertTopK, RouterSweepTest,
+                         ::testing::Combine(::testing::Values<int64_t>(2, 4, 8, 16, 64),
+                                            ::testing::Values<int64_t>(1, 2, 3, 6)));
+
+// --- Quantization idempotence across granularities and shapes. ---
+
+class QuantIdempotenceTest
+    : public ::testing::TestWithParam<std::tuple<QuantGranularity, int64_t, int64_t>> {};
+
+TEST_P(QuantIdempotenceTest, RoundTripIsIdempotent) {
+  const auto [granularity, rows, cols] = GetParam();
+  Rng rng(static_cast<uint64_t>(rows * 131 + cols));
+  std::vector<float> data(static_cast<size_t>(rows * cols));
+  for (auto& v : data) {
+    v = static_cast<float>(rng.NextGaussian(0.0, 3.0));
+  }
+  QuantConfig config;
+  config.granularity = granularity;
+  config.group_size = 4;
+  const std::vector<float> once = QuantizeRoundTrip(data.data(), rows, cols, config);
+  const std::vector<float> twice = QuantizeRoundTrip(once.data(), rows, cols, config);
+  for (size_t i = 0; i < once.size(); ++i) {
+    // Re-quantizing an already-quantized tensor (with its own amax as the
+    // new scale) must reproduce it within one ulp of the E4M3 grid.
+    EXPECT_NEAR(twice[i], once[i], std::fabs(once[i]) / 64.0f + 1e-6f) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GranularityShapes, QuantIdempotenceTest,
+    ::testing::Combine(::testing::Values(QuantGranularity::kPerTensor,
+                                         QuantGranularity::kPerToken,
+                                         QuantGranularity::kPerChannel,
+                                         QuantGranularity::kPerChannelGrouped),
+                       ::testing::Values<int64_t>(1, 5, 16),
+                       ::testing::Values<int64_t>(1, 8)));
+
+// --- BF16 ordering: rounding preserves <= over a random sample. ---
+
+TEST(Bf16PropertyTest, RoundingIsMonotone) {
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const float a = static_cast<float>(rng.NextGaussian(0.0, 100.0));
+    const float b = static_cast<float>(rng.NextGaussian(0.0, 100.0));
+    const float lo = std::min(a, b);
+    const float hi = std::max(a, b);
+    EXPECT_LE(Bf16Round(lo), Bf16Round(hi));
+  }
+}
+
+// --- Attention over a GQA-ratio sweep: output rows are convex combinations
+// of value rows (causal attention is an average over the prefix). ---
+
+class AttentionSweepTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(AttentionSweepTest, OutputWithinValueHull) {
+  const int64_t m = GetParam();  // query:kv head ratio
+  Rng rng(static_cast<uint64_t>(m));
+  const int64_t s = 6;
+  const int64_t hkv = 2;
+  const int64_t hq = hkv * m;
+  const int64_t d = 4;
+  Tensor q = Tensor::Randn({s, hq, d}, rng);
+  Tensor k = Tensor::Randn({s, hkv, d}, rng);
+  Tensor v = Tensor::Randn({s, hkv, d}, rng);
+  AttentionCoreCache cache;
+  Tensor out = AttentionCore(q, k, v, m, &cache);
+  for (int64_t t = 0; t < s; ++t) {
+    for (int64_t head = 0; head < hq; ++head) {
+      const int64_t kv_head = head / m;
+      for (int64_t e = 0; e < d; ++e) {
+        float lo = 1e30f;
+        float hi = -1e30f;
+        for (int64_t u = 0; u <= t; ++u) {
+          lo = std::min(lo, v.At(u, kv_head, e));
+          hi = std::max(hi, v.At(u, kv_head, e));
+        }
+        EXPECT_GE(out.At(t, head, e), lo - 1e-5f);
+        EXPECT_LE(out.At(t, head, e), hi + 1e-5f);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GqaRatios, AttentionSweepTest, ::testing::Values<int64_t>(1, 2, 4));
+
+// --- SP attention at n = 4 (the suite's other tests use n = 2). ---
+
+TEST(SpAttentionWideTest, FourRanksMatchReference) {
+  ModelConfig config = TinyMoeConfig(4, 2);
+  config.hidden = 32;
+  config.num_heads = 8;
+  config.gqa_ratio = 2;
+  config.seq_len = 8;
+  const int n = 4;
+  const int64_t batch = 1;
+  Rng rng(5);
+  Tensor w_qkv = Tensor::Randn({config.hidden, config.qkv_out_dim()}, rng, 0.0f, 0.2f);
+  Tensor w_out = Tensor::Randn({config.hidden, config.hidden}, rng, 0.0f, 0.2f);
+  Tensor x = Tensor::Randn({batch * config.seq_len, config.hidden}, rng);
+
+  // Single-rank reference via the n=1 path of the same module.
+  CollectiveGroup solo(1);
+  Tensor y_ref;
+  RunOnRanks(1, [&](int) {
+    ShardContext ctx{&solo, 0};
+    SpAttentionCache cache;
+    y_ref = SpAttentionForward(ctx, config, w_qkv, w_out, x, batch, config.seq_len, &cache);
+  });
+
+  CollectiveGroup group(n);
+  std::vector<Tensor> y(n);
+  RunOnRanks(n, [&](int rank) {
+    ShardContext ctx{&group, rank};
+    const int64_t s_local = config.seq_len / n;
+    Tensor x_local = x.SliceRows(rank * s_local, (rank + 1) * s_local);
+    SpAttentionCache cache;
+    y[static_cast<size_t>(rank)] =
+        SpAttentionForward(ctx, config, w_qkv, w_out, x_local, batch, config.seq_len,
+                           &cache);
+  });
+  for (int rank = 0; rank < n; ++rank) {
+    const int64_t s_local = config.seq_len / n;
+    Tensor ref_chunk = y_ref.SliceRows(rank * s_local, (rank + 1) * s_local);
+    EXPECT_LT(y[static_cast<size_t>(rank)].RelativeL2Diff(ref_chunk), 1e-5) << rank;
+  }
+}
+
+// --- Config accounting: parameter counts scale as expected. ---
+
+TEST(ConfigPropertyTest, ParamsScaleLinearlyWithExperts) {
+  ModelConfig base = TinyMoeConfig(8, 2);
+  ModelConfig doubled = TinyMoeConfig(16, 2);
+  EXPECT_EQ(doubled.ExpertParams(), 2 * base.ExpertParams());
+  EXPECT_EQ(doubled.AttentionParams(), base.AttentionParams());
+}
+
+TEST(ConfigPropertyTest, ActivatedParamsIndependentOfExpertCount) {
+  // Sparse activation: adding experts does not change activated params.
+  ModelConfig a = TinyMoeConfig(8, 2);
+  ModelConfig b = TinyMoeConfig(64, 2);
+  // Router grows by h per expert; subtract that negligible term.
+  const int64_t router_diff = (b.num_experts - a.num_experts) * b.hidden * b.num_layers;
+  EXPECT_EQ(b.ActivatedParamsPerToken() - router_diff, a.ActivatedParamsPerToken());
+}
+
+}  // namespace
+}  // namespace msmoe

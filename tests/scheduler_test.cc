@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "src/core/auto_scheduler.h"
+#include "src/core/layer_program.h"
+#include "src/model/config.h"
+#include "src/sim/pipeline_event_sim.h"
+#include "src/sim/pipeline_sim.h"
+
+namespace msmoe {
+namespace {
+
+// --- Auto scheduler (§7 holistic vs automatic) ---
+
+TEST(AutoSchedulerTest, EmptyGraph) {
+  ScheduleSearchResult result = SearchSchedule({}, ScheduleSearchOptions{});
+  EXPECT_EQ(result.best_makespan_us, 0.0);
+}
+
+TEST(AutoSchedulerTest, FindsObviousOverlap) {
+  // comm (20) then independent compute (30) declared on one stream: the
+  // search must discover moving comm to stream 1 -> makespan 30.
+  std::vector<SimOp> ops = {
+      {"comm", 20.0, true, 0, {}, "comm"},
+      {"compute", 30.0, false, 0, {}, "gemm"},
+  };
+  ScheduleSearchOptions options;
+  options.iterations = 200;
+  ScheduleSearchResult result = SearchSchedule(ops, options);
+  EXPECT_DOUBLE_EQ(result.declared_makespan_us, 50.0);
+  EXPECT_DOUBLE_EQ(result.best_makespan_us, 30.0);
+}
+
+TEST(AutoSchedulerTest, RespectsDependencies) {
+  // compute depends on comm: no schedule can beat 20 + 30.
+  std::vector<SimOp> ops = {
+      {"comm", 20.0, true, 0, {}, "comm"},
+      {"compute", 30.0, false, 0, {0}, "gemm"},
+  };
+  ScheduleSearchOptions options;
+  options.iterations = 300;
+  ScheduleSearchResult result = SearchSchedule(ops, options);
+  EXPECT_DOUBLE_EQ(result.best_makespan_us, 50.0);
+  // And the winning schedule re-executes to the same makespan.
+  EXPECT_DOUBLE_EQ(ExecuteGraph(result.best_ops, options.num_streams).makespan, 50.0);
+}
+
+TEST(AutoSchedulerTest, ReordersFifoPriority) {
+  // Stream 0 declared order: long_blockeR first. comm is on stream 1 but
+  // the dependent compute "after_comm" is declared behind "long"; swapping
+  // lets after_comm start when comm finishes -> makespan 60 instead of 70.
+  std::vector<SimOp> ops = {
+      {"comm", 20.0, true, 1, {}, "comm"},
+      {"long", 50.0, false, 0, {}, "gemm"},
+      {"after_comm", 10.0, false, 0, {0}, "gemm"},
+  };
+  // Declared: long [0,50], after_comm [50,60] -> 60. Already optimal? The
+  // alternative order runs after_comm [20,30], long [30,80] -> 80. So the
+  // search must KEEP the declared order.
+  ScheduleSearchOptions options;
+  options.iterations = 400;
+  ScheduleSearchResult result = SearchSchedule(ops, options);
+  EXPECT_DOUBLE_EQ(result.best_makespan_us, 60.0);
+}
+
+TEST(AutoSchedulerTest, NeverWorseThanDeclared) {
+  const CostModel cost(MakeCluster("H800", 8).value());
+  for (const ModelConfig& model : EvaluationModels()) {
+    ExecutionOptions options = ExecutionOptions::MegaScale(model, 8);
+    const LayerGraphs graphs = BuildLayerGraphs(cost, model, options, 1, model.seq_len, 8);
+    ScheduleSearchOptions search;
+    search.iterations = 150;
+    search.restarts = 2;
+    const ScheduleSearchResult result = SearchSchedule(graphs.backward, search);
+    EXPECT_LE(result.best_makespan_us, result.declared_makespan_us + 1e-9) << model.name;
+    EXPECT_GT(result.moves_tried, 0);
+  }
+}
+
+TEST(AutoSchedulerTest, HolisticScheduleNearOptimal) {
+  // The paper's point: the hand schedule leaves little on the table. The
+  // search should improve the holistic backward graph by at most ~12%.
+  const CostModel cost(MakeCluster("H800", 8).value());
+  const ModelConfig model = ModelConfigByName("Mixtral-8x7B").value();
+  ExecutionOptions options = ExecutionOptions::MegaScale(model, 8);
+  options.intra_op_overlap = false;
+  const LayerGraphs graphs = BuildLayerGraphs(cost, model, options, 1, model.seq_len, 8);
+  ScheduleSearchOptions search;
+  search.iterations = 800;
+  search.restarts = 2;
+  const ScheduleSearchResult result = SearchSchedule(graphs.backward, search);
+  EXPECT_GT(result.best_makespan_us, result.declared_makespan_us * 0.88);
+}
+
+// --- Event-driven pipeline (validates the closed-form model) ---
+
+TEST(PipelineEventTest, SingleStageNoBubble) {
+  PipelineEventConfig config;
+  config.pp_stages = 1;
+  config.num_microbatches = 4;
+  config.fwd_chunk_us = 10.0;
+  config.bwd_chunk_us = 20.0;
+  const PipelineEventResult result = SimulatePipelineEvents(config);
+  EXPECT_DOUBLE_EQ(result.makespan_us, 120.0);
+  EXPECT_NEAR(result.bubble_fraction, 0.0, 1e-9);
+}
+
+TEST(PipelineEventTest, MatchesAnalyticVOne) {
+  // Plain 1F1B: the event schedule should land within ~10% of the
+  // (p-1)(f+b) closed form.
+  PipelineEventConfig config;
+  config.pp_stages = 4;
+  config.virtual_stages = 1;
+  config.num_microbatches = 32;
+  config.fwd_chunk_us = 100.0;
+  config.bwd_chunk_us = 200.0;
+  const PipelineEventResult event = SimulatePipelineEvents(config);
+
+  PipelineConfig analytic;
+  analytic.pp_stages = 4;
+  analytic.num_microbatches = 32;
+  analytic.fwd_us = 100.0;
+  analytic.bwd_us = 200.0;
+  const PipelineResult closed = SimulatePipeline(analytic);
+  EXPECT_GE(event.makespan_us, closed.iteration_us * 0.999);
+  EXPECT_LE(event.makespan_us, closed.iteration_us * 1.10);
+}
+
+TEST(PipelineEventTest, InFlightBoundedByLimit) {
+  PipelineEventConfig config;
+  config.pp_stages = 4;
+  config.virtual_stages = 1;
+  config.num_microbatches = 64;
+  config.fwd_chunk_us = 10.0;
+  config.bwd_chunk_us = 20.0;
+  const PipelineEventResult result = SimulatePipelineEvents(config);
+  EXPECT_LE(result.peak_in_flight, 4);  // p micro-batches for plain 1F1B
+}
+
+TEST(PipelineEventTest, InterleavingShrinksBubble) {
+  PipelineEventConfig config;
+  config.pp_stages = 8;
+  config.num_microbatches = 32;
+  config.virtual_stages = 1;
+  config.fwd_chunk_us = 100.0;
+  config.bwd_chunk_us = 200.0;
+  const double bubble_v1 = SimulatePipelineEvents(config).bubble_fraction;
+  config.virtual_stages = 4;
+  config.fwd_chunk_us = 25.0;
+  config.bwd_chunk_us = 50.0;
+  const double bubble_v4 = SimulatePipelineEvents(config).bubble_fraction;
+  EXPECT_LT(bubble_v4, bubble_v1);
+}
+
+TEST(PipelineEventTest, MoreMicrobatchesAmortizeBubble) {
+  PipelineEventConfig config;
+  config.pp_stages = 4;
+  config.fwd_chunk_us = 10.0;
+  config.bwd_chunk_us = 20.0;
+  config.num_microbatches = 4;
+  const double small = SimulatePipelineEvents(config).bubble_fraction;
+  config.num_microbatches = 32;
+  const double large = SimulatePipelineEvents(config).bubble_fraction;
+  EXPECT_LT(large, small);
+}
+
+TEST(PipelineEventTest, P2PDelaysFill) {
+  PipelineEventConfig config;
+  config.pp_stages = 4;
+  config.num_microbatches = 8;
+  config.fwd_chunk_us = 10.0;
+  config.bwd_chunk_us = 20.0;
+  config.p2p_us = 0.0;
+  const double without = SimulatePipelineEvents(config).makespan_us;
+  config.p2p_us = 5.0;
+  const double with = SimulatePipelineEvents(config).makespan_us;
+  EXPECT_GT(with, without);
+}
+
+TEST(PipelineEventTest, AllDevicesDoEqualWork) {
+  PipelineEventConfig config;
+  config.pp_stages = 4;
+  config.num_microbatches = 16;
+  config.fwd_chunk_us = 10.0;
+  config.bwd_chunk_us = 20.0;
+  const PipelineEventResult result = SimulatePipelineEvents(config);
+  for (double busy : result.device_busy_us) {
+    EXPECT_DOUBLE_EQ(busy, 16.0 * 30.0);
+  }
+}
+
+}  // namespace
+}  // namespace msmoe

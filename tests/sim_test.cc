@@ -1,0 +1,400 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/hw/gpu_spec.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/cp_attention.h"
+#include "src/sim/engine.h"
+#include "src/sim/graph.h"
+#include "src/sim/overlap_sim.h"
+#include "src/sim/param_sync.h"
+#include "src/sim/pipeline_sim.h"
+
+namespace msmoe {
+namespace {
+
+CostModel H800Cost() { return CostModel(MakeCluster("H800", 32).value()); }
+
+TEST(SimEngineTest, EventsRunInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.Schedule(5.0, [&] { order.push_back(2); });
+  engine.Schedule(1.0, [&] { order.push_back(1); });
+  engine.Schedule(9.0, [&] { order.push_back(3); });
+  EXPECT_DOUBLE_EQ(engine.Run(), 9.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEngineTest, TiesRunInScheduleOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.Schedule(1.0, [&] { order.push_back(1); });
+  engine.Schedule(1.0, [&] { order.push_back(2); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimEngineTest, NestedScheduling) {
+  SimEngine engine;
+  double inner_time = 0.0;
+  engine.Schedule(2.0, [&] {
+    engine.ScheduleAfter(3.0, [&] { inner_time = engine.now(); });
+  });
+  engine.Run();
+  EXPECT_DOUBLE_EQ(inner_time, 5.0);
+}
+
+TEST(GraphTest, SequentialChainSums) {
+  std::vector<SimOp> ops = {
+      {"a", 10.0, false, 0, {}, "x"},
+      {"b", 20.0, false, 0, {0}, "x"},
+      {"c", 5.0, false, 0, {1}, "x"},
+  };
+  GraphResult result = ExecuteGraph(ops, 1);
+  EXPECT_DOUBLE_EQ(result.makespan, 35.0);
+  EXPECT_DOUBLE_EQ(result.timings[2].start, 30.0);
+}
+
+TEST(GraphTest, IndependentStreamsOverlap) {
+  std::vector<SimOp> ops = {
+      {"compute", 30.0, false, 0, {}, "gemm"},
+      {"comm", 20.0, true, 1, {}, "comm"},
+  };
+  GraphResult result = ExecuteGraph(ops, 2);
+  EXPECT_DOUBLE_EQ(result.makespan, 30.0);
+  EXPECT_DOUBLE_EQ(result.exposed_comm, 0.0);  // comm fully covered
+}
+
+TEST(GraphTest, ExposedCommWhenSerial) {
+  // Single stream: comm blocks compute, all of it exposed.
+  std::vector<SimOp> ops = {
+      {"comm", 20.0, true, 0, {}, "comm"},
+      {"compute", 30.0, false, 0, {0}, "gemm"},
+  };
+  GraphResult result = ExecuteGraph(ops, 1);
+  EXPECT_DOUBLE_EQ(result.makespan, 50.0);
+  EXPECT_DOUBLE_EQ(result.exposed_comm, 20.0);
+}
+
+TEST(GraphTest, PartialExposure) {
+  // comm (0..40) overlaps compute (0..25): 15 exposed.
+  std::vector<SimOp> ops = {
+      {"compute", 25.0, false, 0, {}, "gemm"},
+      {"comm", 40.0, true, 1, {}, "comm"},
+  };
+  GraphResult result = ExecuteGraph(ops, 2);
+  EXPECT_DOUBLE_EQ(result.exposed_comm, 15.0);
+}
+
+TEST(GraphTest, CrossStreamDependency) {
+  std::vector<SimOp> ops = {
+      {"comm", 10.0, true, 1, {}, "comm"},
+      {"compute", 5.0, false, 0, {0}, "gemm"},
+  };
+  GraphResult result = ExecuteGraph(ops, 2);
+  EXPECT_DOUBLE_EQ(result.timings[1].start, 10.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 15.0);
+}
+
+TEST(GraphTest, FifoWithinStream) {
+  // Op b declared first on stream 0 runs before c even though both are ready.
+  std::vector<SimOp> ops = {
+      {"b", 10.0, false, 0, {}, "x"},
+      {"c", 10.0, false, 0, {}, "x"},
+  };
+  GraphResult result = ExecuteGraph(ops, 1);
+  EXPECT_DOUBLE_EQ(result.timings[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(result.timings[1].start, 10.0);
+}
+
+TEST(GraphTest, CategoryAccounting) {
+  std::vector<SimOp> ops = {
+      {"a", 10.0, false, 0, {}, "gemm"},
+      {"b", 20.0, false, 0, {}, "gemm"},
+      {"c", 5.0, true, 0, {}, "comm"},
+  };
+  GraphResult result = ExecuteGraph(ops, 1);
+  EXPECT_DOUBLE_EQ(result.category_busy.at("gemm"), 30.0);
+  EXPECT_DOUBLE_EQ(result.category_busy.at("comm"), 5.0);
+  EXPECT_DOUBLE_EQ(result.compute_busy, 30.0);
+  EXPECT_DOUBLE_EQ(result.comm_busy, 5.0);
+}
+
+TEST(CostModelTest, GemmRooflineComputeBound) {
+  CostModel cost = H800Cost();
+  // Large square GEMM is compute-bound: time ~ 2mnk / rate.
+  const double time = cost.GemmTime(8192, 8192, 8192);
+  const double flops = 2.0 * 8192.0 * 8192.0 * 8192.0;
+  EXPECT_GT(time, flops / (cost.cluster().GemmRate()) * 0.99);
+}
+
+TEST(CostModelTest, GemmMemoryBoundForSkinny) {
+  CostModel cost = H800Cost();
+  // A [1 x 1 x huge] GEMM moves bytes but does few FLOPs: memory-bound.
+  const double time = cost.GemmTime(1, 1, 1 << 22);
+  const double flop_time = 2.0 * (1 << 22) / cost.cluster().GemmRate();
+  EXPECT_GT(time, flop_time * 10.0);
+}
+
+TEST(CostModelTest, NarrowGemmLessEfficient) {
+  CostModel cost = H800Cost();
+  // Same FLOPs, narrower output dim -> more time (the §3.2 TP penalty).
+  const double wide = cost.GroupedGemmTime(4096, 4096, 14336, 4);
+  const double narrow = cost.GroupedGemmTime(4096 * 8, 4096, 14336 / 8, 4);
+  EXPECT_GT(narrow, wide * 1.05);
+}
+
+TEST(CostModelTest, RingFormula) {
+  CostModel cost = H800Cost();
+  // (n-1)/n of total payload over the bus.
+  const int64_t per_rank = 1 << 20;
+  const double time = cost.RingCollectiveTime(per_rank, 8, false);
+  const double expected = 8.0 * per_rank * (7.0 / 8.0) / cost.BusBw(false);
+  EXPECT_NEAR(time, expected, expected * 1e-9);
+  EXPECT_DOUBLE_EQ(cost.RingCollectiveTime(per_rank, 1, false), 0.0);
+}
+
+TEST(CostModelTest, InterNodeSlower) {
+  CostModel cost = H800Cost();
+  EXPECT_GT(cost.RingCollectiveTime(1 << 20, 8, true),
+            cost.RingCollectiveTime(1 << 20, 8, false));
+}
+
+TEST(CostModelTest, Fig7DispatchCrossover) {
+  // Fig 7: for Mixtral-8x7B shapes on an 8-GPU node, A2A dispatch beats
+  // AG until top-k ~ 6, then AG+RS wins.
+  CostModel cost = H800Cost();
+  const int n = 8;
+  const int64_t tokens = 8192;
+  const int64_t h = 4096;
+  auto a2a_time = [&](int64_t k) {
+    return cost.AllToAllTime(tokens / n * k * h * 2, n, false);
+  };
+  const double ag_time = cost.RingCollectiveTime(tokens / n * h * 2, n, false);
+  EXPECT_LT(a2a_time(2), ag_time);   // Mixtral's k=2: A2A wins
+  EXPECT_LT(a2a_time(5), ag_time);
+  EXPECT_GT(a2a_time(7), ag_time);   // k > 6: AG wins
+  EXPECT_GT(a2a_time(8), ag_time);
+}
+
+TEST(TilePipelineTest, FusedBeatsUnfused) {
+  TilePipelineConfig config;
+  config.comm_us = 100.0;
+  config.comp_us = 100.0;
+  config.num_tiles = 32;
+  TilePipelineResult result = SimulateTilePipeline(config);
+  EXPECT_LT(result.fused_us, result.unfused_us);
+  EXPECT_GT(result.speedup, 1.5);
+}
+
+TEST(TilePipelineTest, ApproachesMaxOfCommComp) {
+  TilePipelineConfig config;
+  config.comm_us = 50.0;
+  config.comp_us = 200.0;
+  config.num_tiles = 64;
+  config.barrier_overhead = 0.0;
+  TilePipelineResult result = SimulateTilePipeline(config);
+  // Ideal pipeline: max(comm, comp) + first tile latency.
+  EXPECT_NEAR(result.fused_us, 200.0 + 50.0 / 64.0, 2.0);
+}
+
+TEST(TilePipelineTest, SmFractionSlowsCompute) {
+  TilePipelineConfig base;
+  base.comm_us = 50.0;
+  base.comp_us = 200.0;
+  base.num_tiles = 32;
+  TilePipelineConfig contended = base;
+  contended.comm_sm_fraction = 0.2;
+  EXPECT_GT(SimulateTilePipeline(contended).fused_us, SimulateTilePipeline(base).fused_us);
+}
+
+TEST(TilePipelineTest, SwizzlingHelps) {
+  TilePipelineConfig swizzled;
+  swizzled.comm_us = 150.0;
+  swizzled.comp_us = 150.0;
+  swizzled.num_tiles = 32;
+  TilePipelineConfig unswizzled = swizzled;
+  unswizzled.swizzled = false;
+  EXPECT_GT(SimulateTilePipeline(unswizzled).fused_us,
+            SimulateTilePipeline(swizzled).fused_us);
+}
+
+TEST(TilePipelineTest, MoreTilesPipelineBetter) {
+  TilePipelineConfig coarse;
+  coarse.comm_us = 100.0;
+  coarse.comp_us = 100.0;
+  coarse.num_tiles = 2;
+  TilePipelineConfig fine = coarse;
+  fine.num_tiles = 64;
+  EXPECT_GT(SimulateTilePipeline(coarse).fused_us, SimulateTilePipeline(fine).fused_us);
+}
+
+TEST(ParamSyncTest, SpComparableToTp) {
+  // Fig 14: SP and TP sync times differ by only a few percent.
+  CostModel cost(MakeCluster("H800", 64).value());
+  for (int64_t mb : {384, 768, 1152, 1536}) {
+    const int64_t bytes = mb * 1024 * 1024;
+    for (int d : {4, 8}) {
+      ParamSyncResult result = ParamSyncTime(cost, bytes, 8, d);
+      EXPECT_GT(result.sp_us, result.tp_us * 0.99) << mb << " " << d;
+      EXPECT_LT(result.sp_us, result.tp_us * 1.15) << mb << " " << d;
+    }
+  }
+}
+
+TEST(ParamSyncTest, IntraHiddenUnderInter) {
+  CostModel cost(MakeCluster("H800", 64).value());
+  ParamSyncResult result = ParamSyncTime(cost, 1024LL * 1024 * 1024, 8, 8);
+  // The pipelined hierarchical schedule costs far less than the serial sum.
+  EXPECT_LT(result.sp_us, result.sp_intra_us + result.sp_inter_us);
+  // NVLink >> NIC here, so the intra part is the smaller one.
+  EXPECT_LT(result.sp_intra_us, result.sp_inter_us);
+}
+
+TEST(PipelineSimTest, NoBubbleSingleStage) {
+  PipelineConfig config;
+  config.pp_stages = 1;
+  config.num_microbatches = 4;
+  config.fwd_us = 10.0;
+  config.bwd_us = 20.0;
+  PipelineResult result = SimulatePipeline(config);
+  EXPECT_DOUBLE_EQ(result.bubble_us, 0.0);
+  EXPECT_DOUBLE_EQ(result.iteration_us, 120.0);
+}
+
+TEST(PipelineSimTest, BubbleShrinksWithMicrobatchesAndVirtualStages) {
+  PipelineConfig config;
+  config.pp_stages = 8;
+  config.num_microbatches = 16;
+  config.fwd_us = 10.0;
+  config.bwd_us = 20.0;
+  PipelineResult base = SimulatePipeline(config);
+  config.virtual_stages = 4;
+  PipelineResult interleaved = SimulatePipeline(config);
+  EXPECT_LT(interleaved.bubble_us, base.bubble_us);
+  config.num_microbatches = 64;
+  PipelineResult more_micros = SimulatePipeline(config);
+  EXPECT_LT(more_micros.bubble_fraction, interleaved.bubble_fraction);
+}
+
+TEST(PipelineSimTest, GradSyncOverlapReducesIteration) {
+  PipelineConfig config;
+  config.pp_stages = 4;
+  config.num_microbatches = 8;
+  config.fwd_us = 10.0;
+  config.bwd_us = 20.0;
+  config.grad_sync_us = 100.0;
+  config.grad_sync_overlap = 0.0;
+  PipelineResult exposed = SimulatePipeline(config);
+  config.grad_sync_overlap = 0.9;
+  PipelineResult hidden = SimulatePipeline(config);
+  EXPECT_NEAR(exposed.iteration_us - hidden.iteration_us, 90.0, 1e-9);
+}
+
+TEST(PipelineSimTest, FixedGlobalBatchStrongScalingBubbleGrows) {
+  // Table 3's MFU decline: fewer micro-batches per pipeline at larger scale.
+  PipelineConfig config;
+  config.pp_stages = 15;
+  config.virtual_stages = 2;
+  config.fwd_us = 10.0;
+  config.bwd_us = 20.0;
+  config.num_microbatches = 360;  // 240 GPUs, dp=2
+  const double frac_small = SimulatePipeline(config).bubble_fraction;
+  config.num_microbatches = 60;   // 1440 GPUs, dp=12
+  const double frac_large = SimulatePipeline(config).bubble_fraction;
+  EXPECT_GT(frac_large, frac_small);
+}
+
+TEST(CpAttentionTest, WorkSharesSumToOne) {
+  for (AttnPartition partition :
+       {AttnPartition::kCpContiguous, AttnPartition::kCpZigzag,
+        AttnPartition::kSpByHeads}) {
+    const AttnLoadReport report = AnalyzeAttentionLoad(512, 8, partition);
+    double total = 0.0;
+    for (double work : report.per_rank_work) {
+      total += work;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << AttnPartitionName(partition);
+  }
+}
+
+TEST(CpAttentionTest, ContiguousLastRankNearTwiceMean) {
+  const AttnLoadReport report = AnalyzeAttentionLoad(8192, 8, AttnPartition::kCpContiguous);
+  // Last chunk attends to nearly the whole sequence: max/mean -> (2n-1)/n.
+  EXPECT_NEAR(report.max_over_mean, (2.0 * 8 - 1.0) / 8.0, 0.01);
+  // Work increases monotonically with rank.
+  for (size_t r = 1; r < report.per_rank_work.size(); ++r) {
+    EXPECT_GT(report.per_rank_work[r], report.per_rank_work[r - 1]);
+  }
+}
+
+TEST(CpAttentionTest, BalanceOrdering) {
+  // SP by heads is exact; zigzag balances TOTAL FLOPs; contiguous is far off.
+  const double contiguous =
+      AnalyzeAttentionLoad(8192, 8, AttnPartition::kCpContiguous).max_over_mean;
+  const double zigzag =
+      AnalyzeAttentionLoad(8192, 8, AttnPartition::kCpZigzag).max_over_mean;
+  const double heads = AnalyzeAttentionLoad(8192, 8, AttnPartition::kSpByHeads).max_over_mean;
+  EXPECT_DOUBLE_EQ(heads, 1.0);
+  EXPECT_NEAR(zigzag, 1.0, 1e-9);  // aggregate FLOPs cancel pairwise
+  EXPECT_GT(contiguous, 1.8);
+}
+
+TEST(CpAttentionTest, RingScheduleContiguousWastesSteps) {
+  // The ring exchange runs in lock-steps and every step waits for its most
+  // loaded rank: contiguous CP leaves ranks idle in most steps (efficiency
+  // well under 1); zigzag's pairing evens the steps; Ulysses has no ring.
+  const double contiguous =
+      AnalyzeRingSchedule(8192, 8, AttnPartition::kCpContiguous).efficiency;
+  const double zigzag = AnalyzeRingSchedule(8192, 8, AttnPartition::kCpZigzag).efficiency;
+  const double heads = AnalyzeRingSchedule(8192, 8, AttnPartition::kSpByHeads).efficiency;
+  EXPECT_DOUBLE_EQ(heads, 1.0);
+  EXPECT_GT(zigzag, contiguous);
+  EXPECT_LT(contiguous, 0.7);
+}
+
+TEST(CpAttentionTest, VariableLengthBatchesBreakZigzag) {
+  // §3.1: production batches pack variable-length documents; where the
+  // boundaries fall decides CP's load, and even zigzag goes imbalanced —
+  // "constrained by the most imbalanced data batch". Head partitioning is
+  // immune.
+  const std::vector<int64_t> docs = {4096, 256, 2048, 1024, 512, 256, 64, 64, 64, 64, 64,
+                                     64, 64, 64};  // sums to 8704? compute below
+  int64_t total = 0;
+  for (int64_t d : docs) {
+    total += d;
+  }
+  // Pad the last doc so the total divides 16 slices.
+  std::vector<int64_t> padded = docs;
+  const int64_t target = ((total + 16 * 8 - 1) / (16 * 8)) * (16 * 8);
+  if (target > total) {
+    padded.push_back(target - total);
+  }
+  const AttnLoadReport zigzag =
+      AnalyzeVariableLengthLoad(padded, 8, AttnPartition::kCpZigzag);
+  const AttnLoadReport heads =
+      AnalyzeVariableLengthLoad(padded, 8, AttnPartition::kSpByHeads);
+  EXPECT_GT(zigzag.max_over_mean, 1.10);  // measurably imbalanced
+  EXPECT_DOUBLE_EQ(heads.max_over_mean, 1.0);
+}
+
+TEST(CpAttentionTest, UniformDocsRecoverBalance) {
+  // With equal-length documents aligned to the slices, zigzag balances.
+  std::vector<int64_t> docs(16, 512);  // 8192 tokens
+  const AttnLoadReport zigzag = AnalyzeVariableLengthLoad(docs, 8, AttnPartition::kCpZigzag);
+  EXPECT_NEAR(zigzag.max_over_mean, 1.0, 1e-9);
+}
+
+TEST(CpAttentionTest, ZigzagPairsHeadAndTail) {
+  const AttnLoadReport report = AnalyzeAttentionLoad(1024, 4, AttnPartition::kCpZigzag);
+  // Rank 0 holds slices 0 and 2n-1: the extremes. Every rank's share is
+  // within a few percent of 1/n.
+  for (double work : report.per_rank_work) {
+    EXPECT_NEAR(work, 0.25, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace msmoe
