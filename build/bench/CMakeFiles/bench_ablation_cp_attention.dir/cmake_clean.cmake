@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cp_attention.dir/bench_ablation_cp_attention.cc.o"
+  "CMakeFiles/bench_ablation_cp_attention.dir/bench_ablation_cp_attention.cc.o.d"
+  "bench_ablation_cp_attention"
+  "bench_ablation_cp_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cp_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

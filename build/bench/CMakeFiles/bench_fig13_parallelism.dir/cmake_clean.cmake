@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_parallelism.dir/bench_fig13_parallelism.cc.o"
+  "CMakeFiles/bench_fig13_parallelism.dir/bench_fig13_parallelism.cc.o.d"
+  "bench_fig13_parallelism"
+  "bench_fig13_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

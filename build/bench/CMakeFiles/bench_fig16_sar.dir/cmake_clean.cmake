@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_sar.dir/bench_fig16_sar.cc.o"
+  "CMakeFiles/bench_fig16_sar.dir/bench_fig16_sar.cc.o.d"
+  "bench_fig16_sar"
+  "bench_fig16_sar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_sar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

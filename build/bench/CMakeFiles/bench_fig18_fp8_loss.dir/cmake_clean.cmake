@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_fp8_loss.dir/bench_fig18_fp8_loss.cc.o"
+  "CMakeFiles/bench_fig18_fp8_loss.dir/bench_fig18_fp8_loss.cc.o.d"
+  "bench_fig18_fp8_loss"
+  "bench_fig18_fp8_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_fp8_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

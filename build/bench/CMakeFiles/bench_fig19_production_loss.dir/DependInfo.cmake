@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig19_production_loss.cc" "bench/CMakeFiles/bench_fig19_production_loss.dir/bench_fig19_production_loss.cc.o" "gcc" "bench/CMakeFiles/bench_fig19_production_loss.dir/bench_fig19_production_loss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msmoe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msmoe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/msmoe_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/msmoe_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/msmoe_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/msmoe_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/msmoe_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/msmoe_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/msmoe_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_dispatch.dir/bench_fig7_dispatch.cc.o"
+  "CMakeFiles/bench_fig7_dispatch.dir/bench_fig7_dispatch.cc.o.d"
+  "bench_fig7_dispatch"
+  "bench_fig7_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaleup_ratio.dir/bench_scaleup_ratio.cc.o"
+  "CMakeFiles/bench_scaleup_ratio.dir/bench_scaleup_ratio.cc.o.d"
+  "bench_scaleup_ratio"
+  "bench_scaleup_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaleup_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

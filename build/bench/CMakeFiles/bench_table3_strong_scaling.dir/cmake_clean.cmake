@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_strong_scaling.dir/bench_table3_strong_scaling.cc.o"
+  "CMakeFiles/bench_table3_strong_scaling.dir/bench_table3_strong_scaling.cc.o.d"
+  "bench_table3_strong_scaling"
+  "bench_table3_strong_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_layer_demo.dir/distributed_layer_demo.cpp.o"
+  "CMakeFiles/distributed_layer_demo.dir/distributed_layer_demo.cpp.o.d"
+  "distributed_layer_demo"
+  "distributed_layer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_layer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megascale_layer_training.dir/megascale_layer_training.cpp.o"
+  "CMakeFiles/megascale_layer_training.dir/megascale_layer_training.cpp.o.d"
+  "megascale_layer_training"
+  "megascale_layer_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megascale_layer_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_trace.dir/schedule_trace.cpp.o"
+  "CMakeFiles/schedule_trace.dir/schedule_trace.cpp.o.d"
+  "schedule_trace"
+  "schedule_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_tiny_moe.dir/train_tiny_moe.cpp.o"
+  "CMakeFiles/train_tiny_moe.dir/train_tiny_moe.cpp.o.d"
+  "train_tiny_moe"
+  "train_tiny_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_tiny_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msmoe_base.dir/logging.cc.o"
+  "CMakeFiles/msmoe_base.dir/logging.cc.o.d"
+  "CMakeFiles/msmoe_base.dir/rng.cc.o"
+  "CMakeFiles/msmoe_base.dir/rng.cc.o.d"
+  "CMakeFiles/msmoe_base.dir/status.cc.o"
+  "CMakeFiles/msmoe_base.dir/status.cc.o.d"
+  "CMakeFiles/msmoe_base.dir/table.cc.o"
+  "CMakeFiles/msmoe_base.dir/table.cc.o.d"
+  "libmsmoe_base.a"
+  "libmsmoe_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msmoe_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

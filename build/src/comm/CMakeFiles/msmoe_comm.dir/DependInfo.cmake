@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collective_group.cc" "src/comm/CMakeFiles/msmoe_comm.dir/collective_group.cc.o" "gcc" "src/comm/CMakeFiles/msmoe_comm.dir/collective_group.cc.o.d"
+  "/root/repo/src/comm/hierarchical.cc" "src/comm/CMakeFiles/msmoe_comm.dir/hierarchical.cc.o" "gcc" "src/comm/CMakeFiles/msmoe_comm.dir/hierarchical.cc.o.d"
+  "/root/repo/src/comm/ring_algorithms.cc" "src/comm/CMakeFiles/msmoe_comm.dir/ring_algorithms.cc.o" "gcc" "src/comm/CMakeFiles/msmoe_comm.dir/ring_algorithms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/msmoe_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

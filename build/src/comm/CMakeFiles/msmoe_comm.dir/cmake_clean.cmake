@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msmoe_comm.dir/collective_group.cc.o"
+  "CMakeFiles/msmoe_comm.dir/collective_group.cc.o.d"
+  "CMakeFiles/msmoe_comm.dir/hierarchical.cc.o"
+  "CMakeFiles/msmoe_comm.dir/hierarchical.cc.o.d"
+  "CMakeFiles/msmoe_comm.dir/ring_algorithms.cc.o"
+  "CMakeFiles/msmoe_comm.dir/ring_algorithms.cc.o.d"
+  "libmsmoe_comm.a"
+  "libmsmoe_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msmoe_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msmoe_core.dir/auto_scheduler.cc.o"
+  "CMakeFiles/msmoe_core.dir/auto_scheduler.cc.o.d"
+  "CMakeFiles/msmoe_core.dir/layer_program.cc.o"
+  "CMakeFiles/msmoe_core.dir/layer_program.cc.o.d"
+  "CMakeFiles/msmoe_core.dir/parallelism_planner.cc.o"
+  "CMakeFiles/msmoe_core.dir/parallelism_planner.cc.o.d"
+  "CMakeFiles/msmoe_core.dir/scaleup_analysis.cc.o"
+  "CMakeFiles/msmoe_core.dir/scaleup_analysis.cc.o.d"
+  "CMakeFiles/msmoe_core.dir/sim_trainer.cc.o"
+  "CMakeFiles/msmoe_core.dir/sim_trainer.cc.o.d"
+  "CMakeFiles/msmoe_core.dir/trainer.cc.o"
+  "CMakeFiles/msmoe_core.dir/trainer.cc.o.d"
+  "libmsmoe_core.a"
+  "libmsmoe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msmoe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

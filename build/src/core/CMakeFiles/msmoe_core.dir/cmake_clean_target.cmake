@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsmoe_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msmoe_hw.dir/gpu_spec.cc.o"
+  "CMakeFiles/msmoe_hw.dir/gpu_spec.cc.o.d"
+  "libmsmoe_hw.a"
+  "libmsmoe_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msmoe_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

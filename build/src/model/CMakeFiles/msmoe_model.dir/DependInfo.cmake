@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/attention.cc" "src/model/CMakeFiles/msmoe_model.dir/attention.cc.o" "gcc" "src/model/CMakeFiles/msmoe_model.dir/attention.cc.o.d"
+  "/root/repo/src/model/checkpoint.cc" "src/model/CMakeFiles/msmoe_model.dir/checkpoint.cc.o" "gcc" "src/model/CMakeFiles/msmoe_model.dir/checkpoint.cc.o.d"
+  "/root/repo/src/model/config.cc" "src/model/CMakeFiles/msmoe_model.dir/config.cc.o" "gcc" "src/model/CMakeFiles/msmoe_model.dir/config.cc.o.d"
+  "/root/repo/src/model/flat_adam.cc" "src/model/CMakeFiles/msmoe_model.dir/flat_adam.cc.o" "gcc" "src/model/CMakeFiles/msmoe_model.dir/flat_adam.cc.o.d"
+  "/root/repo/src/model/grouped_gemm.cc" "src/model/CMakeFiles/msmoe_model.dir/grouped_gemm.cc.o" "gcc" "src/model/CMakeFiles/msmoe_model.dir/grouped_gemm.cc.o.d"
+  "/root/repo/src/model/lm.cc" "src/model/CMakeFiles/msmoe_model.dir/lm.cc.o" "gcc" "src/model/CMakeFiles/msmoe_model.dir/lm.cc.o.d"
+  "/root/repo/src/model/moe_layer.cc" "src/model/CMakeFiles/msmoe_model.dir/moe_layer.cc.o" "gcc" "src/model/CMakeFiles/msmoe_model.dir/moe_layer.cc.o.d"
+  "/root/repo/src/model/optimizer.cc" "src/model/CMakeFiles/msmoe_model.dir/optimizer.cc.o" "gcc" "src/model/CMakeFiles/msmoe_model.dir/optimizer.cc.o.d"
+  "/root/repo/src/model/router.cc" "src/model/CMakeFiles/msmoe_model.dir/router.cc.o" "gcc" "src/model/CMakeFiles/msmoe_model.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/msmoe_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/msmoe_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

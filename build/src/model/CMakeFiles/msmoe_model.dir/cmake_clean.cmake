@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msmoe_model.dir/attention.cc.o"
+  "CMakeFiles/msmoe_model.dir/attention.cc.o.d"
+  "CMakeFiles/msmoe_model.dir/checkpoint.cc.o"
+  "CMakeFiles/msmoe_model.dir/checkpoint.cc.o.d"
+  "CMakeFiles/msmoe_model.dir/config.cc.o"
+  "CMakeFiles/msmoe_model.dir/config.cc.o.d"
+  "CMakeFiles/msmoe_model.dir/flat_adam.cc.o"
+  "CMakeFiles/msmoe_model.dir/flat_adam.cc.o.d"
+  "CMakeFiles/msmoe_model.dir/grouped_gemm.cc.o"
+  "CMakeFiles/msmoe_model.dir/grouped_gemm.cc.o.d"
+  "CMakeFiles/msmoe_model.dir/lm.cc.o"
+  "CMakeFiles/msmoe_model.dir/lm.cc.o.d"
+  "CMakeFiles/msmoe_model.dir/moe_layer.cc.o"
+  "CMakeFiles/msmoe_model.dir/moe_layer.cc.o.d"
+  "CMakeFiles/msmoe_model.dir/optimizer.cc.o"
+  "CMakeFiles/msmoe_model.dir/optimizer.cc.o.d"
+  "CMakeFiles/msmoe_model.dir/router.cc.o"
+  "CMakeFiles/msmoe_model.dir/router.cc.o.d"
+  "libmsmoe_model.a"
+  "libmsmoe_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msmoe_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

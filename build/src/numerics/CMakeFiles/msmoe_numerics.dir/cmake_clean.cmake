@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msmoe_numerics.dir/fp8.cc.o"
+  "CMakeFiles/msmoe_numerics.dir/fp8.cc.o.d"
+  "CMakeFiles/msmoe_numerics.dir/quantize.cc.o"
+  "CMakeFiles/msmoe_numerics.dir/quantize.cc.o.d"
+  "libmsmoe_numerics.a"
+  "libmsmoe_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msmoe_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

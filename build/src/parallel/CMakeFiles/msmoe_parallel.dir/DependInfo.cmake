@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/distributed_lm.cc" "src/parallel/CMakeFiles/msmoe_parallel.dir/distributed_lm.cc.o" "gcc" "src/parallel/CMakeFiles/msmoe_parallel.dir/distributed_lm.cc.o.d"
+  "/root/repo/src/parallel/dp_grad_sync.cc" "src/parallel/CMakeFiles/msmoe_parallel.dir/dp_grad_sync.cc.o" "gcc" "src/parallel/CMakeFiles/msmoe_parallel.dir/dp_grad_sync.cc.o.d"
+  "/root/repo/src/parallel/ep_ffn.cc" "src/parallel/CMakeFiles/msmoe_parallel.dir/ep_ffn.cc.o" "gcc" "src/parallel/CMakeFiles/msmoe_parallel.dir/ep_ffn.cc.o.d"
+  "/root/repo/src/parallel/fp8_comm.cc" "src/parallel/CMakeFiles/msmoe_parallel.dir/fp8_comm.cc.o" "gcc" "src/parallel/CMakeFiles/msmoe_parallel.dir/fp8_comm.cc.o.d"
+  "/root/repo/src/parallel/fused_ops.cc" "src/parallel/CMakeFiles/msmoe_parallel.dir/fused_ops.cc.o" "gcc" "src/parallel/CMakeFiles/msmoe_parallel.dir/fused_ops.cc.o.d"
+  "/root/repo/src/parallel/parallel_moe_layer.cc" "src/parallel/CMakeFiles/msmoe_parallel.dir/parallel_moe_layer.cc.o" "gcc" "src/parallel/CMakeFiles/msmoe_parallel.dir/parallel_moe_layer.cc.o.d"
+  "/root/repo/src/parallel/sp_attention.cc" "src/parallel/CMakeFiles/msmoe_parallel.dir/sp_attention.cc.o" "gcc" "src/parallel/CMakeFiles/msmoe_parallel.dir/sp_attention.cc.o.d"
+  "/root/repo/src/parallel/tp_attention.cc" "src/parallel/CMakeFiles/msmoe_parallel.dir/tp_attention.cc.o" "gcc" "src/parallel/CMakeFiles/msmoe_parallel.dir/tp_attention.cc.o.d"
+  "/root/repo/src/parallel/tp_ffn.cc" "src/parallel/CMakeFiles/msmoe_parallel.dir/tp_ffn.cc.o" "gcc" "src/parallel/CMakeFiles/msmoe_parallel.dir/tp_ffn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/msmoe_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/msmoe_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/msmoe_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/msmoe_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/msmoe_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

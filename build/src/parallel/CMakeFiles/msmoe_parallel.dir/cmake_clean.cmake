@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msmoe_parallel.dir/distributed_lm.cc.o"
+  "CMakeFiles/msmoe_parallel.dir/distributed_lm.cc.o.d"
+  "CMakeFiles/msmoe_parallel.dir/dp_grad_sync.cc.o"
+  "CMakeFiles/msmoe_parallel.dir/dp_grad_sync.cc.o.d"
+  "CMakeFiles/msmoe_parallel.dir/ep_ffn.cc.o"
+  "CMakeFiles/msmoe_parallel.dir/ep_ffn.cc.o.d"
+  "CMakeFiles/msmoe_parallel.dir/fp8_comm.cc.o"
+  "CMakeFiles/msmoe_parallel.dir/fp8_comm.cc.o.d"
+  "CMakeFiles/msmoe_parallel.dir/fused_ops.cc.o"
+  "CMakeFiles/msmoe_parallel.dir/fused_ops.cc.o.d"
+  "CMakeFiles/msmoe_parallel.dir/parallel_moe_layer.cc.o"
+  "CMakeFiles/msmoe_parallel.dir/parallel_moe_layer.cc.o.d"
+  "CMakeFiles/msmoe_parallel.dir/sp_attention.cc.o"
+  "CMakeFiles/msmoe_parallel.dir/sp_attention.cc.o.d"
+  "CMakeFiles/msmoe_parallel.dir/tp_attention.cc.o"
+  "CMakeFiles/msmoe_parallel.dir/tp_attention.cc.o.d"
+  "CMakeFiles/msmoe_parallel.dir/tp_ffn.cc.o"
+  "CMakeFiles/msmoe_parallel.dir/tp_ffn.cc.o.d"
+  "libmsmoe_parallel.a"
+  "libmsmoe_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msmoe_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/msmoe_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/msmoe_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/cp_attention.cc" "src/sim/CMakeFiles/msmoe_sim.dir/cp_attention.cc.o" "gcc" "src/sim/CMakeFiles/msmoe_sim.dir/cp_attention.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/msmoe_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/msmoe_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/graph.cc" "src/sim/CMakeFiles/msmoe_sim.dir/graph.cc.o" "gcc" "src/sim/CMakeFiles/msmoe_sim.dir/graph.cc.o.d"
+  "/root/repo/src/sim/overlap_sim.cc" "src/sim/CMakeFiles/msmoe_sim.dir/overlap_sim.cc.o" "gcc" "src/sim/CMakeFiles/msmoe_sim.dir/overlap_sim.cc.o.d"
+  "/root/repo/src/sim/param_sync.cc" "src/sim/CMakeFiles/msmoe_sim.dir/param_sync.cc.o" "gcc" "src/sim/CMakeFiles/msmoe_sim.dir/param_sync.cc.o.d"
+  "/root/repo/src/sim/pipeline_event_sim.cc" "src/sim/CMakeFiles/msmoe_sim.dir/pipeline_event_sim.cc.o" "gcc" "src/sim/CMakeFiles/msmoe_sim.dir/pipeline_event_sim.cc.o.d"
+  "/root/repo/src/sim/pipeline_sim.cc" "src/sim/CMakeFiles/msmoe_sim.dir/pipeline_sim.cc.o" "gcc" "src/sim/CMakeFiles/msmoe_sim.dir/pipeline_sim.cc.o.d"
+  "/root/repo/src/sim/trace_export.cc" "src/sim/CMakeFiles/msmoe_sim.dir/trace_export.cc.o" "gcc" "src/sim/CMakeFiles/msmoe_sim.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/msmoe_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/msmoe_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

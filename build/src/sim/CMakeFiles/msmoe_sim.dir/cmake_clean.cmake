@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msmoe_sim.dir/cost_model.cc.o"
+  "CMakeFiles/msmoe_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/msmoe_sim.dir/cp_attention.cc.o"
+  "CMakeFiles/msmoe_sim.dir/cp_attention.cc.o.d"
+  "CMakeFiles/msmoe_sim.dir/engine.cc.o"
+  "CMakeFiles/msmoe_sim.dir/engine.cc.o.d"
+  "CMakeFiles/msmoe_sim.dir/graph.cc.o"
+  "CMakeFiles/msmoe_sim.dir/graph.cc.o.d"
+  "CMakeFiles/msmoe_sim.dir/overlap_sim.cc.o"
+  "CMakeFiles/msmoe_sim.dir/overlap_sim.cc.o.d"
+  "CMakeFiles/msmoe_sim.dir/param_sync.cc.o"
+  "CMakeFiles/msmoe_sim.dir/param_sync.cc.o.d"
+  "CMakeFiles/msmoe_sim.dir/pipeline_event_sim.cc.o"
+  "CMakeFiles/msmoe_sim.dir/pipeline_event_sim.cc.o.d"
+  "CMakeFiles/msmoe_sim.dir/pipeline_sim.cc.o"
+  "CMakeFiles/msmoe_sim.dir/pipeline_sim.cc.o.d"
+  "CMakeFiles/msmoe_sim.dir/trace_export.cc.o"
+  "CMakeFiles/msmoe_sim.dir/trace_export.cc.o.d"
+  "libmsmoe_sim.a"
+  "libmsmoe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msmoe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

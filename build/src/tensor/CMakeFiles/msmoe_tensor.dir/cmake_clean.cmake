@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msmoe_tensor.dir/tensor.cc.o"
+  "CMakeFiles/msmoe_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/msmoe_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/msmoe_tensor.dir/tensor_ops.cc.o.d"
+  "libmsmoe_tensor.a"
+  "libmsmoe_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msmoe_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

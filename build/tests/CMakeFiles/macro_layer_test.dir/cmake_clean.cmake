@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macro_layer_test.dir/macro_layer_test.cc.o"
+  "CMakeFiles/macro_layer_test.dir/macro_layer_test.cc.o.d"
+  "macro_layer_test"
+  "macro_layer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macro_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

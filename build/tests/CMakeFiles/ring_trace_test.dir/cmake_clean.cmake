@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_trace_test.dir/ring_trace_test.cc.o"
+  "CMakeFiles/ring_trace_test.dir/ring_trace_test.cc.o.d"
+  "ring_trace_test"
+  "ring_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
