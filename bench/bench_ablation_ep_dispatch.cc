@@ -8,7 +8,7 @@
 #include "bench/bench_util.h"
 #include "src/base/rng.h"
 #include "src/base/table.h"
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/core/parallelism_planner.h"
 #include "src/model/config.h"
 #include "src/parallel/ep_ffn.h"
@@ -59,8 +59,8 @@ void RealDispatchEquivalence() {
   Tensor x = Tensor::Randn({32, model.hidden}, rng);
 
   const int n = 2;
-  CollectiveGroup a2a_group(n);
-  CollectiveGroup ag_group(n);
+  FlatCommunicator a2a_group(n);
+  FlatCommunicator ag_group(n);
   std::vector<Tensor> y_a2a(n), y_ag(n);
   RunOnRanks(n, [&](int rank) {
     Tensor x_local = x.SliceRows(rank * 16, (rank + 1) * 16);

@@ -3,6 +3,13 @@
 // node. Reports both the simulated collective times (the paper's
 // measurement) and the analytic communication volumes (Eqs 3-4), and the
 // dispatch mode the planner consequently selects.
+//
+// Besides the human-readable table, writes BENCH_fig7.json (one record per
+// top-k) so the perf trajectory of this figure can be tracked across
+// commits by machines, not eyeballs.
+#include <cstdio>
+#include <memory>
+
 #include "bench/bench_util.h"
 #include "src/base/table.h"
 #include "src/base/units.h"
@@ -24,6 +31,16 @@ void Run() {
   const int64_t tokens_per_rank = model.seq_len / n;
   const int64_t bytes_per_token = model.hidden * 2;
 
+  const char* json_path = "BENCH_fig7.json";
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> json(std::fopen(json_path, "wb"),
+                                                       &std::fclose);
+  if (json != nullptr) {
+    std::fprintf(json.get(),
+                 "{\"bench\":\"fig7_dispatch\",\"model\":\"Mixtral-8x7B\","
+                 "\"gpus\":%d,\"rows\":[",
+                 n);
+  }
+
   TablePrinter table({"top-k", "A2A time (us)", "AG time (us)", "RS time (us)",
                       "A2A volume (MiB)", "AG volume (MiB)", "Planner picks"});
   for (int64_t k = 1; k <= 8; ++k) {
@@ -37,13 +54,25 @@ void Run() {
         EpFfnCommBytes(1, model.seq_len, model.hidden, n, k,
                        EpDispatchMode::kAllGatherScatter) /
         2.0;
+    const char* pick = EpDispatchModeName(ChooseEpDispatch(k, n));
     table.AddRow({TablePrinter::Fmt(k), TablePrinter::Fmt(a2a, 1),
                   TablePrinter::Fmt(ag, 1), TablePrinter::Fmt(ag, 1),
                   TablePrinter::Fmt(a2a_volume / kMiB, 1),
-                  TablePrinter::Fmt(ag_volume / kMiB, 1),
-                  EpDispatchModeName(ChooseEpDispatch(k, n))});
+                  TablePrinter::Fmt(ag_volume / kMiB, 1), pick});
+    if (json != nullptr) {
+      std::fprintf(json.get(),
+                   "%s{\"top_k\":%lld,\"a2a_time_us\":%.3f,\"ag_time_us\":%.3f,"
+                   "\"rs_time_us\":%.3f,\"a2a_volume_bytes\":%.0f,"
+                   "\"ag_volume_bytes\":%.0f,\"planner_picks\":\"%s\"}",
+                   k == 1 ? "" : ",", static_cast<long long>(k), a2a, ag, ag,
+                   a2a_volume, ag_volume, pick);
+    }
   }
   table.Print("Dispatch-communication time vs top-k (AG and RS are symmetric):");
+  if (json != nullptr) {
+    std::fprintf(json.get(), "]}\n");
+    std::printf("\nmachine-readable output: %s\n", json_path);
+  }
 }
 
 }  // namespace

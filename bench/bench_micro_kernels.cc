@@ -5,7 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/base/rng.h"
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/model/attention.h"
 #include "src/model/grouped_gemm.h"
 #include "src/model/router.h"
@@ -102,7 +102,7 @@ void BM_AllToAll(benchmark::State& state) {
   const int n = 4;
   const int64_t count = state.range(0);
   for (auto _ : state) {
-    CollectiveGroup group(n);
+    FlatCommunicator group(n);
     RunOnRanks(n, [&](int rank) {
       std::vector<float> send(static_cast<size_t>(n * count), 1.0f);
       std::vector<float> recv(static_cast<size_t>(n * count));

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/model/config.h"
 #include "src/model/router.h"
 #include "src/parallel/ep_ffn.h"
@@ -44,8 +44,8 @@ int main() {
   const int64_t batch = 2;
   Tensor x = Tensor::Randn({batch * config.seq_len, config.hidden}, rng);
 
-  CollectiveGroup attn_group(n);
-  CollectiveGroup ffn_group(n);
+  FlatCommunicator attn_group(n);
+  FlatCommunicator ffn_group(n);
   std::vector<Tensor> attn_out(n), ffn_out(n);
   RunOnRanks(n, [&](int rank) {
     // Each rank owns a contiguous s/n slice of every sequence.

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/core/parallelism_planner.h"
 #include "src/model/config.h"
 #include "src/model/optimizer.h"
@@ -40,8 +40,8 @@ int main() {
   std::printf("distributed MoE LM: SP=EP=%d, dispatch=%s, SAR=on\n", n,
               EpDispatchModeName(options.dispatch));
 
-  CollectiveGroup group(n);
-  CollectiveGroup sync(n);
+  FlatCommunicator group(n);
+  FlatCommunicator sync(n);
   std::vector<double> losses(static_cast<size_t>(steps), 0.0);
   RunOnRanks(n, [&](int rank) {
     Rng rng(7);

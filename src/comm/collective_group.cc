@@ -23,6 +23,7 @@ std::vector<double> CollectiveGroup::ExchangeScalars(int member, double value) {
   scalars_[static_cast<size_t>(member)] = value;
   Barrier();
   std::vector<double> out = scalars_;
+  AccountOnce(member, RingVolume(sizeof(double)));
   Barrier();
   return out;
 }

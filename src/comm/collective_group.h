@@ -11,6 +11,17 @@
 // before calling a collective (src/numerics); the group additionally keeps
 // an analytic count of wire bytes per algorithm (ring AG/RS, all-to-all) so
 // tests and benches can assert the communication-volume formulas of §3.
+//
+// Wire-byte accounting convention: every collective computes the TOTAL
+// analytic volume of the operation (summed over all members' off-rank
+// traffic) and adds it to wire_bytes() exactly once, on member 0
+// (AccountOnce). No collective accumulates per-member shares — so
+// wire_bytes() always reads as "bytes the fabric moved", regardless of
+// which member queries it or how asymmetric the op was (AllToAllV).
+//
+// Algorithm code should not call this class directly — issue collectives
+// through the instrumented msmoe::Communicator layer (communicator.h),
+// which records per-op telemetry on top of these primitives.
 #ifndef MSMOE_SRC_COMM_COLLECTIVE_GROUP_H_
 #define MSMOE_SRC_COMM_COLLECTIVE_GROUP_H_
 
@@ -125,16 +136,17 @@ class CollectiveGroup {
   // element count received from member s and recv is packed in source order.
   // recv must have capacity for the total received (callers can size it via
   // ExchangeCounts below, or pass a vector to the overload in comm_util).
+  // Returns the total off-rank wire bytes of this collective (identical on
+  // every member; accounted once per the header convention).
   template <typename T>
-  void AllToAllV(int member, const T* send, const std::vector<int64_t>& send_counts, T* recv,
-                 std::vector<int64_t>* recv_counts) {
+  uint64_t AllToAllV(int member, const T* send, const std::vector<int64_t>& send_counts,
+                     T* recv, std::vector<int64_t>* recv_counts) {
     MSMOE_CHECK_EQ(static_cast<int>(send_counts.size()), size_);
     PublishSend(member, send);
     PublishCounts(member, send_counts);
     Barrier();
     recv_counts->assign(static_cast<size_t>(size_), 0);
     int64_t recv_offset = 0;
-    uint64_t bytes = 0;
     for (int src = 0; src < size_; ++src) {
       // Offset of the block addressed to `member` inside src's send buffer.
       int64_t src_offset = 0;
@@ -146,16 +158,24 @@ class CollectiveGroup {
                   static_cast<size_t>(n) * sizeof(T));
       (*recv_counts)[static_cast<size_t>(src)] = n;
       recv_offset += n;
-      if (src != member) {
-        bytes += static_cast<uint64_t>(n) * sizeof(T);
+    }
+    // The published counts matrix is stable between the barriers, so every
+    // member computes the same total off-rank volume.
+    uint64_t total = 0;
+    for (int src = 0; src < size_; ++src) {
+      for (int dst = 0; dst < size_; ++dst) {
+        if (src != dst) {
+          total += static_cast<uint64_t>(CountAt(src, dst)) * sizeof(T);
+        }
       }
     }
-    // Each member's received off-rank bytes are its share of the wire volume.
-    wire_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    AccountOnce(member, total);
     Barrier();
+    return total;
   }
 
   // Shares each member's scalar value; returns the vector of all values.
+  // Accounted as an all-gather of one double: (size-1) * sizeof(double).
   std::vector<double> ExchangeScalars(int member, double value);
 
  private:
@@ -181,7 +201,8 @@ class CollectiveGroup {
     return static_cast<uint64_t>(size_) * static_cast<uint64_t>(size_ - 1) *
            static_cast<uint64_t>(bytes_per_block) / static_cast<uint64_t>(size_);
   }
-  // Adds `bytes` exactly once per collective (member 0 accounts).
+  // Adds `bytes` exactly once per collective (member 0 accounts) — the
+  // single accounting convention documented at the top of this header.
   void AccountOnce(int member, uint64_t bytes) {
     if (member == 0) {
       wire_bytes_.fetch_add(bytes, std::memory_order_relaxed);

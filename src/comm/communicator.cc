@@ -1,0 +1,194 @@
+#include "src/comm/communicator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/logging.h"
+#include "src/base/math_util.h"
+
+namespace msmoe {
+
+const char* CommBackendName(CommBackend backend) {
+  switch (backend) {
+    case CommBackend::kFlat:
+      return "flat";
+    case CommBackend::kHierarchical:
+      return "hierarchical";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Analytic total volumes, mirroring CollectiveGroup's accounting (§3).
+uint64_t RingBytes(int n, int64_t bytes_per_member) {
+  return static_cast<uint64_t>(n - 1) * static_cast<uint64_t>(bytes_per_member);
+}
+
+uint64_t A2ABytes(int n, int64_t bytes_per_block) {
+  return static_cast<uint64_t>(n - 1) * static_cast<uint64_t>(bytes_per_block);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FlatCommunicator
+
+uint64_t FlatCommunicator::AllGatherBytes(int member, const void* send, void* recv,
+                                          int64_t bytes) {
+  group_.AllGather(member, static_cast<const uint8_t*>(send),
+                   static_cast<uint8_t*>(recv), bytes);
+  return RingBytes(size(), bytes);
+}
+
+uint64_t FlatCommunicator::ReduceScatterF32(int member, const float* send, float* recv,
+                                            int64_t count) {
+  group_.ReduceScatter(member, send, recv, count);
+  return RingBytes(size(), count * static_cast<int64_t>(sizeof(float)));
+}
+
+uint64_t FlatCommunicator::AllReduceF32(int member, const float* send, float* recv,
+                                        int64_t count) {
+  group_.AllReduce(member, send, recv, count);
+  return 2 * RingBytes(size(), count * static_cast<int64_t>(sizeof(float)));
+}
+
+uint64_t FlatCommunicator::BroadcastBytes(int member, int root, void* data,
+                                          int64_t bytes) {
+  group_.Broadcast(member, root, static_cast<uint8_t*>(data), bytes);
+  return static_cast<uint64_t>(size() - 1) * static_cast<uint64_t>(bytes);
+}
+
+uint64_t FlatCommunicator::AllToAllBytes(int member, const void* send, void* recv,
+                                         int64_t bytes_per_block) {
+  group_.AllToAll(member, static_cast<const uint8_t*>(send),
+                  static_cast<uint8_t*>(recv), bytes_per_block);
+  return A2ABytes(size(), bytes_per_block);
+}
+
+uint64_t FlatCommunicator::AllToAllVBytes(int member, const void* send,
+                                          const std::vector<int64_t>& send_bytes,
+                                          void* recv, std::vector<int64_t>* recv_bytes) {
+  return group_.AllToAllV(member, static_cast<const uint8_t*>(send), send_bytes,
+                          static_cast<uint8_t*>(recv), recv_bytes);
+}
+
+uint64_t FlatCommunicator::ExchangeScalarsImpl(int member, double value,
+                                               std::vector<double>* out) {
+  *out = group_.ExchangeScalars(member, value);
+  return RingBytes(size(), sizeof(double));
+}
+
+const char* FlatCommunicator::AlgorithmName(CommOp op) const {
+  switch (op) {
+    case CommOp::kAllGather:
+    case CommOp::kReduceScatter:
+    case CommOp::kAllReduce:
+      return "ring";
+    case CommOp::kAllToAll:
+    case CommOp::kAllToAllV:
+      return "pairwise";
+    case CommOp::kBroadcast:
+    case CommOp::kExchangeScalars:
+    case CommOp::kBarrier:
+      return "direct";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// HierarchicalCommunicator
+
+HierarchicalCommunicator::HierarchicalCommunicator(int nodes, int gpus_per_node)
+    : world_(nodes * gpus_per_node), hier_(nodes, gpus_per_node) {
+  MSMOE_CHECK_GT(nodes, 0);
+  MSMOE_CHECK_GT(gpus_per_node, 0);
+}
+
+uint64_t HierarchicalCommunicator::AllGatherBytes(int member, const void* send,
+                                                  void* recv, int64_t bytes) {
+  world_.AllGather(member, static_cast<const uint8_t*>(send),
+                   static_cast<uint8_t*>(recv), bytes);
+  return RingBytes(size(), bytes);
+}
+
+uint64_t HierarchicalCommunicator::ReduceScatterF32(int member, const float* send,
+                                                    float* recv, int64_t count) {
+  world_.ReduceScatter(member, send, recv, count);
+  return RingBytes(size(), count * static_cast<int64_t>(sizeof(float)));
+}
+
+uint64_t HierarchicalCommunicator::AllReduceF32(int member, const float* send,
+                                                float* recv, int64_t count) {
+  std::memcpy(recv, send, static_cast<size_t>(count) * sizeof(float));
+  hier_.AllReduce(member, recv, count);
+  // Four-step analytic volume (Fig 5a): per node an intra RS + AG over
+  // chunk floats, per local index an inter all-reduce of one chunk.
+  const int g = hier_.gpus_per_node();
+  const int nodes = hier_.nodes();
+  const uint64_t chunk_bytes =
+      static_cast<uint64_t>(CeilDiv(count, static_cast<int64_t>(g))) * sizeof(float);
+  const uint64_t intra =
+      static_cast<uint64_t>(nodes) * 2 * static_cast<uint64_t>(g - 1) * chunk_bytes;
+  const uint64_t inter =
+      static_cast<uint64_t>(g) * 2 * static_cast<uint64_t>(nodes - 1) * chunk_bytes;
+  return intra + inter;
+}
+
+uint64_t HierarchicalCommunicator::BroadcastBytes(int member, int root, void* data,
+                                                  int64_t bytes) {
+  world_.Broadcast(member, root, static_cast<uint8_t*>(data), bytes);
+  return static_cast<uint64_t>(size() - 1) * static_cast<uint64_t>(bytes);
+}
+
+uint64_t HierarchicalCommunicator::AllToAllBytes(int member, const void* send,
+                                                 void* recv, int64_t bytes_per_block) {
+  world_.AllToAll(member, static_cast<const uint8_t*>(send),
+                  static_cast<uint8_t*>(recv), bytes_per_block);
+  return A2ABytes(size(), bytes_per_block);
+}
+
+uint64_t HierarchicalCommunicator::AllToAllVBytes(int member, const void* send,
+                                                  const std::vector<int64_t>& send_bytes,
+                                                  void* recv,
+                                                  std::vector<int64_t>* recv_bytes) {
+  return world_.AllToAllV(member, static_cast<const uint8_t*>(send), send_bytes,
+                          static_cast<uint8_t*>(recv), recv_bytes);
+}
+
+uint64_t HierarchicalCommunicator::ExchangeScalarsImpl(int member, double value,
+                                                       std::vector<double>* out) {
+  *out = world_.ExchangeScalars(member, value);
+  return RingBytes(size(), sizeof(double));
+}
+
+const char* HierarchicalCommunicator::AlgorithmName(CommOp op) const {
+  switch (op) {
+    case CommOp::kAllReduce:
+      return "hierarchical";
+    case CommOp::kAllGather:
+    case CommOp::kReduceScatter:
+      return "ring";
+    case CommOp::kAllToAll:
+    case CommOp::kAllToAllV:
+      return "pairwise";
+    case CommOp::kBroadcast:
+    case CommOp::kExchangeScalars:
+    case CommOp::kBarrier:
+      return "direct";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Communicator> MakeCommunicator(CommBackend backend, int world_size,
+                                               int gpus_per_node) {
+  MSMOE_CHECK_GT(world_size, 0);
+  if (backend == CommBackend::kHierarchical && gpus_per_node > 1 &&
+      world_size % gpus_per_node == 0 && world_size / gpus_per_node > 1) {
+    return std::make_unique<HierarchicalCommunicator>(world_size / gpus_per_node,
+                                                      gpus_per_node);
+  }
+  return std::make_unique<FlatCommunicator>(world_size);
+}
+
+}  // namespace msmoe

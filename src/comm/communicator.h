@@ -1,0 +1,305 @@
+// The instrumented collective interface every parallel module talks to.
+//
+// Communicator is the seam between the algorithm code (src/parallel,
+// src/core) and the collective substrate: call sites never touch a
+// CollectiveGroup directly — they issue ops through this layer, which
+//   1. dispatches to a backend (flat single-level group, or the 2-level
+//      hierarchical intra/inter-node scheme of Appendix A.1), and
+//   2. records one CommEvent per operation per rank — op kind, algorithm,
+//      group size, element type, analytic wire bytes, wall-clock start and
+//      duration — into a thread-safe CommTelemetry registry.
+//
+// Backend choice is a constructor argument (or MakeCommunicator), not
+// hard-coded wiring, so swapping the synchronization scheme never touches
+// algorithm code. The recorded events serialize to Chrome-trace JSON
+// (src/sim/trace_export) and are cross-checked against the §3 analytic
+// volume formulas (src/sim/comm_crosscheck).
+//
+// Data-movement collectives (all-gather, broadcast, all-to-all(v)) are
+// templated over the element type and forwarded byte-wise to the backend —
+// their semantics and wire volume depend only on byte counts. Reducing
+// collectives (reduce-scatter, all-reduce) are float-only, matching every
+// call site in the repo (wire precision is emulated by converting values
+// before the call, see src/numerics).
+#ifndef MSMOE_SRC_COMM_COMMUNICATOR_H_
+#define MSMOE_SRC_COMM_COMMUNICATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/comm/collective_group.h"
+#include "src/comm/hierarchical.h"
+#include "src/comm/telemetry.h"
+
+namespace msmoe {
+
+enum class CommBackend { kFlat, kHierarchical };
+
+const char* CommBackendName(CommBackend backend);
+
+// Wire element-type labels recorded in CommEvents.
+template <typename T>
+inline const char* CommElemTypeName() {
+  return "bytes";
+}
+template <>
+inline const char* CommElemTypeName<float>() {
+  return "f32";
+}
+template <>
+inline const char* CommElemTypeName<double>() {
+  return "f64";
+}
+template <>
+inline const char* CommElemTypeName<int64_t>() {
+  return "i64";
+}
+template <>
+inline const char* CommElemTypeName<int32_t>() {
+  return "i32";
+}
+template <>
+inline const char* CommElemTypeName<uint8_t>() {
+  return "u8";
+}
+template <>
+inline const char* CommElemTypeName<uint16_t>() {
+  return "u16";
+}
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int size() const = 0;
+  // Analytic bytes a real fabric would have moved (total over members),
+  // accumulated by the backend under the AccountOnce convention.
+  virtual uint64_t wire_bytes() const = 0;
+  virtual void ResetWireBytes() = 0;
+
+  CommTelemetry& telemetry() { return telemetry_; }
+  const CommTelemetry& telemetry() const { return telemetry_; }
+
+  // All members must call every collective, with their own member index.
+  // Semantics match CollectiveGroup (see collective_group.h).
+
+  void Barrier(int member) {
+    const double start = telemetry_.NowUs();
+    BarrierImpl();
+    Finish(CommOp::kBarrier, member, "bytes", 0, 0, 0, start);
+  }
+
+  template <typename T>
+  void AllGather(int member, const T* send, T* recv, int64_t count) {
+    const double start = telemetry_.NowUs();
+    const uint64_t wire =
+        AllGatherBytes(member, send, recv, count * static_cast<int64_t>(sizeof(T)));
+    Finish(CommOp::kAllGather, member, CommElemTypeName<T>(), sizeof(T), count, wire,
+           start);
+  }
+
+  void ReduceScatter(int member, const float* send, float* recv, int64_t count) {
+    const double start = telemetry_.NowUs();
+    const uint64_t wire = ReduceScatterF32(member, send, recv, count);
+    Finish(CommOp::kReduceScatter, member, "f32", sizeof(float), count, wire, start);
+  }
+
+  void AllReduce(int member, const float* send, float* recv, int64_t count) {
+    const double start = telemetry_.NowUs();
+    const uint64_t wire = AllReduceF32(member, send, recv, count);
+    Finish(CommOp::kAllReduce, member, "f32", sizeof(float), count, wire, start);
+  }
+
+  template <typename T>
+  void Broadcast(int member, int root, T* data, int64_t count) {
+    const double start = telemetry_.NowUs();
+    const uint64_t wire =
+        BroadcastBytes(member, root, data, count * static_cast<int64_t>(sizeof(T)));
+    Finish(CommOp::kBroadcast, member, CommElemTypeName<T>(), sizeof(T), count, wire,
+           start);
+  }
+
+  // `count` is the per-destination block size in elements (the recorded
+  // elem_count), exactly as in CollectiveGroup::AllToAll.
+  template <typename T>
+  void AllToAll(int member, const T* send, T* recv, int64_t count) {
+    const double start = telemetry_.NowUs();
+    const uint64_t wire =
+        AllToAllBytes(member, send, recv, count * static_cast<int64_t>(sizeof(T)));
+    Finish(CommOp::kAllToAll, member, CommElemTypeName<T>(), sizeof(T), count, wire,
+           start);
+  }
+
+  // Recorded elem_count is the total element count this member received.
+  template <typename T>
+  void AllToAllV(int member, const T* send, const std::vector<int64_t>& send_counts,
+                 T* recv, std::vector<int64_t>* recv_counts) {
+    const double start = telemetry_.NowUs();
+    std::vector<int64_t> send_bytes(send_counts.size());
+    for (size_t i = 0; i < send_counts.size(); ++i) {
+      send_bytes[i] = send_counts[i] * static_cast<int64_t>(sizeof(T));
+    }
+    std::vector<int64_t> recv_bytes;
+    const uint64_t wire = AllToAllVBytes(member, send, send_bytes, recv, &recv_bytes);
+    recv_counts->resize(recv_bytes.size());
+    int64_t received = 0;
+    for (size_t i = 0; i < recv_bytes.size(); ++i) {
+      (*recv_counts)[i] = recv_bytes[i] / static_cast<int64_t>(sizeof(T));
+      received += (*recv_counts)[i];
+    }
+    Finish(CommOp::kAllToAllV, member, CommElemTypeName<T>(), sizeof(T), received, wire,
+           start);
+  }
+
+  std::vector<double> ExchangeScalars(int member, double value) {
+    const double start = telemetry_.NowUs();
+    std::vector<double> out;
+    const uint64_t wire = ExchangeScalarsImpl(member, value, &out);
+    Finish(CommOp::kExchangeScalars, member, "f64", sizeof(double), 1, wire, start);
+    return out;
+  }
+
+ protected:
+  // Backends implement byte-level data movement plus float reductions and
+  // return the TOTAL analytic wire volume of the collective (the value the
+  // event records; must equal the delta the backend adds to wire_bytes()).
+  virtual void BarrierImpl() = 0;
+  virtual uint64_t AllGatherBytes(int member, const void* send, void* recv,
+                                  int64_t bytes) = 0;
+  virtual uint64_t ReduceScatterF32(int member, const float* send, float* recv,
+                                    int64_t count) = 0;
+  virtual uint64_t AllReduceF32(int member, const float* send, float* recv,
+                                int64_t count) = 0;
+  virtual uint64_t BroadcastBytes(int member, int root, void* data, int64_t bytes) = 0;
+  virtual uint64_t AllToAllBytes(int member, const void* send, void* recv,
+                                 int64_t bytes_per_block) = 0;
+  virtual uint64_t AllToAllVBytes(int member, const void* send,
+                                  const std::vector<int64_t>& send_bytes, void* recv,
+                                  std::vector<int64_t>* recv_bytes) = 0;
+  virtual uint64_t ExchangeScalarsImpl(int member, double value,
+                                       std::vector<double>* out) = 0;
+  // Algorithm label recorded in events ("ring", "pairwise", "direct",
+  // "hierarchical").
+  virtual const char* AlgorithmName(CommOp op) const = 0;
+
+ private:
+  void Finish(CommOp op, int member, const char* elem_type, int elem_bytes,
+              int64_t elem_count, uint64_t wire, double start_us) {
+    CommEvent event;
+    event.op = op;
+    event.algorithm = AlgorithmName(op);
+    event.group_size = size();
+    event.rank = member;
+    event.elem_type = elem_type;
+    event.elem_bytes = elem_bytes;
+    event.elem_count = elem_count;
+    event.wire_bytes = wire;
+    event.primary = member == 0;
+    event.start_us = start_us;
+    event.duration_us = telemetry_.NowUs() - start_us;
+    telemetry_.Record(std::move(event));
+  }
+
+  CommTelemetry telemetry_;
+};
+
+// Single-level backend: one CollectiveGroup spanning all ranks (ring
+// AG/RS/AR, pairwise A2A — the flat NCCL-communicator equivalent).
+class FlatCommunicator final : public Communicator {
+ public:
+  explicit FlatCommunicator(int size) : group_(size) {}
+
+  int size() const override { return group_.size(); }
+  uint64_t wire_bytes() const override { return group_.wire_bytes(); }
+  void ResetWireBytes() override { group_.ResetWireBytes(); }
+
+  // Escape hatch for comm-layer algorithm code (src/comm) and tests;
+  // algorithm code in src/parallel and src/core must not use it.
+  CollectiveGroup& group() { return group_; }
+
+ protected:
+  void BarrierImpl() override { group_.Barrier(); }
+  uint64_t AllGatherBytes(int member, const void* send, void* recv,
+                          int64_t bytes) override;
+  uint64_t ReduceScatterF32(int member, const float* send, float* recv,
+                            int64_t count) override;
+  uint64_t AllReduceF32(int member, const float* send, float* recv,
+                        int64_t count) override;
+  uint64_t BroadcastBytes(int member, int root, void* data, int64_t bytes) override;
+  uint64_t AllToAllBytes(int member, const void* send, void* recv,
+                         int64_t bytes_per_block) override;
+  uint64_t AllToAllVBytes(int member, const void* send,
+                          const std::vector<int64_t>& send_bytes, void* recv,
+                          std::vector<int64_t>* recv_bytes) override;
+  uint64_t ExchangeScalarsImpl(int member, double value,
+                               std::vector<double>* out) override;
+  const char* AlgorithmName(CommOp op) const override;
+
+ private:
+  CollectiveGroup group_;
+};
+
+// Two-level backend (Appendix A.1): all-reduce runs as intra-node
+// reduce-scatter -> inter-node all-reduce -> intra-node all-gather over a
+// HierarchicalComm; every other op spans the flat world group. Ranks are
+// node-major: rank = node * gpus_per_node + local.
+class HierarchicalCommunicator final : public Communicator {
+ public:
+  HierarchicalCommunicator(int nodes, int gpus_per_node);
+
+  int size() const override { return hier_.world_size(); }
+  uint64_t wire_bytes() const override {
+    return world_.wire_bytes() + hier_.IntraWireBytes() + hier_.InterWireBytes();
+  }
+  void ResetWireBytes() override {
+    world_.ResetWireBytes();
+    hier_.ResetWireBytes();
+  }
+
+  uint64_t IntraWireBytes() const { return hier_.IntraWireBytes(); }
+  uint64_t InterWireBytes() const { return hier_.InterWireBytes(); }
+
+ protected:
+  void BarrierImpl() override { world_.Barrier(); }
+  uint64_t AllGatherBytes(int member, const void* send, void* recv,
+                          int64_t bytes) override;
+  uint64_t ReduceScatterF32(int member, const float* send, float* recv,
+                            int64_t count) override;
+  uint64_t AllReduceF32(int member, const float* send, float* recv,
+                        int64_t count) override;
+  uint64_t BroadcastBytes(int member, int root, void* data, int64_t bytes) override;
+  uint64_t AllToAllBytes(int member, const void* send, void* recv,
+                         int64_t bytes_per_block) override;
+  uint64_t AllToAllVBytes(int member, const void* send,
+                          const std::vector<int64_t>& send_bytes, void* recv,
+                          std::vector<int64_t>* recv_bytes) override;
+  uint64_t ExchangeScalarsImpl(int member, double value,
+                               std::vector<double>* out) override;
+  const char* AlgorithmName(CommOp op) const override;
+
+ private:
+  CollectiveGroup world_;
+  HierarchicalComm hier_;
+};
+
+// Creates a communicator over `world_size` ranks. For kHierarchical,
+// gpus_per_node must be > 1 and divide world_size with at least two nodes;
+// any other shape degenerates to the flat backend (a one-node "hierarchy"
+// is just a flat group).
+std::unique_ptr<Communicator> MakeCommunicator(CommBackend backend, int world_size,
+                                               int gpus_per_node = 0);
+
+// The per-rank handle passed through every parallel module: the shared
+// communicator plus this thread's rank within it.
+struct ShardContext {
+  Communicator* comm = nullptr;
+  int rank = 0;
+
+  int size() const { return comm->size(); }
+};
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_COMM_COMMUNICATOR_H_

@@ -1,0 +1,79 @@
+#include "src/comm/telemetry.h"
+
+namespace msmoe {
+
+const char* CommOpName(CommOp op) {
+  switch (op) {
+    case CommOp::kAllGather:
+      return "all_gather";
+    case CommOp::kReduceScatter:
+      return "reduce_scatter";
+    case CommOp::kAllReduce:
+      return "all_reduce";
+    case CommOp::kBroadcast:
+      return "broadcast";
+    case CommOp::kAllToAll:
+      return "all_to_all";
+    case CommOp::kAllToAllV:
+      return "all_to_all_v";
+    case CommOp::kExchangeScalars:
+      return "exchange_scalars";
+    case CommOp::kBarrier:
+      return "barrier";
+  }
+  return "unknown";
+}
+
+CommTelemetry::CommTelemetry() : epoch_(std::chrono::steady_clock::now()) {}
+
+double CommTelemetry::NowUs() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+void CommTelemetry::Record(CommEvent event) {
+  if (!enabled_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<CommEvent> CommTelemetry::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t CommTelemetry::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t CommTelemetry::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void CommTelemetry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+uint64_t CommTelemetry::TotalWireBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const CommEvent& event : events_) {
+    if (event.primary) {
+      total += event.wire_bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace msmoe

@@ -1,0 +1,92 @@
+// Per-collective telemetry for the instrumented Communicator layer.
+//
+// Every collective issued through a Communicator records one CommEvent per
+// participating rank: which operation ran, with which algorithm, over which
+// group, how many analytic wire bytes it moved, and when (wall-clock start
+// and duration relative to the registry's epoch). The registry is
+// thread-safe because ranks are threads — all of them record concurrently.
+//
+// Events are the bridge between the live system and the simulator: they
+// serialize to the same Chrome-trace JSON as simulated SimOp timelines
+// (src/sim/trace_export) and are cross-checked against the analytic §3
+// volume formulas (src/sim/comm_crosscheck).
+#ifndef MSMOE_SRC_COMM_TELEMETRY_H_
+#define MSMOE_SRC_COMM_TELEMETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace msmoe {
+
+enum class CommOp {
+  kAllGather,
+  kReduceScatter,
+  kAllReduce,
+  kBroadcast,
+  kAllToAll,
+  kAllToAllV,
+  kExchangeScalars,
+  kBarrier,
+};
+
+const char* CommOpName(CommOp op);
+
+struct CommEvent {
+  CommOp op = CommOp::kBarrier;
+  // Algorithm the backend models: "ring", "pairwise", "direct",
+  // "hierarchical".
+  std::string algorithm;
+  int group_size = 0;
+  int rank = 0;
+  // Element type on the (virtual) wire, e.g. "f32", "u8", "i64", "bytes".
+  std::string elem_type;
+  int elem_bytes = 0;
+  int64_t elem_count = 0;  // per the op's natural unit (see communicator.h)
+  // TOTAL analytic wire volume of the collective (summed over members) —
+  // identical on every rank's event. Sum over `primary` events only to
+  // aggregate without multi-counting.
+  uint64_t wire_bytes = 0;
+  bool primary = false;  // true on member 0's event
+  double start_us = 0.0;     // relative to the telemetry epoch
+  double duration_us = 0.0;  // wall-clock, includes barrier wait
+};
+
+class CommTelemetry {
+ public:
+  CommTelemetry();
+
+  // Microseconds since this registry's epoch (construction / last Clear).
+  double NowUs() const;
+
+  // Thread-safe append. Beyond `capacity()` events the registry drops
+  // (counted by dropped()) instead of growing without bound.
+  void Record(CommEvent event);
+
+  std::vector<CommEvent> Events() const;
+  size_t event_count() const;
+  uint64_t dropped() const;
+  void Clear();  // also re-anchors the epoch
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+  // Sum of wire_bytes over primary events (one per collective).
+  uint64_t TotalWireBytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CommEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+  uint64_t dropped_ = 0;
+  size_t capacity_ = 1 << 20;
+  bool enabled_ = true;
+};
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_COMM_TELEMETRY_H_

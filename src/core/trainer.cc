@@ -5,7 +5,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/rng.h"
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/model/flat_adam.h"
 #include "src/numerics/bf16.h"
 #include "src/numerics/fp8.h"
@@ -148,7 +148,9 @@ void LoadParams(LmParams& params, const std::vector<float>& blob) {
 TrainCurve TrainLm(const NumericTrainConfig& config) {
   const int dp = config.dp_size;
   MSMOE_CHECK_GE(dp, 1);
-  CollectiveGroup group(dp);
+  std::unique_ptr<Communicator> comm =
+      MakeCommunicator(config.comm_backend, dp, config.gpus_per_node);
+  Communicator& group = *comm;
   TrainCurve curve;
   curve.loss.assign(static_cast<size_t>(config.steps), 0.0);
 

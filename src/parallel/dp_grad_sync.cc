@@ -19,16 +19,16 @@ const char* GradSyncModeName(GradSyncMode mode) {
   return "unknown";
 }
 
-std::vector<float> SyncGradShard(CollectiveGroup& group, int rank, const float* grads,
+std::vector<float> SyncGradShard(Communicator& comm, int rank, const float* grads,
                                  int64_t count, GradSyncMode mode) {
-  const int n = group.size();
+  const int n = comm.size();
   MSMOE_CHECK_EQ(count % n, 0);
   const int64_t shard = count / n;
   std::vector<float> out(static_cast<size_t>(shard));
 
   switch (mode) {
     case GradSyncMode::kFp32ReduceScatter: {
-      group.ReduceScatter(rank, grads, out.data(), shard);
+      comm.ReduceScatter(rank, grads, out.data(), shard);
       break;
     }
     case GradSyncMode::kBf16AllToAll: {
@@ -39,7 +39,7 @@ std::vector<float> SyncGradShard(CollectiveGroup& group, int rank, const float* 
         wire[static_cast<size_t>(i)] = Bf16Round(grads[i]);
       }
       std::vector<float> recv(static_cast<size_t>(count));
-      group.AllToAll(rank, wire.data(), recv.data(), shard);
+      comm.AllToAll(rank, wire.data(), recv.data(), shard);
       for (int64_t i = 0; i < shard; ++i) {
         double sum = 0.0;  // FP32/FP64 accumulation of BF16 values
         for (int src = 0; src < n; ++src) {
@@ -61,7 +61,7 @@ std::vector<float> SyncGradShard(CollectiveGroup& group, int rank, const float* 
         wire[static_cast<size_t>(i)] = Bf16Round(grads[i]);
       }
       std::vector<float> recv(static_cast<size_t>(count));
-      group.AllToAll(rank, wire.data(), recv.data(), shard);
+      comm.AllToAll(rank, wire.data(), recv.data(), shard);
       for (int64_t i = 0; i < shard; ++i) {
         float partial = recv[static_cast<size_t>(((rank + 1) % n) * shard + i)];
         for (int step = 2; step <= n; ++step) {
@@ -76,12 +76,12 @@ std::vector<float> SyncGradShard(CollectiveGroup& group, int rank, const float* 
   return out;
 }
 
-void AllReduceGrads(CollectiveGroup& group, int rank, float* grads, int64_t count,
+void AllReduceGrads(Communicator& comm, int rank, float* grads, int64_t count,
                     GradSyncMode mode) {
-  const int n = group.size();
+  const int n = comm.size();
   MSMOE_CHECK_EQ(count % n, 0);
-  std::vector<float> shard = SyncGradShard(group, rank, grads, count, mode);
-  group.AllGather(rank, shard.data(), grads, count / n);
+  std::vector<float> shard = SyncGradShard(comm, rank, grads, count, mode);
+  comm.AllGather(rank, shard.data(), grads, count / n);
 }
 
 int64_t GradSyncWireBytes(GradSyncMode mode, int64_t count, int n) {

@@ -24,7 +24,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 
 namespace msmoe {
 
@@ -39,12 +39,12 @@ const char* GradSyncModeName(GradSyncMode mode);
 // Reduces `grads` (count floats, identical layout on every rank) across the
 // group; returns this rank's shard (count / n floats, count must divide).
 // The reduction is a plain sum (callers average by pre-scaling).
-std::vector<float> SyncGradShard(CollectiveGroup& group, int rank, const float* grads,
+std::vector<float> SyncGradShard(Communicator& comm, int rank, const float* grads,
                                  int64_t count, GradSyncMode mode);
 
 // Convenience: full all-reduced gradients via shard sync + all-gather, so
 // trainers that keep replicated optimizer state can use any mode.
-void AllReduceGrads(CollectiveGroup& group, int rank, float* grads, int64_t count,
+void AllReduceGrads(Communicator& comm, int rank, float* grads, int64_t count,
                     GradSyncMode mode);
 
 // Wire bytes each mode moves for `count` FP32 gradients on n ranks (per

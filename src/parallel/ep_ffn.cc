@@ -100,7 +100,7 @@ Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispat
     // Exchange expert ids, then rows.
     std::vector<int64_t> recv_expert(static_cast<size_t>(t_local * k) * n);
     std::vector<int64_t> id_recv_counts;
-    ctx.group->AllToAllV(ctx.rank, send_expert.data(), cache->send_counts,
+    ctx.comm->AllToAllV(ctx.rank, send_expert.data(), cache->send_counts,
                          recv_expert.data(), &id_recv_counts);
     cache->recv_counts = id_recv_counts;
     int64_t total_recv = 0;
@@ -110,7 +110,7 @@ Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispat
     recv_expert.resize(static_cast<size_t>(total_recv));
     std::vector<float> recv_rows(static_cast<size_t>(total_recv * h));
     std::vector<int64_t> row_recv_counts;
-    ctx.group->AllToAllV(ctx.rank, send_rows.data(), row_send_counts, recv_rows.data(),
+    ctx.comm->AllToAllV(ctx.rank, send_rows.data(), row_send_counts, recv_rows.data(),
                          &row_recv_counts);
 
     // --- Group received rows by local expert (stable: source-rank order is
@@ -162,7 +162,7 @@ Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispat
     const int64_t total_sent = static_cast<int64_t>(cache->send_token.size());
     cache->returned_rows = Tensor({total_sent, h});
     std::vector<int64_t> ignored;
-    ctx.group->AllToAllV(ctx.rank, return_rows.data(), return_send_counts,
+    ctx.comm->AllToAllV(ctx.rank, return_rows.data(), return_send_counts,
                          cache->returned_rows.data(), &ignored);
 
     Tensor y_local({t_local, h});
@@ -182,7 +182,7 @@ Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispat
   // --- kAllGatherScatter ---
   const int64_t t_total = t_local * n;
   cache->x_all = Tensor({t_total, h});
-  ctx.group->AllGather(ctx.rank, x_local.data(), cache->x_all.data(), t_local * h);
+  ctx.comm->AllGather(ctx.rank, x_local.data(), cache->x_all.data(), t_local * h);
 
   // All-gather routing metadata (-1 expert marks a dropped copy).
   std::vector<int64_t> idx_local(static_cast<size_t>(t_local * k));
@@ -196,8 +196,8 @@ Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispat
   }
   std::vector<int64_t> idx_all(static_cast<size_t>(t_total * k));
   std::vector<float> weight_all(static_cast<size_t>(t_total * k));
-  ctx.group->AllGather(ctx.rank, idx_local.data(), idx_all.data(), t_local * k);
-  ctx.group->AllGather(ctx.rank, weight_local.data(), weight_all.data(), t_local * k);
+  ctx.comm->AllGather(ctx.rank, idx_local.data(), idx_all.data(), t_local * k);
+  ctx.comm->AllGather(ctx.rank, weight_local.data(), weight_all.data(), t_local * k);
 
   // Local scatter: keep only copies routed to this rank's experts, grouped
   // by expert (global token order within each expert).
@@ -241,7 +241,7 @@ Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispat
     }
   }
   Tensor y_local({t_local, h});
-  ctx.group->ReduceScatter(ctx.rank, full_out.data(), y_local.data(), t_local * h);
+  ctx.comm->ReduceScatter(ctx.rank, full_out.data(), y_local.data(), t_local * h);
   return y_local;
 }
 
@@ -295,7 +295,7 @@ EpFfnGrads EpFfnBackward(const ShardContext& ctx, const ModelConfig& config,
     }
     std::vector<float> drecv(static_cast<size_t>(total_recv * h));
     std::vector<int64_t> ignored;
-    ctx.group->AllToAllV(ctx.rank, dreturned.data(), row_send_counts, drecv.data(),
+    ctx.comm->AllToAllV(ctx.rank, dreturned.data(), row_send_counts, drecv.data(),
                          &ignored);
 
     // Sort to grouped order and run the expert backward chain.
@@ -330,7 +330,7 @@ EpFfnGrads EpFfnBackward(const ShardContext& ctx, const ModelConfig& config,
       return_counts[static_cast<size_t>(src)] = cache.recv_counts[static_cast<size_t>(src)] * h;
     }
     std::vector<float> dx_rows(static_cast<size_t>(total_sent * h));
-    ctx.group->AllToAllV(ctx.rank, dffn_recv_order.data(), return_counts, dx_rows.data(),
+    ctx.comm->AllToAllV(ctx.rank, dffn_recv_order.data(), return_counts, dx_rows.data(),
                          &ignored);
 
     grads.dx_local = Tensor({t_local, h});
@@ -351,7 +351,7 @@ EpFfnGrads EpFfnBackward(const ShardContext& ctx, const ModelConfig& config,
 
   // Backward of reduce-scatter: all-gather the output grads.
   Tensor dy_all({t_total, h});
-  ctx.group->AllGather(ctx.rank, dy_local.data(), dy_all.data(), t_local * h);
+  ctx.comm->AllGather(ctx.rank, dy_local.data(), dy_all.data(), t_local * h);
 
   // Combine backward per processed copy.
   Tensor dfc2_out({rows, h});
@@ -386,11 +386,11 @@ EpFfnGrads EpFfnBackward(const ShardContext& ctx, const ModelConfig& config,
   // Scatter input grads into the full tensor, reduce-scatter back to owners.
   Tensor dx_all = ScatterAddRows(dffn_in, cache.copy_token, t_total);
   grads.dx_local = Tensor({t_local, h});
-  ctx.group->ReduceScatter(ctx.rank, dx_all.data(), grads.dx_local.data(), t_local * h);
+  ctx.comm->ReduceScatter(ctx.rank, dx_all.data(), grads.dx_local.data(), t_local * h);
 
   // Combine-weight grads are partial per expert owner; reduce-scatter over
   // token owners completes them.
-  ctx.group->ReduceScatter(ctx.rank, dcombine_all.data(), grads.dcombine_local.data(),
+  ctx.comm->ReduceScatter(ctx.rank, dcombine_all.data(), grads.dcombine_local.data(),
                            t_local * k);
   return grads;
 }
@@ -423,7 +423,7 @@ void EpFfnRematerialize(const ShardContext& ctx, const ModelConfig& config,
       }
       std::vector<float> recv_rows(static_cast<size_t>(total_recv * h));
       std::vector<int64_t> ignored;
-      ctx.group->AllToAllV(ctx.rank, send_rows.data(), row_send_counts, recv_rows.data(),
+      ctx.comm->AllToAllV(ctx.rank, send_rows.data(), row_send_counts, recv_rows.data(),
                            &ignored);
       cache->ffn_in = Tensor({total_recv, h});
       for (int64_t i = 0; i < total_recv; ++i) {
@@ -434,7 +434,7 @@ void EpFfnRematerialize(const ShardContext& ctx, const ModelConfig& config,
     } else {
       if (cache->x_all.empty()) {
         cache->x_all = Tensor({t_local * n, h});
-        ctx.group->AllGather(ctx.rank, x_local.data(), cache->x_all.data(), t_local * h);
+        ctx.comm->AllGather(ctx.rank, x_local.data(), cache->x_all.data(), t_local * h);
       }
       cache->ffn_in = GatherRows(cache->x_all, cache->copy_token);
     }

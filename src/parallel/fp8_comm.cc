@@ -24,9 +24,9 @@ int64_t ScalesPerChunk(int64_t rows, int64_t cols, const QuantConfig& config) {
 
 }  // namespace
 
-Tensor Fp8ReduceScatter(CollectiveGroup& group, int rank, const Tensor& data,
+Tensor Fp8ReduceScatter(Communicator& comm, int rank, const Tensor& data,
                         int64_t shard_rows, const QuantConfig& config) {
-  const int n = group.size();
+  const int n = comm.size();
   MSMOE_CHECK_EQ(data.ndim(), 2);
   MSMOE_CHECK_EQ(data.dim(0), n * shard_rows);
   const int64_t cols = data.dim(1);
@@ -49,8 +49,8 @@ Tensor Fp8ReduceScatter(CollectiveGroup& group, int rank, const Tensor& data,
 
   std::vector<uint8_t> recv_codes(send_codes.size());
   std::vector<float> recv_scales(send_scales.size());
-  group.AllToAll(rank, send_codes.data(), recv_codes.data(), chunk_codes);
-  group.AllToAll(rank, send_scales.data(), recv_scales.data(), chunk_scales);
+  comm.AllToAll(rank, send_codes.data(), recv_codes.data(), chunk_codes);
+  comm.AllToAll(rank, send_scales.data(), recv_scales.data(), chunk_scales);
 
   // Dequantize each source's chunk and reduce in FP32 (double accumulator).
   Tensor out({shard_rows, cols});
@@ -76,9 +76,9 @@ Tensor Fp8ReduceScatter(CollectiveGroup& group, int rank, const Tensor& data,
   return out;
 }
 
-Tensor Fp8AllGather(CollectiveGroup& group, int rank, const Tensor& local,
+Tensor Fp8AllGather(Communicator& comm, int rank, const Tensor& local,
                     const QuantConfig& config) {
-  const int n = group.size();
+  const int n = comm.size();
   MSMOE_CHECK_EQ(local.ndim(), 2);
   const int64_t rows = local.dim(0);
   const int64_t cols = local.dim(1);
@@ -88,8 +88,8 @@ Tensor Fp8AllGather(CollectiveGroup& group, int rank, const Tensor& local,
   QuantizedMatrix q = Quantize(local.data(), rows, cols, config);
   std::vector<uint8_t> all_codes(static_cast<size_t>(n * chunk_codes));
   std::vector<float> all_scales(static_cast<size_t>(n * chunk_scales));
-  group.AllGather(rank, q.codes.data(), all_codes.data(), chunk_codes);
-  group.AllGather(rank, q.scales.data(), all_scales.data(), chunk_scales);
+  comm.AllGather(rank, q.codes.data(), all_codes.data(), chunk_codes);
+  comm.AllGather(rank, q.scales.data(), all_scales.data(), chunk_scales);
 
   Tensor out({n * rows, cols});
   for (int src = 0; src < n; ++src) {

@@ -11,7 +11,7 @@
 
 #include <cstdint>
 
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/numerics/quantize.h"
 #include "src/tensor/tensor.h"
 
@@ -21,12 +21,12 @@ namespace msmoe {
 // rank (chunk r destined for rank r). Each chunk is quantized independently,
 // exchanged all-to-all, dequantized, and summed in FP32. Returns this rank's
 // [shard_rows, cols] reduction.
-Tensor Fp8ReduceScatter(CollectiveGroup& group, int rank, const Tensor& data,
+Tensor Fp8ReduceScatter(Communicator& comm, int rank, const Tensor& data,
                         int64_t shard_rows, const QuantConfig& config);
 
 // All-gather with an FP8 wire: quantizes `local` ([rows, cols]), gathers all
 // ranks' codes and scales, dequantizes into [n * rows, cols].
-Tensor Fp8AllGather(CollectiveGroup& group, int rank, const Tensor& local,
+Tensor Fp8AllGather(Communicator& comm, int rank, const Tensor& local,
                     const QuantConfig& config);
 
 // Wire bytes for the FP8 vs BF16 variants of a reduce-scatter of

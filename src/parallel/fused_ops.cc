@@ -23,7 +23,7 @@ Tensor FusedAllGatherGemm(const ShardContext& ctx, const Tensor& x_local, const 
   // "Arrival buffer": the all-gather delivers source-rank chunks; the ring
   // order seen by rank r is r, r+1, ..., r-1 (own chunk is already local).
   std::vector<float> gathered(static_cast<size_t>(n) * rows_local * k);
-  ctx.group->AllGather(ctx.rank, x_local.data(), gathered.data(), rows_local * k);
+  ctx.comm->AllGather(ctx.rank, x_local.data(), gathered.data(), rows_local * k);
 
   Tensor y({static_cast<int64_t>(n) * rows_local, cols});
   for (int step = 0; step < n; ++step) {
@@ -77,7 +77,7 @@ Tensor FusedGemmReduceScatter(const ShardContext& ctx, const Tensor& x_local,
                 send.data() + static_cast<int64_t>(dst) * tile_rows * cols);
     }
     tile_out.resize(static_cast<size_t>(tile_rows) * cols);
-    ctx.group->ReduceScatter(ctx.rank, send.data(), tile_out.data(), tile_rows * cols);
+    ctx.comm->ReduceScatter(ctx.rank, send.data(), tile_out.data(), tile_rows * cols);
     std::copy(tile_out.begin(), tile_out.begin() + tile_rows * cols,
               y_local.data() + tile_begin * cols);
   }
@@ -98,9 +98,9 @@ Tensor FusedAllGatherScatterGroupedGemm(const ShardContext& ctx, const Tensor& x
   // Exchange tokens and routing chunk by chunk (arrival order = ring from
   // own rank, matching FusedAllGatherGemm).
   std::vector<float> x_all(static_cast<size_t>(n) * t_local * h);
-  ctx.group->AllGather(ctx.rank, x_local.data(), x_all.data(), t_local * h);
+  ctx.comm->AllGather(ctx.rank, x_local.data(), x_all.data(), t_local * h);
   std::vector<int64_t> expert_all(static_cast<size_t>(n) * t_local);
-  ctx.group->AllGather(ctx.rank, token_expert.data(), expert_all.data(), t_local);
+  ctx.comm->AllGather(ctx.rank, token_expert.data(), expert_all.data(), t_local);
 
   // Local scatter fused with arrival: as each source chunk lands, append its
   // rows routed to local experts into per-expert buckets. Iterating sources

@@ -31,7 +31,7 @@ Tensor SeqToHeadA2A(const ShardContext& ctx, const Tensor& x_local, int64_t batc
     }
   }
   std::vector<float> recv(send.size());
-  ctx.group->AllToAll(ctx.rank, send.data(), recv.data(), block);
+  ctx.comm->AllToAll(ctx.rank, send.data(), recv.data(), block);
 
   Tensor x_heads({batch * s_local * n, h_loc * d});
   for (int src = 0; src < n; ++src) {
@@ -66,7 +66,7 @@ Tensor HeadToSeqA2A(const ShardContext& ctx, const Tensor& x_heads, int64_t batc
     }
   }
   std::vector<float> recv(send.size());
-  ctx.group->AllToAll(ctx.rank, send.data(), recv.data(), block);
+  ctx.comm->AllToAll(ctx.rank, send.data(), recv.data(), block);
 
   Tensor x_local({batch * s_local, heads * d});
   for (int src = 0; src < n; ++src) {

@@ -18,19 +18,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/model/attention.h"
 #include "src/model/config.h"
 #include "src/tensor/tensor.h"
 
 namespace msmoe {
-
-struct ShardContext {
-  CollectiveGroup* group = nullptr;
-  int rank = 0;
-
-  int size() const { return group->size(); }
-};
 
 struct SpAttentionCache {
   // Head-sharded, full-sequence, post-RoPE tensors: [b*s, Hq/n*d] etc.

@@ -1,0 +1,104 @@
+#include "src/sim/comm_crosscheck.h"
+
+#include <cstdio>
+
+namespace msmoe {
+
+bool AnalyticWireBytes(const CommEvent& event, uint64_t* bytes) {
+  const uint64_t n = static_cast<uint64_t>(event.group_size);
+  if (n == 0) {
+    return false;
+  }
+  const uint64_t payload = static_cast<uint64_t>(event.elem_count) *
+                           static_cast<uint64_t>(event.elem_bytes);
+  switch (event.op) {
+    case CommOp::kAllGather:
+    case CommOp::kReduceScatter:
+      if (event.algorithm != "ring") {
+        return false;
+      }
+      *bytes = (n - 1) * payload;
+      return true;
+    case CommOp::kAllReduce:
+      // Ring AR = RS + AG. Hierarchical volume depends on the node shape,
+      // which the event does not carry — skip.
+      if (event.algorithm != "ring") {
+        return false;
+      }
+      *bytes = 2 * (n - 1) * payload;
+      return true;
+    case CommOp::kAllToAll:
+      // elem_count is the per-destination block; each rank keeps its own
+      // block and sends n-1 off-rank.
+      *bytes = (n - 1) * payload;
+      return true;
+    case CommOp::kBroadcast:
+      *bytes = (n - 1) * payload;
+      return true;
+    case CommOp::kExchangeScalars:
+      *bytes = (n - 1) * payload;
+      return true;
+    case CommOp::kAllToAllV:  // data-dependent: volume lives in the event
+    case CommOp::kBarrier:
+      return false;
+  }
+  return false;
+}
+
+double PredictedTimeUs(const CostModel& cost, const CommEvent& event, bool internode) {
+  const int n = event.group_size;
+  const int64_t payload = event.elem_count * event.elem_bytes;
+  switch (event.op) {
+    case CommOp::kAllGather:
+    case CommOp::kReduceScatter:
+      return cost.RingCollectiveTime(payload, n, internode);
+    case CommOp::kAllReduce:
+      return 2.0 * cost.RingCollectiveTime(payload, n, internode);
+    case CommOp::kAllToAll:
+      // CostModel's bytes_per_rank is the rank's full send buffer (1/n per
+      // peer); the event records the per-destination block.
+      return cost.AllToAllTime(payload * n, n, internode);
+    case CommOp::kAllToAllV: {
+      // Approximate with a balanced A2A moving the event's total volume.
+      if (n <= 1) {
+        return 0.0;
+      }
+      const int64_t per_rank =
+          static_cast<int64_t>(event.wire_bytes) * n / (n - 1) / n;
+      return cost.AllToAllTime(per_rank * n, n, internode);
+    }
+    case CommOp::kBroadcast:
+      return cost.P2PTime(payload * (n - 1), internode);
+    case CommOp::kExchangeScalars:
+    case CommOp::kBarrier:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+CommCheckReport CrossCheckCommEvents(const std::vector<CommEvent>& events) {
+  CommCheckReport report;
+  for (const CommEvent& event : events) {
+    uint64_t expected = 0;
+    if (!AnalyticWireBytes(event, &expected)) {
+      ++report.skipped;
+      continue;
+    }
+    ++report.checked;
+    if (expected != event.wire_bytes) {
+      char buffer[256];
+      std::snprintf(buffer, sizeof(buffer),
+                    "%s[%s] rank %d/%d %lld x %s: recorded %llu wire bytes, "
+                    "analytic %llu",
+                    CommOpName(event.op), event.algorithm.c_str(), event.rank,
+                    event.group_size, static_cast<long long>(event.elem_count),
+                    event.elem_type.c_str(),
+                    static_cast<unsigned long long>(event.wire_bytes),
+                    static_cast<unsigned long long>(expected));
+      report.mismatches.push_back(buffer);
+    }
+  }
+  return report;
+}
+
+}  // namespace msmoe

@@ -1,5 +1,6 @@
 #include "src/sim/trace_export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <sstream>
@@ -37,6 +38,18 @@ std::string JsonEscape(const std::string& in) {
   return out;
 }
 
+Status WriteString(const std::string& path, const std::string& json) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(std::fopen(path.c_str(), "wb"),
+                                                       &std::fclose);
+  if (file == nullptr) {
+    return Internal("cannot open trace file for writing: " + path);
+  }
+  if (std::fwrite(json.data(), 1, json.size(), file.get()) != json.size()) {
+    return Internal("trace write failed: " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::string ToChromeTrace(const std::vector<SimOp>& ops, const GraphResult& result,
@@ -61,16 +74,43 @@ std::string ToChromeTrace(const std::vector<SimOp>& ops, const GraphResult& resu
 
 Status WriteChromeTrace(const std::string& path, const std::vector<SimOp>& ops,
                         const GraphResult& result, const std::string& process_name) {
-  const std::string json = ToChromeTrace(ops, result, process_name);
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(std::fopen(path.c_str(), "wb"),
-                                                       &std::fclose);
-  if (file == nullptr) {
-    return Internal("cannot open trace file for writing: " + path);
+  return WriteString(path, ToChromeTrace(ops, result, process_name));
+}
+
+std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
+                                    const std::string& process_name) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\""
+      << JsonEscape(process_name) << "\"}}";
+  int max_rank = -1;
+  for (const CommEvent& event : events) {
+    max_rank = std::max(max_rank, event.rank);
   }
-  if (std::fwrite(json.data(), 1, json.size(), file.get()) != json.size()) {
-    return Internal("trace write failed: " + path);
+  for (int rank = 0; rank <= max_rank; ++rank) {
+    out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << rank
+        << ",\"args\":{\"name\":\"rank " << rank << "\"}}";
   }
-  return Status::Ok();
+  for (const CommEvent& event : events) {
+    char buffer[64];
+    out << ",{\"name\":\"" << CommOpName(event.op) << "\",\"cat\":\""
+        << JsonEscape(event.algorithm) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+        << event.rank;
+    std::snprintf(buffer, sizeof(buffer), ",\"ts\":%.3f,\"dur\":%.3f", event.start_us,
+                  event.duration_us);
+    out << buffer;
+    out << ",\"args\":{\"wire_bytes\":" << event.wire_bytes << ",\"elem_type\":\""
+        << JsonEscape(event.elem_type) << "\",\"elem_count\":" << event.elem_count
+        << ",\"group_size\":" << event.group_size
+        << ",\"primary\":" << (event.primary ? "true" : "false") << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status WriteCommTrace(const std::string& path, const std::vector<CommEvent>& events,
+                      const std::string& process_name) {
+  return WriteString(path, CommEventsToChromeTrace(events, process_name));
 }
 
 }  // namespace msmoe

@@ -1,10 +1,15 @@
-// Chrome-trace (about://tracing, Perfetto) export of simulated timelines.
+// Chrome-trace (about://tracing, Perfetto) export of timelines.
 //
-// Production schedule debugging lives and dies by timeline visualization;
-// this writes the graph executor's per-op timings in the Chrome trace-event
-// JSON format so a simulated MoE-layer schedule can be inspected exactly
-// like a real profiler capture (streams appear as threads, categories as
-// colors).
+// Production schedule debugging lives and dies by timeline visualization.
+// Two sources serialize to the same Chrome trace-event JSON format:
+//   1. simulated graph-executor timelines (SimOp + GraphResult) — streams
+//      appear as threads, op categories as colors;
+//   2. real threaded-run collective timelines (CommEvent, recorded by the
+//      instrumented Communicator layer) — ranks appear as threads, each
+//      event carries its wire bytes and algorithm in args.
+// Both open directly in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing, so a simulated schedule and a live run can be inspected
+// side by side with the same tooling.
 #ifndef MSMOE_SRC_SIM_TRACE_EXPORT_H_
 #define MSMOE_SRC_SIM_TRACE_EXPORT_H_
 
@@ -12,6 +17,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/comm/telemetry.h"
 #include "src/sim/graph.h"
 
 namespace msmoe {
@@ -26,6 +32,16 @@ std::string ToChromeTrace(const std::vector<SimOp>& ops, const GraphResult& resu
 Status WriteChromeTrace(const std::string& path, const std::vector<SimOp>& ops,
                         const GraphResult& result,
                         const std::string& process_name = "msmoe-sim");
+
+// Serializes recorded Communicator events as the same Chrome trace-event
+// JSON: one thread per rank ("rank N"), event name = op name, category =
+// algorithm, ts/dur in microseconds since the telemetry epoch, args carry
+// wire_bytes / elem_type / elem_count / group_size / primary.
+std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
+                                    const std::string& process_name = "msmoe-run");
+
+Status WriteCommTrace(const std::string& path, const std::vector<CommEvent>& events,
+                      const std::string& process_name = "msmoe-run");
 
 }  // namespace msmoe
 

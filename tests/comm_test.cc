@@ -235,6 +235,62 @@ TEST(CollectiveGroupTest, WireByteAccounting) {
   EXPECT_EQ(group.wire_bytes(), 0u);
 }
 
+TEST(CollectiveGroupTest, BroadcastWireByteAccounting) {
+  const int n = 4;
+  const int64_t count = 50;
+  CollectiveGroup group(n);
+  RunOnRanks(n, [&](int rank) {
+    std::vector<float> data(static_cast<size_t>(count), rank == 1 ? 2.0f : 0.0f);
+    group.Broadcast(rank, /*root=*/1, data.data(), count);
+    EXPECT_EQ(data[0], 2.0f);
+  });
+  // Root sends the payload to each of the n-1 non-roots, accounted once.
+  EXPECT_EQ(group.wire_bytes(), static_cast<uint64_t>((n - 1) * count * 4));
+}
+
+TEST(CollectiveGroupTest, ExchangeScalarsWireByteAccounting) {
+  const int n = 4;
+  CollectiveGroup group(n);
+  RunOnRanks(n, [&](int rank) { group.ExchangeScalars(rank, 1.0); });
+  // An all-gather of one double per member: (n-1) * 8 bytes total.
+  EXPECT_EQ(group.wire_bytes(), static_cast<uint64_t>((n - 1) * sizeof(double)));
+  RunOnRanks(n, [&](int rank) { group.ExchangeScalars(rank, 2.0); });
+  EXPECT_EQ(group.wire_bytes(), 2 * static_cast<uint64_t>((n - 1) * sizeof(double)));
+}
+
+TEST(CollectiveGroupTest, AllToAllVAccountsTotalOnceAndReturnsIt) {
+  // The total off-rank volume is accounted exactly once (the header
+  // convention) and returned identically to every member.
+  const int n = 3;
+  CollectiveGroup group(n);
+  std::vector<uint64_t> returned(static_cast<size_t>(n), 0);
+  RunOnRanks(n, [&](int rank) {
+    std::vector<int64_t> send_counts(static_cast<size_t>(n));
+    int64_t total = 0;
+    for (int dst = 0; dst < n; ++dst) {
+      send_counts[static_cast<size_t>(dst)] = rank + dst + 1;
+      total += rank + dst + 1;
+    }
+    std::vector<float> send(static_cast<size_t>(total), 1.0f);
+    std::vector<float> recv(64);
+    std::vector<int64_t> recv_counts;
+    returned[static_cast<size_t>(rank)] =
+        group.AllToAllV(rank, send.data(), send_counts, recv.data(), &recv_counts);
+  });
+  uint64_t expected = 0;
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (src != dst) {
+        expected += static_cast<uint64_t>(src + dst + 1) * sizeof(float);
+      }
+    }
+  }
+  EXPECT_EQ(group.wire_bytes(), expected);
+  for (int rank = 0; rank < n; ++rank) {
+    EXPECT_EQ(returned[static_cast<size_t>(rank)], expected) << rank;
+  }
+}
+
 TEST(CollectiveGroupTest, AllToAllWireBytesLessThanAllGatherTotal) {
   // A2A moves (n-1)/n of the all-gather payload per rank: for token dispatch
   // both move the same per-rank volume here by construction; just verify the

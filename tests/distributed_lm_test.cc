@@ -3,7 +3,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/model/config.h"
 #include "src/model/lm.h"
 #include "src/model/optimizer.h"
@@ -54,7 +54,7 @@ TEST_P(DistributedLmTest, MatchesSingleRankLm) {
 
   // Distributed over 2 MP ranks.
   const int n = 2;
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   std::vector<LmParams> grads;
   for (int i = 0; i < n; ++i) {
     grads.push_back(LmParams::ZerosLike(config));
@@ -105,7 +105,7 @@ TEST_P(DistributedLmTest, SarIdenticalToFullCaching) {
 
   auto run = [&](bool sar) {
     const int n = 2;
-    CollectiveGroup group(n);
+    FlatCommunicator group(n);
     std::vector<LmParams> grads;
     for (int i = 0; i < n; ++i) {
       grads.push_back(LmParams::ZerosLike(config));
@@ -147,8 +147,8 @@ TEST(DistributedLmTrainingTest, LossDecreasesUnderMpTraining) {
   const int64_t batch = 2;
   const int n = 2;
 
-  CollectiveGroup group(n);
-  CollectiveGroup sync_group(n);
+  FlatCommunicator group(n);
+  FlatCommunicator sync_group(n);
   std::vector<double> first(n), last(n);
   RunOnRanks(n, [&](int rank) {
     Rng rng(2025);

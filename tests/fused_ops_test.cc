@@ -3,7 +3,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/parallel/fused_ops.h"
 #include "src/tensor/tensor_ops.h"
 
@@ -38,7 +38,7 @@ TEST_P(FusedAgGemmTest, MatchesUnfusedForAnyTileSize) {
   }
   Tensor y_ref = MatMul(x_full, w);
 
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   std::vector<Tensor> y(n);
   RunOnRanks(n, [&](int rank) {
     ShardContext ctx{&group, rank};
@@ -71,7 +71,7 @@ TEST_P(FusedGemmRsTest, MatchesUnfusedForAnyTileSize) {
   w_full = Tensor::Randn({k_total, cols}, rng);
   Tensor y_ref = MatMul(x_full, w_full);
 
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   std::vector<Tensor> y(n);
   RunOnRanks(n, [&](int rank) {
     // Rank's contraction-dim slices.
@@ -119,7 +119,7 @@ TEST(FusedAgScatterGroupedGemmTest, MatchesPerExpertReference) {
     weights.push_back(Tensor::Randn({h, cols}, rng));
   }
 
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   std::vector<Tensor> y(n);
   std::vector<std::vector<int64_t>> row_tokens(n);
   RunOnRanks(n, [&](int rank) {
@@ -177,7 +177,7 @@ TEST(FusedAgScatterGroupedGemmTest, EmptyExpertHandled) {
   Tensor x = Tensor::Randn({t_local, h}, rng);
   std::vector<int64_t> routing(static_cast<size_t>(t_local), 0);
 
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   std::vector<int64_t> rows0, rows1;
   RunOnRanks(n, [&](int rank) {
     ShardContext ctx{&group, rank};

@@ -3,7 +3,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/model/config.h"
 #include "src/model/moe_layer.h"
 #include "src/parallel/parallel_moe_layer.h"
@@ -62,7 +62,7 @@ class MacroLayerTest : public ::testing::TestWithParam<EpDispatchMode> {
 
   MacroRun RunParallel(EpDispatchMode dispatch, bool sar) {
     const int n = 2;
-    CollectiveGroup group(n);
+    FlatCommunicator group(n);
     MacroRun run;
     run.y.resize(n);
     run.dx.resize(n);

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/model/attention.h"
 #include "src/model/config.h"
 #include "src/model/grouped_gemm.h"
@@ -150,7 +150,7 @@ class AttentionParallelTest : public ::testing::Test {
 
 TEST_F(AttentionParallelTest, SpMatchesSingleRankForwardBackward) {
   const int n = 2;
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   std::vector<Tensor> y(n), dx(n), dw_qkv(n), dw_out(n);
   RunOnRanks(n, [&](int rank) {
     ShardContext ctx{&group, rank};
@@ -182,7 +182,7 @@ TEST_F(AttentionParallelTest, SpMatchesSingleRankForwardBackward) {
 
 TEST_F(AttentionParallelTest, TpMatchesSingleRankForwardBackward) {
   const int n = 2;
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   std::vector<Tensor> y(n), dx(n), dw_qkv(n), dw_out(n);
   RunOnRanks(n, [&](int rank) {
     ShardContext ctx{&group, rank};
@@ -214,8 +214,8 @@ TEST_F(AttentionParallelTest, SpCommunicatesLessThanTp) {
   // Eq 1 vs Eq 2: SP volume is (2 + 2/m)/n of TP's. With m=2, n=2 the ratio
   // is 1.5/2 = 0.75; verify the measured wire bytes respect it.
   const int n = 2;
-  CollectiveGroup sp_group(n);
-  CollectiveGroup tp_group(n);
+  FlatCommunicator sp_group(n);
+  FlatCommunicator tp_group(n);
   RunOnRanks(n, [&](int rank) {
     ShardContext sp_ctx{&sp_group, rank};
     ShardContext tp_ctx{&tp_group, rank};
@@ -337,7 +337,7 @@ TEST_P(FfnParallelTest, EpMatchesSingleRankForwardBackward) {
   const EpDispatchMode mode = GetParam();
   const int64_t t_local = x_full_.dim(0) / n;
   const int64_t e_local = config_.num_experts / n;
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   std::vector<Tensor> y(n), dx(n), dcombine(n);
   std::vector<std::vector<Tensor>> dw1(n), dw2(n), dw3(n);
   RunOnRanks(n, [&](int rank) {
@@ -387,7 +387,7 @@ INSTANTIATE_TEST_SUITE_P(BothDispatchModes, FfnParallelTest,
 TEST_F(FfnParallelTest, TpFfnMatchesSingleRank) {
   const int n = 2;
   const int64_t t_local = x_full_.dim(0) / n;
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   std::vector<Tensor> y(n), dx(n), dcombine(n);
   std::vector<std::vector<Tensor>> dw1(n), dw2(n);
   RunOnRanks(n, [&](int rank) {
@@ -430,8 +430,8 @@ TEST_F(FfnParallelTest, DroppedTokenCopiesHandledIdentically) {
   // modes must skip them identically and keep gradients consistent.
   const int n = 2;
   const int64_t t_local = x_full_.dim(0) / n;
-  CollectiveGroup a2a_group(n);
-  CollectiveGroup ag_group(n);
+  FlatCommunicator a2a_group(n);
+  FlatCommunicator ag_group(n);
   std::vector<Tensor> y_a2a(n), y_ag(n), dx_a2a(n), dx_ag(n);
   RunOnRanks(n, [&](int rank) {
     Tensor x_local = x_full_.SliceRows(rank * t_local, (rank + 1) * t_local);
@@ -478,8 +478,8 @@ TEST_F(FfnParallelTest, DroppedTokenCopiesHandledIdentically) {
 TEST_F(FfnParallelTest, BothEpModesAgree) {
   const int n = 2;
   const int64_t t_local = x_full_.dim(0) / n;
-  CollectiveGroup a2a_group(n);
-  CollectiveGroup ag_group(n);
+  FlatCommunicator a2a_group(n);
+  FlatCommunicator ag_group(n);
   std::vector<Tensor> y_a2a(n), y_ag(n);
   RunOnRanks(n, [&](int rank) {
     Tensor x_local = x_full_.SliceRows(rank * t_local, (rank + 1) * t_local);
@@ -503,8 +503,8 @@ TEST_F(FfnParallelTest, BothEpModesAgree) {
 TEST(GradSyncTest, Bf16AllToAllCloseToFp32) {
   const int n = 4;
   const int64_t count = 64;
-  CollectiveGroup fp32_group(n);
-  CollectiveGroup bf16_group(n);
+  FlatCommunicator fp32_group(n);
+  FlatCommunicator bf16_group(n);
   std::vector<std::vector<float>> fp32_out(n), bf16_out(n);
   RunOnRanks(n, [&](int rank) {
     Rng rng(static_cast<uint64_t>(rank) + 11);
@@ -531,9 +531,9 @@ TEST(GradSyncTest, RingBf16WorseThanAllToAllBf16) {
   // (single cast + FP32 local reduce) keeps them.
   const int n = 8;
   const int64_t count = 64;
-  CollectiveGroup ring_group(n);
-  CollectiveGroup a2a_group(n);
-  CollectiveGroup exact_group(n);
+  FlatCommunicator ring_group(n);
+  FlatCommunicator a2a_group(n);
+  FlatCommunicator exact_group(n);
   std::vector<double> ring_err(n), a2a_err(n);
   RunOnRanks(n, [&](int rank) {
     std::vector<float> grads(static_cast<size_t>(count));
@@ -566,7 +566,7 @@ TEST(GradSyncTest, RingBf16WorseThanAllToAllBf16) {
 TEST(GradSyncTest, AllReduceGradsConsistentAcrossModes) {
   const int n = 4;
   const int64_t count = 32;
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   std::vector<std::vector<float>> out(n);
   RunOnRanks(n, [&](int rank) {
     std::vector<float> grads(static_cast<size_t>(count), static_cast<float>(rank + 1));
@@ -608,8 +608,8 @@ TEST(Fp8CommTest, ReduceScatterMatchesFp32WithinQuantError) {
   const int n = 4;
   const int64_t shard_rows = 8;
   const int64_t cols = 16;
-  CollectiveGroup fp8_group(n);
-  CollectiveGroup fp32_group(n);
+  FlatCommunicator fp8_group(n);
+  FlatCommunicator fp32_group(n);
   QuantConfig config;
   config.granularity = QuantGranularity::kPerToken;
   std::vector<Tensor> fp8_out(n);
@@ -636,7 +636,7 @@ TEST(Fp8CommTest, AllGatherMatchesWithinQuantError) {
   const int n = 3;
   const int64_t rows = 4;
   const int64_t cols = 8;
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   QuantConfig config;
   config.granularity = QuantGranularity::kPerChannelGrouped;
   config.group_size = 2;

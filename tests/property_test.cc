@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
-#include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/comm/hierarchical.h"
 #include "src/model/attention.h"
 #include "src/model/config.h"
@@ -29,8 +29,8 @@ class CollectiveSweepTest
 
 TEST_P(CollectiveSweepTest, AllReduceEqualsGatherThenSum) {
   const auto [n, count] = GetParam();
-  CollectiveGroup ar_group(n);
-  CollectiveGroup ag_group(n);
+  FlatCommunicator ar_group(n);
+  FlatCommunicator ag_group(n);
   std::vector<bool> ok(static_cast<size_t>(n), false);
   RunOnRanks(n, [&, n = n, count = count](int rank) {
     Rng rng(static_cast<uint64_t>(rank * 7919 + count));
@@ -63,7 +63,7 @@ TEST_P(CollectiveSweepTest, AllReduceEqualsGatherThenSum) {
 TEST_P(CollectiveSweepTest, AllToAllIsSelfInverse) {
   // A2A twice with symmetric block layout returns the original buffer.
   const auto [n, count] = GetParam();
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   std::vector<bool> ok(static_cast<size_t>(n), false);
   RunOnRanks(n, [&, n = n, count = count](int rank) {
     Rng rng(static_cast<uint64_t>(rank + 31));
@@ -94,7 +94,7 @@ TEST_P(HierarchicalSweepTest, MatchesFlatForAnyTopology) {
   const int world = nodes * per_node;
   const int64_t count = 53;  // not divisible by per_node: exercises padding
   HierarchicalComm hier(nodes, per_node);
-  CollectiveGroup flat(world);
+  FlatCommunicator flat(world);
   std::vector<double> max_err(static_cast<size_t>(world), 0.0);
   RunOnRanks(world, [&](int rank) {
     Rng rng(static_cast<uint64_t>(rank + 1));
@@ -352,7 +352,7 @@ TEST(SpAttentionWideTest, FourRanksMatchReference) {
   Tensor x = Tensor::Randn({batch * config.seq_len, config.hidden}, rng);
 
   // Single-rank reference via the n=1 path of the same module.
-  CollectiveGroup solo(1);
+  FlatCommunicator solo(1);
   Tensor y_ref;
   RunOnRanks(1, [&](int) {
     ShardContext ctx{&solo, 0};
@@ -360,7 +360,7 @@ TEST(SpAttentionWideTest, FourRanksMatchReference) {
     y_ref = SpAttentionForward(ctx, config, w_qkv, w_out, x, batch, config.seq_len, &cache);
   });
 
-  CollectiveGroup group(n);
+  FlatCommunicator group(n);
   std::vector<Tensor> y(n);
   RunOnRanks(n, [&](int rank) {
     ShardContext ctx{&group, rank};

@@ -121,6 +121,23 @@ TEST(ZeroShardingTest, RestartsStillSeamless) {
   }
 }
 
+TEST(CommBackendTest, HierarchicalBackendMatchesFlatTrajectory) {
+  // Swapping the collective backend is pure wiring: the 2-level communicator
+  // must reproduce the flat trajectory exactly (same deterministic
+  // rank-order reductions underneath).
+  NumericTrainConfig flat = SmallConfig();
+  flat.dp_size = 4;
+  NumericTrainConfig hier = flat;
+  hier.comm_backend = CommBackend::kHierarchical;
+  hier.gpus_per_node = 2;
+  const TrainCurve a = TrainLm(flat);
+  const TrainCurve b = TrainLm(hier);
+  ASSERT_EQ(a.loss.size(), b.loss.size());
+  for (size_t i = 0; i < a.loss.size(); ++i) {
+    EXPECT_NEAR(a.loss[i], b.loss[i], 1e-7) << i;
+  }
+}
+
 TEST(GradAccumulationTest, LossRecordedAndConverges) {
   NumericTrainConfig config = SmallConfig();
   config.grad_accum_steps = 3;

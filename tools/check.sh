@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repository check: tier-1 verify (full build + ctest) plus a ThreadSanitizer
+# build of the comm-layer tests. The collectives run real thread ranks over
+# shared buffers, so comm_test / parallel_test / telemetry_test under TSan
+# are the races-or-not verdict for the whole substrate.
+#
+#   $ tools/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+ctest --test-dir build --output-on-failure -j
+
+echo
+echo "== TSan: comm_test + parallel_test + telemetry_test =="
+cmake -B build-tsan -S . -DMSMOE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target comm_test parallel_test telemetry_test >/dev/null
+./build-tsan/tests/comm_test
+./build-tsan/tests/parallel_test
+./build-tsan/tests/telemetry_test
+
+echo
+echo "all checks passed"
