@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte buffers.
+//
+// Used by the checkpoint format (src/model/checkpoint) to detect torn or
+// corrupted writes: production restarts must never silently load a bad
+// payload. Table-driven software implementation — checkpoints are written
+// once per cadence, so throughput is irrelevant next to correctness.
+#ifndef MSMOE_SRC_BASE_CRC32_H_
+#define MSMOE_SRC_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace msmoe {
+
+// CRC of `len` bytes starting from `seed` (pass the previous return value to
+// checksum a payload in pieces; 0 starts a fresh checksum).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_BASE_CRC32_H_

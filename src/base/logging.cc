@@ -24,6 +24,20 @@ LogSeverity MinLogSeverity() {
   return severity;
 }
 
+namespace {
+
+thread_local bool throw_on_fatal = false;
+
+}  // namespace
+
+ScopedThrowOnFatal::ScopedThrowOnFatal() : previous_(throw_on_fatal) {
+  throw_on_fatal = true;
+}
+
+ScopedThrowOnFatal::~ScopedThrowOnFatal() { throw_on_fatal = previous_; }
+
+bool ScopedThrowOnFatal::Active() { return throw_on_fatal; }
+
 namespace internal {
 namespace {
 
@@ -60,13 +74,16 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line) : sever
   stream_ << "[" << SeverityTag(severity) << " " << base << ":" << line << "] ";
 }
 
-LogMessage::~LogMessage() {
+LogMessage::~LogMessage() noexcept(false) {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
     std::lock_guard<std::mutex> lock(LogMutex());
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
     std::fflush(stderr);
   }
   if (severity_ == LogSeverity::kFatal) {
+    if (ScopedThrowOnFatal::Active()) {
+      throw FatalError(stream_.str());
+    }
     std::abort();
   }
 }

@@ -7,9 +7,36 @@
 #define MSMOE_SRC_BASE_LOGGING_H_
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace msmoe {
+
+// Thrown instead of aborting when a fatal log / CHECK failure happens on a
+// thread that opted in via ScopedThrowOnFatal (below).
+class FatalError : public std::runtime_error {
+ public:
+  explicit FatalError(const std::string& message) : std::runtime_error(message) {}
+};
+
+// While alive, fatal failures on THIS thread throw FatalError instead of
+// aborting the process. Rank-thread harnesses (RunOnRanksStatus) use it so a
+// CHECK failure in one rank can be reported as a Status and surviving ranks
+// can be unblocked, rather than tearing the whole process down mid-test.
+class ScopedThrowOnFatal {
+ public:
+  ScopedThrowOnFatal();
+  ~ScopedThrowOnFatal();
+
+  ScopedThrowOnFatal(const ScopedThrowOnFatal&) = delete;
+  ScopedThrowOnFatal& operator=(const ScopedThrowOnFatal&) = delete;
+
+  // True if the current thread is inside a ScopedThrowOnFatal scope.
+  static bool Active();
+
+ private:
+  bool previous_;
+};
 
 enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
@@ -24,7 +51,8 @@ namespace internal {
 class LogMessage {
  public:
   LogMessage(LogSeverity severity, const char* file, int line);
-  ~LogMessage();
+  // May throw FatalError for kFatal under ScopedThrowOnFatal.
+  ~LogMessage() noexcept(false);
 
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;

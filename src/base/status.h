@@ -22,6 +22,9 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,
+  kDeadlineExceeded,
+  kAborted,
+  kDataLoss,
 };
 
 // Human-readable name for a StatusCode ("OK", "INVALID_ARGUMENT", ...).
@@ -63,6 +66,15 @@ inline Status Internal(std::string message) {
 }
 inline Status ResourceExhausted(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status Aborted(std::string message) {
+  return Status(StatusCode::kAborted, std::move(message));
+}
+inline Status DataLoss(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 // Value-or-error carrier. value() CHECK-fails on error, so call sites either

@@ -1,17 +1,98 @@
 #include "src/comm/collective_group.h"
 
+#include <chrono>
+#include <string>
+
 namespace msmoe {
 
 CollectiveGroup::CollectiveGroup(int size)
     : size_(size),
-      barrier_(size),
       send_slots_(static_cast<size_t>(size), nullptr),
       counts_(static_cast<size_t>(size) * static_cast<size_t>(size), 0),
-      scalars_(static_cast<size_t>(size), 0.0) {
+      scalars_(static_cast<size_t>(size), 0.0),
+      recovery_barrier_(size) {
   MSMOE_CHECK_GT(size, 0);
 }
 
-void CollectiveGroup::Barrier() { barrier_.arrive_and_wait(); }
+Status CollectiveGroup::SyncPoint() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!abort_status_.ok()) {
+    return abort_status_;
+  }
+  const uint64_t generation = generation_;
+  if (++arrived_ == size_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return Status::Ok();
+  }
+  const auto released = [&] { return generation_ != generation || !abort_status_.ok(); };
+  if (timeout_ms_ <= 0.0) {
+    cv_.wait(lock, released);
+  } else {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(timeout_ms_));
+    if (!cv_.wait_until(lock, deadline, released)) {
+      // The barrier is still open past the deadline: some member never
+      // arrived. This waiter raises the first error; every peer (current
+      // and future) observes the same sticky status.
+      abort_status_ = DeadlineExceeded(
+          "collective barrier timed out after " + std::to_string(timeout_ms_) +
+          " ms: a member never arrived");
+      aborted_.store(true, std::memory_order_release);
+      cv_.notify_all();
+      return abort_status_;
+    }
+  }
+  if (generation_ != generation) {
+    // The barrier closed before any cancellation: this collective phase
+    // completed even if an abort was raised immediately after.
+    return Status::Ok();
+  }
+  return abort_status_;
+}
+
+Status CollectiveGroup::TryBarrier() { return SyncPoint(); }
+
+void CollectiveGroup::Abort(Status status) {
+  MSMOE_CHECK(!status.ok()) << "CollectiveGroup::Abort needs a non-OK status";
+  std::lock_guard<std::mutex> lock(mu_);
+  if (abort_status_.ok()) {
+    abort_status_ = std::move(status);
+    aborted_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+Status CollectiveGroup::status() const {
+  if (!aborted_.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return abort_status_;
+}
+
+void CollectiveGroup::ResetAbort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  abort_status_ = Status::Ok();
+  aborted_.store(false, std::memory_order_release);
+  arrived_ = 0;
+  // Release any waiter stranded on the pre-abort generation (there are none
+  // under the RecoveryBarrier protocol, but a bumped generation makes the
+  // reset safe even against stragglers).
+  ++generation_;
+  cv_.notify_all();
+}
+
+void CollectiveGroup::RecoveryBarrier(int member) {
+  RecoveryArrive();
+  if (member == 0) {
+    ResetAbort();
+  }
+  RecoveryArrive();
+}
 
 void CollectiveGroup::PublishCounts(int member, const std::vector<int64_t>& counts) {
   for (int dst = 0; dst < size_; ++dst) {
@@ -19,24 +100,63 @@ void CollectiveGroup::PublishCounts(int member, const std::vector<int64_t>& coun
   }
 }
 
-std::vector<double> CollectiveGroup::ExchangeScalars(int member, double value) {
+Status CollectiveGroup::TryExchangeScalars(int member, double value,
+                                           std::vector<double>* out) {
   scalars_[static_cast<size_t>(member)] = value;
-  Barrier();
-  std::vector<double> out = scalars_;
+  MSMOE_RETURN_IF_ERROR(SyncPoint());
+  *out = scalars_;
   AccountOnce(member, RingVolume(sizeof(double)));
-  Barrier();
+  return SyncPoint();
+}
+
+std::vector<double> CollectiveGroup::ExchangeScalars(int member, double value) {
+  std::vector<double> out;
+  (void)TryExchangeScalars(member, value, &out);
   return out;
 }
 
-void RunOnRanks(int world_size, const std::function<void(int)>& fn) {
+Status RunOnRanksStatus(int world_size, const std::function<void(int)>& fn,
+                        CollectiveGroup* abort_group) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(world_size));
+  std::mutex mu;
+  Status first_failure;
+  auto report = [&](int rank, const std::string& what) {
+    Status failure =
+        Internal("rank " + std::to_string(rank) + " failed: " + what);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_failure.ok()) {
+        first_failure = failure;
+      }
+    }
+    if (abort_group != nullptr) {
+      abort_group->Abort(std::move(failure));
+    }
+  };
   for (int rank = 0; rank < world_size; ++rank) {
-    threads.emplace_back([&fn, rank] { fn(rank); });
+    threads.emplace_back([&fn, &report, rank] {
+      // CHECK failures on a rank thread throw (instead of abort) so they can
+      // cancel the group and surface on the calling thread.
+      ScopedThrowOnFatal throw_on_fatal;
+      try {
+        fn(rank);
+      } catch (const std::exception& e) {
+        report(rank, e.what());
+      } catch (...) {
+        report(rank, "unknown exception");
+      }
+    });
   }
   for (auto& thread : threads) {
     thread.join();
   }
+  return first_failure;
+}
+
+void RunOnRanks(int world_size, const std::function<void(int)>& fn) {
+  const Status status = RunOnRanksStatus(world_size, fn, nullptr);
+  MSMOE_CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace msmoe

@@ -19,6 +19,19 @@
 // wire_bytes() always reads as "bytes the fabric moved", regardless of
 // which member queries it or how asymmetric the op was (AllToAllV).
 //
+// Fault tolerance: the internal rendezvous is a CANCELLABLE barrier, not a
+// raw std::barrier. Every collective has a Status-returning Try* form; a
+// member that never arrives (crashed or stuck rank) surfaces as
+// Status(kDeadlineExceeded) on the first member whose configured deadline
+// expires and as the same sticky error on every other member, instead of a
+// process-wide hang. Abort(status) cancels the barrier explicitly (fault
+// injection, failed health checks); once aborted every collective fails
+// fast with the FIRST error raised until all members rendezvous through
+// RecoveryBarrier(), which clears the fault. The void-returning legacy
+// collectives discard the status — they are for fault-free contexts, and
+// under an abort they return with the output buffers unmodified; callers in
+// fault-aware paths must use Try* or check status().
+//
 // Algorithm code should not call this class directly — issue collectives
 // through the instrumented msmoe::Communicator layer (communicator.h),
 // which records per-op telemetry on top of these primitives.
@@ -27,14 +40,17 @@
 
 #include <atomic>
 #include <barrier>
+#include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/base/logging.h"
+#include "src/base/status.h"
 
 namespace msmoe {
 
@@ -48,30 +64,70 @@ class CollectiveGroup {
   uint64_t wire_bytes() const { return wire_bytes_.load(std::memory_order_relaxed); }
   void ResetWireBytes() { wire_bytes_.store(0, std::memory_order_relaxed); }
 
-  // All members must call every collective, with their own member index.
+  // --- Fault surface -------------------------------------------------------
 
-  void Barrier();
+  // Deadline applied to every internal barrier wait. 0 (the default) waits
+  // forever — exactly the pre-fault-tolerance behavior. Set before ranks
+  // start issuing collectives.
+  void set_timeout_ms(double timeout_ms) { timeout_ms_ = timeout_ms; }
+  double timeout_ms() const { return timeout_ms_; }
+
+  // Cancels the barrier: every current and future wait returns the first
+  // non-OK status raised (sticky until RecoveryBarrier). `status` must be
+  // non-OK.
+  void Abort(Status status);
+
+  // First error raised on this group, or OK.
+  Status status() const;
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  // Collective-safe fault recovery: ALL members call with their own index
+  // once they have observed the failure and unwound out of the failed
+  // step's collectives. Rendezvouses on a plain (never-cancelled) barrier,
+  // clears the abort state, and rendezvouses again, so no member can re-
+  // enter a collective while the reset is in flight. In this thread-rank
+  // world even a "crashed" rank's thread survives to call this — it plays
+  // the respawned replacement process of a production restart.
+  void RecoveryBarrier(int member);
+
+  // Phases of RecoveryBarrier, exposed so multi-group schemes (hierarchical
+  // backend) can reset several groups inside one world rendezvous.
+  void RecoveryArrive() { recovery_barrier_.arrive_and_wait(); }
+  void ResetAbort();
+
+  // --- Collectives ---------------------------------------------------------
+  //
+  // All members must call every collective, with their own member index.
+  // Try* forms return the group status; the void forms discard it (see the
+  // header comment).
+
+  Status TryBarrier();
+  void Barrier() { (void)TryBarrier(); }
 
   // recv must hold size() * count elements; member m's send block lands at
   // recv[m * count .. (m+1) * count).
   template <typename T>
-  void AllGather(int member, const T* send, T* recv, int64_t count) {
+  Status TryAllGather(int member, const T* send, T* recv, int64_t count) {
     PublishSend(member, send);
-    Barrier();
+    MSMOE_RETURN_IF_ERROR(SyncPoint());
     for (int src = 0; src < size_; ++src) {
       std::memcpy(recv + static_cast<int64_t>(src) * count, SendSlot<T>(src),
                   static_cast<size_t>(count) * sizeof(T));
     }
     AccountOnce(member, RingVolume(count * static_cast<int64_t>(sizeof(T))));
-    Barrier();
+    return SyncPoint();
+  }
+  template <typename T>
+  void AllGather(int member, const T* send, T* recv, int64_t count) {
+    (void)TryAllGather(member, send, recv, count);
   }
 
   // send holds size() * count elements; member m receives the sum of all
   // members' m-th blocks into recv (count elements).
   template <typename T>
-  void ReduceScatter(int member, const T* send, T* recv, int64_t count) {
+  Status TryReduceScatter(int member, const T* send, T* recv, int64_t count) {
     PublishSend(member, send);
-    Barrier();
+    MSMOE_RETURN_IF_ERROR(SyncPoint());
     const int64_t offset = static_cast<int64_t>(member) * count;
     for (int64_t i = 0; i < count; ++i) {
       double sum = 0.0;
@@ -81,14 +137,18 @@ class CollectiveGroup {
       recv[i] = static_cast<T>(sum);
     }
     AccountOnce(member, RingVolume(count * static_cast<int64_t>(sizeof(T))));
-    Barrier();
+    return SyncPoint();
+  }
+  template <typename T>
+  void ReduceScatter(int member, const T* send, T* recv, int64_t count) {
+    (void)TryReduceScatter(member, send, recv, count);
   }
 
   // Element-wise sum over all members; every member receives the full result.
   template <typename T>
-  void AllReduce(int member, const T* send, T* recv, int64_t count) {
+  Status TryAllReduce(int member, const T* send, T* recv, int64_t count) {
     PublishSend(member, send);
-    Barrier();
+    MSMOE_RETURN_IF_ERROR(SyncPoint());
     for (int64_t i = 0; i < count; ++i) {
       double sum = 0.0;
       for (int src = 0; src < size_; ++src) {
@@ -97,38 +157,50 @@ class CollectiveGroup {
       recv[i] = static_cast<T>(sum);
     }
     AccountOnce(member, 2 * RingVolume(count * static_cast<int64_t>(sizeof(T))));
-    Barrier();
+    return SyncPoint();
+  }
+  template <typename T>
+  void AllReduce(int member, const T* send, T* recv, int64_t count) {
+    (void)TryAllReduce(member, send, recv, count);
   }
 
   // Member `root`'s buffer is copied to every member.
   template <typename T>
-  void Broadcast(int member, int root, T* data, int64_t count) {
+  Status TryBroadcast(int member, int root, T* data, int64_t count) {
     if (member == root) {
       PublishSend(member, data);
     }
-    Barrier();
+    MSMOE_RETURN_IF_ERROR(SyncPoint());
     if (member != root) {
       std::memcpy(data, SendSlot<T>(root), static_cast<size_t>(count) * sizeof(T));
     }
     AccountOnce(member,
                 static_cast<uint64_t>(size_ - 1) *
                     static_cast<uint64_t>(count * static_cast<int64_t>(sizeof(T))));
-    Barrier();
+    return SyncPoint();
+  }
+  template <typename T>
+  void Broadcast(int member, int root, T* data, int64_t count) {
+    (void)TryBroadcast(member, root, data, count);
   }
 
   // Fixed-size all-to-all: send and recv hold size() * count elements;
   // recv[src * count ..] = member src's block addressed to this member.
   template <typename T>
-  void AllToAll(int member, const T* send, T* recv, int64_t count) {
+  Status TryAllToAll(int member, const T* send, T* recv, int64_t count) {
     PublishSend(member, send);
-    Barrier();
+    MSMOE_RETURN_IF_ERROR(SyncPoint());
     for (int src = 0; src < size_; ++src) {
       std::memcpy(recv + static_cast<int64_t>(src) * count,
                   SendSlot<T>(src) + static_cast<int64_t>(member) * count,
                   static_cast<size_t>(count) * sizeof(T));
     }
     AccountOnce(member, A2AVolume(count * static_cast<int64_t>(sizeof(T))));
-    Barrier();
+    return SyncPoint();
+  }
+  template <typename T>
+  void AllToAll(int member, const T* send, T* recv, int64_t count) {
+    (void)TryAllToAll(member, send, recv, count);
   }
 
   // Variable all-to-all. send_counts[d] elements go to member d, packed
@@ -136,15 +208,17 @@ class CollectiveGroup {
   // element count received from member s and recv is packed in source order.
   // recv must have capacity for the total received (callers can size it via
   // ExchangeCounts below, or pass a vector to the overload in comm_util).
-  // Returns the total off-rank wire bytes of this collective (identical on
-  // every member; accounted once per the header convention).
+  // *wire_out (optional) receives the total off-rank wire bytes of this
+  // collective (identical on every member; accounted once per the header
+  // convention).
   template <typename T>
-  uint64_t AllToAllV(int member, const T* send, const std::vector<int64_t>& send_counts,
-                     T* recv, std::vector<int64_t>* recv_counts) {
+  Status TryAllToAllV(int member, const T* send, const std::vector<int64_t>& send_counts,
+                      T* recv, std::vector<int64_t>* recv_counts,
+                      uint64_t* wire_out = nullptr) {
     MSMOE_CHECK_EQ(static_cast<int>(send_counts.size()), size_);
     PublishSend(member, send);
     PublishCounts(member, send_counts);
-    Barrier();
+    MSMOE_RETURN_IF_ERROR(SyncPoint());
     recv_counts->assign(static_cast<size_t>(size_), 0);
     int64_t recv_offset = 0;
     for (int src = 0; src < size_; ++src) {
@@ -170,12 +244,22 @@ class CollectiveGroup {
       }
     }
     AccountOnce(member, total);
-    Barrier();
-    return total;
+    if (wire_out != nullptr) {
+      *wire_out = total;
+    }
+    return SyncPoint();
+  }
+  template <typename T>
+  uint64_t AllToAllV(int member, const T* send, const std::vector<int64_t>& send_counts,
+                     T* recv, std::vector<int64_t>* recv_counts) {
+    uint64_t wire = 0;
+    (void)TryAllToAllV(member, send, send_counts, recv, recv_counts, &wire);
+    return wire;
   }
 
-  // Shares each member's scalar value; returns the vector of all values.
+  // Shares each member's scalar value into *out (size() entries).
   // Accounted as an all-gather of one double: (size-1) * sizeof(double).
+  Status TryExchangeScalars(int member, double value, std::vector<double>* out);
   std::vector<double> ExchangeScalars(int member, double value);
 
  private:
@@ -191,6 +275,12 @@ class CollectiveGroup {
   int64_t CountAt(int src, int dst) const {
     return counts_[static_cast<size_t>(src * size_ + dst)];
   }
+
+  // The cancellable rendezvous every collective phase runs through: returns
+  // OK when all members arrived, the sticky abort status if the group was
+  // cancelled, or raises kDeadlineExceeded for everyone when this waiter's
+  // deadline expires first.
+  Status SyncPoint();
 
   // Ring all-gather / reduce-scatter volume per the standard (g-1)/g * total.
   uint64_t RingVolume(int64_t bytes_per_member) const {
@@ -210,15 +300,39 @@ class CollectiveGroup {
   }
 
   const int size_;
-  std::barrier<> barrier_;
   std::vector<const void*> send_slots_;
   std::vector<int64_t> counts_;
   std::vector<double> scalars_;
   std::atomic<uint64_t> wire_bytes_{0};
+
+  // Cancellable-barrier state.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+  Status abort_status_;               // first error; OK = healthy
+  std::atomic<bool> aborted_{false};  // lock-free fast-path mirror
+  double timeout_ms_ = 0.0;           // 0 = wait forever
+
+  // Recovery rendezvous: a plain barrier that is never cancelled (all rank
+  // threads survive simulated faults), used only by RecoveryBarrier.
+  std::barrier<> recovery_barrier_;
 };
 
-// Runs fn(rank) on `world_size` threads and joins them all.
+// Runs fn(rank) on `world_size` threads and joins them all. A rank failure
+// (thrown exception, or MSMOE_CHECK failure — converted to an exception for
+// the rank threads) is re-raised as a CHECK failure on the calling thread
+// after all ranks joined. NOTE: without an abort_group, a rank that fails
+// while its peers wait inside a collective leaves those peers blocked — use
+// RunOnRanksStatus with the group for fault-prone code.
 void RunOnRanks(int world_size, const std::function<void(int)>& fn);
+
+// As RunOnRanks, but the first rank failure (1) immediately cancels
+// `abort_group` (when non-null) so surviving ranks fall out of any
+// collective with Status(kAborted) instead of deadlocking, and (2) is
+// returned to the caller as a Status once every rank thread joined.
+Status RunOnRanksStatus(int world_size, const std::function<void(int)>& fn,
+                        CollectiveGroup* abort_group = nullptr);
 
 }  // namespace msmoe
 

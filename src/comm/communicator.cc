@@ -31,6 +31,11 @@ uint64_t A2ABytes(int n, int64_t bytes_per_block) {
 
 }  // namespace
 
+void Communicator::set_fault_plan(FaultPlan* plan) {
+  fault_plan_ = plan;
+  op_counts_.assign(static_cast<size_t>(size()), 0);
+}
+
 // ---------------------------------------------------------------------------
 // FlatCommunicator
 

@@ -24,12 +24,16 @@
 #ifndef MSMOE_SRC_COMM_COMMUNICATOR_H_
 #define MSMOE_SRC_COMM_COMMUNICATOR_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/comm/collective_group.h"
+#include "src/comm/fault.h"
 #include "src/comm/hierarchical.h"
 #include "src/comm/telemetry.h"
 
@@ -82,41 +86,104 @@ class Communicator {
   CommTelemetry& telemetry() { return telemetry_; }
   const CommTelemetry& telemetry() const { return telemetry_; }
 
+  // --- Fault surface -------------------------------------------------------
+
+  // Installs a fault-injection schedule (not owned; may be nullptr). Call
+  // before ranks start issuing collectives. Every collective consults the
+  // plan with this rank's monotonically increasing op index.
+  void set_fault_plan(FaultPlan* plan);
+  FaultPlan* fault_plan() const { return fault_plan_; }
+
+  // Deadline for every internal barrier wait (0 = wait forever); a rank
+  // that never arrives then surfaces as kDeadlineExceeded on all peers.
+  virtual void SetCollectiveTimeout(double timeout_ms) = 0;
+  // Cancels the backend's barrier(s); all ranks observe `status`.
+  virtual void Abort(Status status) = 0;
+  // First error raised on the backend (abort, timeout, injected crash), or
+  // OK. After a failed collective the output buffers are unspecified;
+  // fault-aware callers check this per step and run recovery.
+  virtual Status GroupStatus() const = 0;
+  // Collective-safe reset after all ranks observed the failure: rendezvous,
+  // clear the abort, rendezvous (see CollectiveGroup::RecoveryBarrier).
+  virtual void RecoveryBarrier(int member) = 0;
+
   // All members must call every collective, with their own member index.
-  // Semantics match CollectiveGroup (see collective_group.h).
+  // Semantics match CollectiveGroup (see collective_group.h). On an aborted
+  // group each collective returns promptly without touching the output
+  // buffers and without recording telemetry; GroupStatus() carries the
+  // error.
 
   void Barrier(int member) {
+    const FaultAction action = BeginOp(member);
+    if (action.crash) {
+      return;
+    }
     const double start = telemetry_.NowUs();
     BarrierImpl();
+    if (!GroupStatus().ok()) {
+      return;
+    }
     Finish(CommOp::kBarrier, member, "bytes", 0, 0, 0, start);
   }
 
   template <typename T>
   void AllGather(int member, const T* send, T* recv, int64_t count) {
+    const FaultAction action = BeginOp(member);
+    if (action.crash) {
+      return;
+    }
     const double start = telemetry_.NowUs();
-    const uint64_t wire =
-        AllGatherBytes(member, send, recv, count * static_cast<int64_t>(sizeof(T)));
+    const int64_t bytes = count * static_cast<int64_t>(sizeof(T));
+    const uint64_t wire = AllGatherBytes(member, send, recv, bytes);
+    if (!GroupStatus().ok()) {
+      return;
+    }
+    EndOp(action, recv, size() * bytes);
     Finish(CommOp::kAllGather, member, CommElemTypeName<T>(), sizeof(T), count, wire,
            start);
   }
 
   void ReduceScatter(int member, const float* send, float* recv, int64_t count) {
+    const FaultAction action = BeginOp(member);
+    if (action.crash) {
+      return;
+    }
     const double start = telemetry_.NowUs();
     const uint64_t wire = ReduceScatterF32(member, send, recv, count);
+    if (!GroupStatus().ok()) {
+      return;
+    }
+    EndOp(action, recv, count * static_cast<int64_t>(sizeof(float)));
     Finish(CommOp::kReduceScatter, member, "f32", sizeof(float), count, wire, start);
   }
 
   void AllReduce(int member, const float* send, float* recv, int64_t count) {
+    const FaultAction action = BeginOp(member);
+    if (action.crash) {
+      return;
+    }
     const double start = telemetry_.NowUs();
     const uint64_t wire = AllReduceF32(member, send, recv, count);
+    if (!GroupStatus().ok()) {
+      return;
+    }
+    EndOp(action, recv, count * static_cast<int64_t>(sizeof(float)));
     Finish(CommOp::kAllReduce, member, "f32", sizeof(float), count, wire, start);
   }
 
   template <typename T>
   void Broadcast(int member, int root, T* data, int64_t count) {
+    const FaultAction action = BeginOp(member);
+    if (action.crash) {
+      return;
+    }
     const double start = telemetry_.NowUs();
-    const uint64_t wire =
-        BroadcastBytes(member, root, data, count * static_cast<int64_t>(sizeof(T)));
+    const int64_t bytes = count * static_cast<int64_t>(sizeof(T));
+    const uint64_t wire = BroadcastBytes(member, root, data, bytes);
+    if (!GroupStatus().ok()) {
+      return;
+    }
+    EndOp(action, data, bytes);
     Finish(CommOp::kBroadcast, member, CommElemTypeName<T>(), sizeof(T), count, wire,
            start);
   }
@@ -125,9 +192,17 @@ class Communicator {
   // elem_count), exactly as in CollectiveGroup::AllToAll.
   template <typename T>
   void AllToAll(int member, const T* send, T* recv, int64_t count) {
+    const FaultAction action = BeginOp(member);
+    if (action.crash) {
+      return;
+    }
     const double start = telemetry_.NowUs();
-    const uint64_t wire =
-        AllToAllBytes(member, send, recv, count * static_cast<int64_t>(sizeof(T)));
+    const int64_t bytes = count * static_cast<int64_t>(sizeof(T));
+    const uint64_t wire = AllToAllBytes(member, send, recv, bytes);
+    if (!GroupStatus().ok()) {
+      return;
+    }
+    EndOp(action, recv, size() * bytes);
     Finish(CommOp::kAllToAll, member, CommElemTypeName<T>(), sizeof(T), count, wire,
            start);
   }
@@ -136,6 +211,10 @@ class Communicator {
   template <typename T>
   void AllToAllV(int member, const T* send, const std::vector<int64_t>& send_counts,
                  T* recv, std::vector<int64_t>* recv_counts) {
+    const FaultAction action = BeginOp(member);
+    if (action.crash) {
+      return;
+    }
     const double start = telemetry_.NowUs();
     std::vector<int64_t> send_bytes(send_counts.size());
     for (size_t i = 0; i < send_counts.size(); ++i) {
@@ -143,20 +222,33 @@ class Communicator {
     }
     std::vector<int64_t> recv_bytes;
     const uint64_t wire = AllToAllVBytes(member, send, send_bytes, recv, &recv_bytes);
+    if (!GroupStatus().ok()) {
+      return;
+    }
     recv_counts->resize(recv_bytes.size());
     int64_t received = 0;
     for (size_t i = 0; i < recv_bytes.size(); ++i) {
       (*recv_counts)[i] = recv_bytes[i] / static_cast<int64_t>(sizeof(T));
       received += (*recv_counts)[i];
     }
+    EndOp(action, recv, received * static_cast<int64_t>(sizeof(T)));
     Finish(CommOp::kAllToAllV, member, CommElemTypeName<T>(), sizeof(T), received, wire,
            start);
   }
 
   std::vector<double> ExchangeScalars(int member, double value) {
-    const double start = telemetry_.NowUs();
+    const FaultAction action = BeginOp(member);
     std::vector<double> out;
+    if (action.crash) {
+      return out;
+    }
+    const double start = telemetry_.NowUs();
     const uint64_t wire = ExchangeScalarsImpl(member, value, &out);
+    if (!GroupStatus().ok()) {
+      out.clear();
+      return out;
+    }
+    EndOp(action, out.data(), static_cast<int64_t>(out.size() * sizeof(double)));
     Finish(CommOp::kExchangeScalars, member, "f64", sizeof(double), 1, wire, start);
     return out;
   }
@@ -185,6 +277,33 @@ class Communicator {
   virtual const char* AlgorithmName(CommOp op) const = 0;
 
  private:
+  // Consults the fault plan with this rank's op index: sleeps out injected
+  // straggler delays (BEFORE the start timestamp, so the late collective
+  // entry is visible to the health detector), and on an injected crash
+  // cancels the group so peers fail fast instead of hanging.
+  FaultAction BeginOp(int member) {
+    FaultAction action;
+    if (fault_plan_ != nullptr) {
+      const int64_t index = op_counts_[static_cast<size_t>(member)]++;
+      action = fault_plan_->OnCollective(member, index);
+      if (action.delay_us > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(action.delay_us));
+      }
+      if (action.crash) {
+        Abort(Aborted("fault injection: rank " + std::to_string(member) +
+                      " crashed at collective " + std::to_string(index)));
+      }
+    }
+    return action;
+  }
+
+  // Applies post-op payload faults to the receive buffer.
+  void EndOp(const FaultAction& action, void* recv, int64_t bytes) {
+    if (action.corrupt) {
+      FlipOneBit(recv, bytes, action.corrupt_seed);
+    }
+  }
+
   void Finish(CommOp op, int member, const char* elem_type, int elem_bytes,
               int64_t elem_count, uint64_t wire, double start_us) {
     CommEvent event;
@@ -203,6 +322,10 @@ class Communicator {
   }
 
   CommTelemetry telemetry_;
+  FaultPlan* fault_plan_ = nullptr;
+  // Per-rank collective-op counters (each element touched only by its own
+  // rank thread); sized by set_fault_plan.
+  std::vector<int64_t> op_counts_;
 };
 
 // Single-level backend: one CollectiveGroup spanning all ranks (ring
@@ -218,6 +341,13 @@ class FlatCommunicator final : public Communicator {
   // Escape hatch for comm-layer algorithm code (src/comm) and tests;
   // algorithm code in src/parallel and src/core must not use it.
   CollectiveGroup& group() { return group_; }
+
+  void SetCollectiveTimeout(double timeout_ms) override {
+    group_.set_timeout_ms(timeout_ms);
+  }
+  void Abort(Status status) override { group_.Abort(std::move(status)); }
+  Status GroupStatus() const override { return group_.status(); }
+  void RecoveryBarrier(int member) override { group_.RecoveryBarrier(member); }
 
  protected:
   void BarrierImpl() override { group_.Barrier(); }
@@ -260,6 +390,34 @@ class HierarchicalCommunicator final : public Communicator {
 
   uint64_t IntraWireBytes() const { return hier_.IntraWireBytes(); }
   uint64_t InterWireBytes() const { return hier_.InterWireBytes(); }
+
+  void SetCollectiveTimeout(double timeout_ms) override {
+    world_.set_timeout_ms(timeout_ms);
+    hier_.SetTimeoutMs(timeout_ms);
+  }
+  // An abort must cancel every constituent group: a rank may be blocked in
+  // the world barrier, its intra-node group, or its inter-node group.
+  void Abort(Status status) override {
+    hier_.AbortAll(status);
+    world_.Abort(std::move(status));
+  }
+  Status GroupStatus() const override {
+    Status status = world_.status();
+    if (!status.ok()) {
+      return status;
+    }
+    return hier_.FirstError();
+  }
+  void RecoveryBarrier(int member) override {
+    // All ranks rendezvous on the world group; rank 0 resets every
+    // sub-group while the others are parked between the two phases.
+    world_.RecoveryArrive();
+    if (member == 0) {
+      world_.ResetAbort();
+      hier_.ResetAbortAll();
+    }
+    world_.RecoveryArrive();
+  }
 
  protected:
   void BarrierImpl() override { world_.Barrier(); }

@@ -1,0 +1,106 @@
+#include "src/comm/fault.h"
+
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+
+namespace msmoe {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSlowRank:
+      return "slow_rank";
+    case FaultKind::kCrashAtOp:
+      return "crash_at_op";
+    case FaultKind::kBitFlip:
+      return "bit_flip";
+  }
+  return "unknown";
+}
+
+void FaultPlan::AddSlowRank(int rank, double delay_us, int64_t from_op,
+                            int64_t num_ops) {
+  MSMOE_CHECK_GE(rank, 0);
+  MSMOE_CHECK_GT(delay_us, 0.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.push_back({FaultKind::kSlowRank, rank, from_op, delay_us, num_ops});
+  fired_.push_back(false);
+}
+
+void FaultPlan::AddCrash(int rank, int64_t at_op) {
+  MSMOE_CHECK_GE(rank, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.push_back({FaultKind::kCrashAtOp, rank, at_op, 0.0, 1});
+  fired_.push_back(false);
+}
+
+void FaultPlan::AddBitFlip(int rank, int64_t at_op) {
+  MSMOE_CHECK_GE(rank, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.push_back({FaultKind::kBitFlip, rank, at_op, 0.0, 1});
+  fired_.push_back(false);
+}
+
+FaultAction FaultPlan::OnCollective(int rank, int64_t op_index) {
+  FaultAction action;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& spec = specs_[i];
+    if (spec.rank != rank) {
+      continue;
+    }
+    switch (spec.kind) {
+      case FaultKind::kSlowRank:
+        if (op_index >= spec.at_op &&
+            (spec.num_ops < 0 || op_index < spec.at_op + spec.num_ops)) {
+          action.delay_us += spec.delay_us;
+          ++delays_fired_;
+        }
+        break;
+      case FaultKind::kCrashAtOp:
+        if (!fired_[i] && op_index == spec.at_op) {
+          fired_[i] = true;
+          ++crashes_fired_;
+          action.crash = true;
+        }
+        break;
+      case FaultKind::kBitFlip:
+        if (!fired_[i] && op_index == spec.at_op) {
+          fired_[i] = true;
+          ++bit_flips_fired_;
+          action.corrupt = true;
+          // Stable per-(rank, op) bit choice regardless of spec order.
+          action.corrupt_seed = seed_ ^ (static_cast<uint64_t>(rank) * 0x9E3779B97F4A7C15ULL +
+                                         static_cast<uint64_t>(op_index));
+        }
+        break;
+    }
+  }
+  return action;
+}
+
+int64_t FaultPlan::crashes_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashes_fired_;
+}
+
+int64_t FaultPlan::bit_flips_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bit_flips_fired_;
+}
+
+int64_t FaultPlan::delays_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delays_fired_;
+}
+
+void FlipOneBit(void* buffer, int64_t bytes, uint64_t seed) {
+  if (bytes <= 0) {
+    return;
+  }
+  Rng rng(seed);
+  const uint64_t byte = rng.NextIndex(static_cast<uint64_t>(bytes));
+  const uint64_t bit = rng.NextIndex(8);
+  static_cast<uint8_t*>(buffer)[byte] ^= static_cast<uint8_t>(1u << bit);
+}
+
+}  // namespace msmoe

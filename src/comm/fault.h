@@ -1,0 +1,91 @@
+// Deterministic fault injection for the thread-rank collective substrate.
+//
+// Production MoE training survives slow ranks, dead ranks, and corrupted
+// payloads; this reproduction needs a way to CAUSE those conditions on
+// demand, reproducibly, to test the recovery machinery (cancellable
+// barriers, straggler detection, checkpoint restart). A FaultPlan is a
+// seeded schedule of faults keyed on (rank, per-rank collective-op index):
+//
+//   kSlowRank:  inject a fixed wall-clock delay before each collective in an
+//               op-index window — the straggler the health detector must
+//               flag (src/comm/health).
+//   kCrashAtOp: the rank "dies" at its Nth collective: it never enters the
+//               op and cancels the group, so every peer observes
+//               Status(kAborted) instead of hanging. One-shot — after a
+//               recovery the respawned rank does not re-crash.
+//   kBitFlip:   flips one seeded-pseudorandom bit in the rank's RECEIVE
+//               buffer after the op completes — the silent payload
+//               corruption that checksum guards must catch. One-shot.
+//
+// The plan is consulted by the Communicator layer (communicator.h) via
+// OnCollective, called by each rank thread with its own monotonically
+// increasing op index; the plan itself is thread-safe and never blocks.
+#ifndef MSMOE_SRC_COMM_FAULT_H_
+#define MSMOE_SRC_COMM_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace msmoe {
+
+enum class FaultKind { kSlowRank, kCrashAtOp, kBitFlip };
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kSlowRank;
+  int rank = 0;  // target rank
+  // kCrashAtOp / kBitFlip: the exact per-rank op index that triggers.
+  // kSlowRank: first op index of the slow window.
+  int64_t at_op = 0;
+  // kSlowRank: injected delay per collective and window length in ops
+  // (-1 = until the end of the run).
+  double delay_us = 0.0;
+  int64_t num_ops = -1;
+};
+
+// What the Communicator should do to the current collective on this rank.
+struct FaultAction {
+  bool crash = false;       // skip the op and cancel the group
+  double delay_us = 0.0;    // sleep this long before entering the op
+  bool corrupt = false;     // flip a bit in the receive buffer afterwards
+  uint64_t corrupt_seed = 0;  // seed for the (deterministic) bit choice
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 0) : seed_(seed) {}
+
+  void AddSlowRank(int rank, double delay_us, int64_t from_op = 0,
+                   int64_t num_ops = -1);
+  void AddCrash(int rank, int64_t at_op);
+  void AddBitFlip(int rank, int64_t at_op);
+
+  // Resolves the action for rank's op_index-th collective. Thread-safe;
+  // one-shot faults (crash, bit flip) are marked fired and never returned
+  // again — a recovered run replays the ops without re-injecting them.
+  FaultAction OnCollective(int rank, int64_t op_index);
+
+  // Fault bookkeeping (for tests and benches).
+  int64_t crashes_fired() const;
+  int64_t bit_flips_fired() const;
+  int64_t delays_fired() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FaultSpec> specs_;
+  std::vector<bool> fired_;
+  int64_t crashes_fired_ = 0;
+  int64_t bit_flips_fired_ = 0;
+  int64_t delays_fired_ = 0;
+  uint64_t seed_;
+};
+
+// Flips one pseudorandom bit of buffer[0..bytes); which bit is a stable
+// function of `seed`. No-op on an empty buffer.
+void FlipOneBit(void* buffer, int64_t bytes, uint64_t seed);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_COMM_FAULT_H_

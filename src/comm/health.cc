@@ -1,0 +1,65 @@
+#include "src/comm/health.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace msmoe {
+
+StragglerReport DetectStragglers(const std::vector<CommEvent>& events,
+                                 const StragglerConfig& config) {
+  StragglerReport report;
+  report.threshold_us = config.threshold_us;
+
+  int max_rank = -1;
+  for (const CommEvent& event : events) {
+    max_rank = std::max(max_rank, event.rank);
+  }
+  if (max_rank < 0) {
+    return report;
+  }
+  const int num_ranks = max_rank + 1;
+
+  // Per-rank event-start streams in issue order. Each rank thread records
+  // its events sequentially, but the shared registry interleaves ranks, so
+  // sort each stream by start time.
+  std::vector<std::vector<double>> starts(static_cast<size_t>(num_ranks));
+  for (const CommEvent& event : events) {
+    starts[static_cast<size_t>(event.rank)].push_back(event.start_us);
+  }
+  size_t matched = std::numeric_limits<size_t>::max();
+  for (auto& stream : starts) {
+    std::sort(stream.begin(), stream.end());
+    matched = std::min(matched, stream.size());
+  }
+
+  report.collectives_matched = static_cast<int64_t>(matched);
+  report.ranks.resize(static_cast<size_t>(num_ranks));
+  for (int rank = 0; rank < num_ranks; ++rank) {
+    report.ranks[static_cast<size_t>(rank)].rank = rank;
+  }
+  if (matched == 0) {
+    return report;
+  }
+
+  for (size_t i = 0; i < matched; ++i) {
+    double earliest = std::numeric_limits<double>::infinity();
+    for (int rank = 0; rank < num_ranks; ++rank) {
+      earliest = std::min(earliest, starts[static_cast<size_t>(rank)][i]);
+    }
+    for (int rank = 0; rank < num_ranks; ++rank) {
+      RankHealth& health = report.ranks[static_cast<size_t>(rank)];
+      const double lag = starts[static_cast<size_t>(rank)][i] - earliest;
+      health.mean_entry_lag_us += lag;
+      health.max_entry_lag_us = std::max(health.max_entry_lag_us, lag);
+    }
+  }
+  for (RankHealth& health : report.ranks) {
+    health.collectives = static_cast<int64_t>(matched);
+    health.mean_entry_lag_us /= static_cast<double>(matched);
+    health.straggler = health.collectives >= config.min_collectives &&
+                       health.mean_entry_lag_us > config.threshold_us;
+  }
+  return report;
+}
+
+}  // namespace msmoe

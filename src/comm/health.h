@@ -1,0 +1,65 @@
+// Straggler detection over recorded collective telemetry.
+//
+// In a synchronous training job one slow rank stalls every collective: its
+// peers enter the barrier on time and then sit in the barrier wait until the
+// straggler arrives. That signature is visible in CommTelemetry — for each
+// collective, the straggler's entry (event start) is LATE relative to the
+// earliest member entry, while healthy peers show inflated durations.
+// DetectStragglers matches up the per-rank event streams collective by
+// collective, measures each rank's entry lag against the earliest member,
+// and flags ranks whose mean lag exceeds a threshold — the per-rank health
+// verdict production systems page on.
+//
+// Flags export into the same Chrome trace as the raw events
+// (src/sim/trace_export takes an optional StragglerReport), so a flagged
+// rank is visible right on the timeline it slowed down.
+#ifndef MSMOE_SRC_COMM_HEALTH_H_
+#define MSMOE_SRC_COMM_HEALTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/comm/telemetry.h"
+
+namespace msmoe {
+
+struct StragglerConfig {
+  // A rank whose MEAN entry lag exceeds this is flagged.
+  double threshold_us = 1000.0;
+  // Don't flag on fewer matched collectives than this (startup noise).
+  int64_t min_collectives = 4;
+};
+
+struct RankHealth {
+  int rank = 0;
+  int64_t collectives = 0;        // collectives this rank was matched in
+  double mean_entry_lag_us = 0.0;  // mean (entry - earliest member entry)
+  double max_entry_lag_us = 0.0;
+  bool straggler = false;
+};
+
+struct StragglerReport {
+  std::vector<RankHealth> ranks;   // indexed by rank
+  int64_t collectives_matched = 0;
+  double threshold_us = 0.0;
+
+  int straggler_count() const {
+    int count = 0;
+    for (const RankHealth& health : ranks) {
+      count += health.straggler ? 1 : 0;
+    }
+    return count;
+  }
+};
+
+// Analyzes events recorded by one Communicator run. Events are grouped by
+// rank and ordered by start time; the i-th event of each rank is matched as
+// one collective instance (ranks issue collectives in the same global
+// order). Ranks are inferred from the events; uneven per-rank counts (a
+// crashed rank's truncated stream) are matched up to the shortest stream.
+StragglerReport DetectStragglers(const std::vector<CommEvent>& events,
+                                 const StragglerConfig& config = {});
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_COMM_HEALTH_H_

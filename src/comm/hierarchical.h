@@ -47,6 +47,14 @@ class HierarchicalComm {
   uint64_t InterWireBytes() const;
   void ResetWireBytes();
 
+  // Fault surface, fanned out over every constituent group (a rank can be
+  // blocked in its intra-node or inter-node barrier; see collective_group.h).
+  void SetTimeoutMs(double timeout_ms);
+  void AbortAll(const Status& status);
+  void ResetAbortAll();
+  // First non-OK status across the sub-groups, or OK.
+  Status FirstError() const;
+
  private:
   const int nodes_;
   const int gpus_per_node_;

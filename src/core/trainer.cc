@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/comm/communicator.h"
+#include "src/model/checkpoint.h"
 #include "src/model/flat_adam.h"
 #include "src/numerics/bf16.h"
 #include "src/numerics/fp8.h"
@@ -151,6 +153,21 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
   std::unique_ptr<Communicator> comm =
       MakeCommunicator(config.comm_backend, dp, config.gpus_per_node);
   Communicator& group = *comm;
+  if (config.fault_plan != nullptr) {
+    comm->set_fault_plan(config.fault_plan);
+  }
+  if (config.collective_timeout_ms > 0.0) {
+    comm->SetCollectiveTimeout(config.collective_timeout_ms);
+  }
+  // Whether any step can fail. A fault-free run without deadlines never sees
+  // a non-OK group, so the plain loop is kept byte-for-byte identical.
+  const bool fault_aware = config.fault_plan != nullptr ||
+                           config.collective_timeout_ms > 0.0 ||
+                           config.guard_grad_checksum;
+  // File-backed recovery needs state that is identical on every rank; ZeRO
+  // shards the masters per-rank, so those runs recover from memory.
+  const bool file_checkpoints =
+      !config.checkpoint_path.empty() && !config.zero_shard_optimizer;
   TrainCurve curve;
   curve.loss.assign(static_cast<size_t>(config.steps), 0.0);
 
@@ -277,14 +294,82 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
     std::vector<float> checkpoint_params = SaveParams(params);
     std::vector<float> checkpoint_master = master_shard;
     std::vector<float> checkpoint_opt = save_opt();
+    int64_t checkpoint_step = 0;
+    if (file_checkpoints && rank == 0) {
+      const Status saved =
+          SaveCheckpoint(config.checkpoint_path, params, checkpoint_opt);
+      MSMOE_CHECK(saved.ok()) << saved.ToString();
+    }
 
-    for (int64_t step = 0; step < config.steps; ++step) {
-      if (config.restart_every > 0 && step > 0 && step % config.restart_every == 0) {
+    // Barrier-gated snapshot: every rank commits the same checkpoint step or
+    // none does. Without the gate a rank that has not yet observed an
+    // in-flight fault could snapshot a step its peers never reached, and
+    // recovery would resume from diverged states.
+    auto try_snapshot = [&](int64_t step) {
+      group.Barrier(rank);
+      if (!group.GroupStatus().ok()) {
+        return false;
+      }
+      checkpoint_params = SaveParams(params);
+      checkpoint_master = master_shard;
+      checkpoint_opt = save_opt();
+      checkpoint_step = step;
+      if (file_checkpoints && rank == 0) {
+        const Status saved =
+            SaveCheckpoint(config.checkpoint_path, params, checkpoint_opt);
+        MSMOE_CHECK(saved.ok()) << saved.ToString();
+      }
+      return true;
+    };
+
+    auto restore_snapshot = [&] {
+      if (file_checkpoints) {
+        Result<Checkpoint> loaded = LoadCheckpoint(config.checkpoint_path);
+        MSMOE_CHECK(loaded.ok()) << loaded.status().ToString();
+        const Status restored = RestoreParams(params, loaded.value().params);
+        MSMOE_CHECK(restored.ok()) << restored.ToString();
+        load_opt(loaded.value().optimizer_state);
+      } else {
+        LoadParams(params, checkpoint_params);
+        master_shard = checkpoint_master;
+        load_opt(checkpoint_opt);
+      }
+    };
+
+    // Cross-rank bitwise agreement on the synced flat buffer. Replicas are
+    // bit-identical by construction, so any difference (a flipped payload
+    // bit, a diverged update) is corruption; the first rank to see it
+    // cancels the group.
+    auto checksum_guard = [&] {
+      double sum = 0.0;
+      for (float value : flat) {
+        sum += static_cast<double>(value);
+      }
+      const std::vector<double> sums = group.ExchangeScalars(rank, sum);
+      if (!group.GroupStatus().ok()) {
+        return;
+      }
+      for (int peer = 0; peer < dp; ++peer) {
+        if (sums[static_cast<size_t>(peer)] != sum) {
+          group.Abort(DataLoss("replica checksum mismatch after step sync: rank " +
+                               std::to_string(rank) + " disagrees with rank " +
+                               std::to_string(peer)));
+          return;
+        }
+      }
+    };
+
+    int64_t recoveries_used = 0;
+    int64_t step = 0;
+    while (step < config.steps) {
+      if (config.restart_every > 0 && step > 0 && step % config.restart_every == 0 &&
+          step != checkpoint_step) {
         // Checkpoint the current state, tear down, and restore — the Fig 19
         // restart pattern. The curve must continue seamlessly.
         checkpoint_params = SaveParams(params);
         checkpoint_master = master_shard;
         checkpoint_opt = save_opt();
+        checkpoint_step = step;
         LoadParams(params, checkpoint_params);
         master_shard = checkpoint_master;
         load_opt(checkpoint_opt);
@@ -292,9 +377,45 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
           curve.restart_steps.push_back(step);
         }
       }
-      run_step(step, /*record=*/true);
+      bool step_ran = true;
+      if (fault_aware && config.checkpoint_every > 0 && step > checkpoint_step &&
+          step - checkpoint_step >= config.checkpoint_every) {
+        step_ran = try_snapshot(step);
+      }
+      if (step_ran) {
+        run_step(step, /*record=*/true);
+        if (config.guard_grad_checksum && group.GroupStatus().ok()) {
+          checksum_guard();
+        }
+      }
+      const Status status = group.GroupStatus();
+      if (status.ok()) {
+        ++step;
+        continue;
+      }
+      // A fault surfaced somewhere in this step: every rank observes the
+      // same sticky error (the collectives all route through the cancelled
+      // barrier), so every rank takes this path at the same loop iteration.
+      ++recoveries_used;
+      MSMOE_CHECK_LE(recoveries_used, config.max_recoveries)
+          << "training failed at step " << step << " and exhausted "
+          << config.max_recoveries << " recoveries: " << status.ToString();
+      group.RecoveryBarrier(rank);
+      restore_snapshot();
+      if (rank == 0) {
+        RecoveryEvent event;
+        event.failed_step = step;
+        event.resumed_step = checkpoint_step;
+        event.steps_lost = step - checkpoint_step;
+        event.cause = status.ToString();
+        curve.recoveries.push_back(event);
+      }
+      step = checkpoint_step;
     }
   });
+  if (config.capture_comm_events) {
+    curve.comm_events = comm->telemetry().Events();
+  }
   return curve;
 }
 

@@ -20,9 +20,12 @@
 #define MSMOE_SRC_CORE_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/comm/communicator.h"
+#include "src/comm/fault.h"
+#include "src/comm/telemetry.h"
 #include "src/model/config.h"
 #include "src/model/lm.h"
 #include "src/model/optimizer.h"
@@ -67,11 +70,54 @@ struct NumericTrainConfig {
   // optimizer stores FP8 compute parameters, halving this collective; the
   // FP32 masters live only in the owner's shard.
   TrainPrecision param_gather_precision = TrainPrecision::kFp32;
+
+  // --- Fault tolerance -----------------------------------------------------
+  // Injected fault schedule (not owned; nullptr = fault-free). Installed on
+  // the communicator before ranks start, so every collective consults it.
+  FaultPlan* fault_plan = nullptr;
+  // Deadline for every collective barrier wait (0 = wait forever). With a
+  // deadline, a crashed or wedged rank surfaces as kDeadlineExceeded on all
+  // peers instead of a hang.
+  double collective_timeout_ms = 0.0;
+  // Take a recovery snapshot every N optimizer steps (0 = only the initial
+  // post-warmup state). Snapshots are barrier-gated so every rank commits
+  // the same checkpoint step or none does.
+  int64_t checkpoint_every = 0;
+  // When set (and not ZeRO-sharded), rank 0 persists every snapshot through
+  // SaveCheckpoint (crash-safe v2 file) and recovery restores from the file
+  // instead of memory; ZeRO keeps per-rank shards, which only exist
+  // in-memory.
+  std::string checkpoint_path;
+  // Recovery attempts before the run gives up (guards against a fault that
+  // deterministically refires, e.g. a permanent slow rank under a timeout).
+  int64_t max_recoveries = 8;
+  // Cross-rank bitwise checksum of the synced flat buffer after every step;
+  // a divergence (e.g. an injected bit-flip) aborts the group and triggers
+  // recovery instead of silently forking the replicas.
+  bool guard_grad_checksum = false;
+  // Copy the communicator's telemetry into TrainCurve::comm_events so the
+  // caller can run straggler detection / trace export over the run.
+  bool capture_comm_events = false;
+};
+
+// One recovery incident: training failed at `failed_step`, rolled back to
+// the snapshot at `resumed_step`, and replayed the difference. failed_step
+// is the step at which rank 0 OBSERVED the failure — an abort raised by a
+// racing rank can surface one step before the faulty op itself (fault
+// observation is asynchronous, exactly as in a real job); recovery converges
+// identically either way.
+struct RecoveryEvent {
+  int64_t failed_step = 0;
+  int64_t resumed_step = 0;
+  int64_t steps_lost = 0;  // failed_step - resumed_step (recomputed work)
+  std::string cause;       // first error observed on the group
 };
 
 struct TrainCurve {
   std::vector<double> loss;            // CE loss per step (rank 0)
   std::vector<int64_t> restart_steps;  // steps at which a restart occurred
+  std::vector<RecoveryEvent> recoveries;
+  std::vector<CommEvent> comm_events;  // when capture_comm_events is set
 };
 
 // Runs the training job on config.dp_size rank threads and returns the

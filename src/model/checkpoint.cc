@@ -5,11 +5,15 @@
 #include <cstring>
 #include <memory>
 
+#include "src/base/crc32.h"
+
 namespace msmoe {
 namespace {
 
 constexpr char kMagic[4] = {'M', 'S', 'M', 'C'};
-constexpr uint32_t kVersion = 1;
+// v1: header + payload. v2 adds a payload CRC-32 word after the counts.
+constexpr uint32_t kVersionNoCrc = 1;
+constexpr uint32_t kVersion = 2;
 
 struct FileCloser {
   void operator()(std::FILE* file) const {
@@ -19,6 +23,43 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+uint32_t PayloadCrc(const std::vector<float>& params,
+                    const std::vector<float>& optimizer_state) {
+  uint32_t crc = Crc32(params.data(), params.size() * sizeof(float));
+  return Crc32(optimizer_state.data(), optimizer_state.size() * sizeof(float), crc);
+}
+
+Status WriteCheckpointFile(const std::string& path, const std::vector<float>& flat,
+                           const std::vector<float>& optimizer_state) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Internal("cannot open checkpoint for writing: " + path);
+  }
+  const uint64_t param_count = flat.size();
+  const uint64_t opt_count = optimizer_state.size();
+  const uint32_t crc = PayloadCrc(flat, optimizer_state);
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), file.get()) != sizeof(kMagic) ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, file.get()) != 1 ||
+      std::fwrite(&param_count, sizeof(param_count), 1, file.get()) != 1 ||
+      std::fwrite(&opt_count, sizeof(opt_count), 1, file.get()) != 1 ||
+      std::fwrite(&crc, sizeof(crc), 1, file.get()) != 1) {
+    return Internal("checkpoint header write failed: " + path);
+  }
+  if (param_count > 0 &&
+      std::fwrite(flat.data(), sizeof(float), flat.size(), file.get()) != flat.size()) {
+    return Internal("checkpoint parameter write failed: " + path);
+  }
+  if (opt_count > 0 && std::fwrite(optimizer_state.data(), sizeof(float),
+                                   optimizer_state.size(),
+                                   file.get()) != optimizer_state.size()) {
+    return Internal("checkpoint optimizer write failed: " + path);
+  }
+  if (std::fflush(file.get()) != 0) {
+    return Internal("checkpoint flush failed: " + path);
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -32,27 +73,19 @@ std::vector<float> FlattenParams(const LmParams& params) {
 
 Status SaveCheckpoint(const std::string& path, const LmParams& params,
                       const std::vector<float>& optimizer_state) {
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) {
-    return Internal("cannot open checkpoint for writing: " + path);
-  }
+  // Crash safety: a kill mid-write must never clobber the previous
+  // checkpoint, so write the whole file beside it and rename into place
+  // (atomic within a filesystem on POSIX).
+  const std::string temp = path + ".tmp";
   const std::vector<float> flat = FlattenParams(params);
-  const uint64_t param_count = flat.size();
-  const uint64_t opt_count = optimizer_state.size();
-  if (std::fwrite(kMagic, 1, sizeof(kMagic), file.get()) != sizeof(kMagic) ||
-      std::fwrite(&kVersion, sizeof(kVersion), 1, file.get()) != 1 ||
-      std::fwrite(&param_count, sizeof(param_count), 1, file.get()) != 1 ||
-      std::fwrite(&opt_count, sizeof(opt_count), 1, file.get()) != 1) {
-    return Internal("checkpoint header write failed: " + path);
+  Status status = WriteCheckpointFile(temp, flat, optimizer_state);
+  if (!status.ok()) {
+    std::remove(temp.c_str());
+    return status;
   }
-  if (param_count > 0 &&
-      std::fwrite(flat.data(), sizeof(float), flat.size(), file.get()) != flat.size()) {
-    return Internal("checkpoint parameter write failed: " + path);
-  }
-  if (opt_count > 0 && std::fwrite(optimizer_state.data(), sizeof(float),
-                                   optimizer_state.size(),
-                                   file.get()) != optimizer_state.size()) {
-    return Internal("checkpoint optimizer write failed: " + path);
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Internal("checkpoint rename failed: " + temp + " -> " + path);
   }
   return Status::Ok();
 }
@@ -66,15 +99,22 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
   uint32_t version = 0;
   uint64_t param_count = 0;
   uint64_t opt_count = 0;
+  uint32_t stored_crc = 0;
   if (std::fread(magic, 1, sizeof(magic), file.get()) != sizeof(magic) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return InvalidArgument("not a MegaScale-MoE checkpoint: " + path);
   }
-  if (std::fread(&version, sizeof(version), 1, file.get()) != 1 || version != kVersion) {
-    return InvalidArgument("unsupported checkpoint version in " + path);
+  if (std::fread(&version, sizeof(version), 1, file.get()) != 1 ||
+      (version != kVersion && version != kVersionNoCrc)) {
+    return InvalidArgument("unsupported checkpoint version " + std::to_string(version) +
+                           " in " + path);
   }
   if (std::fread(&param_count, sizeof(param_count), 1, file.get()) != 1 ||
       std::fread(&opt_count, sizeof(opt_count), 1, file.get()) != 1) {
+    return InvalidArgument("truncated checkpoint header: " + path);
+  }
+  if (version >= kVersion &&
+      std::fread(&stored_crc, sizeof(stored_crc), 1, file.get()) != 1) {
     return InvalidArgument("truncated checkpoint header: " + path);
   }
   Checkpoint checkpoint;
@@ -87,6 +127,15 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
   if (opt_count > 0 && std::fread(checkpoint.optimizer_state.data(), sizeof(float),
                                   opt_count, file.get()) != opt_count) {
     return InvalidArgument("truncated checkpoint optimizer state: " + path);
+  }
+  if (version >= kVersion) {
+    const uint32_t actual_crc =
+        PayloadCrc(checkpoint.params, checkpoint.optimizer_state);
+    if (actual_crc != stored_crc) {
+      return InvalidArgument("checkpoint payload CRC mismatch in " + path +
+                             " (stored " + std::to_string(stored_crc) + ", computed " +
+                             std::to_string(actual_crc) + ")");
+    }
   }
   return checkpoint;
 }

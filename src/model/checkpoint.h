@@ -1,11 +1,22 @@
 // Binary checkpointing for model parameters and optimizer state.
 //
 // Production MoE runs last months and restart repeatedly (Fig 19); the
-// checkpoint is the contract that makes restarts loss-transparent. Format:
-//   magic "MSMC" | u32 version | u64 param_count | u64 opt_count
-//   | param_count floats | opt_count floats
-// Errors (missing file, bad magic, truncation, size mismatch) surface as
-// Status — a corrupt checkpoint must never silently load.
+// checkpoint is the contract that makes restarts loss-transparent. Current
+// format (version 2):
+//   magic "MSMC" | u32 version=2 | u64 param_count | u64 opt_count
+//   | u32 payload_crc32 | param_count floats | opt_count floats
+// where payload_crc32 is the CRC-32 (src/base/crc32) of the concatenated
+// parameter and optimizer float payloads, so torn or bit-flipped writes are
+// detected at load time, not three weeks later as a diverged loss curve.
+// Version-1 files (identical layout minus the CRC word) still load — long
+// runs carry checkpoints across software upgrades.
+//
+// SaveCheckpoint is crash-safe: it writes to "<path>.tmp" and atomically
+// renames over the destination, so a job killed mid-save leaves the
+// previous checkpoint intact (never a half-written file at `path`).
+//
+// Errors (missing file, bad magic, truncation, CRC or size mismatch)
+// surface as Status — a corrupt checkpoint must never silently load.
 #ifndef MSMOE_SRC_MODEL_CHECKPOINT_H_
 #define MSMOE_SRC_MODEL_CHECKPOINT_H_
 

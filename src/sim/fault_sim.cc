@@ -1,0 +1,121 @@
+#include "src/sim/fault_sim.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/base/logging.h"
+#include "src/sim/engine.h"
+
+namespace msmoe {
+
+const char* SimFaultTypeName(SimFaultType type) {
+  switch (type) {
+    case SimFaultType::kDegradeLink:
+      return "degrade_link";
+    case SimFaultType::kFailRank:
+      return "fail_rank";
+  }
+  return "unknown";
+}
+
+FaultSimResult SimulateFaultyRun(const FaultSimConfig& config) {
+  MSMOE_CHECK_GE(config.ranks, 1);
+  MSMOE_CHECK_GE(config.iterations, 1);
+  MSMOE_CHECK_GE(config.compute_us, 0.0);
+  MSMOE_CHECK_GE(config.comm_us, 0.0);
+
+  FaultSimResult result;
+  const double base_iteration = config.compute_us + config.comm_us;
+  result.fault_free_us = static_cast<double>(config.iterations) * base_iteration;
+
+  std::vector<SimFaultEvent> events = config.events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SimFaultEvent& a, const SimFaultEvent& b) {
+                     return a.at_us < b.at_us;
+                   });
+  for (const SimFaultEvent& event : events) {
+    MSMOE_CHECK_GE(event.rank, 0);
+    MSMOE_CHECK_LT(event.rank, config.ranks);
+    if (event.type == SimFaultType::kDegradeLink) {
+      MSMOE_CHECK_GT(event.bandwidth_factor, 0.0);
+      MSMOE_CHECK_LE(event.bandwidth_factor, 1.0);
+    }
+  }
+
+  // Synchronous job: the iteration runs at the slowest member's pace.
+  std::vector<double> bandwidth(static_cast<size_t>(config.ranks), 1.0);
+  auto iteration_time = [&] {
+    double slowest = 1.0;
+    for (double factor : bandwidth) {
+      slowest = std::min(slowest, factor);
+    }
+    return config.compute_us + config.comm_us / slowest;
+  };
+
+  SimEngine engine;
+  size_t next_degrade = 0;  // cursor over degrade events (boundary-applied)
+  std::vector<const SimFaultEvent*> failures;
+  for (const SimFaultEvent& event : events) {
+    if (event.type == SimFaultType::kFailRank) {
+      failures.push_back(&event);
+    }
+  }
+  size_t next_failure = 0;
+
+  int64_t iteration = 0;        // next iteration to run
+  int64_t last_checkpoint = 0;  // most recent persisted iteration
+
+  std::function<void()> step;
+  step = [&] {
+    if (iteration >= config.iterations) {
+      return;  // queue drains; engine.Run() returns the final clock
+    }
+    const double start = engine.now();
+    // Link degradations apply from the iteration boundary following the
+    // event (a collective in flight finishes at the old estimate).
+    while (next_degrade < events.size()) {
+      const SimFaultEvent& event = events[next_degrade];
+      if (event.at_us > start) {
+        break;
+      }
+      if (event.type == SimFaultType::kDegradeLink) {
+        bandwidth[static_cast<size_t>(event.rank)] = event.bandwidth_factor;
+      }
+      ++next_degrade;
+    }
+    if (config.checkpoint_every > 0 && iteration % config.checkpoint_every == 0) {
+      last_checkpoint = iteration;
+    }
+    const double duration = iteration_time();
+
+    // A rank death inside this iteration aborts it: peers block until the
+    // collective deadline expires, the replacement spins up and reloads the
+    // checkpoint, and everything since the checkpoint is replayed.
+    if (next_failure < failures.size() &&
+        failures[next_failure]->at_us < start + duration) {
+      const double fail_time = std::max(failures[next_failure]->at_us, start);
+      ++next_failure;
+      ++result.failures;
+      const double resume =
+          fail_time + config.detect_timeout_us + config.restart_us;
+      result.stall_us += resume - start;
+      result.iterations_replayed += iteration - last_checkpoint;
+      iteration = last_checkpoint;
+      engine.Schedule(resume, step);
+      return;
+    }
+
+    engine.ScheduleAfter(duration, [&] {
+      ++iteration;
+      step();
+    });
+  };
+  engine.Schedule(0.0, step);
+  result.total_us = engine.Run();
+  result.slowdown =
+      result.fault_free_us > 0.0 ? result.total_us / result.fault_free_us : 1.0;
+  result.iteration_us = iteration_time();
+  return result;
+}
+
+}  // namespace msmoe

@@ -1,0 +1,76 @@
+// Discrete-event simulation of faults in a synchronous training run.
+//
+// The live fault machinery (src/comm/fault + the trainer recovery loop)
+// exercises the *mechanism* at thread-rank scale; this module quantifies the
+// *cost* at production scale, where a single slow link or dead rank stalls
+// the whole synchronous job (§2.1's lockstep iteration structure). Two
+// event kinds are modeled on the SimEngine clock:
+//
+//   kDegradeLink: rank r's link bandwidth drops to `bandwidth_factor` of
+//     nominal at time `at_us`. A synchronous iteration moves at the pace of
+//     the slowest member, so the whole job's communication phase stretches
+//     by 1 / min(factor) from the next iteration boundary on.
+//
+//   kFailRank: rank r dies at `at_us`. The job stalls until the failure is
+//     detected (detect_timeout_us — the cancellable-collective deadline),
+//     pays restart_us to respawn and reload the last checkpoint, and then
+//     replays every iteration since that checkpoint.
+//
+// The result separates where wall-clock went (stall, replay, slowdown) so
+// the bench can report "a crash at iteration k with checkpoint cadence c
+// costs X× fault-free time" — the trade the MegaScale-MoE production runs
+// tune checkpoint cadence and collective timeouts against.
+#ifndef MSMOE_SRC_SIM_FAULT_SIM_H_
+#define MSMOE_SRC_SIM_FAULT_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace msmoe {
+
+enum class SimFaultType { kDegradeLink, kFailRank };
+
+const char* SimFaultTypeName(SimFaultType type);
+
+struct SimFaultEvent {
+  SimFaultType type = SimFaultType::kDegradeLink;
+  double at_us = 0.0;  // absolute sim time the fault strikes
+  int rank = 0;
+  // kDegradeLink: remaining fraction of nominal link bandwidth (0 < f <= 1).
+  double bandwidth_factor = 1.0;
+};
+
+struct FaultSimConfig {
+  int ranks = 8;
+  int64_t iterations = 100;
+  double compute_us = 800.0;  // per-iteration compute (overlap-adjusted)
+  double comm_us = 200.0;     // per-iteration exposed communication at nominal bw
+  // Cancellable-collective deadline: how long peers wait before a dead rank
+  // surfaces as an error (the live kDeadlineExceeded path).
+  double detect_timeout_us = 5000.0;
+  // Respawn + checkpoint reload before the replay starts.
+  double restart_us = 20000.0;
+  int64_t checkpoint_every = 10;  // iterations between checkpoints
+  std::vector<SimFaultEvent> events;
+};
+
+struct FaultSimResult {
+  double total_us = 0.0;       // faulty-run wall clock
+  double fault_free_us = 0.0;  // same job with no events
+  double slowdown = 1.0;       // total / fault_free
+  double stall_us = 0.0;       // detection + restart time across failures
+  int64_t iterations_replayed = 0;  // work redone after rollbacks
+  int64_t failures = 0;
+  // Final per-iteration time (reflects any surviving link degradation).
+  double iteration_us = 0.0;
+};
+
+// Replays the event schedule on the discrete-event engine and returns the
+// wall-clock decomposition. Events fire in `at_us` order; a failed rank is
+// assumed respawned at full health (its link degradation, if any, persists
+// — the replacement inherits the slow link).
+FaultSimResult SimulateFaultyRun(const FaultSimConfig& config);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_SIM_FAULT_SIM_H_

@@ -78,7 +78,8 @@ Status WriteChromeTrace(const std::string& path, const std::vector<SimOp>& ops,
 }
 
 std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
-                                    const std::string& process_name) {
+                                    const std::string& process_name,
+                                    const StragglerReport* health) {
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\""
@@ -87,9 +88,28 @@ std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
   for (const CommEvent& event : events) {
     max_rank = std::max(max_rank, event.rank);
   }
+  auto flagged = [&](int rank) {
+    return health != nullptr && rank < static_cast<int>(health->ranks.size()) &&
+           health->ranks[static_cast<size_t>(rank)].straggler;
+  };
   for (int rank = 0; rank <= max_rank; ++rank) {
     out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << rank
-        << ",\"args\":{\"name\":\"rank " << rank << "\"}}";
+        << ",\"args\":{\"name\":\"rank " << rank
+        << (flagged(rank) ? " [STRAGGLER]" : "") << "\"}}";
+  }
+  if (health != nullptr) {
+    for (const RankHealth& rank_health : health->ranks) {
+      char buffer[160];
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"args\":{\"straggler\":%s,\"mean_entry_lag_us\":%.3f,"
+                    "\"max_entry_lag_us\":%.3f,\"threshold_us\":%.3f}}",
+                    rank_health.straggler ? "true" : "false",
+                    rank_health.mean_entry_lag_us, rank_health.max_entry_lag_us,
+                    health->threshold_us);
+      out << ",{\"name\":\"" << (rank_health.straggler ? "straggler" : "rank_health")
+          << "\",\"cat\":\"health\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
+          << rank_health.rank << ",\"ts\":0" << buffer;
+    }
   }
   for (const CommEvent& event : events) {
     char buffer[64];
@@ -109,8 +129,8 @@ std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
 }
 
 Status WriteCommTrace(const std::string& path, const std::vector<CommEvent>& events,
-                      const std::string& process_name) {
-  return WriteString(path, CommEventsToChromeTrace(events, process_name));
+                      const std::string& process_name, const StragglerReport* health) {
+  return WriteString(path, CommEventsToChromeTrace(events, process_name, health));
 }
 
 }  // namespace msmoe

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/comm/health.h"
 #include "src/comm/telemetry.h"
 #include "src/sim/graph.h"
 
@@ -37,11 +38,19 @@ Status WriteChromeTrace(const std::string& path, const std::vector<SimOp>& ops,
 // JSON: one thread per rank ("rank N"), event name = op name, category =
 // algorithm, ts/dur in microseconds since the telemetry epoch, args carry
 // wire_bytes / elem_type / elem_count / group_size / primary.
+//
+// When a StragglerReport (src/comm/health) is supplied, its per-rank health
+// verdicts are embedded in the same trace: flagged ranks are renamed to
+// "rank N [STRAGGLER]" and every rank gets one instant event carrying its
+// mean/max collective-entry lag, so the slow rank is visible on the very
+// timeline it stalled.
 std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
-                                    const std::string& process_name = "msmoe-run");
+                                    const std::string& process_name = "msmoe-run",
+                                    const StragglerReport* health = nullptr);
 
 Status WriteCommTrace(const std::string& path, const std::vector<CommEvent>& events,
-                      const std::string& process_name = "msmoe-run");
+                      const std::string& process_name = "msmoe-run",
+                      const StragglerReport* health = nullptr);
 
 }  // namespace msmoe
 

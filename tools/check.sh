@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Repository check: tier-1 verify (full build + ctest) plus a ThreadSanitizer
-# build of the comm-layer tests. The collectives run real thread ranks over
-# shared buffers, so comm_test / parallel_test / telemetry_test under TSan
-# are the races-or-not verdict for the whole substrate.
+# Repository check: tier-1 verify (full build + ctest), a ThreadSanitizer
+# build of the concurrency-heavy tests, and an AddressSanitizer pass over the
+# fault/recovery machinery. The collectives run real thread ranks over shared
+# buffers, so comm_test / parallel_test / telemetry_test / fault_test under
+# TSan are the races-or-not verdict for the whole substrate; fault_test and
+# the recovery bench under ASan cover the checkpoint IO and buffer-corruption
+# paths.
 #
 #   $ tools/check.sh
 set -euo pipefail
@@ -14,12 +17,23 @@ cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j
 
 echo
-echo "== TSan: comm_test + parallel_test + telemetry_test =="
+echo "== TSan: comm_test + parallel_test + telemetry_test + fault_test =="
 cmake -B build-tsan -S . -DMSMOE_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target comm_test parallel_test telemetry_test >/dev/null
+cmake --build build-tsan -j --target comm_test parallel_test telemetry_test \
+  fault_test bench_fault_recovery >/dev/null
 ./build-tsan/tests/comm_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/telemetry_test
+./build-tsan/tests/fault_test
+(cd build-tsan/bench && ./bench_fault_recovery >/dev/null)
+
+echo
+echo "== ASan: fault_test + checkpoint/recovery paths =="
+cmake -B build-asan -S . -DMSMOE_SANITIZE=address >/dev/null
+cmake --build build-asan -j --target fault_test model_test trainer_test >/dev/null
+./build-asan/tests/fault_test
+./build-asan/tests/model_test
+./build-asan/tests/trainer_test
 
 echo
 echo "all checks passed"
