@@ -1,39 +1,96 @@
-// Google-benchmark microbenchmarks of the real (CPU) kernels underpinning
-// the numeric substrate: GEMM, grouped GEMM, attention core, router,
-// quantization, and thread-rank collectives. These measure actual wall
-// time (unlike the figure benches, which report simulated cluster time).
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the real (CPU) kernels underpinning the numeric
+// substrate: GEMM (naive reference vs the blocked/SIMD production kernel,
+// single- and multi-worker), grouped GEMM, attention core, router,
+// quantization, and thread-rank collectives. These measure actual wall time
+// (unlike the figure benches, which report simulated cluster time) using the
+// warmup + median-of-N helper so numbers are stable run-to-run.
+//
+// Besides the human-readable table, writes BENCH_kernels.json (one record
+// per kernel case, naive vs blocked GFLOP/s) — the wall-clock baseline for
+// future perf PRs — and dumps the KernelStats counters.
+//
+// With --check, runs only the 512x512x512 GEMM comparison and exits
+// non-zero if the blocked kernel is slower than the naive reference — the
+// Release-mode perf smoke stage of tools/check.sh.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
+#include "src/base/parallel_for.h"
 #include "src/base/rng.h"
+#include "src/comm/collective_group.h"
 #include "src/comm/communicator.h"
 #include "src/model/attention.h"
 #include "src/model/grouped_gemm.h"
 #include "src/model/router.h"
 #include "src/numerics/quantize.h"
+#include "src/tensor/gemm_kernel.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace msmoe {
 namespace {
 
-void BM_Gemm(benchmark::State& state) {
-  const int64_t dim = state.range(0);
-  Rng rng(1);
-  Tensor a = Tensor::Randn({dim, dim}, rng);
-  Tensor b = Tensor::Randn({dim, dim}, rng);
-  for (auto _ : state) {
-    Tensor c = MatMul(a, b);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * dim * dim * dim);
-}
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+constexpr int kWarmup = 1;
+constexpr int kReps = 5;
 
-void BM_GroupedGemm(benchmark::State& state) {
-  const int64_t experts = state.range(0);
+struct GemmCase {
+  std::string op;
+  int64_t m, n, k;
+  double naive_gflops = 0.0;
+  double blocked_1w_gflops = 0.0;
+  double blocked_4w_gflops = 0.0;
+};
+
+double Gflops(int64_t m, int64_t n, int64_t k, double seconds) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k) / seconds * 1e-9;
+}
+
+GemmCase RunGemmCase(const std::string& op, bool trans_a, bool trans_b, int64_t m,
+                     int64_t n, int64_t k) {
+  Rng rng(1);
+  const int64_t a_elems = m * k;
+  const int64_t b_elems = k * n;
+  Tensor a = Tensor::Randn({a_elems}, rng);
+  Tensor b = Tensor::Randn({b_elems}, rng);
+  Tensor c({m * n});
+
+  GemmCase result{op, m, n, k, 0.0, 0.0, 0.0};
+  result.naive_gflops = Gflops(m, n, k, MedianSecondsOfN(kWarmup, kReps, [&] {
+    GemmNaive(trans_a, trans_b, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  }));
+  const int restore_workers = ParallelWorkerCount();
+  SetParallelWorkerCount(1);
+  result.blocked_1w_gflops = Gflops(m, n, k, MedianSecondsOfN(kWarmup, kReps, [&] {
+    GemmBlocked(trans_a, trans_b, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  }));
+  SetParallelWorkerCount(4);
+  result.blocked_4w_gflops = Gflops(m, n, k, MedianSecondsOfN(kWarmup, kReps, [&] {
+    GemmBlocked(trans_a, trans_b, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  }));
+  SetParallelWorkerCount(restore_workers);
+  std::printf("%-28s %5lld %5lld %5lld %10.2f %12.2f %12.2f %7.2fx %7.2fx\n",
+              op.c_str(), static_cast<long long>(m), static_cast<long long>(n),
+              static_cast<long long>(k), result.naive_gflops, result.blocked_1w_gflops,
+              result.blocked_4w_gflops, result.blocked_1w_gflops / result.naive_gflops,
+              result.blocked_4w_gflops / result.naive_gflops);
+  return result;
+}
+
+struct TimedCase {
+  std::string op;
+  double median_us = 0.0;
+};
+
+TimedCase RunGroupedGemmCase(std::vector<GemmCase>* gemm_rows) {
+  // MoE-shaped grouped GEMM: 8 experts over 1024 dispatched rows.
+  const int64_t experts = 8;
+  const int64_t rows = 1024;
+  const int64_t h = 256;
+  const int64_t f = 512;
   Rng rng(2);
-  const int64_t rows = 128;
-  const int64_t h = 64;
-  const int64_t f = 96;
   Tensor x = Tensor::Randn({rows, h}, rng);
   std::vector<Tensor> weights;
   std::vector<int64_t> offsets = {0};
@@ -41,79 +98,187 @@ void BM_GroupedGemm(benchmark::State& state) {
     weights.push_back(Tensor::Randn({h, f}, rng));
     offsets.push_back(rows * (e + 1) / experts);
   }
-  for (auto _ : state) {
+  Tensor y_naive({rows, f});
+  const double naive_s = MedianSecondsOfN(kWarmup, kReps, [&] {
+    for (int64_t e = 0; e < experts; ++e) {
+      const int64_t begin = offsets[static_cast<size_t>(e)];
+      const int64_t r = offsets[static_cast<size_t>(e) + 1] - begin;
+      GemmNaive(false, false, r, f, h, 1.0f, x.data() + begin * h,
+                weights[static_cast<size_t>(e)].data(), 0.0f,
+                y_naive.data() + begin * f);
+    }
+  });
+  const double blocked_s = MedianSecondsOfN(kWarmup, kReps, [&] {
     Tensor y = GroupedGemm(x, offsets, weights);
-    benchmark::DoNotOptimize(y.data());
-  }
+  });
+  GemmCase row{"grouped_gemm_e8", rows, f, h, 0.0, 0.0, 0.0};
+  row.naive_gflops = Gflops(rows, f, h, naive_s);
+  row.blocked_1w_gflops = Gflops(rows, f, h, blocked_s);
+  row.blocked_4w_gflops = row.blocked_1w_gflops;
+  std::printf("%-28s %5lld %5lld %5lld %10.2f %12.2f %12s %7.2fx\n", "grouped_gemm_e8",
+              static_cast<long long>(rows), static_cast<long long>(f),
+              static_cast<long long>(h), row.naive_gflops, row.blocked_1w_gflops, "-",
+              row.blocked_1w_gflops / row.naive_gflops);
+  gemm_rows->push_back(row);
+  return TimedCase{"grouped_gemm_e8", blocked_s * 1e6};
 }
-BENCHMARK(BM_GroupedGemm)->Arg(2)->Arg(8)->Arg(32);
 
-void BM_AttentionCore(benchmark::State& state) {
-  const int64_t seq = state.range(0);
+TimedCase RunAttentionCase() {
+  const int64_t seq = 128;
   Rng rng(3);
   Tensor q = Tensor::Randn({seq, 4, 16}, rng);
   Tensor k = Tensor::Randn({seq, 2, 16}, rng);
   Tensor v = Tensor::Randn({seq, 2, 16}, rng);
-  for (auto _ : state) {
+  const double s = MedianSecondsOfN(kWarmup, kReps, [&] {
     AttentionCoreCache cache;
     Tensor out = AttentionCore(q, k, v, 2, &cache);
-    benchmark::DoNotOptimize(out.data());
-  }
+  });
+  return TimedCase{"attention_core_s128", s * 1e6};
 }
-BENCHMARK(BM_AttentionCore)->Arg(32)->Arg(128);
 
-void BM_RouteTokens(benchmark::State& state) {
-  const int64_t experts = state.range(0);
+TimedCase RunRouterCase() {
   Rng rng(4);
-  Tensor logits = Tensor::Randn({256, experts}, rng);
+  Tensor logits = Tensor::Randn({256, 64}, rng);
   RouterConfig config;
-  config.num_experts = experts;
+  config.num_experts = 64;
   config.top_k = 2;
   config.aux_loss_coeff = 0.01;
-  for (auto _ : state) {
+  const double s = MedianSecondsOfN(kWarmup, kReps, [&] {
     RoutingResult routing = RouteTokens(logits, config);
-    benchmark::DoNotOptimize(routing.expert_counts.data());
-  }
+  });
+  return TimedCase{"route_tokens_e64", s * 1e6};
 }
-BENCHMARK(BM_RouteTokens)->Arg(8)->Arg(64);
 
-void BM_QuantizeFp8(benchmark::State& state) {
+TimedCase RunQuantizeCase() {
   Rng rng(5);
   const int64_t rows = 128;
   const int64_t cols = 256;
   std::vector<float> data(static_cast<size_t>(rows * cols));
-  for (auto& v : data) {
-    v = static_cast<float>(rng.NextGaussian());
+  for (auto& value : data) {
+    value = static_cast<float>(rng.NextGaussian());
   }
   QuantConfig config;
-  config.granularity = static_cast<QuantGranularity>(state.range(0));
-  for (auto _ : state) {
-    QuantizedMatrix q = Quantize(data.data(), rows, cols, config);
-    benchmark::DoNotOptimize(q.codes.data());
-  }
-  state.SetBytesProcessed(state.iterations() * rows * cols * 4);
+  config.granularity = QuantGranularity::kPerToken;
+  const double s = MedianSecondsOfN(kWarmup, kReps, [&] {
+    QuantizedMatrix quantized = Quantize(data.data(), rows, cols, config);
+  });
+  return TimedCase{"quantize_fp8_per_token", s * 1e6};
 }
-BENCHMARK(BM_QuantizeFp8)
-    ->Arg(static_cast<int>(QuantGranularity::kPerTensor))
-    ->Arg(static_cast<int>(QuantGranularity::kPerToken))
-    ->Arg(static_cast<int>(QuantGranularity::kPerChannelGrouped));
 
-void BM_AllToAll(benchmark::State& state) {
+TimedCase RunAllToAllCase() {
   const int n = 4;
-  const int64_t count = state.range(0);
-  for (auto _ : state) {
+  const int64_t count = 16384;
+  const double s = MedianSecondsOfN(kWarmup, kReps, [&] {
     FlatCommunicator group(n);
     RunOnRanks(n, [&](int rank) {
-      std::vector<float> send(static_cast<size_t>(n * count), 1.0f);
-      std::vector<float> recv(static_cast<size_t>(n * count));
+      std::vector<float> send(static_cast<size_t>(n) * count, 1.0f);
+      std::vector<float> recv(static_cast<size_t>(n) * count);
       group.AllToAll(rank, send.data(), recv.data(), count);
-      benchmark::DoNotOptimize(recv.data());
     });
-  }
+  });
+  return TimedCase{"all_to_all_4r_16k", s * 1e6};
 }
-BENCHMARK(BM_AllToAll)->Arg(1024)->Arg(16384);
+
+int CheckMode() {
+  const GemmCase big = RunGemmCase("gemm_nn", false, false, 512, 512, 512);
+  if (big.blocked_1w_gflops < big.naive_gflops) {
+    std::printf("\nPERF SMOKE FAILED: blocked kernel (%.2f GFLOP/s) slower than naive "
+                "(%.2f GFLOP/s) on 512x512x512\n",
+                big.blocked_1w_gflops, big.naive_gflops);
+    return 1;
+  }
+  std::printf("\nperf smoke ok: blocked %.2f GFLOP/s >= naive %.2f GFLOP/s (%.2fx)\n",
+              big.blocked_1w_gflops, big.naive_gflops,
+              big.blocked_1w_gflops / big.naive_gflops);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      return CheckMode();
+    }
+  }
+  PrintHeader("BENCH kernels",
+              "CPU compute-backend microbenchmarks: naive reference vs blocked/SIMD "
+              "GEMM kernel (GFLOP/s, median of " +
+                  std::to_string(kReps) + " after " + std::to_string(kWarmup) +
+                  " warmup)");
+  std::printf("avx2/fma microkernel: %s, default workers: %d\n\n",
+              GemmKernelUsesAvx2() ? "yes" : "no (portable path)",
+              ParallelWorkerCount());
+  std::printf("%-28s %5s %5s %5s %10s %12s %12s %7s %7s\n", "op", "m", "n", "k",
+              "naive", "blocked(1w)", "blocked(4w)", "sp(1w)", "sp(4w)");
+
+  ResetKernelStats();
+  std::vector<GemmCase> gemm_rows;
+  gemm_rows.push_back(RunGemmCase("gemm_nn", false, false, 128, 128, 128));
+  gemm_rows.push_back(RunGemmCase("gemm_nn", false, false, 256, 256, 256));
+  gemm_rows.push_back(RunGemmCase("gemm_nn", false, false, 512, 512, 512));
+  gemm_rows.push_back(RunGemmCase("gemm_nt", false, true, 256, 256, 256));
+  gemm_rows.push_back(RunGemmCase("gemm_tn", true, false, 256, 256, 256));
+  gemm_rows.push_back(RunGemmCase("gemm_tt", true, true, 256, 256, 256));
+  gemm_rows.push_back(RunGemmCase("gemm_nn_odd", false, false, 65, 193, 77));
+
+  std::vector<TimedCase> timed_rows;
+  timed_rows.push_back(RunGroupedGemmCase(&gemm_rows));
+  timed_rows.push_back(RunAttentionCase());
+  timed_rows.push_back(RunRouterCase());
+  timed_rows.push_back(RunQuantizeCase());
+  timed_rows.push_back(RunAllToAllCase());
+  std::printf("\n%-28s %12s\n", "op", "median_us");
+  for (size_t i = 1; i < timed_rows.size(); ++i) {
+    std::printf("%-28s %12.1f\n", timed_rows[i].op.c_str(), timed_rows[i].median_us);
+  }
+
+  const KernelStatsSnapshot stats = GetKernelStats();
+  std::printf("\nKernelStats (this process): gemm calls=%llu flops=%.3e time=%.1f ms | "
+              "grouped calls=%llu flops=%.3e time=%.1f ms\n",
+              static_cast<unsigned long long>(stats.gemm_calls), stats.gemm_flops,
+              stats.gemm_micros / 1e3,
+              static_cast<unsigned long long>(stats.grouped_gemm_calls),
+              stats.grouped_gemm_flops, stats.grouped_gemm_micros / 1e3);
+
+  const char* json_path = "BENCH_kernels.json";
+  if (std::FILE* json = std::fopen(json_path, "wb")) {
+    std::fprintf(json,
+                 "{\"bench\": \"kernels\", \"avx2\": %s, \"warmup\": %d, \"reps\": %d, "
+                 "\"gemm\": [",
+                 GemmKernelUsesAvx2() ? "true" : "false", kWarmup, kReps);
+    for (size_t i = 0; i < gemm_rows.size(); ++i) {
+      const GemmCase& row = gemm_rows[i];
+      std::fprintf(json,
+                   "%s\n  {\"op\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
+                   "\"naive_gflops\": %.3f, \"blocked_1w_gflops\": %.3f, "
+                   "\"blocked_4w_gflops\": %.3f, \"speedup_1w\": %.3f, "
+                   "\"speedup_4w\": %.3f}",
+                   i == 0 ? "" : ",", row.op.c_str(), static_cast<long long>(row.m),
+                   static_cast<long long>(row.n), static_cast<long long>(row.k),
+                   row.naive_gflops, row.blocked_1w_gflops, row.blocked_4w_gflops,
+                   row.blocked_1w_gflops / row.naive_gflops,
+                   row.blocked_4w_gflops / row.naive_gflops);
+    }
+    std::fprintf(json, "\n], \"timed_us\": [");
+    for (size_t i = 0; i < timed_rows.size(); ++i) {
+      std::fprintf(json, "%s\n  {\"op\": \"%s\", \"median_us\": %.1f}",
+                   i == 0 ? "" : ",", timed_rows[i].op.c_str(),
+                   timed_rows[i].median_us);
+    }
+    std::fprintf(json,
+                 "\n], \"kernel_stats\": {\"gemm_calls\": %llu, \"gemm_flops\": %.3e, "
+                 "\"gemm_micros\": %.1f, \"grouped_gemm_calls\": %llu, "
+                 "\"grouped_gemm_flops\": %.3e, \"grouped_gemm_micros\": %.1f}}\n",
+                 static_cast<unsigned long long>(stats.gemm_calls), stats.gemm_flops,
+                 stats.gemm_micros,
+                 static_cast<unsigned long long>(stats.grouped_gemm_calls),
+                 stats.grouped_gemm_flops, stats.grouped_gemm_micros);
+    std::fclose(json);
+    std::printf("machine-readable output: %s\n", json_path);
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace msmoe
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return msmoe::Main(argc, argv); }

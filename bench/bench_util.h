@@ -3,8 +3,11 @@
 #ifndef MSMOE_BENCH_BENCH_UTIL_H_
 #define MSMOE_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace msmoe {
 
@@ -17,6 +20,28 @@ inline void PrintHeader(const std::string& experiment, const std::string& descri
 
 inline void PrintPaperNote(const std::string& note) {
   std::printf("paper reference: %s\n\n", note.c_str());
+}
+
+// Wall-clock timing with warmup + median-of-N, so BENCH JSON numbers are
+// stable run-to-run (a single cold measurement can be 2x off: first-touch
+// page faults, frequency ramp, pool-thread spawn). Runs fn() `warmup` times
+// untimed, then `reps` timed times, and returns the median of the timed
+// repetitions in seconds.
+template <typename Fn>
+double MedianSecondsOfN(int warmup, int reps, Fn&& fn) {
+  for (int i = 0; i < warmup; ++i) {
+    fn();
+  }
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    seconds.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+  }
+  std::sort(seconds.begin(), seconds.end());
+  return seconds[seconds.size() / 2];
 }
 
 }  // namespace msmoe

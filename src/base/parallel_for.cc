@@ -1,0 +1,191 @@
+#include "src/base/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace msmoe {
+namespace {
+
+constexpr int kMaxWorkers = 64;
+
+int DefaultWorkerCount() {
+  if (const char* env = std::getenv("MSMOE_NUM_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return std::min(parsed, kMaxWorkers);
+    }
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (hc == 0) {
+    return 1;
+  }
+  // Without an explicit knob stay modest: oversubscribing every rank thread
+  // by the full machine width multiplies thread counts (ranks x workers).
+  return static_cast<int>(std::min(hc, 16u));
+}
+
+// 0 = "not overridden yet": fall back to DefaultWorkerCount().
+std::atomic<int> g_worker_cap{0};
+
+thread_local bool tls_in_parallel_shard = false;
+
+// Persistent pool. Threads are spawned on first demand and live until the
+// process exits (the function-local static's destructor joins them).
+class WorkerPool {
+ public:
+  static WorkerPool& Get() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  void EnsureWorkers(int count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(threads_.size()) < count) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& thread : threads_) {
+      thread.join();
+    }
+  }
+
+ private:
+  void WorkerLoop() {
+    tls_in_parallel_shard = true;  // nested ParallelFor on a worker inlines
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          return;  // shutdown with a drained queue
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+// Completion state of one ParallelFor call, shared by its shards.
+struct ForkState {
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = 0;
+  std::exception_ptr error;
+
+  void Record(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!error) {
+      error = std::move(e);
+    }
+  }
+  void Finish() {
+    std::lock_guard<std::mutex> lock(mu);
+    --remaining;
+    if (remaining == 0) {
+      cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+int ParallelWorkerCount() {
+  const int cap = g_worker_cap.load(std::memory_order_relaxed);
+  if (cap > 0) {
+    return cap;
+  }
+  static const int default_count = DefaultWorkerCount();
+  return default_count;
+}
+
+void SetParallelWorkerCount(int count) {
+  g_worker_cap.store(std::clamp(count, 1, kMaxWorkers), std::memory_order_relaxed);
+}
+
+bool InParallelWorker() { return tls_in_parallel_shard; }
+
+void ParallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t max_shards = (n + grain - 1) / grain;
+  const int shards = static_cast<int>(
+      std::min<int64_t>(ParallelWorkerCount(), max_shards));
+  if (shards <= 1 || tls_in_parallel_shard) {
+    fn(0, n);
+    return;
+  }
+
+  WorkerPool& pool = WorkerPool::Get();
+  pool.EnsureWorkers(shards - 1);
+  ForkState state;
+  state.remaining = shards - 1;
+  // Contiguous balanced shards; shard s covers [s*n/shards, (s+1)*n/shards).
+  for (int s = 1; s < shards; ++s) {
+    const int64_t begin = n * s / shards;
+    const int64_t end = n * (s + 1) / shards;
+    pool.Submit([&state, &fn, begin, end] {
+      // CHECK failures on pool workers must not abort the process before the
+      // caller gets to observe them.
+      ScopedThrowOnFatal throw_on_fatal;
+      try {
+        fn(begin, end);
+      } catch (...) {
+        state.Record(std::current_exception());
+      }
+      state.Finish();
+    });
+  }
+  // The caller runs shard 0 itself; mark it as a shard so nesting inlines.
+  tls_in_parallel_shard = true;
+  try {
+    fn(0, n / shards);
+  } catch (...) {
+    state.Record(std::current_exception());
+  }
+  tls_in_parallel_shard = false;
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.cv.wait(lock, [&state] { return state.remaining == 0; });
+  }
+  if (state.error) {
+    std::rethrow_exception(state.error);
+  }
+}
+
+}  // namespace msmoe

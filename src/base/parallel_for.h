@@ -1,0 +1,60 @@
+// Intra-rank data parallelism: a lazily-initialized, per-process persistent
+// worker pool plus ParallelFor, the only entry point kernel code uses.
+//
+// Layering (see DESIGN.md "Compute backend"): the comm layer runs one
+// long-lived thread per simulated GPU rank (RunOnRanks); *within* a rank the
+// compute kernels (GEMM row panels, GroupedGemm expert groups, attention
+// heads) split their index range across this pool. The two pools are
+// independent: rank threads are full ParallelFor callers, while nested
+// ParallelFor calls (a shard that itself calls ParallelFor) degrade to
+// inline execution, so worker threads never block on further shards and the
+// pool cannot deadlock on itself.
+//
+// Determinism contract: ParallelFor only partitions the index range into
+// contiguous shards; it never introduces cross-shard reductions. Kernels
+// built on it keep every output element's accumulation order independent of
+// the shard boundaries, so results are bit-identical for any worker count
+// (MSMOE_NUM_THREADS ∈ {1, 4, ...}) — the property the fused-ops bitwise
+// tests and fault-replay loss checks rely on.
+//
+// Sizing: MSMOE_NUM_THREADS when set (clamped to [1, 64]); otherwise
+// hardware_concurrency clamped to 16. SetParallelWorkerCount overrides at
+// runtime (benches use it to measure 1-vs-N-worker scaling in one process);
+// the pool grows on demand and threads persist until process exit.
+#ifndef MSMOE_SRC_BASE_PARALLEL_FOR_H_
+#define MSMOE_SRC_BASE_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace msmoe {
+
+// Current worker cap used by ParallelFor (>= 1). This counts the calling
+// thread: a value of 1 means every ParallelFor runs inline.
+int ParallelWorkerCount();
+
+// Overrides the worker cap (clamped to [1, 64]). Takes effect for subsequent
+// ParallelFor calls; already-spawned pool threads are kept.
+void SetParallelWorkerCount(int count);
+
+// True while the current thread is executing a ParallelFor shard (pool
+// worker or the caller running its own shard). Nested ParallelFor calls see
+// this and run inline.
+bool InParallelWorker();
+
+// Invokes fn over a disjoint partition of [0, n): fn(begin, end) with
+// 0 <= begin < end <= n, covering every index exactly once. Shards are
+// contiguous and at least `grain` long (except possibly the last), capped at
+// ParallelWorkerCount() shards. The caller executes one shard itself and
+// blocks until all shards finish. Runs fn(0, n) inline when n <= grain, the
+// cap is 1, or the call is nested inside another ParallelFor shard.
+//
+// Exceptions thrown by fn on any shard (including MSMOE_CHECK failures on
+// pool workers, which are converted to FatalError) are captured; the first
+// one is rethrown on the calling thread after all shards complete.
+void ParallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t begin, int64_t end)>& fn);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_BASE_PARALLEL_FOR_H_

@@ -4,6 +4,121 @@
 #include <string>
 
 namespace msmoe {
+namespace {
+
+// Persistent rank threads. RunOnRanks fires for every collective step of
+// every trainer loop, so spawning and joining world_size std::threads per
+// call dominated small steps; instead rank closures are dispatched onto
+// long-lived threads from this pool. Each Run still dedicates one live
+// thread per rank for its whole duration (ranks block inside collective
+// barriers, so they can never be queued), the pool grows on demand, and
+// threads return to the free list before the caller is released — so
+// back-to-back Runs reuse the same threads. Nested RunOnRanks calls (a rank
+// spawning sub-ranks) simply acquire more threads. Threads are joined by
+// the pool destructor at process exit.
+class RankThreadPool {
+ public:
+  static RankThreadPool& Get() {
+    static RankThreadPool pool;
+    return pool;
+  }
+
+  // Runs fn(0) .. fn(world_size - 1) concurrently, one dedicated pool thread
+  // per rank, and returns once every rank finished AND every thread is back
+  // in the free list. fn must not throw (RunOnRanksStatus wraps it).
+  void Run(int world_size, const std::function<void(int)>& fn) {
+    std::vector<Worker*> workers(static_cast<size_t>(world_size), nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int rank = 0; rank < world_size; ++rank) {
+        if (free_.empty()) {
+          all_.push_back(std::make_unique<Worker>());
+          Worker* spawned = all_.back().get();
+          spawned->thread = std::thread([spawned] { WorkerLoop(spawned); });
+          workers[static_cast<size_t>(rank)] = spawned;
+        } else {
+          workers[static_cast<size_t>(rank)] = free_.back();
+          free_.pop_back();
+        }
+      }
+    }
+    struct Join {
+      std::mutex mu;
+      std::condition_variable cv;
+      int remaining;
+    } join{{}, {}, world_size};
+    for (int rank = 0; rank < world_size; ++rank) {
+      Worker* worker = workers[static_cast<size_t>(rank)];
+      auto task = [this, &fn, &join, worker, rank] {
+        fn(rank);
+        Release(worker);  // back on the free list before the caller resumes
+        std::lock_guard<std::mutex> lock(join.mu);
+        if (--join.remaining == 0) {
+          join.cv.notify_all();
+        }
+      };
+      {
+        std::lock_guard<std::mutex> lock(worker->mu);
+        worker->task = std::move(task);
+        worker->has_task = true;
+      }
+      worker->cv.notify_one();
+    }
+    std::unique_lock<std::mutex> lock(join.mu);
+    join.cv.wait(lock, [&join] { return join.remaining == 0; });
+  }
+
+  ~RankThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& worker : all_) {
+        std::lock_guard<std::mutex> worker_lock(worker->mu);
+        worker->shutdown = true;
+        worker->cv.notify_one();
+      }
+    }
+    for (auto& worker : all_) {
+      worker->thread.join();
+    }
+  }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::function<void()> task;
+    bool has_task = false;
+    bool shutdown = false;
+    std::thread thread;
+  };
+
+  static void WorkerLoop(Worker* worker) {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(worker->mu);
+        worker->cv.wait(lock, [worker] { return worker->has_task || worker->shutdown; });
+        if (!worker->has_task) {
+          return;  // shutdown
+        }
+        task = std::move(worker->task);
+        worker->has_task = false;
+      }
+      task();
+    }
+  }
+
+  void Release(Worker* worker) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(worker);
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Worker>> all_;
+  std::vector<Worker*> free_;
+};
+
+}  // namespace
 
 CollectiveGroup::CollectiveGroup(int size)
     : size_(size),
@@ -117,8 +232,7 @@ std::vector<double> CollectiveGroup::ExchangeScalars(int member, double value) {
 
 Status RunOnRanksStatus(int world_size, const std::function<void(int)>& fn,
                         CollectiveGroup* abort_group) {
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(world_size));
+  MSMOE_CHECK_GT(world_size, 0);
   std::mutex mu;
   Status first_failure;
   auto report = [&](int rank, const std::string& what) {
@@ -134,23 +248,19 @@ Status RunOnRanksStatus(int world_size, const std::function<void(int)>& fn,
       abort_group->Abort(std::move(failure));
     }
   };
-  for (int rank = 0; rank < world_size; ++rank) {
-    threads.emplace_back([&fn, &report, rank] {
-      // CHECK failures on a rank thread throw (instead of abort) so they can
-      // cancel the group and surface on the calling thread.
-      ScopedThrowOnFatal throw_on_fatal;
-      try {
-        fn(rank);
-      } catch (const std::exception& e) {
-        report(rank, e.what());
-      } catch (...) {
-        report(rank, "unknown exception");
-      }
-    });
-  }
-  for (auto& thread : threads) {
-    thread.join();
-  }
+  RankThreadPool::Get().Run(world_size, [&fn, &report](int rank) {
+    // CHECK failures on a rank thread throw (instead of abort) so they can
+    // cancel the group and surface on the calling thread. The scope is
+    // per-task: the persistent pool thread leaves it before going idle.
+    ScopedThrowOnFatal throw_on_fatal;
+    try {
+      fn(rank);
+    } catch (const std::exception& e) {
+      report(rank, e.what());
+    } catch (...) {
+      report(rank, "unknown exception");
+    }
+  });
   return first_failure;
 }
 

@@ -319,12 +319,17 @@ class CollectiveGroup {
   std::barrier<> recovery_barrier_;
 };
 
-// Runs fn(rank) on `world_size` threads and joins them all. A rank failure
-// (thrown exception, or MSMOE_CHECK failure — converted to an exception for
-// the rank threads) is re-raised as a CHECK failure on the calling thread
-// after all ranks joined. NOTE: without an abort_group, a rank that fails
-// while its peers wait inside a collective leaves those peers blocked — use
-// RunOnRanksStatus with the group for fault-prone code.
+// Runs fn(rank) on `world_size` concurrent rank threads and blocks until
+// all complete. Rank threads come from a per-process persistent pool (one
+// live thread is dedicated per rank for the whole call — ranks block inside
+// collective barriers and can never be queued), so trainer loops issuing a
+// RunOnRanks per step reuse the same threads instead of paying a
+// spawn/join per call. A rank failure (thrown exception, or MSMOE_CHECK
+// failure — converted to an exception for the rank threads) is re-raised as
+// a CHECK failure on the calling thread after all ranks finished. NOTE:
+// without an abort_group, a rank that fails while its peers wait inside a
+// collective leaves those peers blocked — use RunOnRanksStatus with the
+// group for fault-prone code.
 void RunOnRanks(int world_size, const std::function<void(int)>& fn);
 
 // As RunOnRanks, but the first rank failure (1) immediately cancels

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/base/logging.h"
+#include "src/base/parallel_for.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace msmoe {
@@ -22,6 +23,24 @@ void CheckShapes(const Tensor& q, const Tensor& k, const Tensor& v, int64_t gqa_
   MSMOE_CHECK_EQ(k.dim(2), v.dim(2));
 }
 
+// Copies head `head` of a [s, heads, d] tensor into a contiguous [s, d]
+// buffer (and back), so the per-head score/value products can run through
+// the blocked GEMM kernel.
+void GatherHead(const float* x, int64_t s, int64_t heads, int64_t head, int64_t d,
+                float* out) {
+  for (int64_t t = 0; t < s; ++t) {
+    const float* src = x + (t * heads + head) * d;
+    std::copy(src, src + d, out + t * d);
+  }
+}
+
+void ScatterHead(const float* in, int64_t s, int64_t heads, int64_t head, int64_t d,
+                 float* x) {
+  for (int64_t t = 0; t < s; ++t) {
+    std::copy(in + t * d, in + (t + 1) * d, x + (t * heads + head) * d);
+  }
+}
+
 }  // namespace
 
 Tensor AttentionCore(const Tensor& q, const Tensor& k, const Tensor& v, int64_t gqa_ratio,
@@ -29,49 +48,54 @@ Tensor AttentionCore(const Tensor& q, const Tensor& k, const Tensor& v, int64_t 
   CheckShapes(q, k, v, gqa_ratio);
   const int64_t s = q.dim(0);
   const int64_t hq = q.dim(1);
+  const int64_t hkv = k.dim(1);
   const int64_t d = q.dim(2);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
 
   Tensor out({s, hq, d});
   Tensor probs({hq, s, s});
-  for (int64_t head = 0; head < hq; ++head) {
-    const int64_t kv_head = head / gqa_ratio;
-    for (int64_t t = 0; t < s; ++t) {
-      // Scores over keys 0..t (causal), softmax inline.
-      float* prob_row = probs.data() + (head * s + t) * s;
-      const float* q_vec = q.data() + (t * hq + head) * d;
-      float max_score = -1e30f;
-      for (int64_t u = 0; u <= t; ++u) {
-        const float* k_vec = k.data() + (u * k.dim(1) + kv_head) * d;
-        float dot = 0.0f;
-        for (int64_t e = 0; e < d; ++e) {
-          dot += q_vec[e] * k_vec[e];
+  // Heads split across the intra-rank worker pool: each head owns its probs
+  // slab and its (strided) slices of `out`, so shards write disjoint memory
+  // and results are independent of the head-to-worker assignment.
+  ParallelFor(hq, /*grain=*/1, [&](int64_t h0, int64_t h1) {
+    std::vector<float> qh(static_cast<size_t>(s * d));
+    std::vector<float> kvh(static_cast<size_t>(s * d));
+    std::vector<float> oh(static_cast<size_t>(s * d));
+    for (int64_t head = h0; head < h1; ++head) {
+      const int64_t kv_head = head / gqa_ratio;
+      float* scores = probs.data() + head * s * s;
+      // scores = scale * Q_h @ K_h^T over the full [s, s] square (the
+      // nested GEMM runs inline on this shard)...
+      GatherHead(q.data(), s, hq, head, d, qh.data());
+      GatherHead(k.data(), s, hkv, kv_head, d, kvh.data());
+      Gemm(false, true, s, s, d, scale, qh.data(), kvh.data(), 0.0f, scores);
+      // ...then causal softmax per row: only keys 0..t survive.
+      for (int64_t t = 0; t < s; ++t) {
+        float* prob_row = scores + t * s;
+        float max_score = prob_row[0];
+        for (int64_t u = 1; u <= t; ++u) {
+          max_score = std::max(max_score, prob_row[u]);
         }
-        prob_row[u] = dot * scale;
-        max_score = std::max(max_score, prob_row[u]);
-      }
-      double total = 0.0;
-      for (int64_t u = 0; u <= t; ++u) {
-        prob_row[u] = std::exp(prob_row[u] - max_score);
-        total += prob_row[u];
-      }
-      const float inv_total = static_cast<float>(1.0 / total);
-      float* out_vec = out.data() + (t * hq + head) * d;
-      for (int64_t e = 0; e < d; ++e) {
-        out_vec[e] = 0.0f;
-      }
-      for (int64_t u = 0; u <= t; ++u) {
-        prob_row[u] *= inv_total;
-        const float* v_vec = v.data() + (u * v.dim(1) + kv_head) * d;
-        for (int64_t e = 0; e < d; ++e) {
-          out_vec[e] += prob_row[u] * v_vec[e];
+        double total = 0.0;
+        for (int64_t u = 0; u <= t; ++u) {
+          prob_row[u] = std::exp(prob_row[u] - max_score);
+          total += prob_row[u];
+        }
+        const float inv_total = static_cast<float>(1.0 / total);
+        for (int64_t u = 0; u <= t; ++u) {
+          prob_row[u] *= inv_total;
+        }
+        for (int64_t u = t + 1; u < s; ++u) {
+          prob_row[u] = 0.0f;
         }
       }
-      for (int64_t u = t + 1; u < s; ++u) {
-        prob_row[u] = 0.0f;
-      }
+      // out_h = probs @ V_h; masked entries are exact zeros, so the full
+      // GEMM equals the causal sum.
+      GatherHead(v.data(), s, hkv, kv_head, d, kvh.data());
+      Gemm(false, false, s, d, s, 1.0f, scores, kvh.data(), 0.0f, oh.data());
+      ScatterHead(oh.data(), s, hq, head, d, out.data());
     }
-  }
+  });
   if (cache != nullptr) {
     cache->probs = std::move(probs);
   }
@@ -93,43 +117,52 @@ AttentionCoreGrads AttentionCoreBackward(const Tensor& dout, const Tensor& q, co
   grads.dk = Tensor({s, hkv, d});
   grads.dv = Tensor({s, hkv, d});
 
-  for (int64_t head = 0; head < hq; ++head) {
-    const int64_t kv_head = head / gqa_ratio;
-    for (int64_t t = 0; t < s; ++t) {
-      const float* prob_row = cache.probs.data() + (head * s + t) * s;
-      const float* dout_vec = dout.data() + (t * hq + head) * d;
-      const float* q_vec = q.data() + (t * hq + head) * d;
-      float* dq_vec = grads.dq.data() + (t * hq + head) * d;
+  // dk/dv accumulate across the gqa_ratio query heads sharing a KV head, so
+  // the parallel unit is the KV head group: within a shard the query heads
+  // run in ascending order, keeping the accumulation order identical to the
+  // serial loop for any worker count.
+  ParallelFor(hkv, /*grain=*/1, [&](int64_t kv0, int64_t kv1) {
+    for (int64_t kv_head = kv0; kv_head < kv1; ++kv_head) {
+      for (int64_t sub = 0; sub < gqa_ratio; ++sub) {
+        const int64_t head = kv_head * gqa_ratio + sub;
+        for (int64_t t = 0; t < s; ++t) {
+          const float* prob_row = cache.probs.data() + (head * s + t) * s;
+          const float* dout_vec = dout.data() + (t * hq + head) * d;
+          const float* q_vec = q.data() + (t * hq + head) * d;
+          float* dq_vec = grads.dq.data() + (t * hq + head) * d;
 
-      // dV[u] += p[u] * dout; dp[u] = dout . v[u].
-      // Softmax backward: dscore[u] = p[u] * (dp[u] - sum_w p[w] dp[w]).
-      double dot_p_dp = 0.0;
-      // First pass computes dp and the weighted sum.
-      // Reuse a small stack buffer via vector for clarity (s is small here).
-      std::vector<float> dp(static_cast<size_t>(t) + 1);
-      for (int64_t u = 0; u <= t; ++u) {
-        const float* v_vec = v.data() + (u * hkv + kv_head) * d;
-        float acc = 0.0f;
-        for (int64_t e = 0; e < d; ++e) {
-          acc += dout_vec[e] * v_vec[e];
-        }
-        dp[static_cast<size_t>(u)] = acc;
-        dot_p_dp += static_cast<double>(prob_row[u]) * acc;
-      }
-      for (int64_t u = 0; u <= t; ++u) {
-        const float p_u = prob_row[u];
-        const float dscore = p_u * (dp[static_cast<size_t>(u)] - static_cast<float>(dot_p_dp));
-        const float* k_vec = k.data() + (u * hkv + kv_head) * d;
-        float* dk_vec = grads.dk.data() + (u * hkv + kv_head) * d;
-        float* dv_vec = grads.dv.data() + (u * hkv + kv_head) * d;
-        for (int64_t e = 0; e < d; ++e) {
-          dq_vec[e] += dscore * scale * k_vec[e];
-          dk_vec[e] += dscore * scale * q_vec[e];
-          dv_vec[e] += p_u * dout_vec[e];
+          // dV[u] += p[u] * dout; dp[u] = dout . v[u].
+          // Softmax backward: dscore[u] = p[u] * (dp[u] - sum_w p[w] dp[w]).
+          double dot_p_dp = 0.0;
+          // First pass computes dp and the weighted sum.
+          // Reuse a small stack buffer via vector for clarity (s is small here).
+          std::vector<float> dp(static_cast<size_t>(t) + 1);
+          for (int64_t u = 0; u <= t; ++u) {
+            const float* v_vec = v.data() + (u * hkv + kv_head) * d;
+            float acc = 0.0f;
+            for (int64_t e = 0; e < d; ++e) {
+              acc += dout_vec[e] * v_vec[e];
+            }
+            dp[static_cast<size_t>(u)] = acc;
+            dot_p_dp += static_cast<double>(prob_row[u]) * acc;
+          }
+          for (int64_t u = 0; u <= t; ++u) {
+            const float p_u = prob_row[u];
+            const float dscore =
+                p_u * (dp[static_cast<size_t>(u)] - static_cast<float>(dot_p_dp));
+            const float* k_vec = k.data() + (u * hkv + kv_head) * d;
+            float* dk_vec = grads.dk.data() + (u * hkv + kv_head) * d;
+            float* dv_vec = grads.dv.data() + (u * hkv + kv_head) * d;
+            for (int64_t e = 0; e < d; ++e) {
+              dq_vec[e] += dscore * scale * k_vec[e];
+              dk_vec[e] += dscore * scale * q_vec[e];
+              dv_vec[e] += p_u * dout_vec[e];
+            }
+          }
         }
       }
     }
-  }
+  });
   return grads;
 }
 

@@ -1,9 +1,25 @@
 #include "src/model/grouped_gemm.h"
 
+#include <chrono>
+
 #include "src/base/logging.h"
+#include "src/base/parallel_for.h"
+#include "src/tensor/gemm_kernel.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace msmoe {
+namespace {
+
+double GroupedFlops(const Tensor& x, const std::vector<int64_t>& offsets,
+                    int64_t out_dim, bool backward) {
+  // Forward: 2*rows*in*out per expert. Backward adds dx and dW GEMMs.
+  const double fwd = 2.0 * static_cast<double>(x.dim(0)) *
+                     static_cast<double>(x.dim(1)) * static_cast<double>(out_dim);
+  (void)offsets;
+  return backward ? 2.0 * fwd : fwd;
+}
+
+}  // namespace
 
 Tensor GroupedGemm(const Tensor& x, const std::vector<int64_t>& offsets,
                    const std::vector<Tensor>& weights) {
@@ -13,20 +29,36 @@ Tensor GroupedGemm(const Tensor& x, const std::vector<int64_t>& offsets,
   MSMOE_CHECK_EQ(offsets.back(), x.dim(0));
   const int64_t in_dim = x.dim(1);
   const int64_t out_dim = weights[0].dim(1);
-
-  Tensor y({x.dim(0), out_dim});
-  for (size_t e = 0; e < weights.size(); ++e) {
-    const Tensor& w = weights[e];
+  for (const Tensor& w : weights) {
     MSMOE_CHECK_EQ(w.dim(0), in_dim);
     MSMOE_CHECK_EQ(w.dim(1), out_dim);
-    const int64_t begin = offsets[e];
-    const int64_t rows = offsets[e + 1] - begin;
-    if (rows == 0) {
-      continue;
-    }
-    Gemm(false, false, rows, out_dim, in_dim, 1.0f, x.data() + begin * in_dim, w.data(), 0.0f,
-         y.data() + begin * out_dim);
   }
+
+  const auto start = std::chrono::steady_clock::now();
+  Tensor y({x.dim(0), out_dim});
+  // Expert groups split across the intra-rank worker pool; each expert's
+  // output rows are disjoint, and the per-expert GEMM (nested, hence inline)
+  // is itself independent of the expert-to-worker assignment, so results are
+  // bit-identical for any worker count.
+  ParallelFor(static_cast<int64_t>(weights.size()), /*grain=*/1,
+              [&](int64_t e0, int64_t e1) {
+                for (int64_t e = e0; e < e1; ++e) {
+                  const int64_t begin = offsets[static_cast<size_t>(e)];
+                  const int64_t rows = offsets[static_cast<size_t>(e) + 1] - begin;
+                  if (rows == 0) {
+                    continue;
+                  }
+                  GemmBlocked(false, false, rows, out_dim, in_dim, 1.0f,
+                              x.data() + begin * in_dim,
+                              weights[static_cast<size_t>(e)].data(), 0.0f,
+                              y.data() + begin * out_dim);
+                }
+              });
+  const double micros =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+          .count();
+  internal::RecordGroupedGemmCall(GroupedFlops(x, offsets, out_dim, /*backward=*/false),
+                                  micros);
   return y;
 }
 
@@ -37,23 +69,38 @@ GroupedGemmGrads GroupedGemmBackward(const Tensor& dy, const Tensor& x,
   const int64_t out_dim = dy.dim(1);
   MSMOE_CHECK_EQ(dy.dim(0), x.dim(0));
 
+  const auto start = std::chrono::steady_clock::now();
   GroupedGemmGrads grads;
   grads.dx = Tensor({x.dim(0), in_dim});
   grads.dweights.reserve(weights.size());
   for (size_t e = 0; e < weights.size(); ++e) {
     grads.dweights.emplace_back(weights[e].shape());
-    const int64_t begin = offsets[e];
-    const int64_t rows = offsets[e + 1] - begin;
-    if (rows == 0) {
-      continue;
-    }
-    // dx = dy @ W^T
-    Gemm(false, true, rows, in_dim, out_dim, 1.0f, dy.data() + begin * out_dim,
-         weights[e].data(), 0.0f, grads.dx.data() + begin * in_dim);
-    // dW = x^T @ dy
-    Gemm(true, false, in_dim, out_dim, rows, 1.0f, x.data() + begin * in_dim,
-         dy.data() + begin * out_dim, 0.0f, grads.dweights[e].data());
   }
+  // dx rows and dweights[e] are disjoint per expert.
+  ParallelFor(static_cast<int64_t>(weights.size()), /*grain=*/1,
+              [&](int64_t e0, int64_t e1) {
+                for (int64_t e = e0; e < e1; ++e) {
+                  const int64_t begin = offsets[static_cast<size_t>(e)];
+                  const int64_t rows = offsets[static_cast<size_t>(e) + 1] - begin;
+                  if (rows == 0) {
+                    continue;
+                  }
+                  // dx = dy @ W^T
+                  GemmBlocked(false, true, rows, in_dim, out_dim, 1.0f,
+                              dy.data() + begin * out_dim,
+                              weights[static_cast<size_t>(e)].data(), 0.0f,
+                              grads.dx.data() + begin * in_dim);
+                  // dW = x^T @ dy
+                  GemmBlocked(true, false, in_dim, out_dim, rows, 1.0f,
+                              x.data() + begin * in_dim, dy.data() + begin * out_dim,
+                              0.0f, grads.dweights[static_cast<size_t>(e)].data());
+                }
+              });
+  const double micros =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+          .count();
+  internal::RecordGroupedGemmCall(GroupedFlops(x, offsets, out_dim, /*backward=*/true),
+                                  micros);
   return grads;
 }
 

@@ -5,6 +5,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/math_util.h"
+#include "src/base/parallel_for.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace msmoe {
@@ -127,23 +128,31 @@ Tensor FusedAllGatherScatterGroupedGemm(const ShardContext& ctx, const Tensor& x
   Tensor y({total_rows, cols});
 
   // GroupedGEMM: each expert's GEMM runs once its rows are complete (after
-  // the last chunk that contributes to it — here, bucket-by-bucket).
-  int64_t out_row = 0;
+  // the last chunk that contributes to it — here, bucket-by-bucket). The
+  // output row offsets are fixed up front, so expert groups can split across
+  // the intra-rank worker pool with disjoint output rows.
+  std::vector<int64_t> out_begin(static_cast<size_t>(experts_per_rank) + 1, 0);
   for (int64_t e = 0; e < experts_per_rank; ++e) {
-    const auto& rows = bucket[static_cast<size_t>(e)];
-    if (rows.empty()) {
-      continue;
-    }
-    Tensor ffn_in({static_cast<int64_t>(rows.size()), h});
-    for (size_t i = 0; i < rows.size(); ++i) {
-      std::copy(x_all.data() + rows[i] * h, x_all.data() + (rows[i] + 1) * h,
-                ffn_in.data() + static_cast<int64_t>(i) * h);
-    }
-    const Tensor& w = expert_weights[static_cast<size_t>(e_first + e)];
-    Gemm(false, false, static_cast<int64_t>(rows.size()), cols, h, 1.0f, ffn_in.data(),
-         w.data(), 0.0f, y.data() + out_row * cols);
-    out_row += static_cast<int64_t>(rows.size());
+    out_begin[static_cast<size_t>(e) + 1] =
+        out_begin[static_cast<size_t>(e)] +
+        static_cast<int64_t>(bucket[static_cast<size_t>(e)].size());
   }
+  ParallelFor(experts_per_rank, /*grain=*/1, [&](int64_t e0, int64_t e1) {
+    for (int64_t e = e0; e < e1; ++e) {
+      const auto& rows = bucket[static_cast<size_t>(e)];
+      if (rows.empty()) {
+        continue;
+      }
+      Tensor ffn_in({static_cast<int64_t>(rows.size()), h});
+      for (size_t i = 0; i < rows.size(); ++i) {
+        std::copy(x_all.data() + rows[i] * h, x_all.data() + (rows[i] + 1) * h,
+                  ffn_in.data() + static_cast<int64_t>(i) * h);
+      }
+      const Tensor& w = expert_weights[static_cast<size_t>(e_first + e)];
+      Gemm(false, false, static_cast<int64_t>(rows.size()), cols, h, 1.0f, ffn_in.data(),
+           w.data(), 0.0f, y.data() + out_begin[static_cast<size_t>(e)] * cols);
+    }
+  });
   return y;
 }
 

@@ -1,0 +1,393 @@
+#include "src/tensor/gemm_kernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "src/base/math_util.h"
+#include "src/base/parallel_for.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MSMOE_GEMM_X86 1
+#include <immintrin.h>
+#else
+#define MSMOE_GEMM_X86 0
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MSMOE_RESTRICT __restrict__
+#else
+#define MSMOE_RESTRICT
+#endif
+
+namespace msmoe {
+namespace {
+
+// Cache blocking: one packed MC x KC block of A (~72 KiB) stays L2-resident
+// while KC x NC panels of B stream through it.
+constexpr int64_t kMC = 72;
+constexpr int64_t kKC = 256;
+constexpr int64_t kNC = 256;
+
+// out := sum_p ap[p*MR + mi] * bp[p*NR + ni] over the full MR x NR tile.
+// Edge tiles are zero-padded by the packing step; the driver stores only the
+// valid region back into C. The p loop is strictly ascending, so each
+// element's accumulation order is independent of panel and thread splits.
+using MicroFn = void (*)(int64_t kc, const float* ap, const float* bp, float* out);
+
+constexpr int kMrPortable = 4;
+constexpr int kNrPortable = 8;
+
+void MicroKernelPortable(int64_t kc, const float* MSMOE_RESTRICT ap,
+                         const float* MSMOE_RESTRICT bp, float* MSMOE_RESTRICT out) {
+  float acc[kMrPortable][kNrPortable] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* MSMOE_RESTRICT a = ap + p * kMrPortable;
+    const float* MSMOE_RESTRICT b = bp + p * kNrPortable;
+    for (int mi = 0; mi < kMrPortable; ++mi) {
+      const float am = a[mi];
+      for (int ni = 0; ni < kNrPortable; ++ni) {
+        acc[mi][ni] += am * b[ni];
+      }
+    }
+  }
+  std::memcpy(out, acc, sizeof(acc));
+}
+
+#if MSMOE_GEMM_X86
+
+constexpr int kMrAvx2 = 6;
+constexpr int kNrAvx2 = 16;
+
+// 6x16 FMA microkernel: 12 accumulator registers + 2 B vectors + 1
+// broadcast fit the 16 ymm registers.
+__attribute__((target("avx2,fma"))) void MicroKernelAvx2(
+    int64_t kc, const float* MSMOE_RESTRICT ap, const float* MSMOE_RESTRICT bp,
+    float* MSMOE_RESTRICT out) {
+  __m256 acc0[kMrAvx2];
+  __m256 acc1[kMrAvx2];
+  for (int mi = 0; mi < kMrAvx2; ++mi) {
+    acc0[mi] = _mm256_setzero_ps();
+    acc1[mi] = _mm256_setzero_ps();
+  }
+  // 4x-unrolled k loop: the in-order FMA chain per accumulator is the
+  // bottleneck; unrolling hides broadcast latency and loop overhead.
+  int64_t p = 0;
+  for (; p + 4 <= kc; p += 4) {
+    for (int64_t u = 0; u < 4; ++u) {
+      const __m256 b0 = _mm256_loadu_ps(bp + (p + u) * kNrAvx2);
+      const __m256 b1 = _mm256_loadu_ps(bp + (p + u) * kNrAvx2 + 8);
+      const float* MSMOE_RESTRICT a = ap + (p + u) * kMrAvx2;
+      for (int mi = 0; mi < kMrAvx2; ++mi) {
+        const __m256 am = _mm256_broadcast_ss(a + mi);
+        acc0[mi] = _mm256_fmadd_ps(am, b0, acc0[mi]);
+        acc1[mi] = _mm256_fmadd_ps(am, b1, acc1[mi]);
+      }
+    }
+  }
+  for (; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNrAvx2);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNrAvx2 + 8);
+    const float* MSMOE_RESTRICT a = ap + p * kMrAvx2;
+    for (int mi = 0; mi < kMrAvx2; ++mi) {
+      const __m256 am = _mm256_broadcast_ss(a + mi);
+      acc0[mi] = _mm256_fmadd_ps(am, b0, acc0[mi]);
+      acc1[mi] = _mm256_fmadd_ps(am, b1, acc1[mi]);
+    }
+  }
+  for (int mi = 0; mi < kMrAvx2; ++mi) {
+    _mm256_storeu_ps(out + mi * kNrAvx2, acc0[mi]);
+    _mm256_storeu_ps(out + mi * kNrAvx2 + 8, acc1[mi]);
+  }
+}
+
+bool CpuHasAvx2Fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#endif  // MSMOE_GEMM_X86
+
+struct KernelChoice {
+  MicroFn micro;
+  bool avx2;
+};
+
+const KernelChoice& Choice() {
+  static const KernelChoice choice = [] {
+#if MSMOE_GEMM_X86
+    if (CpuHasAvx2Fma()) {
+      return KernelChoice{&MicroKernelAvx2, true};
+    }
+#endif
+    return KernelChoice{&MicroKernelPortable, false};
+  }();
+  return choice;
+}
+
+// Applies C[rows i0..i1) = beta * C (BLAS semantics: beta == 0 overwrites,
+// clearing any pre-existing NaN).
+void ScaleRows(int64_t i0, int64_t i1, int64_t n, float beta, float* c) {
+  if (beta == 0.0f) {
+    std::fill(c + i0 * n, c + i1 * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = i0 * n; i < i1 * n; ++i) {
+      c[i] *= beta;
+    }
+  }
+}
+
+// Blocked GEMM over the row range [i0, i1) of C. Each ParallelFor shard
+// calls this with disjoint row ranges; the K/N blocking below is identical
+// for every shard, so per-element results do not depend on the row split.
+template <int MR, int NR>
+void RunRowRange(bool trans_a, bool trans_b, int64_t i0, int64_t i1, int64_t m,
+                 int64_t n, int64_t k, float alpha, const float* MSMOE_RESTRICT a,
+                 const float* MSMOE_RESTRICT b, float beta, float* MSMOE_RESTRICT c,
+                 MicroFn micro) {
+  ScaleRows(i0, i1, n, beta, c);
+  if (alpha == 0.0f || k <= 0) {
+    return;  // BLAS: A and B are not referenced
+  }
+  // Strides of op(A)[i, p] and op(B)[p, j] over the row-major arrays
+  // (A is [m x k] or [k x m]; B is [k x n] or [n x k]).
+  const int64_t a_rs = trans_a ? 1 : k;
+  const int64_t a_cs = trans_a ? m : 1;
+  const int64_t b_rs = trans_b ? 1 : n;
+  const int64_t b_cs = trans_b ? k : 1;
+
+  // Persistent per-thread pack buffers (both pools keep threads alive, so
+  // these amortize across calls).
+  thread_local std::vector<float> apack;
+  thread_local std::vector<float> bpack;
+  float tile[MR * NR];
+
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min(kNC, n - jc);
+    const int64_t nc_padded = AlignUp(nc, NR);
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      // Pack op(B)[pc..pc+kc, jc..jc+nc] into NR-wide column panels,
+      // zero-padding the last panel.
+      bpack.resize(static_cast<size_t>(nc_padded * kc));
+      for (int64_t jr = 0; jr < nc; jr += NR) {
+        float* MSMOE_RESTRICT panel = bpack.data() + (jr / NR) * (NR * kc);
+        const int64_t nr = std::min<int64_t>(NR, nc - jr);
+        const float* bsrc = b + pc * b_rs + (jc + jr) * b_cs;
+        for (int64_t p = 0; p < kc; ++p) {
+          float* MSMOE_RESTRICT dst = panel + p * NR;
+          const float* MSMOE_RESTRICT src = bsrc + p * b_rs;
+          if (b_cs == 1) {
+            for (int64_t ni = 0; ni < nr; ++ni) {
+              dst[ni] = src[ni];
+            }
+          } else {
+            for (int64_t ni = 0; ni < nr; ++ni) {
+              dst[ni] = src[ni * b_cs];
+            }
+          }
+          for (int64_t ni = nr; ni < NR; ++ni) {
+            dst[ni] = 0.0f;
+          }
+        }
+      }
+      for (int64_t ic = i0; ic < i1; ic += kMC) {
+        const int64_t mc = std::min(kMC, i1 - ic);
+        const int64_t mc_padded = AlignUp(mc, MR);
+        // Pack alpha * op(A)[ic..ic+mc, pc..pc+kc] into MR-tall row panels.
+        apack.resize(static_cast<size_t>(mc_padded * kc));
+        for (int64_t ir = 0; ir < mc; ir += MR) {
+          float* MSMOE_RESTRICT panel = apack.data() + (ir / MR) * (MR * kc);
+          const int64_t mr = std::min<int64_t>(MR, mc - ir);
+          const float* asrc = a + (ic + ir) * a_rs + pc * a_cs;
+          if (a_cs == 1) {
+            // Rows of op(A) are contiguous: walk each source row once.
+            for (int64_t mi = 0; mi < MR; ++mi) {
+              if (mi < mr) {
+                const float* MSMOE_RESTRICT src = asrc + mi * a_rs;
+                for (int64_t p = 0; p < kc; ++p) {
+                  panel[p * MR + mi] = alpha * src[p];
+                }
+              } else {
+                for (int64_t p = 0; p < kc; ++p) {
+                  panel[p * MR + mi] = 0.0f;
+                }
+              }
+            }
+          } else {
+            // Columns of op(A) are contiguous (a_rs == 1).
+            for (int64_t p = 0; p < kc; ++p) {
+              float* MSMOE_RESTRICT dst = panel + p * MR;
+              const float* MSMOE_RESTRICT src = asrc + p * a_cs;
+              for (int64_t mi = 0; mi < mr; ++mi) {
+                dst[mi] = alpha * src[mi];
+              }
+              for (int64_t mi = mr; mi < MR; ++mi) {
+                dst[mi] = 0.0f;
+              }
+            }
+          }
+        }
+        // Macro kernel: every MR x NR tile of this (mc x nc) block.
+        for (int64_t jr = 0; jr < nc; jr += NR) {
+          const int64_t nr = std::min<int64_t>(NR, nc - jr);
+          const float* bpanel = bpack.data() + (jr / NR) * (NR * kc);
+          for (int64_t ir = 0; ir < mc; ir += MR) {
+            const int64_t mr = std::min<int64_t>(MR, mc - ir);
+            micro(kc, apack.data() + (ir / MR) * (MR * kc), bpanel, tile);
+            float* MSMOE_RESTRICT crow = c + (ic + ir) * n + jc + jr;
+            if (mr == MR && nr == NR) {
+              for (int64_t mi = 0; mi < MR; ++mi) {
+                float* MSMOE_RESTRICT cdst = crow + mi * n;
+                const float* MSMOE_RESTRICT t = tile + mi * NR;
+                for (int64_t ni = 0; ni < NR; ++ni) {
+                  cdst[ni] += t[ni];
+                }
+              }
+            } else {
+              for (int64_t mi = 0; mi < mr; ++mi) {
+                float* MSMOE_RESTRICT cdst = crow + mi * n;
+                const float* MSMOE_RESTRICT t = tile + mi * NR;
+                for (int64_t ni = 0; ni < nr; ++ni) {
+                  cdst[ni] += t[ni];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void RunRowRangeDispatch(bool trans_a, bool trans_b, int64_t i0, int64_t i1,
+                         int64_t m, int64_t n, int64_t k, float alpha,
+                         const float* a, const float* b, float beta, float* c) {
+  const KernelChoice& choice = Choice();
+#if MSMOE_GEMM_X86
+  if (choice.avx2) {
+    RunRowRange<kMrAvx2, kNrAvx2>(trans_a, trans_b, i0, i1, m, n, k, alpha, a, b,
+                                  beta, c, choice.micro);
+    return;
+  }
+#endif
+  RunRowRange<kMrPortable, kNrPortable>(trans_a, trans_b, i0, i1, m, n, k, alpha,
+                                        a, b, beta, c, choice.micro);
+}
+
+// Below this many FLOPs the pool hand-off costs more than it saves.
+constexpr double kParallelFlopCutoff = 256.0 * 1024;
+
+// Lock-free add for pre-C++20-atomic-float toolchains.
+void AtomicAdd(std::atomic<double>& target, double value) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(observed, observed + value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+struct KernelCounters {
+  std::atomic<uint64_t> gemm_calls{0};
+  std::atomic<double> gemm_flops{0.0};
+  std::atomic<double> gemm_micros{0.0};
+  std::atomic<uint64_t> grouped_calls{0};
+  std::atomic<double> grouped_flops{0.0};
+  std::atomic<double> grouped_micros{0.0};
+};
+
+KernelCounters& Counters() {
+  static KernelCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+void GemmBlocked(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                 float alpha, const float* a, const float* b, float beta, float* c) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  if (alpha == 0.0f || k <= 0 || flops < kParallelFlopCutoff) {
+    RunRowRangeDispatch(trans_a, trans_b, 0, m, m, n, k, alpha, a, b, beta, c);
+    return;
+  }
+  ParallelFor(m, /*grain=*/16, [&](int64_t i0, int64_t i1) {
+    RunRowRangeDispatch(trans_a, trans_b, i0, i1, m, n, k, alpha, a, b, beta, c);
+  });
+}
+
+void GemmNaive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+               float alpha, const float* a, const float* b, float beta, float* c) {
+  ScaleRows(0, m, n, beta, c);
+  if (alpha == 0.0f) {
+    return;  // BLAS: A and B are not referenced
+  }
+  const int64_t a_row = trans_a ? 1 : k;
+  const int64_t a_col = trans_a ? m : 1;
+  const int64_t b_row = trans_b ? 1 : n;
+  const int64_t b_col = trans_b ? k : 1;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      // No zero-skip here: 0 * Inf must contribute NaN, so non-finite values
+      // in B propagate (regression: the old kernel silently dropped them).
+      const float a_ip = alpha * a[i * a_row + p * a_col];
+      const float* b_row_ptr = b + p * b_row;
+      float* c_row_ptr = c + i * n;
+      if (b_col == 1) {
+        for (int64_t j = 0; j < n; ++j) {
+          c_row_ptr[j] += a_ip * b_row_ptr[j];
+        }
+      } else {
+        for (int64_t j = 0; j < n; ++j) {
+          c_row_ptr[j] += a_ip * b_row_ptr[j * b_col];
+        }
+      }
+    }
+  }
+}
+
+bool GemmKernelUsesAvx2() { return Choice().avx2; }
+
+KernelStatsSnapshot GetKernelStats() {
+  KernelCounters& counters = Counters();
+  KernelStatsSnapshot snapshot;
+  snapshot.gemm_calls = counters.gemm_calls.load(std::memory_order_relaxed);
+  snapshot.gemm_flops = counters.gemm_flops.load(std::memory_order_relaxed);
+  snapshot.gemm_micros = counters.gemm_micros.load(std::memory_order_relaxed);
+  snapshot.grouped_gemm_calls = counters.grouped_calls.load(std::memory_order_relaxed);
+  snapshot.grouped_gemm_flops = counters.grouped_flops.load(std::memory_order_relaxed);
+  snapshot.grouped_gemm_micros = counters.grouped_micros.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void ResetKernelStats() {
+  KernelCounters& counters = Counters();
+  counters.gemm_calls.store(0, std::memory_order_relaxed);
+  counters.gemm_flops.store(0.0, std::memory_order_relaxed);
+  counters.gemm_micros.store(0.0, std::memory_order_relaxed);
+  counters.grouped_calls.store(0, std::memory_order_relaxed);
+  counters.grouped_flops.store(0.0, std::memory_order_relaxed);
+  counters.grouped_micros.store(0.0, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void RecordGemmCall(double flops, double micros) {
+  KernelCounters& counters = Counters();
+  counters.gemm_calls.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(counters.gemm_flops, flops);
+  AtomicAdd(counters.gemm_micros, micros);
+}
+
+void RecordGroupedGemmCall(double flops, double micros) {
+  KernelCounters& counters = Counters();
+  counters.grouped_calls.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(counters.grouped_flops, flops);
+  AtomicAdd(counters.grouped_micros, micros);
+}
+
+}  // namespace internal
+
+}  // namespace msmoe

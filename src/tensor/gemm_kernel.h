@@ -1,0 +1,71 @@
+// High-performance CPU GEMM backend.
+//
+// GemmBlocked is the production kernel behind msmoe::Gemm: a cache-blocked
+// (MC/KC/NC) packed-panel SGEMM in the BLIS style, with a register-tiled
+// microkernel — a portable compiler-vectorized path plus an AVX2/FMA path
+// selected once per process at runtime (scalar fallback everywhere else).
+// All four transpose combinations are normalized away by the packing step,
+// and alpha/beta follow BLAS semantics (alpha == 0 never reads A or B;
+// beta == 0 overwrites C even if it held NaN).
+//
+// Determinism contract (relied on by the fused-ops bitwise-equality tests
+// and the fault-replay bit-identical loss check): for fixed (n, k) every
+// output element C[i, j] is accumulated in a fixed k-ascending order per KC
+// block, independent of how rows were split across MC blocks, row panels, or
+// ParallelFor workers. Hence results are bit-identical across
+// MSMOE_NUM_THREADS settings and across arbitrary row-tile splits of the
+// same GEMM. (Results differ from GemmNaive by float rounding only.)
+//
+// GemmNaive is the retained scalar reference used by oracle tests and as the
+// bench baseline.
+#ifndef MSMOE_SRC_TENSOR_GEMM_KERNEL_H_
+#define MSMOE_SRC_TENSOR_GEMM_KERNEL_H_
+
+#include <cstdint>
+
+namespace msmoe {
+
+// C = alpha * op(A) * op(B) + beta * C, row-major; op(A) is [m x k], op(B)
+// is [k x n], C is [m x n]. Blocked/SIMD kernel, parallelized over row
+// panels via ParallelFor (inline when nested or when the problem is small).
+void GemmBlocked(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+                 float alpha, const float* a, const float* b, float beta, float* c);
+
+// Reference triple loop (single-threaded, scalar). Same semantics as
+// GemmBlocked including non-finite propagation: 0 * Inf contributions are
+// NaN, never skipped.
+void GemmNaive(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+               float alpha, const float* a, const float* b, float beta, float* c);
+
+// True when the AVX2/FMA microkernel is in use on this machine.
+bool GemmKernelUsesAvx2();
+
+// --- KernelStats ------------------------------------------------------------
+//
+// Process-wide wall-clock counters for the compute hot path, so perf PRs
+// have a baseline. Gemm covers every call routed through msmoe::Gemm
+// (MatMul*, attention, fused ops); GroupedGemm covers the grouped expert
+// operator as a whole (its per-expert GEMMs are timed under the grouped
+// counter only, not double-counted under Gemm). Counters are relaxed
+// atomics: cheap, thread-safe, and purely observational.
+
+struct KernelStatsSnapshot {
+  uint64_t gemm_calls = 0;
+  double gemm_flops = 0.0;  // 2*m*n*k summed over calls
+  double gemm_micros = 0.0;
+  uint64_t grouped_gemm_calls = 0;
+  double grouped_gemm_flops = 0.0;
+  double grouped_gemm_micros = 0.0;
+};
+
+KernelStatsSnapshot GetKernelStats();
+void ResetKernelStats();
+
+namespace internal {
+void RecordGemmCall(double flops, double micros);
+void RecordGroupedGemmCall(double flops, double micros);
+}  // namespace internal
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_TENSOR_GEMM_KERNEL_H_

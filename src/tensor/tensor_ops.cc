@@ -1,46 +1,24 @@
 #include "src/tensor/tensor_ops.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "src/base/logging.h"
+#include "src/tensor/gemm_kernel.h"
 
 namespace msmoe {
 
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
           const float* a, const float* b, float beta, float* c) {
-  if (beta == 0.0f) {
-    std::fill(c, c + m * n, 0.0f);
-  } else if (beta != 1.0f) {
-    for (int64_t i = 0; i < m * n; ++i) {
-      c[i] *= beta;
-    }
-  }
-  // Strides of op(A)[i, p] and op(B)[p, j] over the underlying row-major
-  // arrays: A is [m x k] or [k x m], B is [k x n] or [n x k].
-  const int64_t a_row = trans_a ? 1 : k;
-  const int64_t a_col = trans_a ? m : 1;
-  const int64_t b_row = trans_b ? 1 : n;
-  const int64_t b_col = trans_b ? k : 1;
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_ip = alpha * a[i * a_row + p * a_col];
-      if (a_ip == 0.0f) {
-        continue;
-      }
-      const float* b_row_ptr = b + p * b_row;
-      float* c_row_ptr = c + i * n;
-      if (b_col == 1) {
-        for (int64_t j = 0; j < n; ++j) {
-          c_row_ptr[j] += a_ip * b_row_ptr[j];
-        }
-      } else {
-        for (int64_t j = 0; j < n; ++j) {
-          c_row_ptr[j] += a_ip * b_row_ptr[j * b_col];
-        }
-      }
-    }
-  }
+  const auto start = std::chrono::steady_clock::now();
+  GemmBlocked(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
+  const double micros =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
+          .count();
+  internal::RecordGemmCall(
+      2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k),
+      micros);
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {

@@ -20,6 +20,10 @@ namespace msmoe {
 
 // C = alpha * op(A) * op(B) + beta * C, row-major.
 // op(A) is [m x k], op(B) is [k x n], C is [m x n].
+// Backed by the blocked/SIMD kernel in src/tensor/gemm_kernel.h (parallel
+// over row panels via ParallelFor, KernelStats-instrumented). Results are
+// bit-identical across worker counts and row-tile splits; see gemm_kernel.h
+// for the determinism contract.
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k, float alpha,
           const float* a, const float* b, float beta, float* c);
 

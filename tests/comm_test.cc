@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "src/base/parallel_for.h"
 #include "src/base/rng.h"
 #include "src/comm/collective_group.h"
 #include "src/comm/hierarchical.h"
@@ -431,6 +437,69 @@ TEST(Bf16WireTest, CompressedAllToAllHalvesPayload) {
     for (float v : results[rank]) {
       EXPECT_LT(std::fabs(v), 100.0f);  // sanity: finite, reasonable
     }
+  }
+}
+
+// Rank threads come from a persistent pool: back-to-back RunOnRanks calls of
+// the same world size must reuse the same OS threads (the free list is LIFO
+// and nothing else is running), not spawn fresh ones per call.
+TEST(RunOnRanksTest, ReusesPersistentRankThreads) {
+  const int n = 4;
+  auto collect_ids = [&] {
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    RunOnRanks(n, [&](int) {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+    return ids;
+  };
+  const std::set<std::thread::id> first = collect_ids();
+  ASSERT_EQ(first.size(), static_cast<size_t>(n));  // distinct thread per rank
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_EQ(collect_ids(), first) << "repeat " << repeat;
+  }
+}
+
+TEST(RunOnRanksTest, RankFailureStillReleasesThreadsForReuse) {
+  const int n = 2;
+  CollectiveGroup group(n);
+  const Status status = RunOnRanksStatus(
+      n,
+      [&](int rank) {
+        if (rank == 1) {
+          throw std::runtime_error("injected rank failure");
+        }
+        float value = 1.0f;
+        float out = 0.0f;
+        // Peer aborts; the cancellable barrier must return instead of hang.
+        (void)group.AllReduce(rank, &value, &out, 1);
+      },
+      &group);
+  EXPECT_FALSE(status.ok());
+  // The pool must still serve subsequent calls.
+  std::atomic<int> visits{0};
+  RunOnRanks(n, [&](int) { visits.fetch_add(1); });
+  EXPECT_EQ(visits.load(), n);
+}
+
+// Rank threads are exactly the "concurrent external callers" case of the
+// intra-rank worker pool: each rank may fan compute out via ParallelFor
+// while its peers do the same, with no deadlock and full coverage.
+TEST(RunOnRanksTest, ParallelForInsideRankThreads) {
+  const int n = 4;
+  const int restore = ParallelWorkerCount();
+  SetParallelWorkerCount(4);
+  std::vector<int64_t> totals(n, 0);
+  RunOnRanks(n, [&](int rank) {
+    std::atomic<int64_t> local{0};
+    ParallelFor(100, 4,
+                [&](int64_t begin, int64_t end) { local.fetch_add(end - begin); });
+    totals[static_cast<size_t>(rank)] = local.load();
+  });
+  SetParallelWorkerCount(restore);
+  for (int rank = 0; rank < n; ++rank) {
+    EXPECT_EQ(totals[static_cast<size_t>(rank)], 100) << "rank " << rank;
   }
 }
 

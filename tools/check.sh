@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Repository check: tier-1 verify (full build + ctest), a ThreadSanitizer
-# build of the concurrency-heavy tests, and an AddressSanitizer pass over the
-# fault/recovery machinery. The collectives run real thread ranks over shared
-# buffers, so comm_test / parallel_test / telemetry_test / fault_test under
-# TSan are the races-or-not verdict for the whole substrate; fault_test and
-# the recovery bench under ASan cover the checkpoint IO and buffer-corruption
-# paths.
+# build of the concurrency-heavy tests, an AddressSanitizer pass over the
+# fault/recovery machinery, and a Release-mode perf smoke test of the GEMM
+# compute backend. The collectives run real thread ranks over shared
+# buffers, so comm_test / kernel_test / parallel_test / telemetry_test /
+# fault_test under TSan are the races-or-not verdict for the whole
+# substrate; fault_test and the recovery bench under ASan cover the
+# checkpoint IO and buffer-corruption paths; the perf smoke fails if the
+# blocked GEMM kernel ever regresses below the naive reference.
 #
 #   $ tools/check.sh
 set -euo pipefail
@@ -17,11 +19,12 @@ cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j
 
 echo
-echo "== TSan: comm_test + parallel_test + telemetry_test + fault_test =="
+echo "== TSan: comm_test + kernel_test + parallel_test + telemetry_test + fault_test =="
 cmake -B build-tsan -S . -DMSMOE_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target comm_test parallel_test telemetry_test \
-  fault_test bench_fault_recovery >/dev/null
+cmake --build build-tsan -j --target comm_test kernel_test parallel_test \
+  telemetry_test fault_test bench_fault_recovery >/dev/null
 ./build-tsan/tests/comm_test
+./build-tsan/tests/kernel_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/telemetry_test
 ./build-tsan/tests/fault_test
@@ -34,6 +37,12 @@ cmake --build build-asan -j --target fault_test model_test trainer_test >/dev/nu
 ./build-asan/tests/fault_test
 ./build-asan/tests/model_test
 ./build-asan/tests/trainer_test
+
+echo
+echo "== perf smoke: Release blocked GEMM >= naive (bench_micro_kernels --check) =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j --target bench_micro_kernels >/dev/null
+(cd build-release/bench && ./bench_micro_kernels --check)
 
 echo
 echo "all checks passed"
