@@ -1,6 +1,7 @@
 #include "src/comm/collective_group.h"
 
 #include <chrono>
+#include <deque>
 #include <string>
 
 namespace msmoe {
@@ -22,6 +23,42 @@ class RankThreadPool {
     static RankThreadPool pool;
     return pool;
   }
+
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::function<void()> task;
+    bool has_task = false;
+    bool shutdown = false;
+    std::thread thread;
+  };
+
+  // Checks out one pool thread for a long-lived occupant (PooledThread).
+  // The occupant's closure must end by calling ReleaseWorker so the thread
+  // rejoins the free list.
+  Worker* AcquireWorker() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) {
+      all_.push_back(std::make_unique<Worker>());
+      Worker* spawned = all_.back().get();
+      spawned->thread = std::thread([spawned] { WorkerLoop(spawned); });
+      return spawned;
+    }
+    Worker* worker = free_.back();
+    free_.pop_back();
+    return worker;
+  }
+
+  void Dispatch(Worker* worker, std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      worker->task = std::move(task);
+      worker->has_task = true;
+    }
+    worker->cv.notify_one();
+  }
+
+  void ReleaseWorker(Worker* worker) { Release(worker); }
 
   // Runs fn(0) .. fn(world_size - 1) concurrently, one dedicated pool thread
   // per rank, and returns once every rank finished AND every thread is back
@@ -83,15 +120,6 @@ class RankThreadPool {
   }
 
  private:
-  struct Worker {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::function<void()> task;
-    bool has_task = false;
-    bool shutdown = false;
-    std::thread thread;
-  };
-
   static void WorkerLoop(Worker* worker) {
     for (;;) {
       std::function<void()> task;
@@ -119,6 +147,73 @@ class RankThreadPool {
 };
 
 }  // namespace
+
+// --------------------------------------------------------------------------
+// PooledThread
+
+struct PooledThread::State {
+  std::mutex mu;
+  std::condition_variable cv;        // wakes the loop on submit/shutdown
+  std::condition_variable cv_idle;   // wakes Drain()/dtor when queue empties
+  std::deque<std::function<void()>> queue;
+  bool shutdown = false;
+  bool running = false;  // a task is currently executing
+  bool exited = false;   // the loop returned (thread back in the pool)
+};
+
+PooledThread::PooledThread() : state_(std::make_shared<State>()) {
+  RankThreadPool& pool = RankThreadPool::Get();
+  RankThreadPool::Worker* worker = pool.AcquireWorker();
+  std::shared_ptr<State> state = state_;
+  pool.Dispatch(worker, [state, worker, &pool] {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(state->mu);
+        state->running = false;
+        if (state->queue.empty()) {
+          state->cv_idle.notify_all();
+        }
+        state->cv.wait(lock,
+                       [&state] { return !state->queue.empty() || state->shutdown; });
+        if (state->queue.empty()) {
+          state->exited = true;
+          state->cv_idle.notify_all();
+          break;
+        }
+        task = std::move(state->queue.front());
+        state->queue.pop_front();
+        state->running = true;
+      }
+      task();
+    }
+    pool.ReleaseWorker(worker);
+  });
+}
+
+PooledThread::~PooledThread() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->shutdown = true;
+  state_->cv.notify_one();
+  // The loop drains every queued task before honoring shutdown, so pending
+  // async collectives complete (or fail via their group) rather than vanish.
+  state_->cv_idle.wait(lock, [this] { return state_->exited; });
+}
+
+void PooledThread::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    MSMOE_CHECK(!state_->shutdown) << "Submit on a shut-down PooledThread";
+    state_->queue.push_back(std::move(task));
+  }
+  state_->cv.notify_one();
+}
+
+void PooledThread::Drain() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv_idle.wait(
+      lock, [this] { return state_->queue.empty() && !state_->running; });
+}
 
 CollectiveGroup::CollectiveGroup(int size)
     : size_(size),
@@ -171,6 +266,21 @@ Status CollectiveGroup::SyncPoint() {
 
 Status CollectiveGroup::TryBarrier() { return SyncPoint(); }
 
+Status CollectiveGroup::EmulateWire(uint64_t bytes) {
+  if (!wire_model_enabled()) {
+    return Status::Ok();
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::micro>(WireTimeUs(bytes)));
+  std::unique_lock<std::mutex> lock(mu_);
+  // Every member sleeps the same duration concurrently, so the collective
+  // as a whole is delayed by one wire time. An abort cuts the sleep short.
+  cv_.wait_until(lock, deadline, [this] { return !abort_status_.ok(); });
+  return abort_status_;
+}
+
 void CollectiveGroup::Abort(Status status) {
   MSMOE_CHECK(!status.ok()) << "CollectiveGroup::Abort needs a non-OK status";
   std::lock_guard<std::mutex> lock(mu_);
@@ -221,6 +331,16 @@ Status CollectiveGroup::TryExchangeScalars(int member, double value,
   MSMOE_RETURN_IF_ERROR(SyncPoint());
   *out = scalars_;
   AccountOnce(member, RingVolume(sizeof(double)));
+  return SyncPoint();
+}
+
+Status CollectiveGroup::TryExchangeCounts(int member,
+                                          const std::vector<int64_t>& send_counts,
+                                          std::vector<int64_t>* all_counts) {
+  MSMOE_CHECK_EQ(static_cast<int>(send_counts.size()), size_);
+  PublishCounts(member, send_counts);
+  MSMOE_RETURN_IF_ERROR(SyncPoint());
+  *all_counts = counts_;
   return SyncPoint();
 }
 

@@ -19,6 +19,14 @@
 // wire_bytes() always reads as "bytes the fabric moved", regardless of
 // which member queries it or how asymmetric the op was (AllToAllV).
 //
+// Emulated wire clock: on this substrate a collective's data movement is a
+// memcpy, so comm/compute overlap would be unmeasurable in wall-clock time.
+// set_wire_model() makes every data-moving collective additionally block for
+// latency_us + bytes / bytes_per_us of IDLE time (an abortable wait, not a
+// spin), modeling the link occupancy of the analytic volume it accounts.
+// Off by default — nothing changes for existing callers; the overlap bench
+// and tests enable it to measure fused-op pipelining as real elapsed time.
+//
 // Fault tolerance: the internal rendezvous is a CANCELLABLE barrier, not a
 // raw std::barrier. Every collective has a Status-returning Try* form; a
 // member that never arrives (crashed or stuck rank) surfaces as
@@ -63,6 +71,23 @@ class CollectiveGroup {
   // Analytic bytes a real fabric would have moved (sum over members).
   uint64_t wire_bytes() const { return wire_bytes_.load(std::memory_order_relaxed); }
   void ResetWireBytes() { wire_bytes_.store(0, std::memory_order_relaxed); }
+
+  // --- Emulated wire clock (see header comment) ---------------------------
+  //
+  // bytes_per_us <= 0 disables the emulation (the default). Set before ranks
+  // start issuing collectives; applies to every data-moving collective.
+  void set_wire_model(double bytes_per_us, double latency_us) {
+    wire_bytes_per_us_ = bytes_per_us;
+    wire_latency_us_ = latency_us;
+  }
+  bool wire_model_enabled() const { return wire_bytes_per_us_ > 0.0; }
+  // Modeled occupancy of `bytes` on the emulated wire (0 when disabled).
+  double WireTimeUs(uint64_t bytes) const {
+    if (!wire_model_enabled()) {
+      return 0.0;
+    }
+    return wire_latency_us_ + static_cast<double>(bytes) / wire_bytes_per_us_;
+  }
 
   // --- Fault surface -------------------------------------------------------
 
@@ -114,7 +139,9 @@ class CollectiveGroup {
       std::memcpy(recv + static_cast<int64_t>(src) * count, SendSlot<T>(src),
                   static_cast<size_t>(count) * sizeof(T));
     }
-    AccountOnce(member, RingVolume(count * static_cast<int64_t>(sizeof(T))));
+    const uint64_t volume = RingVolume(count * static_cast<int64_t>(sizeof(T)));
+    AccountOnce(member, volume);
+    MSMOE_RETURN_IF_ERROR(EmulateWire(volume));
     return SyncPoint();
   }
   template <typename T>
@@ -136,7 +163,9 @@ class CollectiveGroup {
       }
       recv[i] = static_cast<T>(sum);
     }
-    AccountOnce(member, RingVolume(count * static_cast<int64_t>(sizeof(T))));
+    const uint64_t volume = RingVolume(count * static_cast<int64_t>(sizeof(T)));
+    AccountOnce(member, volume);
+    MSMOE_RETURN_IF_ERROR(EmulateWire(volume));
     return SyncPoint();
   }
   template <typename T>
@@ -156,7 +185,9 @@ class CollectiveGroup {
       }
       recv[i] = static_cast<T>(sum);
     }
-    AccountOnce(member, 2 * RingVolume(count * static_cast<int64_t>(sizeof(T))));
+    const uint64_t volume = 2 * RingVolume(count * static_cast<int64_t>(sizeof(T)));
+    AccountOnce(member, volume);
+    MSMOE_RETURN_IF_ERROR(EmulateWire(volume));
     return SyncPoint();
   }
   template <typename T>
@@ -174,9 +205,11 @@ class CollectiveGroup {
     if (member != root) {
       std::memcpy(data, SendSlot<T>(root), static_cast<size_t>(count) * sizeof(T));
     }
-    AccountOnce(member,
-                static_cast<uint64_t>(size_ - 1) *
-                    static_cast<uint64_t>(count * static_cast<int64_t>(sizeof(T))));
+    const uint64_t volume =
+        static_cast<uint64_t>(size_ - 1) *
+        static_cast<uint64_t>(count * static_cast<int64_t>(sizeof(T)));
+    AccountOnce(member, volume);
+    MSMOE_RETURN_IF_ERROR(EmulateWire(volume));
     return SyncPoint();
   }
   template <typename T>
@@ -195,7 +228,9 @@ class CollectiveGroup {
                   SendSlot<T>(src) + static_cast<int64_t>(member) * count,
                   static_cast<size_t>(count) * sizeof(T));
     }
-    AccountOnce(member, A2AVolume(count * static_cast<int64_t>(sizeof(T))));
+    const uint64_t volume = A2AVolume(count * static_cast<int64_t>(sizeof(T)));
+    AccountOnce(member, volume);
+    MSMOE_RETURN_IF_ERROR(EmulateWire(volume));
     return SyncPoint();
   }
   template <typename T>
@@ -247,6 +282,7 @@ class CollectiveGroup {
     if (wire_out != nullptr) {
       *wire_out = total;
     }
+    MSMOE_RETURN_IF_ERROR(EmulateWire(total));
     return SyncPoint();
   }
   template <typename T>
@@ -261,6 +297,14 @@ class CollectiveGroup {
   // Accounted as an all-gather of one double: (size-1) * sizeof(double).
   Status TryExchangeScalars(int member, double value, std::vector<double>* out);
   std::vector<double> ExchangeScalars(int member, double value);
+
+  // Shares each member's per-destination counts; *all_counts becomes the
+  // full size() x size() matrix (row src, column dst). This is the
+  // metadata rendezvous of AllToAllV exposed on its own, for the chunked
+  // async driver — like the monolithic op's counts matrix it rides the
+  // barrier's shared slots and accounts no wire bytes.
+  Status TryExchangeCounts(int member, const std::vector<int64_t>& send_counts,
+                           std::vector<int64_t>* all_counts);
 
  private:
   template <typename T>
@@ -281,6 +325,11 @@ class CollectiveGroup {
   // cancelled, or raises kDeadlineExceeded for everyone when this waiter's
   // deadline expires first.
   Status SyncPoint();
+
+  // Blocks for WireTimeUs(bytes) of idle time when the wire model is on
+  // (every member sleeps concurrently, so one collective costs one wire
+  // time). Abortable: a group Abort wakes sleepers with the sticky status.
+  Status EmulateWire(uint64_t bytes);
 
   // Ring all-gather / reduce-scatter volume per the standard (g-1)/g * total.
   uint64_t RingVolume(int64_t bytes_per_member) const {
@@ -314,9 +363,39 @@ class CollectiveGroup {
   std::atomic<bool> aborted_{false};  // lock-free fast-path mirror
   double timeout_ms_ = 0.0;           // 0 = wait forever
 
+  // Emulated wire clock (off when bytes_per_us <= 0).
+  double wire_bytes_per_us_ = 0.0;
+  double wire_latency_us_ = 0.0;
+
   // Recovery rendezvous: a plain barrier that is never cancelled (all rank
   // threads survive simulated faults), used only by RecoveryBarrier.
   std::barrier<> recovery_barrier_;
+};
+
+// A persistent FIFO task thread drawn from the same process-wide pool that
+// backs RunOnRanks. Communicators dedicate one per rank as the "comm proxy"
+// thread driving nonblocking chunked collectives (async_comm.h) — the
+// thread-rank analogue of a GPU's communication stream. Tasks run strictly
+// in submission order. The destructor drains the queue, waits for the loop
+// to finish, and returns the thread to the shared pool for reuse.
+class PooledThread {
+ public:
+  PooledThread();
+  ~PooledThread();
+
+  PooledThread(const PooledThread&) = delete;
+  PooledThread& operator=(const PooledThread&) = delete;
+
+  // Enqueues a task; runs after every previously submitted task completed.
+  // Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void Drain();
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
 };
 
 // Runs fn(rank) on `world_size` concurrent rank threads and blocks until

@@ -36,6 +36,113 @@ void Communicator::set_fault_plan(FaultPlan* plan) {
   op_counts_.assign(static_cast<size_t>(size()), 0);
 }
 
+uint64_t Communicator::wire_bytes() const {
+  uint64_t total = BackendWireBytes();
+  std::lock_guard<std::mutex> lock(async_mu_);
+  if (async_ != nullptr) {
+    total += async_->channel.wire_bytes();
+  }
+  return total;
+}
+
+void Communicator::ResetWireBytes() {
+  ResetBackendWireBytes();
+  std::lock_guard<std::mutex> lock(async_mu_);
+  if (async_ != nullptr) {
+    async_->channel.ResetWireBytes();
+  }
+}
+
+void Communicator::SetCollectiveTimeout(double timeout_ms) {
+  SetTimeoutImpl(timeout_ms);
+  std::lock_guard<std::mutex> lock(async_mu_);
+  timeout_ms_ = timeout_ms;
+  if (async_ != nullptr) {
+    async_->channel.set_timeout_ms(timeout_ms);
+  }
+}
+
+void Communicator::SetWireModel(double bytes_per_us, double latency_us) {
+  SetWireModelImpl(bytes_per_us, latency_us);
+  std::lock_guard<std::mutex> lock(async_mu_);
+  wire_bytes_per_us_ = bytes_per_us;
+  wire_latency_us_ = latency_us;
+  if (async_ != nullptr) {
+    async_->channel.set_wire_model(bytes_per_us, latency_us);
+  }
+}
+
+void Communicator::Abort(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    if (async_ != nullptr) {
+      async_->channel.Abort(status);
+    }
+  }
+  AbortImpl(std::move(status));
+}
+
+Status Communicator::GroupStatus() const {
+  Status status = BackendStatus();
+  if (!status.ok()) {
+    return status;
+  }
+  std::lock_guard<std::mutex> lock(async_mu_);
+  if (async_ != nullptr) {
+    return async_->channel.status();
+  }
+  return Status::Ok();
+}
+
+void Communicator::RecoveryBarrier(int member) {
+  RecoveryArriveImpl();
+  if (member == 0) {
+    ResetBackendAbort();
+    std::lock_guard<std::mutex> lock(async_mu_);
+    if (async_ != nullptr) {
+      async_->channel.ResetAbort();
+    }
+  }
+  RecoveryArriveImpl();
+}
+
+Communicator::AsyncEngine& Communicator::EnsureAsync() {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  if (async_ == nullptr) {
+    async_ = std::make_unique<AsyncEngine>(size());
+    async_->channel.set_timeout_ms(timeout_ms_);
+    async_->channel.set_wire_model(wire_bytes_per_us_, wire_latency_us_);
+    async_seq_.assign(static_cast<size_t>(size()), 0);
+  }
+  return *async_;
+}
+
+AsyncOpParams Communicator::AsyncParams(int member, const char* elem_type,
+                                        int elem_bytes) {
+  AsyncEngine& engine = EnsureAsync();
+  AsyncOpParams params;
+  params.channel = &engine.channel;
+  params.telemetry = &telemetry_;
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    auto& slot = engine.threads[static_cast<size_t>(member)];
+    if (slot == nullptr) {
+      slot = std::make_unique<PooledThread>();
+      // First task: take copy-engine semantics (see async_comm.h) so chunk
+      // rendezvous are not starved behind compute threads' timeslices.
+      slot->Submit([] { TryElevateCommThreadPriority(); });
+    }
+    params.thread = slot.get();
+  }
+  params.member = member;
+  params.group_size = size();
+  params.logical_op = async_seq_[static_cast<size_t>(member)]++;
+  params.elem_type = elem_type;
+  params.elem_bytes = elem_bytes;
+  params.fault = BeginOp(member);
+  return params;
+}
+
 // ---------------------------------------------------------------------------
 // FlatCommunicator
 

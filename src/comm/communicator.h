@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/comm/async_comm.h"
 #include "src/comm/collective_group.h"
 #include "src/comm/fault.h"
 #include "src/comm/hierarchical.h"
@@ -79,9 +80,10 @@ class Communicator {
 
   virtual int size() const = 0;
   // Analytic bytes a real fabric would have moved (total over members),
-  // accumulated by the backend under the AccountOnce convention.
-  virtual uint64_t wire_bytes() const = 0;
-  virtual void ResetWireBytes() = 0;
+  // accumulated under the AccountOnce convention — backend channels plus
+  // the async channel of chunked collectives.
+  uint64_t wire_bytes() const;
+  void ResetWireBytes();
 
   CommTelemetry& telemetry() { return telemetry_; }
   const CommTelemetry& telemetry() const { return telemetry_; }
@@ -96,16 +98,23 @@ class Communicator {
 
   // Deadline for every internal barrier wait (0 = wait forever); a rank
   // that never arrives then surfaces as kDeadlineExceeded on all peers.
-  virtual void SetCollectiveTimeout(double timeout_ms) = 0;
-  // Cancels the backend's barrier(s); all ranks observe `status`.
-  virtual void Abort(Status status) = 0;
-  // First error raised on the backend (abort, timeout, injected crash), or
+  // Applies to the backend channels and the async channel.
+  void SetCollectiveTimeout(double timeout_ms);
+  // Emulated wire clock (see collective_group.h): every data-moving
+  // collective — sync and async — additionally blocks for the modeled link
+  // occupancy of its analytic volume. Off by default.
+  void SetWireModel(double bytes_per_us, double latency_us);
+  // Cancels every channel's barrier; all ranks observe `status`.
+  void Abort(Status status);
+  // First error raised on any channel (abort, timeout, injected crash), or
   // OK. After a failed collective the output buffers are unspecified;
   // fault-aware callers check this per step and run recovery.
-  virtual Status GroupStatus() const = 0;
+  Status GroupStatus() const;
   // Collective-safe reset after all ranks observed the failure: rendezvous,
-  // clear the abort, rendezvous (see CollectiveGroup::RecoveryBarrier).
-  virtual void RecoveryBarrier(int member) = 0;
+  // clear the abort on every channel (async included), rendezvous (see
+  // CollectiveGroup::RecoveryBarrier). Outstanding CommHandles must be
+  // destroyed before this is called, so the comm threads have unwound.
+  void RecoveryBarrier(int member);
 
   // All members must call every collective, with their own member index.
   // Semantics match CollectiveGroup (see collective_group.h). On an aborted
@@ -253,6 +262,49 @@ class Communicator {
     return out;
   }
 
+  // --- Nonblocking chunked collectives (§4.2) ------------------------------
+  //
+  // Each Start* splits the op into num_chunks contiguous chunks and hands
+  // it to this rank's persistent comm-proxy thread, which drives the chunks
+  // over a DEDICATED async-channel group; the caller overlaps compute and
+  // consumes per-chunk readiness through the returned CommHandle (see
+  // async_comm.h for the ordering and fault contract). All ranks must issue
+  // the same Start* sequence; handles must not outlive this Communicator.
+  // Chunk boundaries fall on multiples of `quantum` elements (a row).
+  // Injected faults surface through WaitChunk/WaitAll as the same sticky
+  // Status the synchronous ops report via GroupStatus().
+
+  template <typename T>
+  std::unique_ptr<CommHandle> StartAllGather(int member, const T* send, T* recv,
+                                             int64_t count, int num_chunks,
+                                             int64_t quantum = 1) {
+    return AsyncCommDriver::StartAllGather(
+        AsyncParams(member, CommElemTypeName<T>(), sizeof(T)), send, recv, count,
+        num_chunks, quantum);
+  }
+
+  std::unique_ptr<CommHandle> StartReduceScatter(int member, const float* send,
+                                                 float* recv, int64_t count,
+                                                 int num_chunks, int64_t quantum = 1) {
+    return AsyncCommDriver::StartReduceScatter(AsyncParams(member, "f32", sizeof(float)),
+                                               send, recv, count, num_chunks, quantum);
+  }
+
+  // *recv is resized on the comm thread once the counts exchange fixed the
+  // total; do not touch it until the first WaitChunk/WaitAll returns.
+  template <typename T>
+  std::unique_ptr<CommHandle> StartAllToAllV(int member, const T* send,
+                                             const std::vector<int64_t>& send_counts,
+                                             std::vector<T>* recv, int num_chunks) {
+    auto resize = [recv](int64_t elems) -> void* {
+      recv->resize(static_cast<size_t>(elems));
+      return recv->data();
+    };
+    return AsyncCommDriver::StartAllToAllV(
+        AsyncParams(member, CommElemTypeName<T>(), sizeof(T)), send, send_counts,
+        resize, num_chunks);
+  }
+
  protected:
   // Backends implement byte-level data movement plus float reductions and
   // return the TOTAL analytic wire volume of the collective (the value the
@@ -275,6 +327,16 @@ class Communicator {
   // Algorithm label recorded in events ("ring", "pairwise", "direct",
   // "hierarchical").
   virtual const char* AlgorithmName(CommOp op) const = 0;
+
+  // Backend hooks behind the non-virtual fault/accounting surface above.
+  virtual uint64_t BackendWireBytes() const = 0;
+  virtual void ResetBackendWireBytes() = 0;
+  virtual void SetTimeoutImpl(double timeout_ms) = 0;
+  virtual void SetWireModelImpl(double bytes_per_us, double latency_us) = 0;
+  virtual void AbortImpl(Status status) = 0;
+  virtual Status BackendStatus() const = 0;
+  virtual void RecoveryArriveImpl() = 0;
+  virtual void ResetBackendAbort() = 0;
 
  private:
   // Consults the fault plan with this rank's op index: sleeps out injected
@@ -321,11 +383,38 @@ class Communicator {
     telemetry_.Record(std::move(event));
   }
 
+  // The async engine behind Start*: one dedicated channel group (so async
+  // rendezvous never mix with main-channel ones) and one comm-proxy thread
+  // per rank, created on first use. The threads are declared after the
+  // channel so they are destroyed (drained) first.
+  struct AsyncEngine {
+    explicit AsyncEngine(int size)
+        : channel(size), threads(static_cast<size_t>(size)) {}
+    CollectiveGroup channel;
+    std::vector<std::unique_ptr<PooledThread>> threads;
+  };
+
+  AsyncEngine& EnsureAsync();
+  // Assembles the driver parameters for one Start* call: runs the fault
+  // hook (delays, crash-abort), bumps this rank's logical-op sequence
+  // number, and binds the channel, comm thread, and telemetry.
+  AsyncOpParams AsyncParams(int member, const char* elem_type, int elem_bytes);
+
   CommTelemetry telemetry_;
   FaultPlan* fault_plan_ = nullptr;
   // Per-rank collective-op counters (each element touched only by its own
   // rank thread); sized by set_fault_plan.
   std::vector<int64_t> op_counts_;
+
+  mutable std::mutex async_mu_;
+  std::unique_ptr<AsyncEngine> async_;
+  // Per-rank logical-op sequence (each element touched only by its own rank
+  // thread; identical across ranks because all issue the same Start* order).
+  std::vector<int64_t> async_seq_;
+  // Settings applied to the async channel when it is (lazily) created.
+  double timeout_ms_ = 0.0;
+  double wire_bytes_per_us_ = 0.0;
+  double wire_latency_us_ = 0.0;
 };
 
 // Single-level backend: one CollectiveGroup spanning all ranks (ring
@@ -335,21 +424,23 @@ class FlatCommunicator final : public Communicator {
   explicit FlatCommunicator(int size) : group_(size) {}
 
   int size() const override { return group_.size(); }
-  uint64_t wire_bytes() const override { return group_.wire_bytes(); }
-  void ResetWireBytes() override { group_.ResetWireBytes(); }
 
   // Escape hatch for comm-layer algorithm code (src/comm) and tests;
   // algorithm code in src/parallel and src/core must not use it.
   CollectiveGroup& group() { return group_; }
 
-  void SetCollectiveTimeout(double timeout_ms) override {
-    group_.set_timeout_ms(timeout_ms);
-  }
-  void Abort(Status status) override { group_.Abort(std::move(status)); }
-  Status GroupStatus() const override { return group_.status(); }
-  void RecoveryBarrier(int member) override { group_.RecoveryBarrier(member); }
-
  protected:
+  uint64_t BackendWireBytes() const override { return group_.wire_bytes(); }
+  void ResetBackendWireBytes() override { group_.ResetWireBytes(); }
+  void SetTimeoutImpl(double timeout_ms) override { group_.set_timeout_ms(timeout_ms); }
+  void SetWireModelImpl(double bytes_per_us, double latency_us) override {
+    group_.set_wire_model(bytes_per_us, latency_us);
+  }
+  void AbortImpl(Status status) override { group_.Abort(std::move(status)); }
+  Status BackendStatus() const override { return group_.status(); }
+  void RecoveryArriveImpl() override { group_.RecoveryArrive(); }
+  void ResetBackendAbort() override { group_.ResetAbort(); }
+
   void BarrierImpl() override { group_.Barrier(); }
   uint64_t AllGatherBytes(int member, const void* send, void* recv,
                           int64_t bytes) override;
@@ -380,46 +471,47 @@ class HierarchicalCommunicator final : public Communicator {
   HierarchicalCommunicator(int nodes, int gpus_per_node);
 
   int size() const override { return hier_.world_size(); }
-  uint64_t wire_bytes() const override {
-    return world_.wire_bytes() + hier_.IntraWireBytes() + hier_.InterWireBytes();
-  }
-  void ResetWireBytes() override {
-    world_.ResetWireBytes();
-    hier_.ResetWireBytes();
-  }
 
   uint64_t IntraWireBytes() const { return hier_.IntraWireBytes(); }
   uint64_t InterWireBytes() const { return hier_.InterWireBytes(); }
 
-  void SetCollectiveTimeout(double timeout_ms) override {
+ protected:
+  uint64_t BackendWireBytes() const override {
+    return world_.wire_bytes() + hier_.IntraWireBytes() + hier_.InterWireBytes();
+  }
+  void ResetBackendWireBytes() override {
+    world_.ResetWireBytes();
+    hier_.ResetWireBytes();
+  }
+  void SetTimeoutImpl(double timeout_ms) override {
     world_.set_timeout_ms(timeout_ms);
     hier_.SetTimeoutMs(timeout_ms);
   }
+  // The wire model covers the world-level channel; the hierarchical
+  // all-reduce's intra/inter sub-groups stay unmodeled (their cost is
+  // studied analytically in src/sim, not measured).
+  void SetWireModelImpl(double bytes_per_us, double latency_us) override {
+    world_.set_wire_model(bytes_per_us, latency_us);
+  }
   // An abort must cancel every constituent group: a rank may be blocked in
   // the world barrier, its intra-node group, or its inter-node group.
-  void Abort(Status status) override {
+  void AbortImpl(Status status) override {
     hier_.AbortAll(status);
     world_.Abort(std::move(status));
   }
-  Status GroupStatus() const override {
+  Status BackendStatus() const override {
     Status status = world_.status();
     if (!status.ok()) {
       return status;
     }
     return hier_.FirstError();
   }
-  void RecoveryBarrier(int member) override {
-    // All ranks rendezvous on the world group; rank 0 resets every
-    // sub-group while the others are parked between the two phases.
-    world_.RecoveryArrive();
-    if (member == 0) {
-      world_.ResetAbort();
-      hier_.ResetAbortAll();
-    }
-    world_.RecoveryArrive();
+  void RecoveryArriveImpl() override { world_.RecoveryArrive(); }
+  void ResetBackendAbort() override {
+    world_.ResetAbort();
+    hier_.ResetAbortAll();
   }
 
- protected:
   void BarrierImpl() override { world_.Barrier(); }
   uint64_t AllGatherBytes(int member, const void* send, void* recv,
                           int64_t bytes) override;

@@ -43,9 +43,26 @@ void CommTelemetry::Record(CommEvent event) {
   events_.push_back(std::move(event));
 }
 
+void CommTelemetry::RecordComp(CompEvent event) {
+  if (!enabled_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (comp_events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  comp_events_.push_back(std::move(event));
+}
+
 std::vector<CommEvent> CommTelemetry::Events() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_;
+}
+
+std::vector<CompEvent> CommTelemetry::CompEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return comp_events_;
 }
 
 size_t CommTelemetry::event_count() const {
@@ -61,6 +78,7 @@ uint64_t CommTelemetry::dropped() const {
 void CommTelemetry::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  comp_events_.clear();
   dropped_ = 0;
   epoch_ = std::chrono::steady_clock::now();
 }

@@ -52,6 +52,28 @@ struct CommEvent {
   bool primary = false;  // true on member 0's event
   double start_us = 0.0;     // relative to the telemetry epoch
   double duration_us = 0.0;  // wall-clock, includes barrier wait
+
+  // Chunked async collectives (async_comm.h): every chunk of one logical
+  // collective records its own event; all of a rank's chunk events share
+  // that rank's per-op sequence number `logical_op` (identical across ranks
+  // because every rank issues the same Start* order). The per-chunk
+  // wire_bytes of one logical op sum exactly to the AccountOnce volume of
+  // the equivalent monolithic op — aggregate per (rank, logical_op), never
+  // by adding a monolithic event on top (comm_crosscheck verifies this).
+  // Monolithic ops keep logical_op = -1, chunk_count = 1.
+  int64_t logical_op = -1;
+  int chunk_index = 0;
+  int chunk_count = 1;
+  bool async_lane = false;  // recorded by a comm-proxy thread, not the rank
+};
+
+// A compute-busy span (e.g. one fused-op GEMM tile), recorded next to the
+// CommEvents so the Chrome trace shows comm-busy vs comp-busy overlap.
+struct CompEvent {
+  std::string name;
+  int rank = 0;
+  double start_us = 0.0;
+  double duration_us = 0.0;
 };
 
 class CommTelemetry {
@@ -64,8 +86,10 @@ class CommTelemetry {
   // Thread-safe append. Beyond `capacity()` events the registry drops
   // (counted by dropped()) instead of growing without bound.
   void Record(CommEvent event);
+  void RecordComp(CompEvent event);
 
   std::vector<CommEvent> Events() const;
+  std::vector<CompEvent> CompEvents() const;
   size_t event_count() const;
   uint64_t dropped() const;
   void Clear();  // also re-anchors the epoch
@@ -81,10 +105,38 @@ class CommTelemetry {
  private:
   mutable std::mutex mu_;
   std::vector<CommEvent> events_;
+  std::vector<CompEvent> comp_events_;
   std::chrono::steady_clock::time_point epoch_;
   uint64_t dropped_ = 0;
   size_t capacity_ = 1 << 20;
   bool enabled_ = true;
+};
+
+// RAII compute span: records a CompEvent covering its own lifetime.
+// No-op when telemetry is null or disabled.
+class ScopedCompSpan {
+ public:
+  ScopedCompSpan(CommTelemetry* telemetry, const char* name, int rank)
+      : telemetry_(telemetry != nullptr && telemetry->enabled() ? telemetry : nullptr),
+        name_(name),
+        rank_(rank),
+        start_us_(telemetry_ != nullptr ? telemetry_->NowUs() : 0.0) {}
+  ~ScopedCompSpan() {
+    if (telemetry_ != nullptr) {
+      CompEvent event;
+      event.name = name_;
+      event.rank = rank_;
+      event.start_us = start_us_;
+      event.duration_us = telemetry_->NowUs() - start_us_;
+      telemetry_->RecordComp(std::move(event));
+    }
+  }
+
+ private:
+  CommTelemetry* telemetry_;
+  const char* name_;
+  int rank_;
+  double start_us_;
 };
 
 }  // namespace msmoe

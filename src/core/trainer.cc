@@ -195,6 +195,41 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
     const int64_t shard = padded / dp;
     std::vector<float> flat(static_cast<size_t>(padded), 0.0f);
 
+    // §5 inter-op overlap (see NumericTrainConfig::overlap_grad_sync): each
+    // layer's gradients reduce-scatter on the comm thread while the earlier
+    // layers are still in backward. Restricted to the shapes where the
+    // result is provably bitwise identical to the synchronous path; fault
+    // replay keeps the synchronous op sequence.
+    const bool overlap_sync = config.overlap_grad_sync && !config.zero_shard_optimizer &&
+                              config.grad_sync == GradSyncMode::kFp32ReduceScatter &&
+                              config.grad_accum_steps <= 1 && !fault_aware;
+    struct GradSegment {
+      int64_t elems = 0;   // real elements (padded to a dp multiple below)
+      int64_t padded = 0;
+      std::vector<float> send;
+      std::vector<float> shard;
+      std::vector<float> full;
+      std::unique_ptr<CommHandle> handle;
+    };
+    // One segment per layer plus a tail segment (embedding + final_gain +
+    // lm_head, all ready only once backward reaches the embedding).
+    std::vector<GradSegment> segments;
+    if (overlap_sync) {
+      segments.resize(static_cast<size_t>(config.model.num_layers) + 1);
+      for (int64_t l = 0; l < config.model.num_layers; ++l) {
+        segments[static_cast<size_t>(l)].elems =
+            params.layers[static_cast<size_t>(l)].TotalElements();
+      }
+      segments.back().elems = params.embedding.numel() + params.final_gain.numel() +
+                              params.lm_head.numel();
+      for (GradSegment& seg : segments) {
+        seg.padded = ((seg.elems + dp - 1) / dp) * dp;
+        seg.send.assign(static_cast<size_t>(seg.padded), 0.0f);
+        seg.shard.assign(static_cast<size_t>(seg.padded / dp), 0.0f);
+        seg.full.assign(static_cast<size_t>(seg.padded), 0.0f);
+      }
+    }
+
     // ZeRO-1 path state: this rank's FP32 master shard + Adam moments.
     FlatAdam flat_adam(config.adam, config.zero_shard_optimizer ? shard : 0);
     std::vector<float> master_shard;
@@ -216,6 +251,25 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       LmParams grads = LmParams::ZerosLike(config.model);
       LmStepStats stats;
       const int64_t accum = std::max<int64_t>(1, config.grad_accum_steps);
+      // Overlap path: as each layer's backward finishes, flatten its (final,
+      // accum == 1) gradients into the segment buffer and start the
+      // reduce-scatter on the comm thread.
+      LayerGradCallback on_layer_grads = nullptr;
+      if (overlap_sync) {
+        on_layer_grads = [&](int64_t l) {
+          GradSegment& seg = segments[static_cast<size_t>(l)];
+          size_t cur = 0;
+          grads.layers[static_cast<size_t>(l)].ForEachConst(
+              [&](const std::string&, const Tensor& tensor) {
+                for (int64_t i = 0; i < tensor.numel(); ++i) {
+                  seg.send[cur++] = tensor[i];
+                }
+              });
+          std::fill(seg.send.begin() + static_cast<int64_t>(cur), seg.send.end(), 0.0f);
+          seg.handle = StartGradShardSync(group, rank, seg.send.data(), seg.padded,
+                                          seg.shard.data(), config.overlap_grad_chunks);
+        };
+      }
       for (int64_t micro = 0; micro < accum; ++micro) {
         std::vector<int64_t> inputs;
         std::vector<int64_t> targets;
@@ -223,7 +277,8 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
                           config.batch_per_rank, &inputs, &targets);
         const LmStepStats micro_stats =
             LmForwardBackward(compute, config.model, config.router, inputs, targets,
-                              config.batch_per_rank, &grads, activation_transform);
+                              config.batch_per_rank, &grads, activation_transform,
+                              on_layer_grads);
         stats.ce_loss += micro_stats.ce_loss / static_cast<double>(accum);
         stats.aux_loss += micro_stats.aux_loss / static_cast<double>(accum);
       }
@@ -231,14 +286,17 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
         grads.Scale(1.0f / static_cast<float>(accum));
       }
 
-      // Flatten the gradients.
+      // Flatten the gradients (the overlap path flattens per segment as the
+      // layer callbacks fire instead).
       size_t cursor = 0;
-      grads.ForEachConst([&](const std::string&, const Tensor& tensor) {
-        for (int64_t i = 0; i < tensor.numel(); ++i) {
-          flat[cursor++] = tensor[i];
-        }
-      });
-      std::fill(flat.begin() + static_cast<int64_t>(cursor), flat.end(), 0.0f);
+      if (!overlap_sync) {
+        grads.ForEachConst([&](const std::string&, const Tensor& tensor) {
+          for (int64_t i = 0; i < tensor.numel(); ++i) {
+            flat[cursor++] = tensor[i];
+          }
+        });
+        std::fill(flat.begin() + static_cast<int64_t>(cursor), flat.end(), 0.0f);
+      }
 
       if (config.zero_shard_optimizer) {
         // ZeRO-1: reduce this rank's gradient shard, update the master
@@ -258,6 +316,50 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
             tensor[i] = flat[cursor++];
           }
         });
+      } else if (overlap_sync) {
+        // Tail segment (embedding + final_gain + lm_head) becomes final when
+        // backward completes; its sync overlaps nothing but keeps the one
+        // handle-per-segment structure.
+        GradSegment& tail = segments.back();
+        size_t cur = 0;
+        const auto pack = [&](const Tensor& tensor) {
+          for (int64_t i = 0; i < tensor.numel(); ++i) {
+            tail.send[cur++] = tensor[i];
+          }
+        };
+        pack(grads.embedding);
+        pack(grads.final_gain);
+        pack(grads.lm_head);
+        std::fill(tail.send.begin() + static_cast<int64_t>(cur), tail.send.end(), 0.0f);
+        tail.handle = StartGradShardSync(group, rank, tail.send.data(), tail.padded,
+                                         tail.shard.data(), config.overlap_grad_chunks);
+        // Drain in a fixed order on every rank: the all-gathers below are
+        // collectives, so issue order must match across the group.
+        for (GradSegment& seg : segments) {
+          (void)seg.handle->WaitAll();
+          seg.handle.reset();
+          group.AllGather(rank, seg.shard.data(), seg.full.data(), seg.padded / dp);
+        }
+        for (int64_t l = 0; l < config.model.num_layers; ++l) {
+          GradSegment& seg = segments[static_cast<size_t>(l)];
+          cur = 0;
+          grads.layers[static_cast<size_t>(l)].ForEach(
+              [&](const std::string&, Tensor& tensor) {
+                for (int64_t i = 0; i < tensor.numel(); ++i) {
+                  tensor[i] = seg.full[cur++] / static_cast<float>(dp);
+                }
+              });
+        }
+        cur = 0;
+        const auto unpack = [&](Tensor& tensor) {
+          for (int64_t i = 0; i < tensor.numel(); ++i) {
+            tensor[i] = tail.full[cur++] / static_cast<float>(dp);
+          }
+        };
+        unpack(grads.embedding);
+        unpack(grads.final_gain);
+        unpack(grads.lm_head);
+        adam.Step(grads.TensorListConst());
       } else {
         AllReduceGrads(group, rank, flat.data(), padded, config.grad_sync);
         cursor = 0;

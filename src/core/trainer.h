@@ -70,6 +70,18 @@ struct NumericTrainConfig {
   // optimizer stores FP8 compute parameters, halving this collective; the
   // FP32 masters live only in the owner's shard.
   TrainPrecision param_gather_precision = TrainPrecision::kFp32;
+  // §5 inter-op overlap: start each layer's DP gradient reduce-scatter on
+  // the rank's comm-proxy thread the moment that layer's backward finishes,
+  // and wait for every segment before the optimizer step. Bitwise identical
+  // to the synchronous path (per-element reductions are segmentation-
+  // independent), so the loss curve does not change. Only takes effect on
+  // the replicated (non-ZeRO) kFp32ReduceScatter path with
+  // grad_accum_steps == 1 and no fault machinery armed; any other shape
+  // falls back to the synchronous sync, which stays the default so fault
+  // replay keeps its bit-identical op sequence.
+  bool overlap_grad_sync = false;
+  // Chunks per per-layer reduce-scatter in the overlap path.
+  int overlap_grad_chunks = 2;
 
   // --- Fault tolerance -----------------------------------------------------
   // Injected fault schedule (not owned; nullptr = fault-free). Installed on

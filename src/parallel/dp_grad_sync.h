@@ -22,6 +22,7 @@
 #define MSMOE_SRC_PARALLEL_DP_GRAD_SYNC_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/comm/communicator.h"
@@ -41,6 +42,19 @@ const char* GradSyncModeName(GradSyncMode mode);
 // The reduction is a plain sum (callers average by pre-scaling).
 std::vector<float> SyncGradShard(Communicator& comm, int rank, const float* grads,
                                  int64_t count, GradSyncMode mode);
+
+// Nonblocking FP32 reduce-scatter of an already-final gradient segment (the
+// §5 inter-op overlap primitive): the transfer runs chunk by chunk on the
+// rank's comm-proxy thread while the caller keeps computing (e.g. the
+// remaining layers' backward). WaitAll() on the returned handle blocks until
+// shard_out (count / n floats) holds this rank's summed shard; failures
+// surface there as the communicator's sticky status. Every rank must issue
+// the same Start sequence. The per-element reduction is identical to the
+// synchronous kFp32ReduceScatter path, so results are bitwise equal however
+// the gradient buffer is segmented.
+std::unique_ptr<CommHandle> StartGradShardSync(Communicator& comm, int rank,
+                                               const float* grads, int64_t count,
+                                               float* shard_out, int num_chunks);
 
 // Convenience: full all-reduced gradients via shard sync + all-gather, so
 // trainers that keep replicated optimizer state can use any mode.

@@ -1,14 +1,25 @@
 #include "src/parallel/fused_ops.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "src/base/logging.h"
 #include "src/base/math_util.h"
 #include "src/base/parallel_for.h"
+#include "src/comm/telemetry.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace msmoe {
+
+namespace {
+
+// Chunk count for the EP dispatch pipeline, which has no caller-facing tile
+// knob: enough chunks that expert GEMMs start before the gather finishes,
+// few enough that per-chunk overhead stays negligible at test sizes.
+constexpr int kDispatchChunks = 4;
+
+}  // namespace
 
 Tensor FusedAllGatherGemm(const ShardContext& ctx, const Tensor& x_local, const Tensor& w,
                           int64_t row_tile) {
@@ -21,20 +32,32 @@ Tensor FusedAllGatherGemm(const ShardContext& ctx, const Tensor& x_local, const 
   const int64_t k = x_local.dim(1);
   const int64_t cols = w.dim(1);
 
-  // "Arrival buffer": the all-gather delivers source-rank chunks; the ring
-  // order seen by rank r is r, r+1, ..., r-1 (own chunk is already local).
+  // Double-buffered pipeline: the comm thread streams the all-gather chunk
+  // by chunk while this thread runs the GEMM of every chunk that already
+  // landed — the transfer of chunk c+1 overlaps the compute of chunk c.
+  // Chunk c is rows [begin, end) of EVERY source's block, so its GEMM
+  // covers n row tiles.
   std::vector<float> gathered(static_cast<size_t>(n) * rows_local * k);
-  ctx.comm->AllGather(ctx.rank, x_local.data(), gathered.data(), rows_local * k);
+  const int num_chunks = static_cast<int>(CeilDiv(rows_local, row_tile));
+  auto handle = ctx.comm->StartAllGather(ctx.rank, x_local.data(), gathered.data(),
+                                         rows_local * k, num_chunks, /*quantum=*/k);
 
   Tensor y({static_cast<int64_t>(n) * rows_local, cols});
-  for (int step = 0; step < n; ++step) {
-    const int src = (ctx.rank + step) % n;  // arrival order
-    const float* chunk = gathered.data() + static_cast<int64_t>(src) * rows_local * k;
-    // Tile the chunk's GEMM: each tile is "signaled" independently.
-    for (int64_t tile_begin = 0; tile_begin < rows_local; tile_begin += row_tile) {
-      const int64_t tile_rows = std::min(row_tile, rows_local - tile_begin);
-      Gemm(false, false, tile_rows, cols, k, 1.0f, chunk + tile_begin * k, w.data(), 0.0f,
-           y.data() + (static_cast<int64_t>(src) * rows_local + tile_begin) * cols);
+  for (int c = 0; c < handle->num_chunks(); ++c) {
+    if (!handle->WaitChunk(c).ok()) {
+      break;  // the caller observes the failure via GroupStatus()
+    }
+    const int64_t row0 = handle->layout().begin(c) / k;
+    const int64_t tile_rows = handle->layout().size(c) / k;
+    ScopedCompSpan span(&ctx.comm->telemetry(), "fused_ag_gemm", ctx.rank);
+    // Per-row GEMMs are independent, so processing sources in ring order
+    // inside an arrival chunk keeps the output bitwise equal to the unfused
+    // collective-then-GEMM sequence.
+    for (int step = 0; step < n; ++step) {
+      const int src = (ctx.rank + step) % n;
+      const int64_t row = static_cast<int64_t>(src) * rows_local + row0;
+      Gemm(false, false, tile_rows, cols, k, 1.0f, gathered.data() + row * k, w.data(),
+           0.0f, y.data() + row * cols);
     }
   }
   return y;
@@ -51,37 +74,38 @@ Tensor FusedGemmReduceScatter(const ShardContext& ctx, const Tensor& x_local,
   const int64_t k_shard = x_local.dim(1);
   const int64_t cols = w_shard.dim(1);
   const int64_t rows_out = rows / n;
+  const int64_t count = rows_out * cols;
 
+  // Producer-gated pipeline: each output-row tile's partial GEMM lands in
+  // the destination-major send buffer, its chunk is signalled, and the comm
+  // thread reduce-scatters it while this thread computes the next tile.
+  std::vector<float> send(static_cast<size_t>(rows) * cols);
   Tensor y_local({rows_out, cols});
-  // Tile along the output-row dimension. Each tile's partial GEMM completes,
-  // then its reduce-scatter is issued — tile communications interleave with
-  // the next tile's computation on a GPU; here the dataflow equivalence is
-  // the contract. Tiles must align with the reduce-scatter chunking, so the
-  // tile unit is rows_out rows split further by row_tile.
-  std::vector<float> partial(static_cast<size_t>(rows) * cols);
-  std::vector<float> tile_out(static_cast<size_t>(row_tile) * cols);
-  for (int64_t tile_begin = 0; tile_begin < rows_out; tile_begin += row_tile) {
-    const int64_t tile_rows = std::min(row_tile, rows_out - tile_begin);
-    // Compute this tile's partial for EVERY destination chunk (the GEMM
-    // covers all rows whose reduce-scatter lands in this tile position).
-    for (int dst = 0; dst < n; ++dst) {
-      const int64_t row0 = static_cast<int64_t>(dst) * rows_out + tile_begin;
-      Gemm(false, false, tile_rows, cols, k_shard, 1.0f, x_local.data() + row0 * k_shard,
-           w_shard.data(), 0.0f, partial.data() + row0 * cols);
+  const int num_chunks = static_cast<int>(CeilDiv(rows_out, row_tile));
+  auto handle = ctx.comm->StartReduceScatter(ctx.rank, send.data(), y_local.data(),
+                                             count, num_chunks, /*quantum=*/cols);
+  for (int c = 0; c < handle->num_chunks(); ++c) {
+    const int64_t begin = handle->layout().begin(c);
+    const int64_t row0 = begin / cols;
+    const int64_t tile_rows = handle->layout().size(c) / cols;
+    {
+      ScopedCompSpan span(&ctx.comm->telemetry(), "fused_gemm_rs", ctx.rank);
+      // This tile's partial for EVERY destination chunk: the rows whose
+      // reduce-scatter lands in this tile position.
+      for (int dst = 0; dst < n; ++dst) {
+        const int64_t src_row = static_cast<int64_t>(dst) * rows_out + row0;
+        Gemm(false, false, tile_rows, cols, k_shard,
+             1.0f, x_local.data() + src_row * k_shard, w_shard.data(), 0.0f,
+             send.data() + static_cast<int64_t>(dst) * count + begin);
+      }
     }
-    // Issue the tile's reduce-scatter: each member contributes its partial
-    // rows for every destination; member dst receives the summed tile.
-    std::vector<float> send(static_cast<size_t>(n) * tile_rows * cols);
-    for (int dst = 0; dst < n; ++dst) {
-      const int64_t row0 = static_cast<int64_t>(dst) * rows_out + tile_begin;
-      std::copy(partial.data() + row0 * cols, partial.data() + (row0 + tile_rows) * cols,
-                send.data() + static_cast<int64_t>(dst) * tile_rows * cols);
-    }
-    tile_out.resize(static_cast<size_t>(tile_rows) * cols);
-    ctx.comm->ReduceScatter(ctx.rank, send.data(), tile_out.data(), tile_rows * cols);
-    std::copy(tile_out.begin(), tile_out.begin() + tile_rows * cols,
-              y_local.data() + tile_begin * cols);
+    handle->SignalChunkReady(c);
   }
+  // Block until every chunk of y_local landed (and retire the comm-thread op
+  // before `send` goes out of scope); on failure the caller observes the
+  // error via GroupStatus().
+  (void)handle->WaitAll();
+  handle.reset();
   return y_local;
 }
 
@@ -96,17 +120,17 @@ Tensor FusedAllGatherScatterGroupedGemm(const ShardContext& ctx, const Tensor& x
   MSMOE_CHECK_EQ(static_cast<int64_t>(token_expert.size()), t_local);
   const int64_t cols = expert_weights[0].dim(1);
 
-  // Exchange tokens and routing chunk by chunk (arrival order = ring from
-  // own rank, matching FusedAllGatherGemm).
+  // Start the (big) token payload streaming on the comm thread first; the
+  // (small) routing gather and the bucket build below overlap with it.
   std::vector<float> x_all(static_cast<size_t>(n) * t_local * h);
-  ctx.comm->AllGather(ctx.rank, x_local.data(), x_all.data(), t_local * h);
+  auto handle = ctx.comm->StartAllGather(ctx.rank, x_local.data(), x_all.data(),
+                                         t_local * h, kDispatchChunks, /*quantum=*/h);
   std::vector<int64_t> expert_all(static_cast<size_t>(n) * t_local);
   ctx.comm->AllGather(ctx.rank, token_expert.data(), expert_all.data(), t_local);
 
-  // Local scatter fused with arrival: as each source chunk lands, append its
-  // rows routed to local experts into per-expert buckets. Iterating sources
-  // in ring order yields rows sorted by (expert, source-arrival) — the §4.2
-  // order that minimizes per-tile dependency count.
+  // Local scatter fused with arrival: iterating sources in ring order yields
+  // rows sorted by (expert, source-arrival) — the §4.2 order that minimizes
+  // per-tile dependency count.
   const int64_t e_first = static_cast<int64_t>(ctx.rank) * experts_per_rank;
   std::vector<std::vector<int64_t>> bucket(static_cast<size_t>(experts_per_rank));
   for (int step = 0; step < n; ++step) {
@@ -127,32 +151,68 @@ Tensor FusedAllGatherScatterGroupedGemm(const ShardContext& ctx, const Tensor& x
   const int64_t total_rows = static_cast<int64_t>(row_token->size());
   Tensor y({total_rows, cols});
 
-  // GroupedGEMM: each expert's GEMM runs once its rows are complete (after
-  // the last chunk that contributes to it — here, bucket-by-bucket). The
-  // output row offsets are fixed up front, so expert groups can split across
-  // the intra-rank worker pool with disjoint output rows.
   std::vector<int64_t> out_begin(static_cast<size_t>(experts_per_rank) + 1, 0);
   for (int64_t e = 0; e < experts_per_rank; ++e) {
     out_begin[static_cast<size_t>(e) + 1] =
         out_begin[static_cast<size_t>(e)] +
         static_cast<int64_t>(bucket[static_cast<size_t>(e)].size());
   }
-  ParallelFor(experts_per_rank, /*grain=*/1, [&](int64_t e0, int64_t e1) {
-    for (int64_t e = e0; e < e1; ++e) {
-      const auto& rows = bucket[static_cast<size_t>(e)];
-      if (rows.empty()) {
-        continue;
-      }
-      Tensor ffn_in({static_cast<int64_t>(rows.size()), h});
-      for (size_t i = 0; i < rows.size(); ++i) {
-        std::copy(x_all.data() + rows[i] * h, x_all.data() + (rows[i] + 1) * h,
-                  ffn_in.data() + static_cast<int64_t>(i) * h);
-      }
-      const Tensor& w = expert_weights[static_cast<size_t>(e_first + e)];
-      Gemm(false, false, static_cast<int64_t>(rows.size()), cols, h, 1.0f, ffn_in.data(),
-           w.data(), 0.0f, y.data() + out_begin[static_cast<size_t>(e)] * cols);
+
+  // An all-gather chunk delivers token rows [begin/h, end/h) of every
+  // source, so an expert's GEMM is unblocked once the chunk holding its
+  // highest local-token row arrived.
+  const int chunks = handle->num_chunks();
+  std::vector<int> token_chunk(static_cast<size_t>(t_local), 0);
+  for (int c = 0; c < chunks; ++c) {
+    for (int64_t t = handle->layout().begin(c) / h; t < handle->layout().end(c) / h;
+         ++t) {
+      token_chunk[static_cast<size_t>(t)] = c;
     }
-  });
+  }
+  std::vector<int> last_chunk(static_cast<size_t>(experts_per_rank), -1);
+  for (int64_t e = 0; e < experts_per_rank; ++e) {
+    for (const int64_t g : bucket[static_cast<size_t>(e)]) {
+      last_chunk[static_cast<size_t>(e)] =
+          std::max(last_chunk[static_cast<size_t>(e)],
+                   token_chunk[static_cast<size_t>(g % t_local)]);
+    }
+  }
+
+  // GroupedGEMM pipeline: as each chunk lands, fire the GEMM of every
+  // expert whose rows just completed — across the intra-rank worker pool,
+  // with disjoint output rows.
+  for (int c = 0; c < chunks; ++c) {
+    if (!handle->WaitChunk(c).ok()) {
+      break;  // the caller observes the failure via GroupStatus()
+    }
+    std::vector<int64_t> ready;
+    for (int64_t e = 0; e < experts_per_rank; ++e) {
+      if (last_chunk[static_cast<size_t>(e)] == c) {
+        ready.push_back(e);
+      }
+    }
+    if (ready.empty()) {
+      continue;
+    }
+    ScopedCompSpan span(&ctx.comm->telemetry(), "fused_grouped_gemm", ctx.rank);
+    ParallelFor(static_cast<int64_t>(ready.size()), /*grain=*/1,
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t i = i0; i < i1; ++i) {
+                    const int64_t e = ready[static_cast<size_t>(i)];
+                    const auto& rows = bucket[static_cast<size_t>(e)];
+                    Tensor ffn_in({static_cast<int64_t>(rows.size()), h});
+                    for (size_t r = 0; r < rows.size(); ++r) {
+                      std::copy(x_all.data() + rows[r] * h,
+                                x_all.data() + (rows[r] + 1) * h,
+                                ffn_in.data() + static_cast<int64_t>(r) * h);
+                    }
+                    const Tensor& w = expert_weights[static_cast<size_t>(e_first + e)];
+                    Gemm(false, false, static_cast<int64_t>(rows.size()), cols, h, 1.0f,
+                         ffn_in.data(), w.data(), 0.0f,
+                         y.data() + out_begin[static_cast<size_t>(e)] * cols);
+                  }
+                });
+  }
   return y;
 }
 

@@ -1,6 +1,7 @@
 #include "src/sim/comm_crosscheck.h"
 
 #include <cstdio>
+#include <map>
 
 namespace msmoe {
 
@@ -74,6 +75,83 @@ double PredictedTimeUs(const CostModel& cost, const CommEvent& event, bool inter
       return 0.0;
   }
   return 0.0;
+}
+
+ChunkCheckReport CrossCheckChunkAggregation(const std::vector<CommEvent>& events) {
+  ChunkCheckReport report;
+  struct Aggregate {
+    CommOp op = CommOp::kBarrier;
+    std::string algorithm;
+    int group_size = 0;
+    int elem_bytes = 0;
+    int chunk_count = 0;
+    int64_t elem_total = 0;
+    uint64_t wire_total = 0;
+    std::vector<int> seen;  // occurrences per chunk index
+  };
+  std::map<int64_t, Aggregate> ops;
+  auto complain = [&report](const Aggregate& agg, int64_t id, const std::string& what) {
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer), "logical op %lld (%s[%s], n=%d): %s",
+                  static_cast<long long>(id), CommOpName(agg.op),
+                  agg.algorithm.c_str(), agg.group_size, what.c_str());
+    report.mismatches.push_back(buffer);
+  };
+  for (const CommEvent& event : events) {
+    if (!event.async_lane || !event.primary) {
+      continue;
+    }
+    ++report.chunk_events;
+    Aggregate& agg = ops[event.logical_op];
+    if (agg.seen.empty()) {
+      agg.op = event.op;
+      agg.algorithm = event.algorithm;
+      agg.group_size = event.group_size;
+      agg.elem_bytes = event.elem_bytes;
+      agg.chunk_count = event.chunk_count;
+      agg.seen.assign(static_cast<size_t>(event.chunk_count), 0);
+    } else if (event.op != agg.op || event.chunk_count != agg.chunk_count) {
+      complain(agg, event.logical_op, "inconsistent op/chunk_count across chunks");
+      continue;
+    }
+    if (event.chunk_index < 0 || event.chunk_index >= agg.chunk_count) {
+      complain(agg, event.logical_op, "chunk index out of range");
+      continue;
+    }
+    ++agg.seen[static_cast<size_t>(event.chunk_index)];
+    agg.elem_total += event.elem_count;
+    agg.wire_total += event.wire_bytes;
+  }
+  for (const auto& [id, agg] : ops) {
+    ++report.logical_ops;
+    for (int c = 0; c < agg.chunk_count; ++c) {
+      if (agg.seen[static_cast<size_t>(c)] != 1) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "chunk %d recorded %d times", c,
+                      agg.seen[static_cast<size_t>(c)]);
+        complain(agg, id, buffer);
+      }
+    }
+    // Rebuild the monolithic event and compare the chunk sum against its
+    // closed-form volume; data-dependent ops (A2AV) have no closed form and
+    // are completeness-checked only.
+    CommEvent whole;
+    whole.op = agg.op;
+    whole.algorithm = agg.algorithm;
+    whole.group_size = agg.group_size;
+    whole.elem_bytes = agg.elem_bytes;
+    whole.elem_count = agg.elem_total;
+    uint64_t expected = 0;
+    if (AnalyticWireBytes(whole, &expected) && expected != agg.wire_total) {
+      char buffer[128];
+      std::snprintf(buffer, sizeof(buffer),
+                    "chunk wire bytes sum to %llu, monolithic closed form is %llu",
+                    static_cast<unsigned long long>(agg.wire_total),
+                    static_cast<unsigned long long>(expected));
+      complain(agg, id, buffer);
+    }
+  }
+  return report;
 }
 
 CommCheckReport CrossCheckCommEvents(const std::vector<CommEvent>& events) {

@@ -42,6 +42,26 @@ struct CommCheckReport {
 // Verifies every event's recorded wire bytes against AnalyticWireBytes.
 CommCheckReport CrossCheckCommEvents(const std::vector<CommEvent>& events);
 
+struct ChunkCheckReport {
+  int64_t logical_ops = 0;    // distinct chunked collectives aggregated
+  int64_t chunk_events = 0;   // per-chunk primary events consumed
+  std::vector<std::string> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+};
+
+// Verifies that the per-chunk events of each chunked (async-lane) logical
+// collective aggregate to exactly the monolithic op's accounting — the
+// AccountOnce no-double-counting invariant:
+//   * every logical op's chunks 0..chunk_count-1 are present exactly once
+//     (no missing or duplicated chunk events);
+//   * for ops with a closed-form volume (ring AG/RS), the SUM of per-chunk
+//     wire bytes equals AnalyticWireBytes of the aggregate element count —
+//     chunking must not inflate or lose a single wire byte;
+//   * for data-dependent ops (all-to-all-v) completeness alone is checked.
+// Only primary (rank 0) events are aggregated, mirroring AccountOnce.
+ChunkCheckReport CrossCheckChunkAggregation(const std::vector<CommEvent>& events);
+
 }  // namespace msmoe
 
 #endif  // MSMOE_SRC_SIM_COMM_CROSSCHECK_H_

@@ -79,23 +79,41 @@ Status WriteChromeTrace(const std::string& path, const std::vector<SimOp>& ops,
 
 std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
                                     const std::string& process_name,
-                                    const StragglerReport* health) {
+                                    const StragglerReport* health,
+                                    const std::vector<CompEvent>* comp_events) {
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\""
       << JsonEscape(process_name) << "\"}}";
   int max_rank = -1;
+  bool any_async = false;
   for (const CommEvent& event : events) {
     max_rank = std::max(max_rank, event.rank);
+    any_async = any_async || event.async_lane;
+  }
+  if (comp_events != nullptr) {
+    for (const CompEvent& event : *comp_events) {
+      max_rank = std::max(max_rank, event.rank);
+    }
   }
   auto flagged = [&](int rank) {
     return health != nullptr && rank < static_cast<int>(health->ranks.size()) &&
            health->ranks[static_cast<size_t>(rank)].straggler;
   };
+  // Two lanes per rank: tid 2r is the rank's main thread (sync collectives
+  // and compute spans), tid 2r+1 the comm-proxy thread driving chunked
+  // async collectives — overlap shows up as simultaneous busy lanes.
+  const auto main_tid = [](int rank) { return 2 * rank; };
+  const auto comm_tid = [](int rank) { return 2 * rank + 1; };
   for (int rank = 0; rank <= max_rank; ++rank) {
-    out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << rank
+    out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << main_tid(rank)
         << ",\"args\":{\"name\":\"rank " << rank
         << (flagged(rank) ? " [STRAGGLER]" : "") << "\"}}";
+    if (any_async) {
+      out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+          << comm_tid(rank) << ",\"args\":{\"name\":\"rank " << rank
+          << " (comm)\"}}";
+    }
   }
   if (health != nullptr) {
     for (const RankHealth& rank_health : health->ranks) {
@@ -108,29 +126,48 @@ std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
                     health->threshold_us);
       out << ",{\"name\":\"" << (rank_health.straggler ? "straggler" : "rank_health")
           << "\",\"cat\":\"health\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
-          << rank_health.rank << ",\"ts\":0" << buffer;
+          << main_tid(rank_health.rank) << ",\"ts\":0" << buffer;
     }
   }
   for (const CommEvent& event : events) {
     char buffer[64];
     out << ",{\"name\":\"" << CommOpName(event.op) << "\",\"cat\":\""
         << JsonEscape(event.algorithm) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
-        << event.rank;
+        << (event.async_lane ? comm_tid(event.rank) : main_tid(event.rank));
     std::snprintf(buffer, sizeof(buffer), ",\"ts\":%.3f,\"dur\":%.3f", event.start_us,
                   event.duration_us);
     out << buffer;
     out << ",\"args\":{\"wire_bytes\":" << event.wire_bytes << ",\"elem_type\":\""
         << JsonEscape(event.elem_type) << "\",\"elem_count\":" << event.elem_count
         << ",\"group_size\":" << event.group_size
-        << ",\"primary\":" << (event.primary ? "true" : "false") << "}}";
+        << ",\"primary\":" << (event.primary ? "true" : "false");
+    if (event.async_lane) {
+      out << ",\"logical_op\":" << event.logical_op
+          << ",\"chunk\":" << event.chunk_index
+          << ",\"chunk_count\":" << event.chunk_count;
+    }
+    out << "}}";
+  }
+  if (comp_events != nullptr) {
+    for (const CompEvent& event : *comp_events) {
+      char buffer[64];
+      out << ",{\"name\":\"" << JsonEscape(event.name)
+          << "\",\"cat\":\"compute\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+          << main_tid(event.rank);
+      std::snprintf(buffer, sizeof(buffer), ",\"ts\":%.3f,\"dur\":%.3f",
+                    event.start_us, event.duration_us);
+      out << buffer << ",\"args\":{}}";
+    }
   }
   out << "]}";
   return out.str();
 }
 
 Status WriteCommTrace(const std::string& path, const std::vector<CommEvent>& events,
-                      const std::string& process_name, const StragglerReport* health) {
-  return WriteString(path, CommEventsToChromeTrace(events, process_name, health));
+                      const std::string& process_name, const StragglerReport* health,
+                      const std::vector<CompEvent>* comp_events) {
+  return WriteString(path,
+                     CommEventsToChromeTrace(events, process_name, health, comp_events));
 }
 
 }  // namespace msmoe

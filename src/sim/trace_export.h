@@ -35,22 +35,31 @@ Status WriteChromeTrace(const std::string& path, const std::vector<SimOp>& ops,
                         const std::string& process_name = "msmoe-sim");
 
 // Serializes recorded Communicator events as the same Chrome trace-event
-// JSON: one thread per rank ("rank N"), event name = op name, category =
-// algorithm, ts/dur in microseconds since the telemetry epoch, args carry
-// wire_bytes / elem_type / elem_count / group_size / primary.
+// JSON: two threads per rank — tid 2r ("rank N") carries the main thread's
+// synchronous collectives and compute spans, tid 2r+1 ("rank N (comm)") the
+// comm-proxy thread's per-chunk async collectives, so comm/compute overlap
+// is directly visible as two simultaneously busy lanes. Event name = op
+// name, category = algorithm, ts/dur in microseconds since the telemetry
+// epoch, args carry wire_bytes / elem_type / elem_count / group_size /
+// primary (async chunks additionally logical_op / chunk / chunk_count).
 //
 // When a StragglerReport (src/comm/health) is supplied, its per-rank health
 // verdicts are embedded in the same trace: flagged ranks are renamed to
 // "rank N [STRAGGLER]" and every rank gets one instant event carrying its
 // mean/max collective-entry lag, so the slow rank is visible on the very
 // timeline it stalled.
+//
+// When comp_events (CommTelemetry::CompEvents()) is supplied, each span is
+// emitted on its rank's main lane under category "compute".
 std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
                                     const std::string& process_name = "msmoe-run",
-                                    const StragglerReport* health = nullptr);
+                                    const StragglerReport* health = nullptr,
+                                    const std::vector<CompEvent>* comp_events = nullptr);
 
 Status WriteCommTrace(const std::string& path, const std::vector<CommEvent>& events,
                       const std::string& process_name = "msmoe-run",
-                      const StragglerReport* health = nullptr);
+                      const StragglerReport* health = nullptr,
+                      const std::vector<CompEvent>* comp_events = nullptr);
 
 }  // namespace msmoe
 

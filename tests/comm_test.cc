@@ -12,7 +12,9 @@
 
 #include "src/base/parallel_for.h"
 #include "src/base/rng.h"
+#include "src/comm/async_comm.h"
 #include "src/comm/collective_group.h"
+#include "src/comm/communicator.h"
 #include "src/comm/hierarchical.h"
 #include "src/numerics/bf16.h"
 
@@ -481,6 +483,242 @@ TEST(RunOnRanksTest, RankFailureStillReleasesThreadsForReuse) {
   std::atomic<int> visits{0};
   RunOnRanks(n, [&](int) { visits.fetch_add(1); });
   EXPECT_EQ(visits.load(), n);
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking chunked collectives (async_comm.h / Communicator::Start*).
+
+TEST(ChunkLayoutTest, SplitsOnQuantumBoundaries) {
+  // 7 rows of 3 elements into 3 chunks: rows split 3/2/2.
+  ChunkLayout layout(21, 3, 3);
+  ASSERT_EQ(layout.num_chunks(), 3);
+  EXPECT_EQ(layout.begin(0), 0);
+  EXPECT_EQ(layout.size(0), 9);
+  EXPECT_EQ(layout.size(1), 6);
+  EXPECT_EQ(layout.size(2), 6);
+  EXPECT_EQ(layout.end(2), 21);
+  // More chunks than rows clamps; zero count yields one empty chunk.
+  EXPECT_EQ(ChunkLayout(6, 100, 3).num_chunks(), 2);
+  EXPECT_EQ(ChunkLayout(0, 4, 1).num_chunks(), 1);
+  EXPECT_EQ(ChunkLayout(0, 4, 1).size(0), 0);
+}
+
+TEST(AsyncCollectiveTest, StartAllGatherMatchesSyncAcrossChunkCounts) {
+  const int n = 4;
+  const int64_t rows = 7, k = 3;  // ragged: 7 rows never split evenly
+  const int64_t count = rows * k;
+  for (const int chunks : {1, 2, 3, 5, 16}) {
+    FlatCommunicator comm(n);
+    std::vector<std::vector<float>> sync_out(n), async_out(n);
+    RunOnRanks(n, [&](int rank) {
+      std::vector<float> send(static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) {
+        send[static_cast<size_t>(i)] = static_cast<float>(rank * 1000 + i);
+      }
+      std::vector<float> expect(static_cast<size_t>(n) * count);
+      comm.AllGather(rank, send.data(), expect.data(), count);
+      std::vector<float> got(static_cast<size_t>(n) * count, -1.0f);
+      auto handle = comm.StartAllGather(rank, send.data(), got.data(), count, chunks,
+                                        /*quantum=*/k);
+      // Consume out of order: odd ranks wait back to front.
+      for (int c = 0; c < handle->num_chunks(); ++c) {
+        const int wait = rank % 2 == 0 ? c : handle->num_chunks() - 1 - c;
+        ASSERT_TRUE(handle->WaitChunk(wait).ok());
+      }
+      EXPECT_TRUE(handle->WaitAll().ok());
+      sync_out[static_cast<size_t>(rank)] = std::move(expect);
+      async_out[static_cast<size_t>(rank)] = std::move(got);
+    });
+    for (int rank = 0; rank < n; ++rank) {
+      EXPECT_EQ(sync_out[static_cast<size_t>(rank)], async_out[static_cast<size_t>(rank)])
+          << "chunks=" << chunks << " rank=" << rank;
+    }
+  }
+}
+
+TEST(AsyncCollectiveTest, StartReduceScatterBitwiseMatchesSync) {
+  const int n = 4;
+  const int64_t count = 10;  // per-member output elements
+  for (const int chunks : {1, 3, 10}) {
+    FlatCommunicator comm(n);
+    RunOnRanks(n, [&](int rank) {
+      std::vector<float> send(static_cast<size_t>(n) * count);
+      for (size_t i = 0; i < send.size(); ++i) {
+        send[i] = 0.25f * static_cast<float>(rank + 1) * static_cast<float>(i % 13) -
+                  static_cast<float>(rank);
+      }
+      std::vector<float> expect(static_cast<size_t>(count));
+      comm.ReduceScatter(rank, send.data(), expect.data(), count);
+      std::vector<float> got(static_cast<size_t>(count), -1.0f);
+      auto handle = comm.StartReduceScatter(rank, send.data(), got.data(), count, chunks);
+      // Signal producer chunks in REVERSE order: the comm thread still
+      // consumes them in index order.
+      for (int c = handle->num_chunks() - 1; c >= 0; --c) {
+        handle->SignalChunkReady(c);
+      }
+      ASSERT_TRUE(handle->WaitAll().ok());
+      // Bitwise: the group's rank-ordered double sum per element does not
+      // depend on how the element range was segmented.
+      for (int64_t i = 0; i < count; ++i) {
+        EXPECT_EQ(expect[static_cast<size_t>(i)], got[static_cast<size_t>(i)])
+            << "chunks=" << chunks << " rank=" << rank << " i=" << i;
+      }
+    });
+  }
+}
+
+TEST(AsyncCollectiveTest, StartAllToAllVMatchesSyncWithRaggedCounts) {
+  const int n = 4;
+  for (const int chunks : {1, 2, 5}) {
+    FlatCommunicator comm(n);
+    RunOnRanks(n, [&](int rank) {
+      // Ragged, rank-dependent counts including zeros.
+      std::vector<int64_t> send_counts(static_cast<size_t>(n));
+      int64_t total = 0;
+      for (int dst = 0; dst < n; ++dst) {
+        send_counts[static_cast<size_t>(dst)] = (rank + dst) % 3 == 0 ? 0 : rank + 2 * dst + 1;
+        total += send_counts[static_cast<size_t>(dst)];
+      }
+      std::vector<int32_t> send(static_cast<size_t>(total));
+      for (int64_t i = 0; i < total; ++i) {
+        send[static_cast<size_t>(i)] = rank * 100000 + static_cast<int32_t>(i);
+      }
+      std::vector<int32_t> expect(static_cast<size_t>(n) * 64);
+      std::vector<int64_t> expect_counts;
+      comm.AllToAllV(rank, send.data(), send_counts, expect.data(), &expect_counts);
+      std::vector<int32_t> got;
+      auto handle = comm.StartAllToAllV(rank, send.data(), send_counts, &got, chunks);
+      ASSERT_TRUE(handle->WaitAll().ok());
+      ASSERT_EQ(handle->recv_counts(), expect_counts) << "chunks=" << chunks;
+      int64_t received = 0;
+      for (const int64_t c : expect_counts) {
+        received += c;
+      }
+      ASSERT_EQ(static_cast<int64_t>(got.size()), received);
+      for (int64_t i = 0; i < received; ++i) {
+        EXPECT_EQ(got[static_cast<size_t>(i)], expect[static_cast<size_t>(i)])
+            << "chunks=" << chunks << " rank=" << rank << " i=" << i;
+      }
+    });
+  }
+}
+
+// Two handles in flight at once: FIFO comm threads keep the async channel's
+// rendezvous paired up as long as every rank issues the same Start order.
+TEST(AsyncCollectiveTest, TwoInFlightHandlesCompleteInIssueOrder) {
+  const int n = 3;
+  const int64_t count = 12;
+  FlatCommunicator comm(n);
+  RunOnRanks(n, [&](int rank) {
+    std::vector<float> a_send(static_cast<size_t>(count), static_cast<float>(rank));
+    std::vector<float> a_recv(static_cast<size_t>(n) * count);
+    std::vector<float> b_send(static_cast<size_t>(n) * count, 1.0f + static_cast<float>(rank));
+    std::vector<float> b_recv(static_cast<size_t>(count));
+    auto ag = comm.StartAllGather(rank, a_send.data(), a_recv.data(), count, 3);
+    auto rs = comm.StartReduceScatter(rank, b_send.data(), b_recv.data(), count, 2);
+    for (int c = 0; c < rs->num_chunks(); ++c) {
+      rs->SignalChunkReady(c);
+    }
+    ASSERT_TRUE(rs->WaitAll().ok());
+    ASSERT_TRUE(ag->WaitAll().ok());
+    for (int src = 0; src < n; ++src) {
+      EXPECT_EQ(a_recv[static_cast<size_t>(src) * count], static_cast<float>(src));
+    }
+    // Sum over ranks of (1 + rank) = n + n(n-1)/2.
+    EXPECT_EQ(b_recv[0], static_cast<float>(n + n * (n - 1) / 2));
+  });
+}
+
+// The per-chunk AccountOnce volumes of one logical op must sum to exactly
+// the monolithic op's volume — chunking must not double count.
+TEST(AsyncCollectiveTest, ChunkedWireBytesEqualMonolithic) {
+  const int n = 4;
+  const int64_t count = 36;
+  FlatCommunicator mono(n), chunked(n);
+  RunOnRanks(n, [&](int rank) {
+    std::vector<float> send(static_cast<size_t>(count), 1.0f);
+    std::vector<float> recv(static_cast<size_t>(n) * count);
+    mono.AllGather(rank, send.data(), recv.data(), count);
+    auto handle = chunked.StartAllGather(rank, send.data(), recv.data(), count, 5);
+    ASSERT_TRUE(handle->WaitAll().ok());
+  });
+  EXPECT_EQ(mono.wire_bytes(), chunked.wire_bytes());
+  EXPECT_EQ(mono.telemetry().TotalWireBytes(), chunked.telemetry().TotalWireBytes());
+}
+
+// Hammer WaitChunk out of order from every rank while ops queue back to
+// back — the TSan target for the chunk-readiness rendezvous.
+TEST(AsyncCollectiveTest, WaitChunkOutOfOrderStress) {
+  const int n = 4;
+  const int64_t count = 24;
+  const int iters = 25;
+  FlatCommunicator comm(n);
+  RunOnRanks(n, [&](int rank) {
+    Rng rng(0x5eedu + static_cast<uint64_t>(rank));
+    std::vector<float> send(static_cast<size_t>(count));
+    std::vector<float> recv(static_cast<size_t>(n) * count);
+    for (int iter = 0; iter < iters; ++iter) {
+      for (int64_t i = 0; i < count; ++i) {
+        send[static_cast<size_t>(i)] = static_cast<float>(rank * 31 + iter * 7 + i);
+      }
+      const int chunks = 1 + iter % 6;
+      auto handle = comm.StartAllGather(rank, send.data(), recv.data(), count, chunks);
+      // Random per-rank wait order over the chunk indices.
+      std::vector<int> order(static_cast<size_t>(handle->num_chunks()));
+      std::iota(order.begin(), order.end(), 0);
+      for (size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[static_cast<size_t>(rng.NextU64() % i)]);
+      }
+      for (const int c : order) {
+        ASSERT_TRUE(handle->WaitChunk(c).ok());
+        const int64_t b = handle->layout().begin(c);
+        for (int src = 0; src < n; ++src) {
+          EXPECT_EQ(recv[static_cast<size_t>(src * count + b)],
+                    static_cast<float>(src * 31 + iter * 7 + b));
+        }
+      }
+      ASSERT_TRUE(handle->WaitAll().ok());
+    }
+  });
+}
+
+// The emulated wire clock turns analytic volume into measurable blocking
+// time, and an abort cuts the sleep short instead of serving it out.
+TEST(AsyncCollectiveTest, WireModelAddsAbortableBlockingTime) {
+  const int n = 2;
+  const int64_t count = 1000;
+  FlatCommunicator comm(n);
+  // 1 byte/us would sleep (n-1)*4000 us; measure one all-gather.
+  comm.SetWireModel(/*bytes_per_us=*/1000.0, /*latency_us=*/100.0);
+  const double wire_us =
+      comm.group().WireTimeUs(static_cast<uint64_t>((n - 1) * count * 4));
+  const auto t0 = std::chrono::steady_clock::now();
+  RunOnRanks(n, [&](int rank) {
+    std::vector<float> send(static_cast<size_t>(count), 1.0f);
+    std::vector<float> recv(static_cast<size_t>(n) * count);
+    comm.AllGather(rank, send.data(), recv.data(), count);
+  });
+  const double elapsed_us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed_us, wire_us);
+  // Abort mid-sleep: a 50 ms wire must not be served out once cancelled.
+  FlatCommunicator slow(n);
+  slow.SetWireModel(/*bytes_per_us=*/0.08, /*latency_us=*/0.0);  // 4k bytes -> 50 ms
+  const auto t1 = std::chrono::steady_clock::now();
+  RunOnRanks(n, [&](int rank) {
+    std::vector<float> send(static_cast<size_t>(count), 1.0f);
+    std::vector<float> recv(static_cast<size_t>(n) * count);
+    if (rank == 0) {
+      slow.Abort(Aborted("test abort"));
+    }
+    slow.AllGather(rank, send.data(), recv.data(), count);
+  });
+  const double abort_us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t1)
+          .count();
+  EXPECT_LT(abort_us, 40000.0);
+  EXPECT_FALSE(slow.GroupStatus().ok());
 }
 
 // Rank threads are exactly the "concurrent external callers" case of the

@@ -252,6 +252,121 @@ TEST(CommunicatorFaultTest, HierarchicalBackendAbortsEveryConstituentGroup) {
   }
 }
 
+// --- Async chunked collective faults ----------------------------------------
+
+TEST(AsyncCommFaultTest, CrashMidPipelineSurfacesFromWaitAllOnEveryRank) {
+  const int n = 4;
+  const int64_t count = 24;
+  FlatCommunicator comm(n);
+  comm.SetCollectiveTimeout(10000.0);  // backstop: never a hang
+  FaultPlan plan(7);
+  plan.AddCrash(/*rank=*/2, /*at_op=*/0);
+  comm.set_fault_plan(&plan);
+
+  std::vector<Status> statuses(static_cast<size_t>(n));
+  const auto start = Clock::now();
+  RunOnRanks(n, [&](int rank) {
+    std::vector<float> send(static_cast<size_t>(count), static_cast<float>(rank));
+    std::vector<float> recv(static_cast<size_t>(n) * count, -1.0f);
+    // Rank 2 "dies" issuing this op: every peer's comm thread is already
+    // committed to the chunk rendezvous, and every rank's WaitAll must
+    // report the same sticky abort instead of hanging.
+    auto handle = comm.StartAllGather(rank, send.data(), recv.data(), count, 4);
+    statuses[static_cast<size_t>(rank)] = handle->WaitAll();
+    comm.RecoveryBarrier(rank);
+    // The comm-proxy thread and async channel survive recovery: a fresh
+    // chunked op on the same communicator runs to completion.
+    auto clean = comm.StartAllGather(rank, send.data(), recv.data(), count, 3);
+    ASSERT_TRUE(clean->WaitAll().ok());
+    for (int src = 0; src < n; ++src) {
+      EXPECT_EQ(recv[static_cast<size_t>(src) * count], static_cast<float>(src));
+    }
+  });
+  EXPECT_LT(ElapsedMs(start), 60000.0);
+  for (const Status& status : statuses) {
+    EXPECT_EQ(status.code(), StatusCode::kAborted);
+    EXPECT_NE(status.message().find("rank 2"), std::string::npos);
+  }
+  EXPECT_TRUE(comm.GroupStatus().ok());
+  EXPECT_EQ(plan.crashes_fired(), 1);
+}
+
+TEST(AsyncCommFaultTest, DroppedProducerHandleAbortsWithoutHangingOrLeaking) {
+  const int n = 4;
+  const int64_t count = 16;
+  FlatCommunicator comm(n);
+  comm.SetCollectiveTimeout(10000.0);
+  std::vector<Status> statuses(static_cast<size_t>(n));
+  const auto start = Clock::now();
+  RunOnRanks(n, [&](int rank) {
+    std::vector<float> send(static_cast<size_t>(n) * count, 1.0f);
+    std::vector<float> recv(static_cast<size_t>(count), 0.0f);
+    {
+      // Producer-gated reduce-scatter, abandoned mid-pipeline: chunk 0 is
+      // signalled and flows, chunks 1+ never get their inputs. Destroying
+      // the handle must cancel the op and abort the channel so every peer's
+      // comm thread unwinds out of its rendezvous instead of deadlocking.
+      auto rs = comm.StartReduceScatter(rank, send.data(), recv.data(), count, 4);
+      rs->SignalChunkReady(0);
+    }  // dtor: cancel + abort + wait for the comm thread to retire the op
+    statuses[static_cast<size_t>(rank)] = comm.GroupStatus();
+    comm.RecoveryBarrier(rank);
+    // Post-recovery the same comm-proxy thread drives a clean chunked op.
+    auto rs = comm.StartReduceScatter(rank, send.data(), recv.data(), count, 2);
+    for (int c = 0; c < rs->num_chunks(); ++c) {
+      rs->SignalChunkReady(c);
+    }
+    ASSERT_TRUE(rs->WaitAll().ok());
+    EXPECT_EQ(recv[0], static_cast<float>(n));
+  });
+  EXPECT_LT(ElapsedMs(start), 60000.0);
+  for (const Status& status : statuses) {
+    EXPECT_FALSE(status.ok()) << "abandoned pipeline must poison the channel";
+  }
+  EXPECT_TRUE(comm.GroupStatus().ok());
+}
+
+TEST(AsyncCommFaultTest, BitFlipThroughChunkedOpCorruptsExactlyOneBit) {
+  const int n = 2;
+  const int64_t count = 20;
+  FlatCommunicator clean(n), faulty(n);
+  FaultPlan plan(13);
+  plan.AddBitFlip(/*rank=*/1, /*at_op=*/0);
+  faulty.set_fault_plan(&plan);
+
+  std::vector<std::vector<float>> clean_out(static_cast<size_t>(n)),
+      faulty_out(static_cast<size_t>(n));
+  RunOnRanks(n, [&](int rank) {
+    std::vector<float> send(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      send[static_cast<size_t>(i)] = static_cast<float>(rank * 100 + i);
+    }
+    std::vector<float> a(static_cast<size_t>(n) * count), b(static_cast<size_t>(n) * count);
+    auto ch = clean.StartAllGather(rank, send.data(), a.data(), count, 3);
+    ASSERT_TRUE(ch->WaitAll().ok());
+    auto fh = faulty.StartAllGather(rank, send.data(), b.data(), count, 3);
+    ASSERT_TRUE(fh->WaitAll().ok());
+    clean_out[static_cast<size_t>(rank)] = std::move(a);
+    faulty_out[static_cast<size_t>(rank)] = std::move(b);
+  });
+
+  // The injected flip hits rank 1's receive path only, and exactly one bit.
+  EXPECT_EQ(clean_out[0], faulty_out[0]);
+  int differing_bits = 0;
+  for (size_t i = 0; i < clean_out[1].size(); ++i) {
+    uint32_t x, y;
+    std::memcpy(&x, &clean_out[1][i], sizeof(x));
+    std::memcpy(&y, &faulty_out[1][i], sizeof(y));
+    uint32_t diff = x ^ y;
+    while (diff != 0) {
+      differing_bits += static_cast<int>(diff & 1u);
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(differing_bits, 1);
+  EXPECT_EQ(plan.bit_flips_fired(), 1);
+}
+
 // --- Straggler detection ----------------------------------------------------
 
 std::vector<CommEvent> SyntheticEvents(int ranks, int collectives, int slow_rank,

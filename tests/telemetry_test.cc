@@ -218,6 +218,41 @@ TEST(CommTelemetryTest, MakeCommunicatorSelectsBackend) {
             nullptr);
 }
 
+TEST(CommTelemetryTest, ChunkedOpsAggregateToMonolithicAccounting) {
+  // The async lane's per-chunk events must reassemble into exactly the
+  // monolithic op's accounting: every chunk present once, and the summed
+  // per-chunk wire bytes equal to the closed-form volume of the aggregate
+  // element count (the AccountOnce no-double-counting invariant).
+  const int n = 4;
+  const int64_t count = 36;
+  const int ag_chunks = 5;
+  const int rs_chunks = 3;
+  FlatCommunicator comm(n);
+  RunOnRanks(n, [&](int rank) {
+    std::vector<float> send(static_cast<size_t>(n) * count,
+                            static_cast<float>(rank + 1));
+    std::vector<float> gathered(static_cast<size_t>(n) * count);
+    std::vector<float> reduced(static_cast<size_t>(count));
+    auto ag = comm.StartAllGather(rank, send.data(), gathered.data(), count, ag_chunks);
+    ASSERT_TRUE(ag->WaitAll().ok());
+    auto rs = comm.StartReduceScatter(rank, send.data(), reduced.data(), count,
+                                      rs_chunks);
+    for (int c = 0; c < rs->num_chunks(); ++c) {
+      rs->SignalChunkReady(c);
+    }
+    ASSERT_TRUE(rs->WaitAll().ok());
+  });
+
+  const std::vector<CommEvent> events = comm.telemetry().Events();
+  const ChunkCheckReport report = CrossCheckChunkAggregation(events);
+  EXPECT_EQ(report.logical_ops, 2);
+  EXPECT_EQ(report.chunk_events, ag_chunks + rs_chunks);  // primary lane only
+  EXPECT_TRUE(report.ok()) << (report.mismatches.empty() ? ""
+                                                         : report.mismatches[0]);
+  // And the telemetry total equals the backend's own wire accounting.
+  EXPECT_EQ(comm.telemetry().TotalWireBytes(), comm.wire_bytes());
+}
+
 TEST(CommTelemetryTest, CapacityBoundsEventGrowth) {
   FlatCommunicator comm(2);
   comm.telemetry().set_capacity(4);

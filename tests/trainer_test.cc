@@ -138,6 +138,35 @@ TEST(CommBackendTest, HierarchicalBackendMatchesFlatTrajectory) {
   }
 }
 
+TEST(GradSyncOverlapTest, OverlappedTrajectoryBitIdenticalToSynchronous) {
+  // §5 inter-op overlap: moving each layer's gradient reduce-scatter onto
+  // the comm-proxy thread (mid-backward) must not change a single bit of
+  // the loss curve — per-element ring reductions are segmentation- and
+  // timing-independent.
+  NumericTrainConfig synchronous = SmallConfig();
+  NumericTrainConfig overlapped = synchronous;
+  overlapped.overlap_grad_sync = true;
+  const TrainCurve a = TrainLm(synchronous);
+  const TrainCurve b = TrainLm(overlapped);
+  ASSERT_EQ(a.loss.size(), b.loss.size());
+  for (size_t i = 0; i < a.loss.size(); ++i) {
+    EXPECT_EQ(a.loss[i], b.loss[i]) << i;
+  }
+}
+
+TEST(GradSyncOverlapTest, ChunkCountDoesNotChangeTheTrajectory) {
+  NumericTrainConfig two = SmallConfig();
+  two.overlap_grad_sync = true;
+  NumericTrainConfig four = two;
+  four.overlap_grad_chunks = 4;
+  const TrainCurve a = TrainLm(two);
+  const TrainCurve b = TrainLm(four);
+  ASSERT_EQ(a.loss.size(), b.loss.size());
+  for (size_t i = 0; i < a.loss.size(); ++i) {
+    EXPECT_EQ(a.loss[i], b.loss[i]) << i;
+  }
+}
+
 TEST(GradAccumulationTest, LossRecordedAndConverges) {
   NumericTrainConfig config = SmallConfig();
   config.grad_accum_steps = 3;
