@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "src/base/logging.h"
 #include "src/base/rng.h"
@@ -128,6 +129,8 @@ ScheduleSearchResult SearchSchedule(const std::vector<SimOp>& ops,
 
   result.best_makespan_us = best;
   result.best_ops = Materialize(ops, best_order, best_streams);
+  result.best_order = std::move(best_order);
+  result.best_streams = std::move(best_streams);
   return result;
 }
 

@@ -35,6 +35,13 @@ struct ScheduleSearchResult {
   int moves_accepted = 0;
   // The winning schedule, with deps renumbered, runnable via ExecuteGraph.
   std::vector<SimOp> best_ops;
+  // The same winning schedule in the INPUT index space: best_order is a
+  // permutation of [0, ops.size()) and best_streams[i] is the stream of
+  // input op i — the form ExecGraph::ExecuteSchedule takes, so a searched
+  // schedule can drive real execution (bench_ablation_scheduler's measured
+  // mode).
+  std::vector<int> best_order;
+  std::vector<int> best_streams;
 };
 
 // Searches for a schedule of `ops` minimizing the simulated makespan. Op

@@ -1,0 +1,141 @@
+// Runtime task-graph executor — the real-execution twin of sim/graph.h.
+//
+// The simulator schedules SimOps on virtual streams; this module executes
+// the SAME graph shape for real on the thread-rank substrate, mirroring the
+// CUDA stream+event model op for op:
+//
+//   * ops carry `stream` and `deps` exactly like SimOp; stream 0 is the
+//     compute FIFO and runs on the CALLING rank thread (so compute closures
+//     keep the rank thread's identity — ParallelFor sharding, collective
+//     membership, async_seq ordering all behave as in eager code);
+//   * streams >= 1 are communication streams, each a PooledThread running
+//     its ops FIFO in schedule order — these ops drive async_comm handles
+//     (WaitChunk / SignalChunkReady / WaitAll);
+//   * cross-stream deps are event waits: an op blocks until every dep
+//     (identified by DECLARED index) has completed, wherever it ran.
+//
+// Because the schedule — op order plus stream assignment — is plain data,
+// a SearchSchedule result from src/core/auto_scheduler can drive real
+// execution through ExecuteSchedule, and ToSimOps() hands the same graph to
+// the discrete-event simulator for prediction / search.
+//
+// Recording convention (why any valid schedule is safe): Communicator::
+// Start* calls are issued at graph-RECORD time on the rank's main thread in
+// declaration order — never from graph ops — so the per-rank async_seq
+// FIFO contract of async_comm.h holds for every schedule. Graph ops only
+// wait, signal, and compute; every blocking relationship between ops is
+// expressed as a dep (a producer-gated WaitAll depends on all its signal
+// ops; chunk waits are chained in wire-completion order), so every
+// dependency-respecting order terminates.
+//
+// Fault semantics (PR 2/4 preserved): an op closure returning a non-OK
+// Status aborts the graph — dependents and all not-yet-started ops are
+// skipped, streams unwind, and the sticky first error is returned in
+// ExecResult::status. A closure that throws (MSMOE_CHECK on a rank thread)
+// likewise aborts the graph; the exception is rethrown on the calling
+// thread once every stream has drained, so CHECK failures surface exactly
+// as they do in eager code.
+//
+// Determinism: compute ops all live on stream 0 and execute one at a time
+// on the caller, in schedule order; closures write disjoint outputs and
+// keep k-ascending accumulation, so every valid schedule is bitwise
+// identical to the eager sequence (asserted by tests/property_test.cc).
+#ifndef MSMOE_SRC_CORE_EXEC_GRAPH_H_
+#define MSMOE_SRC_CORE_EXEC_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sim/graph.h"
+
+namespace msmoe {
+
+struct ExecOp {
+  std::string name;
+  int stream = 0;                // 0 = compute FIFO (caller thread)
+  bool is_comm = false;
+  std::vector<int> deps;         // DECLARED indices of earlier ops
+  std::string category;          // "gemm", "comm", ... (trace color)
+  double cost_us = 0.0;          // modeled duration for ToSimOps / search
+  std::function<Status()> fn;    // null = pure dependency marker
+};
+
+struct ExecOpTiming {
+  double start_us = 0.0;  // relative to Execute() entry
+  double end_us = 0.0;
+};
+
+struct ExecResult {
+  Status status;                      // sticky first error (OK if clean)
+  double makespan_us = 0.0;           // wall time, first start to last end
+  std::vector<ExecOpTiming> timings;  // indexed by DECLARED op index
+  std::vector<int> order;             // executed order (declared indices)
+  std::vector<int> streams;           // executed stream per declared op
+};
+
+// Returns OK iff (order, streams) is a runnable schedule of `ops`:
+// `order` is a permutation of [0, ops.size()), every op's deps appear
+// earlier in `order`, compute ops stay on stream 0, and every stream id is
+// in [0, num_streams).
+Status ValidateSchedule(const std::vector<ExecOp>& ops, const std::vector<int>& order,
+                        const std::vector<int>& streams, int num_streams);
+
+// Seeded dependency-respecting random schedule: a uniform random
+// topological order plus a random stream assignment (comm ops draw from
+// [0, num_streams), compute ops stay on 0). Deterministic in
+// (ops shape, seed, num_streams) — ranks passing the same seed agree.
+void RandomSchedule(const std::vector<ExecOp>& ops, uint64_t seed, int num_streams,
+                    std::vector<int>* order, std::vector<int>* streams);
+
+class ExecGraph {
+ public:
+  // Appends an op; deps must reference earlier indices. Returns the op's
+  // declared index (the id used in later deps).
+  int Add(ExecOp op);
+
+  // Convenience recorders.
+  int AddCompute(std::string name, std::function<Status()> fn,
+                 std::vector<int> deps = {}, std::string category = "gemm");
+  int AddComm(std::string name, int stream, std::function<Status()> fn,
+              std::vector<int> deps = {}, std::string category = "comm");
+
+  int size() const { return static_cast<int>(ops_.size()); }
+  const std::vector<ExecOp>& ops() const { return ops_; }
+
+  // Sets the modeled duration used by ToSimOps (schedule search input).
+  void SetCost(int index, double cost_us);
+
+  // Runs the graph with the declared schedule (declaration order, declared
+  // streams). CHECK-fails if a declared stream is outside [0, num_streams).
+  ExecResult Execute(int num_streams);
+
+  // Runs the graph under an explicit schedule. An invalid schedule returns
+  // its ValidateSchedule error without executing anything.
+  ExecResult ExecuteSchedule(const std::vector<int>& order,
+                             const std::vector<int>& streams, int num_streams);
+
+  // The graph as discrete-event input: one SimOp per op, same name /
+  // stream / deps / category, duration = cost_us.
+  std::vector<SimOp> ToSimOps() const;
+
+ private:
+  ExecResult Run(const std::vector<int>& order, const std::vector<int>& streams,
+                 int num_streams);
+
+  std::vector<ExecOp> ops_;
+};
+
+// Converts a measured execution into (SimOp, GraphResult) form so the
+// existing trace_export renders the REAL timeline with the same streams-as-
+// threads visualization as the simulated one: op durations come from the
+// measured timings, streams from the executed assignment. Ops that never
+// ran (aborted schedule) get zero-length spans at time 0.
+void MeasuredTimeline(const ExecGraph& graph, const ExecResult& result,
+                      std::vector<SimOp>* ops, GraphResult* sim);
+
+}  // namespace msmoe
+
+#endif  // MSMOE_SRC_CORE_EXEC_GRAPH_H_

@@ -7,6 +7,7 @@
 #include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/comm/communicator.h"
+#include "src/core/exec_graph.h"
 #include "src/model/checkpoint.h"
 #include "src/model/flat_adam.h"
 #include "src/numerics/bf16.h"
@@ -147,7 +148,19 @@ void LoadParams(LmParams& params, const std::vector<float>& blob) {
 
 }  // namespace
 
+Status ValidateNumericTrainConfig(const NumericTrainConfig& config) {
+  if (config.overlap_grad_sync && config.zero_shard_optimizer) {
+    return InvalidArgument(
+        "overlap_grad_sync is incompatible with zero_shard_optimizer: ZeRO-1 "
+        "reduces one flat gradient buffer after the full backward and has no "
+        "per-layer segments to overlap; disable one of the two");
+  }
+  return Status::Ok();
+}
+
 TrainCurve TrainLm(const NumericTrainConfig& config) {
+  const Status config_status = ValidateNumericTrainConfig(config);
+  MSMOE_CHECK(config_status.ok()) << config_status.ToString();
   const int dp = config.dp_size;
   MSMOE_CHECK_GE(dp, 1);
   std::unique_ptr<Communicator> comm =
@@ -197,10 +210,12 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
 
     // §5 inter-op overlap (see NumericTrainConfig::overlap_grad_sync): each
     // layer's gradients reduce-scatter on the comm thread while the earlier
-    // layers are still in backward. Restricted to the shapes where the
-    // result is provably bitwise identical to the synchronous path; fault
-    // replay keeps the synchronous op sequence.
-    const bool overlap_sync = config.overlap_grad_sync && !config.zero_shard_optimizer &&
+    // layers are still in backward, with the whole step recorded as an
+    // ExecGraph. Restricted to the shapes where the result is provably
+    // bitwise identical to the synchronous path; fault replay keeps the
+    // synchronous op sequence. (overlap + ZeRO was rejected loudly by
+    // ValidateNumericTrainConfig above.)
+    const bool overlap_sync = config.overlap_grad_sync &&
                               config.grad_sync == GradSyncMode::kFp32ReduceScatter &&
                               config.grad_accum_steps <= 1 && !fault_aware;
     struct GradSegment {
@@ -251,52 +266,151 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       LmParams grads = LmParams::ZerosLike(config.model);
       LmStepStats stats;
       const int64_t accum = std::max<int64_t>(1, config.grad_accum_steps);
-      // Overlap path: as each layer's backward finishes, flatten its (final,
-      // accum == 1) gradients into the segment buffer and start the
-      // reduce-scatter on the comm thread.
-      LayerGradCallback on_layer_grads = nullptr;
+      const auto run_micro_batches = [&](const LayerGradCallback& on_layer_grads) {
+        for (int64_t micro = 0; micro < accum; ++micro) {
+          std::vector<int64_t> inputs;
+          std::vector<int64_t> targets;
+          MakeTrainingBatch(config.model, config.seed, step * accum + micro, rank,
+                            config.batch_per_rank, &inputs, &targets);
+          const LmStepStats micro_stats =
+              LmForwardBackward(compute, config.model, config.router, inputs, targets,
+                                config.batch_per_rank, &grads, activation_transform,
+                                on_layer_grads);
+          stats.ce_loss += micro_stats.ce_loss / static_cast<double>(accum);
+          stats.aux_loss += micro_stats.aux_loss / static_cast<double>(accum);
+        }
+        if (accum > 1) {
+          grads.Scale(1.0f / static_cast<float>(accum));
+        }
+      };
+
       if (overlap_sync) {
-        on_layer_grads = [&](int64_t l) {
+        // The overlapped step, recorded as a two-stream graph on the runtime
+        // executor. Every segment's producer-gated reduce-scatter is
+        // registered HERE, at record time on the rank's main thread — issue
+        // order (backward production order: layer L-1 .. 0, then the tail)
+        // is therefore identical on every rank no matter how the graph is
+        // scheduled. The ops only signal, wait, and compute.
+        for (int64_t l = config.model.num_layers - 1; l >= 0; --l) {
           GradSegment& seg = segments[static_cast<size_t>(l)];
+          seg.handle =
+              StartGradShardSync(group, rank, seg.send.data(), seg.padded,
+                                 seg.shard.data(), config.overlap_grad_chunks,
+                                 /*signal_now=*/false);
+        }
+        GradSegment& tail = segments.back();
+        tail.handle = StartGradShardSync(group, rank, tail.send.data(), tail.padded,
+                                         tail.shard.data(), config.overlap_grad_chunks,
+                                         /*signal_now=*/false);
+
+        ExecGraph graph;
+        const int fwd_bwd = graph.AddCompute("fwd_bwd", [&] {
+          // As each layer's backward finishes, flatten its (final,
+          // accum == 1) gradients into the segment buffer and release the
+          // in-flight reduce-scatter; the transfer streams on the comm-proxy
+          // thread while the remaining layers run backward.
+          LayerGradCallback on_layer_grads = [&](int64_t l) {
+            GradSegment& seg = segments[static_cast<size_t>(l)];
+            size_t cur = 0;
+            grads.layers[static_cast<size_t>(l)].ForEachConst(
+                [&](const std::string&, const Tensor& tensor) {
+                  for (int64_t i = 0; i < tensor.numel(); ++i) {
+                    seg.send[cur++] = tensor[i];
+                  }
+                });
+            std::fill(seg.send.begin() + static_cast<int64_t>(cur), seg.send.end(),
+                      0.0f);
+            SignalGradSegmentReady(*seg.handle);
+          };
+          run_micro_batches(on_layer_grads);
+          // Tail segment (embedding + final_gain + lm_head) becomes final
+          // only once backward reaches the embedding.
+          GradSegment& t = segments.back();
           size_t cur = 0;
-          grads.layers[static_cast<size_t>(l)].ForEachConst(
-              [&](const std::string&, const Tensor& tensor) {
+          const auto pack = [&](const Tensor& tensor) {
+            for (int64_t i = 0; i < tensor.numel(); ++i) {
+              t.send[cur++] = tensor[i];
+            }
+          };
+          pack(grads.embedding);
+          pack(grads.final_gain);
+          pack(grads.lm_head);
+          std::fill(t.send.begin() + static_cast<int64_t>(cur), t.send.end(), 0.0f);
+          SignalGradSegmentReady(*t.handle);
+          return Status::Ok();
+        });
+        // Per segment: rendezvous with the reduced shard on the comm stream,
+        // then all-gather the summed segment. The all-gathers are blocking
+        // collectives, so they live on stream 0 — the caller's FIFO — where
+        // the declared order keeps their issue order identical on every
+        // rank. The waits depend on fwd_bwd so an aborted step skips them
+        // and the handle destructors cancel the unsignalled transfers.
+        std::vector<int> gathers;
+        for (size_t s = 0; s < segments.size(); ++s) {
+          GradSegment* seg = &segments[s];
+          const int wait = graph.AddComm(
+              "grad_rs_wait[" + std::to_string(s) + "]", /*stream=*/1,
+              [seg] { return seg->handle->WaitAll(); }, {fwd_bwd});
+          gathers.push_back(graph.AddComm(
+              "param_ag[" + std::to_string(s) + "]", /*stream=*/0,
+              [&, seg] {
+                group.AllGather(rank, seg->shard.data(), seg->full.data(),
+                                seg->padded / dp);
+                return group.GroupStatus();
+              },
+              {wait}));
+        }
+        graph.AddCompute(
+            "grad_unpack+adam",
+            [&] {
+              for (int64_t l = 0; l < config.model.num_layers; ++l) {
+                GradSegment& seg = segments[static_cast<size_t>(l)];
+                size_t cur = 0;
+                grads.layers[static_cast<size_t>(l)].ForEach(
+                    [&](const std::string&, Tensor& tensor) {
+                      for (int64_t i = 0; i < tensor.numel(); ++i) {
+                        tensor[i] = seg.full[cur++] / static_cast<float>(dp);
+                      }
+                    });
+              }
+              GradSegment& t = segments.back();
+              size_t cur = 0;
+              const auto unpack = [&](Tensor& tensor) {
                 for (int64_t i = 0; i < tensor.numel(); ++i) {
-                  seg.send[cur++] = tensor[i];
+                  tensor[i] = t.full[cur++] / static_cast<float>(dp);
                 }
-              });
-          std::fill(seg.send.begin() + static_cast<int64_t>(cur), seg.send.end(), 0.0f);
-          seg.handle = StartGradShardSync(group, rank, seg.send.data(), seg.padded,
-                                          seg.shard.data(), config.overlap_grad_chunks);
-        };
-      }
-      for (int64_t micro = 0; micro < accum; ++micro) {
-        std::vector<int64_t> inputs;
-        std::vector<int64_t> targets;
-        MakeTrainingBatch(config.model, config.seed, step * accum + micro, rank,
-                          config.batch_per_rank, &inputs, &targets);
-        const LmStepStats micro_stats =
-            LmForwardBackward(compute, config.model, config.router, inputs, targets,
-                              config.batch_per_rank, &grads, activation_transform,
-                              on_layer_grads);
-        stats.ce_loss += micro_stats.ce_loss / static_cast<double>(accum);
-        stats.aux_loss += micro_stats.aux_loss / static_cast<double>(accum);
-      }
-      if (accum > 1) {
-        grads.Scale(1.0f / static_cast<float>(accum));
+              };
+              unpack(grads.embedding);
+              unpack(grads.final_gain);
+              unpack(grads.lm_head);
+              adam.Step(grads.TensorListConst());
+              return Status::Ok();
+            },
+            gathers);
+        // A failure surfaces as the communicator's sticky group status,
+        // which the step loop below already checks; the graph result merely
+        // mirrors it.
+        (void)graph.Execute(2);
+        for (GradSegment& seg : segments) {
+          seg.handle.reset();
+        }
+        if (record && rank == 0) {
+          curve.loss[static_cast<size_t>(step)] = stats.ce_loss;
+        }
+        return stats.ce_loss;
       }
 
-      // Flatten the gradients (the overlap path flattens per segment as the
-      // layer callbacks fire instead).
+      run_micro_batches(nullptr);
+
+      // Flatten the gradients (the overlap path above flattens per segment
+      // as the layer callbacks fire instead).
       size_t cursor = 0;
-      if (!overlap_sync) {
-        grads.ForEachConst([&](const std::string&, const Tensor& tensor) {
-          for (int64_t i = 0; i < tensor.numel(); ++i) {
-            flat[cursor++] = tensor[i];
-          }
-        });
-        std::fill(flat.begin() + static_cast<int64_t>(cursor), flat.end(), 0.0f);
-      }
+      grads.ForEachConst([&](const std::string&, const Tensor& tensor) {
+        for (int64_t i = 0; i < tensor.numel(); ++i) {
+          flat[cursor++] = tensor[i];
+        }
+      });
+      std::fill(flat.begin() + static_cast<int64_t>(cursor), flat.end(), 0.0f);
 
       if (config.zero_shard_optimizer) {
         // ZeRO-1: reduce this rank's gradient shard, update the master
@@ -316,50 +430,6 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
             tensor[i] = flat[cursor++];
           }
         });
-      } else if (overlap_sync) {
-        // Tail segment (embedding + final_gain + lm_head) becomes final when
-        // backward completes; its sync overlaps nothing but keeps the one
-        // handle-per-segment structure.
-        GradSegment& tail = segments.back();
-        size_t cur = 0;
-        const auto pack = [&](const Tensor& tensor) {
-          for (int64_t i = 0; i < tensor.numel(); ++i) {
-            tail.send[cur++] = tensor[i];
-          }
-        };
-        pack(grads.embedding);
-        pack(grads.final_gain);
-        pack(grads.lm_head);
-        std::fill(tail.send.begin() + static_cast<int64_t>(cur), tail.send.end(), 0.0f);
-        tail.handle = StartGradShardSync(group, rank, tail.send.data(), tail.padded,
-                                         tail.shard.data(), config.overlap_grad_chunks);
-        // Drain in a fixed order on every rank: the all-gathers below are
-        // collectives, so issue order must match across the group.
-        for (GradSegment& seg : segments) {
-          (void)seg.handle->WaitAll();
-          seg.handle.reset();
-          group.AllGather(rank, seg.shard.data(), seg.full.data(), seg.padded / dp);
-        }
-        for (int64_t l = 0; l < config.model.num_layers; ++l) {
-          GradSegment& seg = segments[static_cast<size_t>(l)];
-          cur = 0;
-          grads.layers[static_cast<size_t>(l)].ForEach(
-              [&](const std::string&, Tensor& tensor) {
-                for (int64_t i = 0; i < tensor.numel(); ++i) {
-                  tensor[i] = seg.full[cur++] / static_cast<float>(dp);
-                }
-              });
-        }
-        cur = 0;
-        const auto unpack = [&](Tensor& tensor) {
-          for (int64_t i = 0; i < tensor.numel(); ++i) {
-            tensor[i] = tail.full[cur++] / static_cast<float>(dp);
-          }
-        };
-        unpack(grads.embedding);
-        unpack(grads.final_gain);
-        unpack(grads.lm_head);
-        adam.Step(grads.TensorListConst());
       } else {
         AllReduceGrads(group, rank, flat.data(), padded, config.grad_sync);
         cursor = 0;

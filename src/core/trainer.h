@@ -70,15 +70,20 @@ struct NumericTrainConfig {
   // optimizer stores FP8 compute parameters, halving this collective; the
   // FP32 masters live only in the owner's shard.
   TrainPrecision param_gather_precision = TrainPrecision::kFp32;
-  // §5 inter-op overlap: start each layer's DP gradient reduce-scatter on
-  // the rank's comm-proxy thread the moment that layer's backward finishes,
-  // and wait for every segment before the optimizer step. Bitwise identical
-  // to the synchronous path (per-element reductions are segmentation-
-  // independent), so the loss curve does not change. Only takes effect on
-  // the replicated (non-ZeRO) kFp32ReduceScatter path with
-  // grad_accum_steps == 1 and no fault machinery armed; any other shape
-  // falls back to the synchronous sync, which stays the default so fault
-  // replay keeps its bit-identical op sequence.
+  // §5 inter-op overlap: the whole step is recorded as a two-stream graph
+  // on the runtime executor (src/core/exec_graph.h) — each layer's DP
+  // gradient reduce-scatter is registered producer-gated before backward
+  // starts, released the moment that layer's backward finishes, and waited
+  // on the comm stream before the optimizer step. Bitwise identical to the
+  // synchronous path (per-element reductions are segmentation-independent),
+  // so the loss curve does not change. Only takes effect on the replicated
+  // kFp32ReduceScatter path with grad_accum_steps == 1 and no fault
+  // machinery armed; those shapes fall back to the synchronous sync so
+  // fault replay keeps its bit-identical op sequence. Combining it with
+  // zero_shard_optimizer is a CONFIG ERROR (the ZeRO-1 path reduces one
+  // flat buffer after the full backward — there are no per-layer segments
+  // to overlap): ValidateNumericTrainConfig rejects it and TrainLm refuses
+  // to run, instead of silently training without overlap.
   bool overlap_grad_sync = false;
   // Chunks per per-layer reduce-scatter in the overlap path.
   int overlap_grad_chunks = 2;
@@ -131,6 +136,12 @@ struct TrainCurve {
   std::vector<RecoveryEvent> recoveries;
   std::vector<CommEvent> comm_events;  // when capture_comm_events is set
 };
+
+// Rejects contradictory configurations (currently: overlap_grad_sync
+// together with zero_shard_optimizer) with kInvalidArgument. TrainLm
+// validates on entry and CHECK-fails on a non-OK status rather than
+// silently dropping the requested behavior.
+[[nodiscard]] Status ValidateNumericTrainConfig(const NumericTrainConfig& config);
 
 // Runs the training job on config.dp_size rank threads and returns the
 // loss curve.

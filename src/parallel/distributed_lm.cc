@@ -1,6 +1,10 @@
 #include "src/parallel/distributed_lm.h"
 
+#include <string>
+#include <utility>
+
 #include "src/base/logging.h"
+#include "src/core/exec_graph.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace msmoe {
@@ -20,6 +24,13 @@ std::vector<int64_t> ShardTokenIds(const std::vector<int64_t>& full_ids, int64_t
   return local;
 }
 
+// The whole step is recorded as a macro-op chain on the runtime executor:
+// embed -> layer fwd x L -> head fwd/bwd -> layer bwd x L -> embed bwd, all
+// on stream 0 with sequential deps. A chain has a single valid schedule, so
+// numerics are the eager sequence exactly; the gain is a uniform fault path
+// (an aborted layer skips the remainder of the step) and per-layer events
+// in measured timelines. Layer-internal overlap graphs (fused pipelines,
+// grad-sync in the trainer) nest beneath these macro ops.
 DistributedLmStats DistributedLmForwardBackward(
     const ShardContext& ctx, const ModelConfig& config, const RouterConfig& router,
     const ParallelMoeLayerOptions& options, const LmParams& params,
@@ -33,59 +44,97 @@ DistributedLmStats DistributedLmForwardBackward(
   MSMOE_CHECK_EQ(static_cast<int64_t>(target_ids_local.size()), t_local);
   const int64_t h = config.hidden;
 
-  // Embedding lookup (token-local).
-  Tensor hidden({t_local, h});
-  for (int64_t t = 0; t < t_local; ++t) {
-    const int64_t id = input_ids_local[static_cast<size_t>(t)];
-    MSMOE_CHECK_GE(id, 0);
-    MSMOE_CHECK_LT(id, config.vocab);
-    std::copy(params.embedding.data() + id * h, params.embedding.data() + (id + 1) * h,
-              hidden.data() + t * h);
-  }
-
-  // Macro MoE layers (collectives inside).
+  Tensor hidden;
   std::vector<ParallelMoeLayerCache> caches(static_cast<size_t>(config.num_layers));
   DistributedLmStats stats;
+  Tensor dhidden;
+
+  ExecGraph graph;
+  int prev = graph.AddCompute(
+      "embed",
+      [&] {
+        // Embedding lookup (token-local).
+        hidden = Tensor({t_local, h});
+        for (int64_t t = 0; t < t_local; ++t) {
+          const int64_t id = input_ids_local[static_cast<size_t>(t)];
+          MSMOE_CHECK_GE(id, 0);
+          MSMOE_CHECK_LT(id, config.vocab);
+          std::copy(params.embedding.data() + id * h,
+                    params.embedding.data() + (id + 1) * h, hidden.data() + t * h);
+        }
+        return Status::Ok();
+      },
+      {}, "memory");
+
+  // Macro MoE layers (collectives inside).
   for (int64_t l = 0; l < config.num_layers; ++l) {
-    hidden = ParallelMoeLayerForward(ctx, config, router,
-                                     params.layers[static_cast<size_t>(l)], hidden, batch,
-                                     seq_len, options, &caches[static_cast<size_t>(l)]);
-    stats.aux_loss += caches[static_cast<size_t>(l)].routing.aux_loss;
+    prev = graph.AddCompute(
+        "layer_fwd[" + std::to_string(l) + "]",
+        [&, l] {
+          hidden = ParallelMoeLayerForward(ctx, config, router,
+                                           params.layers[static_cast<size_t>(l)], hidden,
+                                           batch, seq_len, options,
+                                           &caches[static_cast<size_t>(l)]);
+          stats.aux_loss += caches[static_cast<size_t>(l)].routing.aux_loss;
+          return Status::Ok();
+        },
+        {prev}, "attention");
   }
 
-  // Final norm + LM head + CE (token-local).
-  Tensor final_inv_rms;
-  Tensor normed = RmsNorm(hidden, params.final_gain, &final_inv_rms);
-  Tensor logits = MatMul(normed, params.lm_head);
-  CrossEntropyResult ce = CrossEntropy(logits, target_ids_local);
-  stats.ce_loss = ce.mean_loss;
-  // Gradient of the GLOBAL mean loss: each rank holds 1/n of the tokens.
-  ce.dlogits.ScaleInPlace(1.0f / static_cast<float>(n));
+  prev = graph.AddCompute(
+      "lm_head",
+      [&] {
+        // Final norm + LM head + CE (token-local).
+        Tensor final_inv_rms;
+        Tensor normed = RmsNorm(hidden, params.final_gain, &final_inv_rms);
+        Tensor logits = MatMul(normed, params.lm_head);
+        CrossEntropyResult ce = CrossEntropy(logits, target_ids_local);
+        stats.ce_loss = ce.mean_loss;
+        // Gradient of the GLOBAL mean loss: each rank holds 1/n of the tokens.
+        ce.dlogits.ScaleInPlace(1.0f / static_cast<float>(n));
 
-  MatMulGrads head_grads = MatMulBackward(ce.dlogits, normed, params.lm_head);
-  grads->lm_head.AddInPlace(head_grads.db);
-  RmsNormGrads final_grads =
-      RmsNormBackward(head_grads.da, hidden, params.final_gain, final_inv_rms);
-  grads->final_gain.AddInPlace(final_grads.dgain);
+        MatMulGrads head_grads = MatMulBackward(ce.dlogits, normed, params.lm_head);
+        grads->lm_head.AddInPlace(head_grads.db);
+        RmsNormGrads final_grads =
+            RmsNormBackward(head_grads.da, hidden, params.final_gain, final_inv_rms);
+        grads->final_gain.AddInPlace(final_grads.dgain);
+        dhidden = std::move(final_grads.dx);
+        return Status::Ok();
+      },
+      {prev});
 
-  Tensor dhidden = std::move(final_grads.dx);
   for (int64_t l = config.num_layers - 1; l >= 0; --l) {
-    ParallelMoeLayerGrads layer_grads = ParallelMoeLayerBackward(
-        ctx, config, router, params.layers[static_cast<size_t>(l)], dhidden, batch, seq_len,
-        options, caches[static_cast<size_t>(l)]);
-    grads->layers[static_cast<size_t>(l)].Accumulate(layer_grads.dparams);
-    dhidden = std::move(layer_grads.dx_local);
+    prev = graph.AddCompute(
+        "layer_bwd[" + std::to_string(l) + "]",
+        [&, l] {
+          ParallelMoeLayerGrads layer_grads = ParallelMoeLayerBackward(
+              ctx, config, router, params.layers[static_cast<size_t>(l)], dhidden, batch,
+              seq_len, options, caches[static_cast<size_t>(l)]);
+          grads->layers[static_cast<size_t>(l)].Accumulate(layer_grads.dparams);
+          dhidden = std::move(layer_grads.dx_local);
+          return Status::Ok();
+        },
+        {prev}, "attention");
   }
 
-  // Embedding backward (token-local scatter-add).
-  for (int64_t t = 0; t < t_local; ++t) {
-    const int64_t id = input_ids_local[static_cast<size_t>(t)];
-    float* dst = grads->embedding.data() + id * h;
-    const float* src = dhidden.data() + t * h;
-    for (int64_t c = 0; c < h; ++c) {
-      dst[c] += src[c];
-    }
-  }
+  graph.AddCompute(
+      "embed_bwd",
+      [&] {
+        // Embedding backward (token-local scatter-add).
+        for (int64_t t = 0; t < t_local; ++t) {
+          const int64_t id = input_ids_local[static_cast<size_t>(t)];
+          float* dst = grads->embedding.data() + id * h;
+          const float* src = dhidden.data() + t * h;
+          for (int64_t c = 0; c < h; ++c) {
+            dst[c] += src[c];
+          }
+        }
+        return Status::Ok();
+      },
+      {prev}, "memory");
+
+  ExecResult result = graph.Execute(1);
+  MSMOE_CHECK(result.status.ok()) << result.status.ToString();
   return stats;
 }
 

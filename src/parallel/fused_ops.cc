@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/logging.h"
@@ -19,56 +21,99 @@ namespace {
 // few enough that per-chunk overhead stays negligible at test sizes.
 constexpr int kDispatchChunks = 4;
 
+// Declared stream of the chunk wait/signal ops. The collective itself runs
+// on the rank's comm-proxy thread regardless; this stream only carries the
+// rendezvous ops so a single-stream schedule serializes them against
+// compute the way an unfused sequence would.
+constexpr int kCommStream = 1;
+
+std::string ChunkName(const char* base, int chunk) {
+  return std::string(base) + "[" + std::to_string(chunk) + "]";
+}
+
 }  // namespace
 
-Tensor FusedAllGatherGemm(const ShardContext& ctx, const Tensor& x_local, const Tensor& w,
-                          int64_t row_tile) {
+std::unique_ptr<FusedPipeline> RecordFusedAllGatherGemm(const ShardContext& ctx,
+                                                        const Tensor& x_local,
+                                                        const Tensor& w,
+                                                        int64_t row_tile) {
   MSMOE_CHECK_EQ(x_local.ndim(), 2);
   MSMOE_CHECK_EQ(w.ndim(), 2);
   MSMOE_CHECK_EQ(x_local.dim(1), w.dim(0));
   MSMOE_CHECK_GT(row_tile, 0);
   const int n = ctx.size();
+  const int rank = ctx.rank;
+  Communicator* comm = ctx.comm;
   const int64_t rows_local = x_local.dim(0);
   const int64_t k = x_local.dim(1);
   const int64_t cols = w.dim(1);
 
-  // Double-buffered pipeline: the comm thread streams the all-gather chunk
-  // by chunk while this thread runs the GEMM of every chunk that already
-  // landed — the transfer of chunk c+1 overlaps the compute of chunk c.
-  // Chunk c is rows [begin, end) of EVERY source's block, so its GEMM
-  // covers n row tiles.
-  std::vector<float> gathered(static_cast<size_t>(n) * rows_local * k);
+  auto pipe = std::make_unique<FusedPipeline>();
+  pipe->staging.assign(static_cast<size_t>(n) * rows_local * k, 0.0f);
+  pipe->y = Tensor({static_cast<int64_t>(n) * rows_local, cols});
   const int num_chunks = static_cast<int>(CeilDiv(rows_local, row_tile));
-  auto handle = ctx.comm->StartAllGather(ctx.rank, x_local.data(), gathered.data(),
-                                         rows_local * k, num_chunks, /*quantum=*/k);
+  // Start at record time, on the rank's main thread: the per-rank Start*
+  // FIFO contract is schedule-independent by construction.
+  pipe->handle = comm->StartAllGather(rank, x_local.data(), pipe->staging.data(),
+                                      rows_local * k, num_chunks, /*quantum=*/k);
 
-  Tensor y({static_cast<int64_t>(n) * rows_local, cols});
-  for (int c = 0; c < handle->num_chunks(); ++c) {
-    if (!handle->WaitChunk(c).ok()) {
-      break;  // the caller observes the failure via GroupStatus()
+  FusedPipeline* p = pipe.get();
+  const float* w_data = w.data();
+  int prev_wait = -1;
+  for (int c = 0; c < pipe->handle->num_chunks(); ++c) {
+    // Chunk waits are chained: chunks complete in index order on the wire,
+    // so the chain makes that order an explicit graph dep and any valid
+    // schedule keeps waits non-blocking beyond the wire itself.
+    std::vector<int> wait_deps;
+    if (prev_wait >= 0) {
+      wait_deps.push_back(prev_wait);
     }
-    const int64_t row0 = handle->layout().begin(c) / k;
-    const int64_t tile_rows = handle->layout().size(c) / k;
-    ScopedCompSpan span(&ctx.comm->telemetry(), "fused_ag_gemm", ctx.rank);
-    // Per-row GEMMs are independent, so processing sources in ring order
-    // inside an arrival chunk keeps the output bitwise equal to the unfused
-    // collective-then-GEMM sequence.
-    for (int step = 0; step < n; ++step) {
-      const int src = (ctx.rank + step) % n;
-      const int64_t row = static_cast<int64_t>(src) * rows_local + row0;
-      Gemm(false, false, tile_rows, cols, k, 1.0f, gathered.data() + row * k, w.data(),
-           0.0f, y.data() + row * cols);
-    }
+    const int wait = p->graph.AddComm(
+        ChunkName("ag_wait", c), kCommStream, [p, c] { return p->handle->WaitChunk(c); },
+        std::move(wait_deps));
+    p->graph.AddCompute(
+        ChunkName("ag_gemm", c),
+        [p, comm, rank, w_data, n, rows_local, k, cols, c] {
+          const int64_t row0 = p->handle->layout().begin(c) / k;
+          const int64_t tile_rows = p->handle->layout().size(c) / k;
+          ScopedCompSpan span(&comm->telemetry(), "fused_ag_gemm", rank);
+          // Per-row GEMMs are independent, so processing sources in ring
+          // order inside an arrival chunk keeps the output bitwise equal to
+          // the unfused collective-then-GEMM sequence.
+          for (int step = 0; step < n; ++step) {
+            const int src = (rank + step) % n;
+            const int64_t row = static_cast<int64_t>(src) * rows_local + row0;
+            Gemm(false, false, tile_rows, cols, k, 1.0f, p->staging.data() + row * k,
+                 w_data, 0.0f, p->y.data() + row * cols);
+          }
+          return Status::Ok();
+        },
+        {wait});
+    prev_wait = wait;
   }
-  return y;
+  return pipe;
 }
 
-Tensor FusedGemmReduceScatter(const ShardContext& ctx, const Tensor& x_local,
-                              const Tensor& w_shard, int64_t row_tile) {
+Tensor FusedAllGatherGemm(const ShardContext& ctx, const Tensor& x_local, const Tensor& w,
+                          int64_t row_tile) {
+  std::unique_ptr<FusedPipeline> pipe = RecordFusedAllGatherGemm(ctx, x_local, w, row_tile);
+  // On a chunk failure the graph aborts and the partially-computed output is
+  // returned — the caller observes the failure via GroupStatus(), exactly
+  // like the eager pipeline did.
+  (void)pipe->graph.Execute(2);
+  return std::move(pipe->y);
+}
+
+std::unique_ptr<FusedPipeline> RecordFusedGemmReduceScatter(const ShardContext& ctx,
+                                                            const Tensor& x_local,
+                                                            const Tensor& w_shard,
+                                                            int64_t row_tile) {
   MSMOE_CHECK_EQ(x_local.ndim(), 2);
   MSMOE_CHECK_EQ(x_local.dim(1), w_shard.dim(0));
   MSMOE_CHECK_GT(row_tile, 0);
   const int n = ctx.size();
+  const int rank = ctx.rank;
+  Communicator* comm = ctx.comm;
   const int64_t rows = x_local.dim(0);
   MSMOE_CHECK_EQ(rows % n, 0);
   const int64_t k_shard = x_local.dim(1);
@@ -76,115 +121,156 @@ Tensor FusedGemmReduceScatter(const ShardContext& ctx, const Tensor& x_local,
   const int64_t rows_out = rows / n;
   const int64_t count = rows_out * cols;
 
-  // Producer-gated pipeline: each output-row tile's partial GEMM lands in
-  // the destination-major send buffer, its chunk is signalled, and the comm
-  // thread reduce-scatters it while this thread computes the next tile.
-  std::vector<float> send(static_cast<size_t>(rows) * cols);
-  Tensor y_local({rows_out, cols});
+  auto pipe = std::make_unique<FusedPipeline>();
+  pipe->staging.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  pipe->y = Tensor({rows_out, cols});
   const int num_chunks = static_cast<int>(CeilDiv(rows_out, row_tile));
-  auto handle = ctx.comm->StartReduceScatter(ctx.rank, send.data(), y_local.data(),
-                                             count, num_chunks, /*quantum=*/cols);
-  for (int c = 0; c < handle->num_chunks(); ++c) {
-    const int64_t begin = handle->layout().begin(c);
-    const int64_t row0 = begin / cols;
-    const int64_t tile_rows = handle->layout().size(c) / cols;
-    {
-      ScopedCompSpan span(&ctx.comm->telemetry(), "fused_gemm_rs", ctx.rank);
-      // This tile's partial for EVERY destination chunk: the rows whose
-      // reduce-scatter lands in this tile position.
-      for (int dst = 0; dst < n; ++dst) {
-        const int64_t src_row = static_cast<int64_t>(dst) * rows_out + row0;
-        Gemm(false, false, tile_rows, cols, k_shard,
-             1.0f, x_local.data() + src_row * k_shard, w_shard.data(), 0.0f,
-             send.data() + static_cast<int64_t>(dst) * count + begin);
-      }
-    }
-    handle->SignalChunkReady(c);
+  // Producer-gated: the comm thread blocks per chunk until the signal op
+  // below declares the tile's slice of the send buffer final.
+  pipe->handle = comm->StartReduceScatter(rank, pipe->staging.data(), pipe->y.data(),
+                                          count, num_chunks, /*quantum=*/cols);
+
+  FusedPipeline* p = pipe.get();
+  const float* x_data = x_local.data();
+  const float* w_data = w_shard.data();
+  std::vector<int> signals;
+  for (int c = 0; c < pipe->handle->num_chunks(); ++c) {
+    // Each tile's partial GEMMs write a disjoint slice of the send buffer
+    // for EVERY destination, so the tile ops are mutually independent.
+    const int gemm = p->graph.AddCompute(
+        ChunkName("rs_gemm", c),
+        [p, comm, rank, x_data, w_data, n, rows_out, k_shard, cols, count, c] {
+          const int64_t begin = p->handle->layout().begin(c);
+          const int64_t row0 = begin / cols;
+          const int64_t tile_rows = p->handle->layout().size(c) / cols;
+          ScopedCompSpan span(&comm->telemetry(), "fused_gemm_rs", rank);
+          for (int dst = 0; dst < n; ++dst) {
+            const int64_t src_row = static_cast<int64_t>(dst) * rows_out + row0;
+            Gemm(false, false, tile_rows, cols, k_shard, 1.0f,
+                 x_data + src_row * k_shard, w_data, 0.0f,
+                 p->staging.data() + static_cast<int64_t>(dst) * count + begin);
+          }
+          return Status::Ok();
+        });
+    signals.push_back(p->graph.AddComm(
+        ChunkName("rs_signal", c), kCommStream,
+        [p, c] {
+          p->handle->SignalChunkReady(c);
+          return Status::Ok();
+        },
+        {gemm}));
   }
-  // Block until every chunk of y_local landed (and retire the comm-thread op
-  // before `send` goes out of scope); on failure the caller observes the
-  // error via GroupStatus().
-  (void)handle->WaitAll();
-  handle.reset();
-  return y_local;
+  // The wait-all depends on every signal: a schedule can never queue it
+  // ahead of a signal on the same stream, which would deadlock the
+  // producer-gated transfer it is waiting for.
+  p->graph.AddComm(
+      "rs_wait_all", kCommStream, [p] { return p->handle->WaitAll(); }, signals);
+  return pipe;
 }
 
-Tensor FusedAllGatherScatterGroupedGemm(const ShardContext& ctx, const Tensor& x_local,
-                                        const std::vector<int64_t>& token_expert,
-                                        const std::vector<Tensor>& expert_weights,
-                                        int64_t experts_per_rank,
-                                        std::vector<int64_t>* row_token) {
+Tensor FusedGemmReduceScatter(const ShardContext& ctx, const Tensor& x_local,
+                              const Tensor& w_shard, int64_t row_tile) {
+  std::unique_ptr<FusedPipeline> pipe =
+      RecordFusedGemmReduceScatter(ctx, x_local, w_shard, row_tile);
+  (void)pipe->graph.Execute(2);
+  return std::move(pipe->y);
+}
+
+std::unique_ptr<FusedPipeline> RecordFusedAllGatherScatterGroupedGemm(
+    const ShardContext& ctx, const Tensor& x_local,
+    const std::vector<int64_t>& token_expert, const std::vector<Tensor>& expert_weights,
+    int64_t experts_per_rank) {
   const int n = ctx.size();
+  const int rank = ctx.rank;
+  Communicator* comm = ctx.comm;
   const int64_t t_local = x_local.dim(0);
   const int64_t h = x_local.dim(1);
   MSMOE_CHECK_EQ(static_cast<int64_t>(token_expert.size()), t_local);
   const int64_t cols = expert_weights[0].dim(1);
 
+  auto pipe = std::make_unique<FusedPipeline>();
+  pipe->staging.assign(static_cast<size_t>(n) * t_local * h, 0.0f);
   // Start the (big) token payload streaming on the comm thread first; the
-  // (small) routing gather and the bucket build below overlap with it.
-  std::vector<float> x_all(static_cast<size_t>(n) * t_local * h);
-  auto handle = ctx.comm->StartAllGather(ctx.rank, x_local.data(), x_all.data(),
-                                         t_local * h, kDispatchChunks, /*quantum=*/h);
+  // (small) routing gather and the bucket build below overlap with it —
+  // both happen at record time, before any graph op runs.
+  pipe->handle = comm->StartAllGather(rank, x_local.data(), pipe->staging.data(),
+                                      t_local * h, kDispatchChunks, /*quantum=*/h);
   std::vector<int64_t> expert_all(static_cast<size_t>(n) * t_local);
-  ctx.comm->AllGather(ctx.rank, token_expert.data(), expert_all.data(), t_local);
+  comm->AllGather(rank, token_expert.data(), expert_all.data(), t_local);
 
   // Local scatter fused with arrival: iterating sources in ring order yields
   // rows sorted by (expert, source-arrival) — the §4.2 order that minimizes
   // per-tile dependency count.
-  const int64_t e_first = static_cast<int64_t>(ctx.rank) * experts_per_rank;
-  std::vector<std::vector<int64_t>> bucket(static_cast<size_t>(experts_per_rank));
+  const int64_t e_first = static_cast<int64_t>(rank) * experts_per_rank;
+  // Bucket/offset state outlives recording via shared ownership in the
+  // per-chunk closures.
+  struct GroupedState {
+    std::vector<std::vector<int64_t>> bucket;  // local expert -> global tokens
+    std::vector<int64_t> out_begin;            // local expert -> first output row
+  };
+  auto state = std::make_shared<GroupedState>();
+  state->bucket.resize(static_cast<size_t>(experts_per_rank));
   for (int step = 0; step < n; ++step) {
-    const int src = (ctx.rank + step) % n;
+    const int src = (rank + step) % n;
     for (int64_t t = 0; t < t_local; ++t) {
       const int64_t global_token = static_cast<int64_t>(src) * t_local + t;
       const int64_t e = expert_all[static_cast<size_t>(global_token)] - e_first;
       if (e >= 0 && e < experts_per_rank) {
-        bucket[static_cast<size_t>(e)].push_back(global_token);
+        state->bucket[static_cast<size_t>(e)].push_back(global_token);
       }
     }
   }
 
-  row_token->clear();
-  for (const auto& rows : bucket) {
-    row_token->insert(row_token->end(), rows.begin(), rows.end());
+  pipe->row_token.clear();
+  for (const auto& rows : state->bucket) {
+    pipe->row_token.insert(pipe->row_token.end(), rows.begin(), rows.end());
   }
-  const int64_t total_rows = static_cast<int64_t>(row_token->size());
-  Tensor y({total_rows, cols});
+  const int64_t total_rows = static_cast<int64_t>(pipe->row_token.size());
+  pipe->y = Tensor({total_rows, cols});
 
-  std::vector<int64_t> out_begin(static_cast<size_t>(experts_per_rank) + 1, 0);
+  state->out_begin.assign(static_cast<size_t>(experts_per_rank) + 1, 0);
   for (int64_t e = 0; e < experts_per_rank; ++e) {
-    out_begin[static_cast<size_t>(e) + 1] =
-        out_begin[static_cast<size_t>(e)] +
-        static_cast<int64_t>(bucket[static_cast<size_t>(e)].size());
+    state->out_begin[static_cast<size_t>(e) + 1] =
+        state->out_begin[static_cast<size_t>(e)] +
+        static_cast<int64_t>(state->bucket[static_cast<size_t>(e)].size());
   }
 
   // An all-gather chunk delivers token rows [begin/h, end/h) of every
   // source, so an expert's GEMM is unblocked once the chunk holding its
   // highest local-token row arrived.
-  const int chunks = handle->num_chunks();
+  const int chunks = pipe->handle->num_chunks();
   std::vector<int> token_chunk(static_cast<size_t>(t_local), 0);
   for (int c = 0; c < chunks; ++c) {
-    for (int64_t t = handle->layout().begin(c) / h; t < handle->layout().end(c) / h;
-         ++t) {
+    for (int64_t t = pipe->handle->layout().begin(c) / h;
+         t < pipe->handle->layout().end(c) / h; ++t) {
       token_chunk[static_cast<size_t>(t)] = c;
     }
   }
   std::vector<int> last_chunk(static_cast<size_t>(experts_per_rank), -1);
   for (int64_t e = 0; e < experts_per_rank; ++e) {
-    for (const int64_t g : bucket[static_cast<size_t>(e)]) {
+    for (const int64_t g : state->bucket[static_cast<size_t>(e)]) {
       last_chunk[static_cast<size_t>(e)] =
           std::max(last_chunk[static_cast<size_t>(e)],
                    token_chunk[static_cast<size_t>(g % t_local)]);
     }
   }
 
-  // GroupedGEMM pipeline: as each chunk lands, fire the GEMM of every
-  // expert whose rows just completed — across the intra-rank worker pool,
-  // with disjoint output rows.
+  // One grouped-GEMM op per chunk with newly completed experts, depending
+  // only on that chunk's wait; the experts fire across the intra-rank
+  // worker pool with disjoint output rows.
+  FusedPipeline* p = pipe.get();
+  const std::vector<Tensor>* weights = &expert_weights;
+  int prev_wait = -1;
   for (int c = 0; c < chunks; ++c) {
-    if (!handle->WaitChunk(c).ok()) {
-      break;  // the caller observes the failure via GroupStatus()
+    std::vector<int> wait_deps;
+    if (prev_wait >= 0) {
+      wait_deps.push_back(prev_wait);
     }
+    const int wait = p->graph.AddComm(
+        ChunkName("dispatch_wait", c), kCommStream,
+        [p, c] { return p->handle->WaitChunk(c); }, std::move(wait_deps));
+    prev_wait = wait;
+
     std::vector<int64_t> ready;
     for (int64_t e = 0; e < experts_per_rank; ++e) {
       if (last_chunk[static_cast<size_t>(e)] == c) {
@@ -194,26 +280,46 @@ Tensor FusedAllGatherScatterGroupedGemm(const ShardContext& ctx, const Tensor& x
     if (ready.empty()) {
       continue;
     }
-    ScopedCompSpan span(&ctx.comm->telemetry(), "fused_grouped_gemm", ctx.rank);
-    ParallelFor(static_cast<int64_t>(ready.size()), /*grain=*/1,
-                [&](int64_t i0, int64_t i1) {
-                  for (int64_t i = i0; i < i1; ++i) {
-                    const int64_t e = ready[static_cast<size_t>(i)];
-                    const auto& rows = bucket[static_cast<size_t>(e)];
-                    Tensor ffn_in({static_cast<int64_t>(rows.size()), h});
-                    for (size_t r = 0; r < rows.size(); ++r) {
-                      std::copy(x_all.data() + rows[r] * h,
-                                x_all.data() + (rows[r] + 1) * h,
-                                ffn_in.data() + static_cast<int64_t>(r) * h);
-                    }
-                    const Tensor& w = expert_weights[static_cast<size_t>(e_first + e)];
-                    Gemm(false, false, static_cast<int64_t>(rows.size()), cols, h, 1.0f,
-                         ffn_in.data(), w.data(), 0.0f,
-                         y.data() + out_begin[static_cast<size_t>(e)] * cols);
-                  }
-                });
+    p->graph.AddCompute(
+        ChunkName("grouped_gemm", c),
+        [p, state, comm, rank, weights, ready, e_first, h, cols] {
+          ScopedCompSpan span(&comm->telemetry(), "fused_grouped_gemm", rank);
+          ParallelFor(static_cast<int64_t>(ready.size()), /*grain=*/1,
+                      [&](int64_t i0, int64_t i1) {
+                        for (int64_t i = i0; i < i1; ++i) {
+                          const int64_t e = ready[static_cast<size_t>(i)];
+                          const auto& rows = state->bucket[static_cast<size_t>(e)];
+                          Tensor ffn_in({static_cast<int64_t>(rows.size()), h});
+                          for (size_t r = 0; r < rows.size(); ++r) {
+                            std::copy(p->staging.data() + rows[r] * h,
+                                      p->staging.data() + (rows[r] + 1) * h,
+                                      ffn_in.data() + static_cast<int64_t>(r) * h);
+                          }
+                          const Tensor& w =
+                              (*weights)[static_cast<size_t>(e_first + e)];
+                          Gemm(false, false, static_cast<int64_t>(rows.size()), cols, h,
+                               1.0f, ffn_in.data(), w.data(), 0.0f,
+                               p->y.data() +
+                                   state->out_begin[static_cast<size_t>(e)] * cols);
+                        }
+                      });
+          return Status::Ok();
+        },
+        {wait});
   }
-  return y;
+  return pipe;
+}
+
+Tensor FusedAllGatherScatterGroupedGemm(const ShardContext& ctx, const Tensor& x_local,
+                                        const std::vector<int64_t>& token_expert,
+                                        const std::vector<Tensor>& expert_weights,
+                                        int64_t experts_per_rank,
+                                        std::vector<int64_t>* row_token) {
+  std::unique_ptr<FusedPipeline> pipe = RecordFusedAllGatherScatterGroupedGemm(
+      ctx, x_local, token_expert, expert_weights, experts_per_rank);
+  (void)pipe->graph.Execute(2);
+  *row_token = std::move(pipe->row_token);
+  return std::move(pipe->y);
 }
 
 }  // namespace msmoe

@@ -7,14 +7,17 @@
 #include <tuple>
 #include <vector>
 
+#include "src/base/parallel_for.h"
 #include "src/base/rng.h"
 #include "src/comm/communicator.h"
 #include "src/comm/hierarchical.h"
+#include "src/core/exec_graph.h"
 #include "src/model/attention.h"
 #include "src/model/config.h"
 #include "src/model/router.h"
 #include "src/numerics/bf16.h"
 #include "src/numerics/quantize.h"
+#include "src/parallel/fused_ops.h"
 #include "src/parallel/sp_attention.h"
 #include "src/tensor/tensor_ops.h"
 
@@ -395,6 +398,146 @@ TEST(ConfigPropertyTest, ActivatedParamsIndependentOfExpertCount) {
   const int64_t router_diff = (b.num_experts - a.num_experts) * b.hidden * b.num_layers;
   EXPECT_EQ(b.ActivatedParamsPerToken() - router_diff, a.ActivatedParamsPerToken());
 }
+
+// --- Runtime executor: ANY dependency-respecting schedule of a recorded
+// fused pipeline terminates and is bitwise identical to the unfused
+// reference, across worker counts, stream counts, and random seeds. To
+// shrink a failing cell, rerun with the printed (workers, streams, seed)
+// and reduce the tile count (larger `tile` = fewer ops). ---
+
+class RandomizedScheduleTest
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(RandomizedScheduleTest, AnyValidScheduleIsBitwiseEqualToEager) {
+  const auto [workers, num_streams, seed] = GetParam();
+  const int n = 4;
+  const int64_t rows_local = 7;  // ragged tiles
+  const int64_t k = 8;
+  const int64_t cols = 5;
+  const int64_t tile = 2;
+
+  Rng rng(seed * 101 + 3);
+  std::vector<Tensor> x_locals;
+  for (int rank = 0; rank < n; ++rank) {
+    x_locals.push_back(Tensor::Randn({rows_local, k}, rng));
+  }
+  Tensor w = Tensor::Randn({k, cols}, rng);
+
+  Tensor x_full({n * rows_local, k});
+  for (int rank = 0; rank < n; ++rank) {
+    std::copy(x_locals[static_cast<size_t>(rank)].data(),
+              x_locals[static_cast<size_t>(rank)].data() + rows_local * k,
+              x_full.data() + rank * rows_local * k);
+  }
+  Tensor y_ref = MatMul(x_full, w);
+
+  const int restore = ParallelWorkerCount();
+  SetParallelWorkerCount(workers);
+
+  // All-gather + GEMM pipeline under a seeded random schedule. Every rank
+  // derives the schedule from the same (graph shape, seed), so ranks agree.
+  {
+    FlatCommunicator group(n);
+    std::vector<Tensor> y(n);
+    std::vector<Status> statuses(static_cast<size_t>(n));
+    RunOnRanks(n, [&, num_streams = num_streams, seed = seed](int rank) {
+      ShardContext ctx{&group, rank};
+      std::unique_ptr<FusedPipeline> pipe =
+          RecordFusedAllGatherGemm(ctx, x_locals[static_cast<size_t>(rank)], w, tile);
+      std::vector<int> order;
+      std::vector<int> streams;
+      RandomSchedule(pipe->graph.ops(), seed, num_streams, &order, &streams);
+      statuses[static_cast<size_t>(rank)] =
+          pipe->graph.ExecuteSchedule(order, streams, num_streams).status;
+      y[static_cast<size_t>(rank)] = std::move(pipe->y);
+    });
+    for (int rank = 0; rank < n; ++rank) {
+      ASSERT_TRUE(statuses[static_cast<size_t>(rank)].ok())
+          << "AG-GEMM workers=" << workers << " streams=" << num_streams
+          << " seed=" << seed << " rank=" << rank;
+      EXPECT_EQ(y[static_cast<size_t>(rank)].RelativeL2Diff(y_ref), 0.0)
+          << "AG-GEMM workers=" << workers << " streams=" << num_streams
+          << " seed=" << seed << " rank=" << rank;
+    }
+  }
+
+  // Producer-gated GEMM + reduce-scatter pipeline: the schedule can reorder
+  // signals, tile GEMMs, and the wait-all any dependency-respecting way and
+  // must still terminate (the wait-all deps on every signal) bitwise equal.
+  {
+    const int64_t rows = 8;
+    const int64_t k_total = 12;
+    const int64_t k_shard = k_total / n;
+    Rng rs_rng(seed * 977 + 5);
+    Tensor rs_x = Tensor::Randn({rows, k_total}, rs_rng);
+    Tensor rs_w = Tensor::Randn({k_total, cols}, rs_rng);
+
+    const auto shard_inputs = [&](int rank, Tensor* x_shard, Tensor* w_shard) {
+      *x_shard = Tensor({rows, k_shard});
+      *w_shard = Tensor({k_shard, cols});
+      for (int64_t r = 0; r < rows; ++r) {
+        std::copy(rs_x.data() + r * k_total + rank * k_shard,
+                  rs_x.data() + r * k_total + (rank + 1) * k_shard,
+                  x_shard->data() + r * k_shard);
+      }
+      std::copy(rs_w.data() + rank * k_shard * cols,
+                rs_w.data() + (rank + 1) * k_shard * cols, w_shard->data());
+    };
+
+    // Bitwise reference: the eager fused pipeline (declared schedule). The
+    // ring reduction is a rank-ordered sum, so it is NOT bit-equal to a
+    // monolithic full-k GEMM — the invariant under test is schedule
+    // independence, fused-vs-fused.
+    std::vector<Tensor> y_eager(n);
+    {
+      FlatCommunicator group(n);
+      RunOnRanks(n, [&](int rank) {
+        Tensor x_shard;
+        Tensor w_shard;
+        shard_inputs(rank, &x_shard, &w_shard);
+        ShardContext ctx{&group, rank};
+        y_eager[static_cast<size_t>(rank)] =
+            FusedGemmReduceScatter(ctx, x_shard, w_shard, tile);
+      });
+    }
+
+    FlatCommunicator group(n);
+    std::vector<Tensor> y(n);
+    std::vector<Status> statuses(static_cast<size_t>(n));
+    RunOnRanks(n, [&, num_streams = num_streams, seed = seed](int rank) {
+      Tensor x_shard;
+      Tensor w_shard;
+      shard_inputs(rank, &x_shard, &w_shard);
+      ShardContext ctx{&group, rank};
+      std::unique_ptr<FusedPipeline> pipe =
+          RecordFusedGemmReduceScatter(ctx, x_shard, w_shard, tile);
+      std::vector<int> order;
+      std::vector<int> streams;
+      RandomSchedule(pipe->graph.ops(), seed, num_streams, &order, &streams);
+      statuses[static_cast<size_t>(rank)] =
+          pipe->graph.ExecuteSchedule(order, streams, num_streams).status;
+      y[static_cast<size_t>(rank)] = std::move(pipe->y);
+    });
+    for (int rank = 0; rank < n; ++rank) {
+      ASSERT_TRUE(statuses[static_cast<size_t>(rank)].ok())
+          << "GEMM-RS workers=" << workers << " streams=" << num_streams
+          << " seed=" << seed << " rank=" << rank;
+      EXPECT_EQ(y[static_cast<size_t>(rank)].RelativeL2Diff(
+                    y_eager[static_cast<size_t>(rank)]),
+                0.0)
+          << "GEMM-RS workers=" << workers << " streams=" << num_streams
+          << " seed=" << seed << " rank=" << rank;
+    }
+  }
+
+  SetParallelWorkerCount(restore);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScheduleGrid, RandomizedScheduleTest,
+    ::testing::Combine(::testing::Values(1, 2, 4),       // workers
+                       ::testing::Values(1, 2, 3),       // streams
+                       ::testing::Values<uint64_t>(1, 7, 23)));
 
 }  // namespace
 }  // namespace msmoe

@@ -76,6 +76,58 @@ TEST(AutoSchedulerTest, NeverWorseThanDeclared) {
   }
 }
 
+TEST(AutoSchedulerTest, BestOrderAndStreamsReproduceBestOps) {
+  // The input-index-space schedule (best_order / best_streams) must be the
+  // SAME schedule as the materialized best_ops: replaying it through the
+  // simulator yields the reported best makespan, and it is a valid
+  // permutation (every op exactly once, deps before dependents) — the form
+  // ExecGraph::ExecuteSchedule consumes for measured runs.
+  const CostModel cost(MakeCluster("H800", 8).value());
+  const ModelConfig model = ModelConfigByName("Mixtral-8x7B").value();
+  ExecutionOptions options = ExecutionOptions::MegaScale(model, 8);
+  const LayerGraphs graphs = BuildLayerGraphs(cost, model, options, 1, model.seq_len, 8);
+  ScheduleSearchOptions search;
+  search.iterations = 200;
+  search.restarts = 2;
+  const ScheduleSearchResult result = SearchSchedule(graphs.backward, search);
+
+  const size_t count = graphs.backward.size();
+  ASSERT_EQ(result.best_order.size(), count);
+  ASSERT_EQ(result.best_streams.size(), count);
+  std::vector<bool> seen(count, false);
+  std::vector<int> position(count, -1);
+  for (size_t i = 0; i < count; ++i) {
+    const int op = result.best_order[i];
+    ASSERT_GE(op, 0);
+    ASSERT_LT(static_cast<size_t>(op), count);
+    EXPECT_FALSE(seen[static_cast<size_t>(op)]) << "op " << op << " scheduled twice";
+    seen[static_cast<size_t>(op)] = true;
+    position[static_cast<size_t>(op)] = static_cast<int>(i);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    for (const int dep : graphs.backward[i].deps) {
+      EXPECT_LT(position[static_cast<size_t>(dep)], position[i])
+          << "dep " << dep << " scheduled after op " << i;
+    }
+  }
+
+  // Rebuild the materialized op list from (order, streams) and cross-check
+  // the simulated makespan against both reports.
+  std::vector<SimOp> replay;
+  for (const int original : result.best_order) {
+    SimOp op = graphs.backward[static_cast<size_t>(original)];
+    op.stream = result.best_streams[static_cast<size_t>(original)];
+    for (int& dep : op.deps) {
+      dep = position[static_cast<size_t>(dep)];
+    }
+    replay.push_back(op);
+  }
+  const double replayed = ExecuteGraph(replay, search.num_streams).makespan;
+  EXPECT_DOUBLE_EQ(replayed, result.best_makespan_us);
+  EXPECT_DOUBLE_EQ(ExecuteGraph(result.best_ops, search.num_streams).makespan,
+                   result.best_makespan_us);
+}
+
 TEST(AutoSchedulerTest, HolisticScheduleNearOptimal) {
   // The paper's point: the hand schedule leaves little on the table. The
   // search should improve the holistic backward graph by at most ~12%.

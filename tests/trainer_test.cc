@@ -154,6 +154,25 @@ TEST(GradSyncOverlapTest, OverlappedTrajectoryBitIdenticalToSynchronous) {
   }
 }
 
+TEST(GradSyncOverlapTest, OverlapPlusZeroShardIsAConfigError) {
+  // Requesting overlap together with ZeRO-1 used to silently train WITHOUT
+  // overlap; it is now rejected up front so the caller learns the requested
+  // behavior cannot be honored.
+  NumericTrainConfig config = SmallConfig();
+  config.overlap_grad_sync = true;
+  config.zero_shard_optimizer = true;
+  const Status status = ValidateNumericTrainConfig(config);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("overlap_grad_sync"), std::string::npos);
+
+  // Either flag alone stays valid.
+  config.zero_shard_optimizer = false;
+  EXPECT_TRUE(ValidateNumericTrainConfig(config).ok());
+  config.overlap_grad_sync = false;
+  config.zero_shard_optimizer = true;
+  EXPECT_TRUE(ValidateNumericTrainConfig(config).ok());
+}
+
 TEST(GradSyncOverlapTest, ChunkCountDoesNotChangeTheTrajectory) {
   NumericTrainConfig two = SmallConfig();
   two.overlap_grad_sync = true;

@@ -4,12 +4,16 @@
 # fault/recovery machinery, and a Release-mode perf smoke test of the GEMM
 # compute backend. The collectives run real thread ranks over shared
 # buffers, so comm_test / kernel_test / parallel_test / telemetry_test /
-# fault_test / fused_ops_test under TSan are the races-or-not verdict for
-# the whole substrate (fused_ops_test hammers the chunked async pipelines);
-# fault_test and the recovery bench under ASan cover the checkpoint IO and
-# buffer-corruption paths; the perf smoke fails if the blocked GEMM kernel
-# ever regresses below the naive reference, and the overlap smoke fails if
-# the fused all-gather+GEMM pipeline stops beating the unfused sequence.
+# fault_test / fused_ops_test / exec_graph_test under TSan are the
+# races-or-not verdict for the whole substrate (fused_ops_test hammers the
+# chunked async pipelines; exec_graph_test hammers the runtime task-graph
+# executor across streams and randomized schedules); fault_test and the
+# recovery bench under ASan cover the checkpoint IO and buffer-corruption
+# paths; the perf smoke fails if the blocked GEMM kernel ever regresses
+# below the naive reference, the overlap smoke fails if the fused
+# all-gather+GEMM pipeline stops beating the unfused sequence, and the
+# scheduler smoke fails if a searched schedule replayed on the real
+# executor stops beating the naive single-stream order.
 #
 #   $ tools/check.sh
 set -euo pipefail
@@ -21,16 +25,17 @@ cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j
 
 echo
-echo "== TSan: comm_test + kernel_test + parallel_test + telemetry_test + fault_test + fused_ops_test =="
+echo "== TSan: comm_test + kernel_test + parallel_test + telemetry_test + fault_test + fused_ops_test + exec_graph_test =="
 cmake -B build-tsan -S . -DMSMOE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target comm_test kernel_test parallel_test \
-  telemetry_test fault_test fused_ops_test bench_fault_recovery >/dev/null
+  telemetry_test fault_test fused_ops_test exec_graph_test bench_fault_recovery >/dev/null
 ./build-tsan/tests/comm_test
 ./build-tsan/tests/kernel_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/telemetry_test
 ./build-tsan/tests/fault_test
 ./build-tsan/tests/fused_ops_test
+./build-tsan/tests/exec_graph_test
 (cd build-tsan/bench && ./bench_fault_recovery >/dev/null)
 
 echo
@@ -47,12 +52,16 @@ echo
 echo "== perf smoke: Release blocked GEMM >= naive (bench_micro_kernels --check) =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j --target bench_micro_kernels \
-  bench_fig15_intra_overlap >/dev/null
+  bench_fig15_intra_overlap bench_ablation_scheduler >/dev/null
 (cd build-release/bench && ./bench_micro_kernels --check)
 
 echo
 echo "== overlap smoke: fused all-gather+GEMM beats unfused (bench_fig15 --check) =="
 (cd build-release/bench && ./bench_fig15_intra_overlap --check)
+
+echo
+echo "== scheduler smoke: searched schedule beats naive on the real executor (bench_ablation_scheduler --check) =="
+(cd build-release/bench && ./bench_ablation_scheduler --check)
 
 echo
 echo "all checks passed"
