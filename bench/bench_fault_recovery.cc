@@ -3,7 +3,7 @@
 // loss-transparent (the recovered curve is bit-identical to a fault-free
 // run — the property the production Fig 19 restarts rely on).
 //
-// Three experiments:
+// Four experiments:
 //   1. live recovery: crash one rank mid-collective via FaultPlan; the
 //      cancellable collectives surface the failure on every peer, the
 //      trainer rolls back to the last checkpoint and replays.
@@ -13,11 +13,18 @@
 //   3. straggler: delay one rank's collective entries; the health detector
 //      flags it from telemetry, and the discrete-event simulator quantifies
 //      the slowdown a degraded link / dead rank costs at scale.
-// Results land in BENCH_fault.json.
+//   4. elastic eviction: a rank fails RECURRINGLY; the recovery policy
+//      promotes it to permanent, survivors shrink W -> W-1, and the
+//      degraded run's curve is bit-identical to a fresh W-1 run. The
+//      measured degraded throughput is cross-checked against the fault
+//      simulator's elastic prediction.
+// Results land in BENCH_fault.json. With --check, the elastic invariants
+// gate the exit code (for tools/check.sh).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/base/table.h"
@@ -65,7 +72,7 @@ bool BitIdentical(const TrainCurve& a, const TrainCurve& b) {
   return true;
 }
 
-void Run() {
+void Run(bool check, bool& check_failed) {
   PrintHeader("Fault injection & recovery",
               "crash / bit-flip / straggler faults against the fault-tolerant "
               "trainer; recovery cost and loss transparency");
@@ -144,6 +151,50 @@ void Run() {
   sim.events = {degrade};
   const FaultSimResult sim_slow = SimulateFaultyRun(sim);
 
+  // --- Experiment 4: recurring fault -> permanent eviction, shrink to W-1 --
+  // With no periodic snapshots the shrunk survivors replay from step 0, so
+  // the whole degraded curve must be bitwise a fresh dp-1 run — the
+  // strongest form of the "training continues transparently" claim.
+  FaultPlan evict_plan(/*seed=*/17);
+  evict_plan.AddCrash(/*rank=*/2, /*at_op=*/20);
+  evict_plan.AddCrash(/*rank=*/2, /*at_op=*/21);
+  evict_plan.AddCrash(/*rank=*/2, /*at_op=*/22);
+  NumericTrainConfig elastic_config = base;
+  elastic_config.checkpoint_every = 0;
+  elastic_config.elastic = true;
+  elastic_config.fault_plan = &evict_plan;
+  t0 = std::chrono::steady_clock::now();
+  const TrainCurve shrunk = TrainLm(elastic_config);
+  const double shrunk_ms = MillisSince(t0);
+
+  NumericTrainConfig small_config = base;
+  small_config.checkpoint_every = 0;
+  small_config.dp_size = base.dp_size - 1;
+  t0 = std::chrono::steady_clock::now();
+  const TrainCurve fresh_small = TrainLm(small_config);
+  const double small_ms = MillisSince(t0);
+
+  int64_t permanent_recoveries = 0;
+  for (const RecoveryEvent& event : shrunk.recoveries) {
+    if (event.verdict == FaultVerdict::kPermanent) {
+      ++permanent_recoveries;
+    }
+  }
+  const bool elastic_identical = BitIdentical(fresh_small, shrunk);
+  // Useful throughput (samples/s) of the degraded world relative to the
+  // full one: (W-1)/W ranks each stepping at the smaller world's pace.
+  const double measured_throughput_factor =
+      shrunk_ms > 0.0 ? (static_cast<double>(small_config.dp_size) / base.dp_size) *
+                            (clean_ms / small_ms)
+                      : 0.0;
+
+  FaultSimConfig elastic_sim = sim;
+  SimFaultEvent elastic_fail = fail;
+  elastic_sim.events = {elastic_fail};
+  elastic_sim.elastic = true;
+  elastic_sim.reshard_us = 1000.0;
+  const FaultSimResult sim_elastic = SimulateFaultyRun(elastic_sim);
+
   // --- Report --------------------------------------------------------------
   TablePrinter table({"Experiment", "Recoveries", "Steps lost",
                       "Loss bit-identical", "Wall ms"});
@@ -158,6 +209,10 @@ void Run() {
                                       ? int64_t{0}
                                       : flipped.recoveries.front().steps_lost),
                 flip_identical ? "yes" : "NO", "-"});
+  table.AddRow({"recurring crash -> evict rank 2 (elastic)",
+                TablePrinter::Fmt(static_cast<int64_t>(shrunk.recoveries.size())),
+                "-", elastic_identical ? "yes (vs fresh W-1)" : "NO",
+                TablePrinter::Fmt(shrunk_ms, 1)});
   table.Print("Live fault-tolerant training:");
 
   for (const RecoveryEvent& event : crashed.recoveries) {
@@ -178,8 +233,14 @@ void Run() {
               sim_fail.slowdown, sim_fail.stall_us / 1000.0,
               static_cast<long long>(sim_fail.iterations_replayed));
   std::printf("simulated 4x-degraded link: %.2fx slowdown (iteration %.0f us -> "
-              "%.0f us)\n\n",
+              "%.0f us)\n",
               sim_slow.slowdown, sim.compute_us + sim.comm_us, sim_slow.iteration_us);
+  std::printf("elastic eviction: world %d -> %d after %lld permanent verdict(s); "
+              "degraded throughput %.2fx of full (sim predicts %.2fx at %d ranks)\n\n",
+              base.dp_size, shrunk.final_world,
+              static_cast<long long>(permanent_recoveries),
+              measured_throughput_factor, sim_elastic.throughput_factor,
+              elastic_sim.ranks);
 
   const RankHealth* flagged = nullptr;
   for (const RankHealth& rank : health.ranks) {
@@ -211,17 +272,69 @@ void Run() {
                  sim_fail.slowdown, sim_fail.stall_us,
                  static_cast<long long>(sim_fail.iterations_replayed));
     std::fprintf(json.get(), "  \"sim_degraded_link\": {\"slowdown\": %.4f, "
-                             "\"iteration_us\": %.1f}\n",
+                             "\"iteration_us\": %.1f},\n",
                  sim_slow.slowdown, sim_slow.iteration_us);
+    std::fprintf(json.get(),
+                 "  \"elastic\": {\"recoveries\": %zu, \"permanent_recoveries\": "
+                 "%lld, \"final_world\": %d, \"loss_bit_identical_vs_fresh_small\": "
+                 "%s, \"measured_throughput_factor\": %.4f, \"wall_ms\": %.3f},\n",
+                 shrunk.recoveries.size(), static_cast<long long>(permanent_recoveries),
+                 shrunk.final_world, elastic_identical ? "true" : "false",
+                 measured_throughput_factor, shrunk_ms);
+    std::fprintf(json.get(),
+                 "  \"sim_elastic_shrink\": {\"final_ranks\": %d, "
+                 "\"throughput_factor\": %.4f, \"stall_us\": %.1f, "
+                 "\"slowdown\": %.4f}\n",
+                 sim_elastic.final_ranks, sim_elastic.throughput_factor,
+                 sim_elastic.stall_us, sim_elastic.slowdown);
     std::fprintf(json.get(), "}\n");
     std::printf("wrote BENCH_fault.json\n");
+  }
+
+  // --check: gate the elastic invariants (and the existing loss-transparency
+  // ones) so CI fails loudly on a regression instead of shipping a wrong
+  // BENCH_fault.json.
+  if (check) {
+    bool ok = true;
+    auto require = [&ok](bool condition, const char* what) {
+      if (!condition) {
+        std::printf("CHECK FAILED: %s\n", what);
+        ok = false;
+      }
+    };
+    require(crash_identical, "crash recovery must keep the loss bit-identical");
+    require(flip_identical, "bit-flip recovery must keep the loss bit-identical");
+    require(shrunk.final_world == base.dp_size - 1,
+            "elastic run must end on W-1 survivors");
+    require(permanent_recoveries >= 1,
+            "recurring crash must yield a permanent verdict");
+    require(elastic_identical,
+            "post-shrink curve must be bit-identical to a fresh W-1 run");
+    // Loose cross-check: wall-clock noise on an oversubscribed host is
+    // large, so only tie the measured factor to the sim's order of
+    // magnitude (both must say "slightly below (W-1)/W of full throughput").
+    require(measured_throughput_factor > 0.0 &&
+                sim_elastic.throughput_factor > 0.0 &&
+                measured_throughput_factor / sim_elastic.throughput_factor > 0.25 &&
+                measured_throughput_factor / sim_elastic.throughput_factor < 4.0,
+            "measured degraded throughput must be within 4x of the sim's "
+            "elastic prediction");
+    std::printf(ok ? "CHECK PASSED\n" : "CHECK FAILED\n");
+    check_failed = !ok;
   }
 }
 
 }  // namespace
 }  // namespace msmoe
 
-int main() {
-  msmoe::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check") {
+      check = true;
+    }
+  }
+  bool check_failed = false;
+  msmoe::Run(check, check_failed);
+  return check_failed ? 1 : 0;
 }

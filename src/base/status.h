@@ -77,6 +77,19 @@ inline Status DataLoss(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
 }
 
+// True for fault codes a retry can plausibly clear: a collective deadline
+// (kDeadlineExceeded — a rank was late, slow links heal) or a cancelled
+// group (kAborted — a crashed rank gets respawned and the step replayed).
+// Everything else is NOT retryable as-is: kDataLoss means the payload
+// diverged (rollback can repair it, but re-running the same op cannot),
+// and config/logic errors (kInvalidArgument, kInternal, ...) will fail
+// identically on every attempt. Both the trainer recovery loop and the
+// elastic RecoveryPolicy route their verdicts through this predicate.
+inline bool IsRetryableFault(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kAborted;
+}
+
 // Value-or-error carrier. value() CHECK-fails on error, so call sites either
 // propagate status() or assert success.
 template <typename T>

@@ -132,7 +132,7 @@ CommHandle::CommHandle(ChunkLayout layout, int num_chunks, CollectiveGroup* chan
       barrier_(num_chunks) {}
 
 CommHandle::~CommHandle() {
-  if (producer_gated_ && !barrier_.AllSignalled()) {
+  if (producer_gated_ && channel_ != nullptr && !barrier_.AllSignalled()) {
     // Mid-pipeline abort: the comm thread may be blocked waiting for input
     // that will never come, and peer comm threads may be blocked in the
     // chunk rendezvous waiting for THIS rank. Cancel our waits and poison
@@ -428,6 +428,16 @@ std::unique_ptr<CommHandle> AsyncCommDriver::StartAllToAllV(
     }
     h->MarkRetired();
   });
+  return handle;
+}
+
+std::unique_ptr<CommHandle> AsyncCommDriver::MakeFailedHandle(Status status) {
+  MSMOE_CHECK(!status.ok()) << "MakeFailedHandle needs a non-OK status";
+  std::unique_ptr<CommHandle> handle(new CommHandle(
+      ChunkLayout(0, 1, 1), /*num_chunks=*/1, /*channel=*/nullptr,
+      /*producer_gated=*/false));
+  handle->barrier_.Cancel(std::move(status));
+  handle->MarkRetired();
   return handle;
 }
 

@@ -208,6 +208,13 @@ class AsyncCommDriver {
       const AsyncOpParams& params, const void* send,
       const std::vector<int64_t>& send_counts,
       const std::function<void*(int64_t)>& resize_recv, int num_chunks);
+
+  // A handle that is already failed: every WaitChunk/WaitAll returns
+  // `status` immediately and no comm thread is involved. Returned by
+  // Communicator::Start* on a retired (stale-epoch) communicator, so an
+  // overlap pipeline issued against a replaced membership fails loudly
+  // instead of deadlocking on a rendezvous nobody else will join.
+  static std::unique_ptr<CommHandle> MakeFailedHandle(Status status);
 };
 
 }  // namespace msmoe

@@ -1,5 +1,6 @@
 #include "src/comm/collective_group.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <string>
@@ -220,18 +221,23 @@ CollectiveGroup::CollectiveGroup(int size)
       send_slots_(static_cast<size_t>(size), nullptr),
       counts_(static_cast<size_t>(size) * static_cast<size_t>(size), 0),
       scalars_(static_cast<size_t>(size), 0.0),
+      arrived_members_(static_cast<size_t>(size), 0),
       recovery_barrier_(size) {
   MSMOE_CHECK_GT(size, 0);
 }
 
-Status CollectiveGroup::SyncPoint() {
+Status CollectiveGroup::SyncPoint(int member) {
   std::unique_lock<std::mutex> lock(mu_);
   if (!abort_status_.ok()) {
     return abort_status_;
   }
   const uint64_t generation = generation_;
+  if (member >= 0) {
+    arrived_members_[static_cast<size_t>(member)] = 1;
+  }
   if (++arrived_ == size_) {
     arrived_ = 0;
+    std::fill(arrived_members_.begin(), arrived_members_.end(), 0);
     ++generation_;
     cv_.notify_all();
     return Status::Ok();
@@ -247,11 +253,27 @@ Status CollectiveGroup::SyncPoint() {
     if (!cv_.wait_until(lock, deadline, released)) {
       // The barrier is still open past the deadline: some member never
       // arrived. This waiter raises the first error; every peer (current
-      // and future) observes the same sticky status.
+      // and future) observes the same sticky status. The arrival bitmap
+      // names the missing members — the lowest-indexed one becomes the
+      // culprit the recovery policy attributes the fault to.
+      std::string missing;
+      int culprit = -1;
+      for (int m = 0; m < size_; ++m) {
+        if (arrived_members_[static_cast<size_t>(m)] == 0) {
+          if (culprit < 0) {
+            culprit = m;
+          }
+          missing += (missing.empty() ? "" : ",") + std::to_string(m);
+        }
+      }
       abort_status_ = DeadlineExceeded(
           "collective barrier timed out after " + std::to_string(timeout_ms_) +
-          " ms: a member never arrived");
+          " ms: a member never arrived" +
+          (missing.empty() ? "" : " (missing ranks: " + missing + ")"));
       aborted_.store(true, std::memory_order_release);
+      if (culprit_rank_ < 0) {
+        culprit_rank_ = culprit;
+      }
       cv_.notify_all();
       return abort_status_;
     }
@@ -264,7 +286,7 @@ Status CollectiveGroup::SyncPoint() {
   return abort_status_;
 }
 
-Status CollectiveGroup::TryBarrier() { return SyncPoint(); }
+Status CollectiveGroup::TryBarrier(int member) { return SyncPoint(member); }
 
 Status CollectiveGroup::EmulateWire(uint64_t bytes) {
   if (!wire_model_enabled()) {
@@ -281,12 +303,15 @@ Status CollectiveGroup::EmulateWire(uint64_t bytes) {
   return abort_status_;
 }
 
-void CollectiveGroup::Abort(Status status) {
+void CollectiveGroup::Abort(Status status, int culprit_rank) {
   MSMOE_CHECK(!status.ok()) << "CollectiveGroup::Abort needs a non-OK status";
   std::lock_guard<std::mutex> lock(mu_);
   if (abort_status_.ok()) {
     abort_status_ = std::move(status);
     aborted_.store(true, std::memory_order_release);
+  }
+  if (culprit_rank_ < 0 && culprit_rank >= 0) {
+    culprit_rank_ = culprit_rank;
   }
   cv_.notify_all();
 }
@@ -299,11 +324,36 @@ Status CollectiveGroup::status() const {
   return abort_status_;
 }
 
+int CollectiveGroup::culprit_rank() const {
+  if (!aborted_.load(std::memory_order_acquire)) {
+    return -1;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return culprit_rank_;
+}
+
+void CollectiveGroup::Retire(Status status) {
+  MSMOE_CHECK(!status.ok()) << "CollectiveGroup::Retire needs a non-OK status";
+  retired_.store(true, std::memory_order_release);
+  // Keeps the first (fault) status if one is already set — the stale-epoch
+  // notice only becomes the sticky error on a healthy group.
+  Abort(std::move(status));
+}
+
 void CollectiveGroup::ResetAbort() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (retired_.load(std::memory_order_acquire)) {
+    // A retired group stays failed forever: stragglers issuing collectives
+    // against the replaced membership must keep surfacing the sticky
+    // status, never rendezvous.
+    cv_.notify_all();
+    return;
+  }
   abort_status_ = Status::Ok();
   aborted_.store(false, std::memory_order_release);
   arrived_ = 0;
+  std::fill(arrived_members_.begin(), arrived_members_.end(), 0);
+  culprit_rank_ = -1;
   // Release any waiter stranded on the pre-abort generation (there are none
   // under the RecoveryBarrier protocol, but a bumped generation makes the
   // reset safe even against stragglers).
@@ -312,6 +362,7 @@ void CollectiveGroup::ResetAbort() {
 }
 
 void CollectiveGroup::RecoveryBarrier(int member) {
+  MSMOE_CHECK(!retired()) << "RecoveryBarrier on a retired (stale-epoch) group";
   RecoveryArrive();
   if (member == 0) {
     ResetAbort();
@@ -328,10 +379,10 @@ void CollectiveGroup::PublishCounts(int member, const std::vector<int64_t>& coun
 Status CollectiveGroup::TryExchangeScalars(int member, double value,
                                            std::vector<double>* out) {
   scalars_[static_cast<size_t>(member)] = value;
-  MSMOE_RETURN_IF_ERROR(SyncPoint());
+  MSMOE_RETURN_IF_ERROR(SyncPoint(member));
   *out = scalars_;
   AccountOnce(member, RingVolume(sizeof(double)));
-  return SyncPoint();
+  return SyncPoint(member);
 }
 
 Status CollectiveGroup::TryExchangeCounts(int member,
@@ -339,9 +390,9 @@ Status CollectiveGroup::TryExchangeCounts(int member,
                                           std::vector<int64_t>* all_counts) {
   MSMOE_CHECK_EQ(static_cast<int>(send_counts.size()), size_);
   PublishCounts(member, send_counts);
-  MSMOE_RETURN_IF_ERROR(SyncPoint());
+  MSMOE_RETURN_IF_ERROR(SyncPoint(member));
   *all_counts = counts_;
-  return SyncPoint();
+  return SyncPoint(member);
 }
 
 std::vector<double> CollectiveGroup::ExchangeScalars(int member, double value) {

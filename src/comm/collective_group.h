@@ -99,12 +99,31 @@ class CollectiveGroup {
 
   // Cancels the barrier: every current and future wait returns the first
   // non-OK status raised (sticky until RecoveryBarrier). `status` must be
-  // non-OK.
-  void Abort(Status status);
+  // non-OK. `culprit_rank` optionally attributes the fault to a member
+  // (e.g. the rank an injected crash targeted); the FIRST attribution
+  // sticks, like the first status.
+  void Abort(Status status, int culprit_rank = -1);
 
   // First error raised on this group, or OK.
   Status status() const;
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  // The member the sticky error is attributed to: the rank passed to
+  // Abort, or — for a barrier timeout — the lowest-indexed member that had
+  // not arrived at the expired sync point. -1 when healthy or when no
+  // attribution exists (e.g. an external Abort without a culprit). Cleared
+  // by ResetAbort.
+  int culprit_rank() const;
+
+  // Permanently decommissions the group (elastic shrink replaced it with a
+  // new epoch): aborts every waiter and makes the abort UNCLEARABLE —
+  // ResetAbort/RecoveryBarrier keep the sticky status, so a straggling
+  // collective issued against the retired membership fails loudly instead
+  // of rendezvousing with nobody. If the group already carries a fault
+  // status, that first error is kept (it is more informative than the
+  // stale-epoch notice).
+  void Retire(Status status);
+  bool retired() const { return retired_.load(std::memory_order_acquire); }
 
   // Collective-safe fault recovery: ALL members call with their own index
   // once they have observed the failure and unwound out of the failed
@@ -126,15 +145,18 @@ class CollectiveGroup {
   // Try* forms return the group status; the void forms discard it (see the
   // header comment).
 
-  Status TryBarrier();
-  void Barrier() { (void)TryBarrier(); }
+  // The member-less forms are kept for call sites outside any rank context
+  // (tests poking a barrier from an anonymous thread); they cannot
+  // contribute to timeout culprit attribution.
+  Status TryBarrier(int member = -1);
+  void Barrier(int member = -1) { (void)TryBarrier(member); }
 
   // recv must hold size() * count elements; member m's send block lands at
   // recv[m * count .. (m+1) * count).
   template <typename T>
   Status TryAllGather(int member, const T* send, T* recv, int64_t count) {
     PublishSend(member, send);
-    MSMOE_RETURN_IF_ERROR(SyncPoint());
+    MSMOE_RETURN_IF_ERROR(SyncPoint(member));
     for (int src = 0; src < size_; ++src) {
       std::memcpy(recv + static_cast<int64_t>(src) * count, SendSlot<T>(src),
                   static_cast<size_t>(count) * sizeof(T));
@@ -142,7 +164,7 @@ class CollectiveGroup {
     const uint64_t volume = RingVolume(count * static_cast<int64_t>(sizeof(T)));
     AccountOnce(member, volume);
     MSMOE_RETURN_IF_ERROR(EmulateWire(volume));
-    return SyncPoint();
+    return SyncPoint(member);
   }
   template <typename T>
   void AllGather(int member, const T* send, T* recv, int64_t count) {
@@ -154,7 +176,7 @@ class CollectiveGroup {
   template <typename T>
   Status TryReduceScatter(int member, const T* send, T* recv, int64_t count) {
     PublishSend(member, send);
-    MSMOE_RETURN_IF_ERROR(SyncPoint());
+    MSMOE_RETURN_IF_ERROR(SyncPoint(member));
     const int64_t offset = static_cast<int64_t>(member) * count;
     for (int64_t i = 0; i < count; ++i) {
       double sum = 0.0;
@@ -166,7 +188,7 @@ class CollectiveGroup {
     const uint64_t volume = RingVolume(count * static_cast<int64_t>(sizeof(T)));
     AccountOnce(member, volume);
     MSMOE_RETURN_IF_ERROR(EmulateWire(volume));
-    return SyncPoint();
+    return SyncPoint(member);
   }
   template <typename T>
   void ReduceScatter(int member, const T* send, T* recv, int64_t count) {
@@ -177,7 +199,7 @@ class CollectiveGroup {
   template <typename T>
   Status TryAllReduce(int member, const T* send, T* recv, int64_t count) {
     PublishSend(member, send);
-    MSMOE_RETURN_IF_ERROR(SyncPoint());
+    MSMOE_RETURN_IF_ERROR(SyncPoint(member));
     for (int64_t i = 0; i < count; ++i) {
       double sum = 0.0;
       for (int src = 0; src < size_; ++src) {
@@ -188,7 +210,7 @@ class CollectiveGroup {
     const uint64_t volume = 2 * RingVolume(count * static_cast<int64_t>(sizeof(T)));
     AccountOnce(member, volume);
     MSMOE_RETURN_IF_ERROR(EmulateWire(volume));
-    return SyncPoint();
+    return SyncPoint(member);
   }
   template <typename T>
   void AllReduce(int member, const T* send, T* recv, int64_t count) {
@@ -201,7 +223,7 @@ class CollectiveGroup {
     if (member == root) {
       PublishSend(member, data);
     }
-    MSMOE_RETURN_IF_ERROR(SyncPoint());
+    MSMOE_RETURN_IF_ERROR(SyncPoint(member));
     if (member != root) {
       std::memcpy(data, SendSlot<T>(root), static_cast<size_t>(count) * sizeof(T));
     }
@@ -210,7 +232,7 @@ class CollectiveGroup {
         static_cast<uint64_t>(count * static_cast<int64_t>(sizeof(T)));
     AccountOnce(member, volume);
     MSMOE_RETURN_IF_ERROR(EmulateWire(volume));
-    return SyncPoint();
+    return SyncPoint(member);
   }
   template <typename T>
   void Broadcast(int member, int root, T* data, int64_t count) {
@@ -222,7 +244,7 @@ class CollectiveGroup {
   template <typename T>
   Status TryAllToAll(int member, const T* send, T* recv, int64_t count) {
     PublishSend(member, send);
-    MSMOE_RETURN_IF_ERROR(SyncPoint());
+    MSMOE_RETURN_IF_ERROR(SyncPoint(member));
     for (int src = 0; src < size_; ++src) {
       std::memcpy(recv + static_cast<int64_t>(src) * count,
                   SendSlot<T>(src) + static_cast<int64_t>(member) * count,
@@ -231,7 +253,7 @@ class CollectiveGroup {
     const uint64_t volume = A2AVolume(count * static_cast<int64_t>(sizeof(T)));
     AccountOnce(member, volume);
     MSMOE_RETURN_IF_ERROR(EmulateWire(volume));
-    return SyncPoint();
+    return SyncPoint(member);
   }
   template <typename T>
   void AllToAll(int member, const T* send, T* recv, int64_t count) {
@@ -253,7 +275,7 @@ class CollectiveGroup {
     MSMOE_CHECK_EQ(static_cast<int>(send_counts.size()), size_);
     PublishSend(member, send);
     PublishCounts(member, send_counts);
-    MSMOE_RETURN_IF_ERROR(SyncPoint());
+    MSMOE_RETURN_IF_ERROR(SyncPoint(member));
     recv_counts->assign(static_cast<size_t>(size_), 0);
     int64_t recv_offset = 0;
     for (int src = 0; src < size_; ++src) {
@@ -283,7 +305,7 @@ class CollectiveGroup {
       *wire_out = total;
     }
     MSMOE_RETURN_IF_ERROR(EmulateWire(total));
-    return SyncPoint();
+    return SyncPoint(member);
   }
   template <typename T>
   uint64_t AllToAllV(int member, const T* send, const std::vector<int64_t>& send_counts,
@@ -323,8 +345,10 @@ class CollectiveGroup {
   // The cancellable rendezvous every collective phase runs through: returns
   // OK when all members arrived, the sticky abort status if the group was
   // cancelled, or raises kDeadlineExceeded for everyone when this waiter's
-  // deadline expires first.
-  Status SyncPoint();
+  // deadline expires first. `member` (when >= 0) marks this waiter in the
+  // arrival bitmap, so a timeout can attribute the fault to the members
+  // that never showed up.
+  Status SyncPoint(int member = -1);
 
   // Blocks for WireTimeUs(bytes) of idle time when the wire model is on
   // (every member sleeps concurrently, so one collective costs one wire
@@ -361,7 +385,12 @@ class CollectiveGroup {
   uint64_t generation_ = 0;
   Status abort_status_;               // first error; OK = healthy
   std::atomic<bool> aborted_{false};  // lock-free fast-path mirror
+  std::atomic<bool> retired_{false};  // abort is permanent (stale epoch)
   double timeout_ms_ = 0.0;           // 0 = wait forever
+  // Which members have arrived at the OPEN sync point (cleared when the
+  // barrier closes); consulted on timeout to name the missing ranks.
+  std::vector<char> arrived_members_;
+  int culprit_rank_ = -1;  // first fault attribution; -1 = none
 
   // Emulated wire clock (off when bytes_per_us <= 0).
   double wire_bytes_per_us_ = 0.0;

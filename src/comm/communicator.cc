@@ -72,7 +72,12 @@ void Communicator::SetWireModel(double bytes_per_us, double latency_us) {
   }
 }
 
-void Communicator::Abort(Status status) {
+void Communicator::Abort(Status status, int culprit_rank) {
+  if (culprit_rank >= 0) {
+    int expected = -1;
+    suspect_rank_.compare_exchange_strong(expected, culprit_rank,
+                                          std::memory_order_acq_rel);
+  }
   {
     std::lock_guard<std::mutex> lock(async_mu_);
     if (async_ != nullptr) {
@@ -80,6 +85,40 @@ void Communicator::Abort(Status status) {
     }
   }
   AbortImpl(std::move(status));
+}
+
+int Communicator::SuspectRank() const {
+  const int explicit_suspect = suspect_rank_.load(std::memory_order_acquire);
+  if (explicit_suspect >= 0) {
+    return explicit_suspect;
+  }
+  const int backend_suspect = BackendCulpritRank();
+  if (backend_suspect >= 0) {
+    return backend_suspect;
+  }
+  std::lock_guard<std::mutex> lock(async_mu_);
+  if (async_ != nullptr) {
+    return async_->channel.culprit_rank();
+  }
+  return -1;
+}
+
+void Communicator::Retire(Status stale) {
+  MSMOE_CHECK(!stale.ok()) << "Retire needs a non-OK stale status";
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    stale_status_ = stale;
+    if (async_ != nullptr) {
+      async_->channel.Retire(stale);
+    }
+  }
+  RetireBackend(std::move(stale));
+  retired_.store(true, std::memory_order_release);
+}
+
+Status Communicator::stale_status() const {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  return stale_status_;
 }
 
 Status Communicator::GroupStatus() const {
@@ -95,8 +134,10 @@ Status Communicator::GroupStatus() const {
 }
 
 void Communicator::RecoveryBarrier(int member) {
+  MSMOE_CHECK(!retired()) << "RecoveryBarrier on a retired (stale-epoch) communicator";
   RecoveryArriveImpl();
   if (member == 0) {
+    suspect_rank_.store(-1, std::memory_order_release);
     ResetBackendAbort();
     std::lock_guard<std::mutex> lock(async_mu_);
     if (async_ != nullptr) {
@@ -151,6 +192,13 @@ uint64_t FlatCommunicator::AllGatherBytes(int member, const void* send, void* re
   group_.AllGather(member, static_cast<const uint8_t*>(send),
                    static_cast<uint8_t*>(recv), bytes);
   return RingBytes(size(), bytes);
+}
+
+Status FlatCommunicator::TryAllGatherStatus(int member, const void* send, void* recv,
+                                            int64_t bytes, uint64_t* wire) {
+  *wire = RingBytes(size(), bytes);
+  return group_.TryAllGather(member, static_cast<const uint8_t*>(send),
+                             static_cast<uint8_t*>(recv), bytes);
 }
 
 uint64_t FlatCommunicator::ReduceScatterF32(int member, const float* send, float* recv,
@@ -222,6 +270,14 @@ uint64_t HierarchicalCommunicator::AllGatherBytes(int member, const void* send,
   world_.AllGather(member, static_cast<const uint8_t*>(send),
                    static_cast<uint8_t*>(recv), bytes);
   return RingBytes(size(), bytes);
+}
+
+Status HierarchicalCommunicator::TryAllGatherStatus(int member, const void* send,
+                                                    void* recv, int64_t bytes,
+                                                    uint64_t* wire) {
+  *wire = RingBytes(size(), bytes);
+  return world_.TryAllGather(member, static_cast<const uint8_t*>(send),
+                             static_cast<uint8_t*>(recv), bytes);
 }
 
 uint64_t HierarchicalCommunicator::ReduceScatterF32(int member, const float* send,

@@ -24,6 +24,7 @@
 #ifndef MSMOE_SRC_COMM_COMMUNICATOR_H_
 #define MSMOE_SRC_COMM_COMMUNICATOR_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -104,17 +105,44 @@ class Communicator {
   // collective — sync and async — additionally blocks for the modeled link
   // occupancy of its analytic volume. Off by default.
   void SetWireModel(double bytes_per_us, double latency_us);
-  // Cancels every channel's barrier; all ranks observe `status`.
-  void Abort(Status status);
+  // Cancels every channel's barrier; all ranks observe `status`. The
+  // two-argument form additionally attributes the fault to `culprit_rank`
+  // (surfaced by SuspectRank; first attribution sticks); injected crashes
+  // attribute themselves automatically.
+  void Abort(Status status) { Abort(std::move(status), -1); }
+  void Abort(Status status, int culprit_rank);
   // First error raised on any channel (abort, timeout, injected crash), or
   // OK. After a failed collective the output buffers are unspecified;
   // fault-aware callers check this per step and run recovery.
   Status GroupStatus() const;
+  // Best-guess member responsible for the current failure: an explicit
+  // attribution passed to Abort (injected crashes name the crashing rank),
+  // else the backend barrier's missing-member attribution on timeout, else
+  // the async channel's. -1 when healthy or unattributed.
+  int SuspectRank() const;
   // Collective-safe reset after all ranks observed the failure: rendezvous,
   // clear the abort on every channel (async included), rendezvous (see
   // CollectiveGroup::RecoveryBarrier). Outstanding CommHandles must be
   // destroyed before this is called, so the comm threads have unwound.
+  // Refuses (CHECK) on a retired communicator — a stale epoch never heals.
   void RecoveryBarrier(int member);
+
+  // --- Elastic epochs (src/comm/elastic.h) ---------------------------------
+
+  // Permanently fails this communicator as a stale membership epoch: aborts
+  // every channel (keeping the ORIGINAL fault visible via GroupStatus, so
+  // the culprit rank observes the same first error as the survivors) and
+  // refuses future ResetAbort/RecoveryBarrier. Subsequent Start* calls
+  // return an already-failed handle carrying `stale`, so an overlap
+  // pipeline issued against the replaced membership fails loudly instead of
+  // deadlocking on a rendezvous nobody will join.
+  void Retire(Status stale);
+  bool retired() const { return retired_.load(std::memory_order_acquire); }
+  // The stale-epoch status installed by Retire (OK if not retired).
+  Status stale_status() const;
+  // Membership epoch stamped by the owning ElasticComm (0 standalone).
+  int epoch() const { return epoch_; }
+  void set_epoch(int epoch) { epoch_ = epoch; }
 
   // All members must call every collective, with their own member index.
   // Semantics match CollectiveGroup (see collective_group.h). On an aborted
@@ -128,11 +156,56 @@ class Communicator {
       return;
     }
     const double start = telemetry_.NowUs();
-    BarrierImpl();
+    BarrierImpl(member);
     if (!GroupStatus().ok()) {
       return;
     }
     Finish(CommOp::kBarrier, member, "bytes", 0, 0, 0, start);
+  }
+
+  // Like Barrier, but returns THIS barrier's own completion status. The
+  // return value is serialized with concurrent Aborts under the group
+  // mutex: a barrier that closed returns Ok on EVERY member — even when a
+  // fault lands immediately after it closes — and a cancelled one returns
+  // the same sticky error on every member. Collective commit decisions
+  // (e.g. the trainer's barrier-gated snapshot) must branch on this value;
+  // re-reading GroupStatus() after the call races with faults raised
+  // between one member's barrier exit and another member's read, splitting
+  // the commit across the group.
+  Status TryBarrier(int member) {
+    const FaultAction action = BeginOp(member);
+    if (action.crash) {
+      return GroupStatus();
+    }
+    const double start = telemetry_.NowUs();
+    const Status status = TryBarrierStatus(member);
+    if (!status.ok()) {
+      return status;
+    }
+    Finish(CommOp::kBarrier, member, "bytes", 0, 0, 0, start);
+    return status;
+  }
+
+  // AllGather whose return value is this op's own serialized status (same
+  // commit-token contract as TryBarrier): Ok means the gather completed
+  // group-wide and the receive buffer is fully populated on every member.
+  template <typename T>
+  Status TryAllGather(int member, const T* send, T* recv, int64_t count) {
+    const FaultAction action = BeginOp(member);
+    if (action.crash) {
+      return GroupStatus();
+    }
+    const double start = telemetry_.NowUs();
+    const int64_t bytes = count * static_cast<int64_t>(sizeof(T));
+    uint64_t wire = 0;
+    const Status status = TryAllGatherStatus(member, send, recv, bytes, &wire);
+    if (!status.ok()) {
+      return status;
+    }
+    EndOp(action, recv, size() * bytes);
+    Finish(CommOp::kAllGather, member, CommElemTypeName<T>(), sizeof(T), count, wire,
+           start);
+    return status;
   }
 
   template <typename T>
@@ -278,6 +351,9 @@ class Communicator {
   std::unique_ptr<CommHandle> StartAllGather(int member, const T* send, T* recv,
                                              int64_t count, int num_chunks,
                                              int64_t quantum = 1) {
+    if (retired()) {
+      return AsyncCommDriver::MakeFailedHandle(stale_status());
+    }
     return AsyncCommDriver::StartAllGather(
         AsyncParams(member, CommElemTypeName<T>(), sizeof(T)), send, recv, count,
         num_chunks, quantum);
@@ -286,6 +362,9 @@ class Communicator {
   std::unique_ptr<CommHandle> StartReduceScatter(int member, const float* send,
                                                  float* recv, int64_t count,
                                                  int num_chunks, int64_t quantum = 1) {
+    if (retired()) {
+      return AsyncCommDriver::MakeFailedHandle(stale_status());
+    }
     return AsyncCommDriver::StartReduceScatter(AsyncParams(member, "f32", sizeof(float)),
                                                send, recv, count, num_chunks, quantum);
   }
@@ -296,6 +375,9 @@ class Communicator {
   std::unique_ptr<CommHandle> StartAllToAllV(int member, const T* send,
                                              const std::vector<int64_t>& send_counts,
                                              std::vector<T>* recv, int num_chunks) {
+    if (retired()) {
+      return AsyncCommDriver::MakeFailedHandle(stale_status());
+    }
     auto resize = [recv](int64_t elems) -> void* {
       recv->resize(static_cast<size_t>(elems));
       return recv->data();
@@ -309,7 +391,12 @@ class Communicator {
   // Backends implement byte-level data movement plus float reductions and
   // return the TOTAL analytic wire volume of the collective (the value the
   // event records; must equal the delta the backend adds to wire_bytes()).
-  virtual void BarrierImpl() = 0;
+  virtual void BarrierImpl(int member) = 0;
+  // Status-returning variants backing TryBarrier/TryAllGather: the status
+  // is the op's own serialized verdict (see TryBarrier above).
+  virtual Status TryBarrierStatus(int member) = 0;
+  virtual Status TryAllGatherStatus(int member, const void* send, void* recv,
+                                    int64_t bytes, uint64_t* wire) = 0;
   virtual uint64_t AllGatherBytes(int member, const void* send, void* recv,
                                   int64_t bytes) = 0;
   virtual uint64_t ReduceScatterF32(int member, const float* send, float* recv,
@@ -337,6 +424,11 @@ class Communicator {
   virtual Status BackendStatus() const = 0;
   virtual void RecoveryArriveImpl() = 0;
   virtual void ResetBackendAbort() = 0;
+  // Retires the backend channels with the stale-epoch status (see Retire).
+  virtual void RetireBackend(Status stale) = 0;
+  // The backend barrier's fault attribution (missing member on a timeout,
+  // explicit culprit on an abort), or -1.
+  virtual int BackendCulpritRank() const = 0;
 
  private:
   // Consults the fault plan with this rank's op index: sleeps out injected
@@ -353,7 +445,8 @@ class Communicator {
       }
       if (action.crash) {
         Abort(Aborted("fault injection: rank " + std::to_string(member) +
-                      " crashed at collective " + std::to_string(index)));
+                      " crashed at collective " + std::to_string(index)),
+              /*culprit_rank=*/member);
       }
     }
     return action;
@@ -402,6 +495,13 @@ class Communicator {
 
   CommTelemetry telemetry_;
   FaultPlan* fault_plan_ = nullptr;
+  // First explicit fault attribution handed to Abort; -1 = none. Cleared by
+  // RecoveryBarrier (transient faults forgive the suspect on reset).
+  std::atomic<int> suspect_rank_{-1};
+  // Stale-epoch state (Retire): set once, never cleared.
+  std::atomic<bool> retired_{false};
+  Status stale_status_;  // guarded by async_mu_
+  int epoch_ = 0;
   // Per-rank collective-op counters (each element touched only by its own
   // rank thread); sized by set_fault_plan.
   std::vector<int64_t> op_counts_;
@@ -440,8 +540,13 @@ class FlatCommunicator final : public Communicator {
   Status BackendStatus() const override { return group_.status(); }
   void RecoveryArriveImpl() override { group_.RecoveryArrive(); }
   void ResetBackendAbort() override { group_.ResetAbort(); }
+  void RetireBackend(Status stale) override { group_.Retire(std::move(stale)); }
+  int BackendCulpritRank() const override { return group_.culprit_rank(); }
 
-  void BarrierImpl() override { group_.Barrier(); }
+  void BarrierImpl(int member) override { group_.Barrier(member); }
+  Status TryBarrierStatus(int member) override { return group_.TryBarrier(member); }
+  Status TryAllGatherStatus(int member, const void* send, void* recv, int64_t bytes,
+                            uint64_t* wire) override;
   uint64_t AllGatherBytes(int member, const void* send, void* recv,
                           int64_t bytes) override;
   uint64_t ReduceScatterF32(int member, const float* send, float* recv,
@@ -511,8 +616,18 @@ class HierarchicalCommunicator final : public Communicator {
     world_.ResetAbort();
     hier_.ResetAbortAll();
   }
+  // The sub-groups have no Retire; a sticky abort is enough because a
+  // retired communicator never runs ResetBackendAbort again.
+  void RetireBackend(Status stale) override {
+    hier_.AbortAll(stale);
+    world_.Retire(std::move(stale));
+  }
+  int BackendCulpritRank() const override { return world_.culprit_rank(); }
 
-  void BarrierImpl() override { world_.Barrier(); }
+  void BarrierImpl(int member) override { world_.Barrier(member); }
+  Status TryBarrierStatus(int member) override { return world_.TryBarrier(member); }
+  Status TryAllGatherStatus(int member, const void* send, void* recv, int64_t bytes,
+                            uint64_t* wire) override;
   uint64_t AllGatherBytes(int member, const void* send, void* recv,
                           int64_t bytes) override;
   uint64_t ReduceScatterF32(int member, const float* send, float* recv,

@@ -26,10 +26,10 @@ StragglerReport DetectStragglers(const std::vector<CommEvent>& events,
   for (const CommEvent& event : events) {
     starts[static_cast<size_t>(event.rank)].push_back(event.start_us);
   }
-  size_t matched = std::numeric_limits<size_t>::max();
+  size_t matched = 0;
   for (auto& stream : starts) {
     std::sort(stream.begin(), stream.end());
-    matched = std::min(matched, stream.size());
+    matched = std::max(matched, stream.size());
   }
 
   report.collectives_matched = static_cast<int64_t>(matched);
@@ -41,21 +41,40 @@ StragglerReport DetectStragglers(const std::vector<CommEvent>& events,
     return report;
   }
 
+  // Match the i-th collective over the ranks that actually recorded an i-th
+  // event. A crashed rank's stream simply ends early; truncating every
+  // stream to the shortest one would discard the healthy ranks' late
+  // collectives — exactly the events that carry the fault signature.
   for (size_t i = 0; i < matched; ++i) {
     double earliest = std::numeric_limits<double>::infinity();
+    int present = 0;
     for (int rank = 0; rank < num_ranks; ++rank) {
-      earliest = std::min(earliest, starts[static_cast<size_t>(rank)][i]);
+      const auto& stream = starts[static_cast<size_t>(rank)];
+      if (stream.size() > i) {
+        earliest = std::min(earliest, stream[i]);
+        ++present;
+      }
+    }
+    if (present < 2) {
+      // A lone participant has no peer to lag behind; skip the instance.
+      continue;
     }
     for (int rank = 0; rank < num_ranks; ++rank) {
+      const auto& stream = starts[static_cast<size_t>(rank)];
+      if (stream.size() <= i) {
+        continue;
+      }
       RankHealth& health = report.ranks[static_cast<size_t>(rank)];
-      const double lag = starts[static_cast<size_t>(rank)][i] - earliest;
+      const double lag = stream[i] - earliest;
+      ++health.collectives;
       health.mean_entry_lag_us += lag;
       health.max_entry_lag_us = std::max(health.max_entry_lag_us, lag);
     }
   }
   for (RankHealth& health : report.ranks) {
-    health.collectives = static_cast<int64_t>(matched);
-    health.mean_entry_lag_us /= static_cast<double>(matched);
+    if (health.collectives > 0) {
+      health.mean_entry_lag_us /= static_cast<double>(health.collectives);
+    }
     health.straggler = health.collectives >= config.min_collectives &&
                        health.mean_entry_lag_us > config.threshold_us;
   }

@@ -32,14 +32,15 @@ struct StragglerConfig {
 
 struct RankHealth {
   int rank = 0;
-  int64_t collectives = 0;        // collectives this rank was matched in
-  double mean_entry_lag_us = 0.0;  // mean (entry - earliest member entry)
+  int64_t collectives = 0;        // collectives this rank participated in
+  double mean_entry_lag_us = 0.0;  // mean (entry - earliest present entry)
   double max_entry_lag_us = 0.0;
   bool straggler = false;
 };
 
 struct StragglerReport {
   std::vector<RankHealth> ranks;   // indexed by rank
+  // Longest per-rank stream = number of collective instances analyzed.
   int64_t collectives_matched = 0;
   double threshold_us = 0.0;
 
@@ -55,8 +56,12 @@ struct StragglerReport {
 // Analyzes events recorded by one Communicator run. Events are grouped by
 // rank and ordered by start time; the i-th event of each rank is matched as
 // one collective instance (ranks issue collectives in the same global
-// order). Ranks are inferred from the events; uneven per-rank counts (a
-// crashed rank's truncated stream) are matched up to the shortest stream.
+// order). Ranks are inferred from the events. Uneven per-rank counts (a
+// crashed rank's truncated stream) do NOT truncate the analysis: instance i
+// is matched over the ranks whose streams reach it, so the healthy
+// survivors' late collectives — the fault signature — are still scored;
+// per-rank `collectives` then differ and the mean is over each rank's own
+// participation.
 StragglerReport DetectStragglers(const std::vector<CommEvent>& events,
                                  const StragglerConfig& config = {});
 

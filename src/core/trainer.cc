@@ -1,12 +1,16 @@
 #include "src/core/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <string>
+#include <thread>
 
 #include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/comm/communicator.h"
+#include "src/comm/elastic.h"
+#include "src/comm/health.h"
 #include "src/core/exec_graph.h"
 #include "src/model/checkpoint.h"
 #include "src/model/flat_adam.h"
@@ -155,6 +159,35 @@ Status ValidateNumericTrainConfig(const NumericTrainConfig& config) {
         "reduces one flat gradient buffer after the full backward and has no "
         "per-layer segments to overlap; disable one of the two");
   }
+  if (config.elastic) {
+    if (config.restart_every > 0) {
+      return InvalidArgument(
+          "elastic is incompatible with restart_every: the Fig 19 restart "
+          "pattern assumes a fixed world, while elastic recovery may shrink it");
+    }
+    MSMOE_RETURN_IF_ERROR(ValidateRecoveryPolicyConfig(config.recovery_policy));
+    if (config.min_world < 1) {
+      return InvalidArgument("min_world must be >= 1");
+    }
+  }
+  if (!config.init_checkpoint_path.empty() && config.zero_shard_optimizer) {
+    return InvalidArgument(
+        "init_checkpoint_path requires a replicated optimizer: checkpoint "
+        "files hold full state, which ZeRO-1 runs shard per rank");
+  }
+  if (config.first_step < 0) {
+    return InvalidArgument("first_step must be >= 0");
+  }
+  if (config.first_step > 0) {
+    if (config.init_checkpoint_path.empty()) {
+      return InvalidArgument(
+          "first_step > 0 requires init_checkpoint_path: the steps before "
+          "first_step are the checkpointed run's history, not replayable here");
+    }
+    if (config.first_step >= config.steps) {
+      return InvalidArgument("first_step must be < steps");
+    }
+  }
   return Status::Ok();
 }
 
@@ -163,20 +196,21 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
   MSMOE_CHECK(config_status.ok()) << config_status.ToString();
   const int dp = config.dp_size;
   MSMOE_CHECK_GE(dp, 1);
-  std::unique_ptr<Communicator> comm =
-      MakeCommunicator(config.comm_backend, dp, config.gpus_per_node);
-  Communicator& group = *comm;
+  // Epoch 0 of the elastic membership is exactly the fixed-world
+  // communicator non-elastic runs always used; further epochs only exist if
+  // a permanent fault shrinks the membership.
+  ElasticComm elastic(config.comm_backend, dp, config.gpus_per_node);
   if (config.fault_plan != nullptr) {
-    comm->set_fault_plan(config.fault_plan);
+    elastic.set_fault_plan(config.fault_plan);
   }
   if (config.collective_timeout_ms > 0.0) {
-    comm->SetCollectiveTimeout(config.collective_timeout_ms);
+    elastic.SetCollectiveTimeout(config.collective_timeout_ms);
   }
   // Whether any step can fail. A fault-free run without deadlines never sees
   // a non-OK group, so the plain loop is kept byte-for-byte identical.
   const bool fault_aware = config.fault_plan != nullptr ||
                            config.collective_timeout_ms > 0.0 ||
-                           config.guard_grad_checksum;
+                           config.guard_grad_checksum || config.elastic;
   // File-backed recovery needs state that is identical on every rank; ZeRO
   // shards the masters per-rank, so those runs recover from memory.
   const bool file_checkpoints =
@@ -185,6 +219,23 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
   curve.loss.assign(static_cast<size_t>(config.steps), 0.0);
 
   RunOnRanks(dp, [&](int rank) {
+    // `rank` is this thread's GLOBAL (epoch-0) rank, fixed for its lifetime.
+    // `my` is the dense rank within the CURRENT membership epoch and
+    // `dp_now` the current world size — both are remapped when an elastic
+    // shrink evicts a rank. Non-elastic runs never change them.
+    Communicator* comm_now = elastic.comm();
+    int my = rank;
+    int dp_now = dp;
+    // Global ranks of comm_now's epoch, snapshotted at bind time. Fault
+    // attribution maps epoch ranks through THIS list, never through
+    // elastic.GlobalRank(): a survivor that classifies late (it slept
+    // through the fault) must resolve its suspect against the epoch that
+    // failed, not against a membership its peers already committed.
+    std::vector<int> members_now(static_cast<size_t>(dp));
+    for (int i = 0; i < dp; ++i) {
+      members_now[static_cast<size_t>(i)] = i;
+    }
+
     // Identical init on every rank.
     Rng rng(config.seed);
     LmParams params = LmParams::Init(config.model, rng);
@@ -204,8 +255,9 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
 
     const int64_t total_elems = params.TotalElements();
     // Pad the flat gradient buffer so it shards evenly over the DP group.
-    const int64_t padded = ((total_elems + dp - 1) / dp) * dp;
-    const int64_t shard = padded / dp;
+    // Mutable: an elastic shrink re-plans the geometry for the new world.
+    int64_t padded = PaddedGradCount(total_elems, dp_now);
+    int64_t shard = padded / dp_now;
     std::vector<float> flat(static_cast<size_t>(padded), 0.0f);
 
     // §5 inter-op overlap (see NumericTrainConfig::overlap_grad_sync): each
@@ -251,8 +303,18 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
     if (config.zero_shard_optimizer) {
       std::vector<float> full = SaveParams(params);
       full.resize(static_cast<size_t>(padded), 0.0f);
-      master_shard.assign(full.begin() + rank * shard, full.begin() + (rank + 1) * shard);
+      master_shard.assign(full.begin() + my * shard, full.begin() + (my + 1) * shard);
     }
+
+    // Elastic + ZeRO snapshots hold the FULL gathered state, not this
+    // rank's shard: after a shrink the shard boundaries move, so recovery
+    // reshards the gathered masters and Adam moments at the new geometry
+    // (src/model/checkpoint.h reshard helpers).
+    const bool elastic_zero = config.elastic && config.zero_shard_optimizer;
+    std::vector<float> snapshot_master_full;
+    std::vector<float> snapshot_m_full;
+    std::vector<float> snapshot_v_full;
+    int64_t snapshot_opt_step = 0;
 
     auto run_step = [&](int64_t step, bool record) {
       // Low-precision compute copy; masters stay FP32 (in `params` or in the
@@ -270,7 +332,7 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
         for (int64_t micro = 0; micro < accum; ++micro) {
           std::vector<int64_t> inputs;
           std::vector<int64_t> targets;
-          MakeTrainingBatch(config.model, config.seed, step * accum + micro, rank,
+          MakeTrainingBatch(config.model, config.seed, step * accum + micro, my,
                             config.batch_per_rank, &inputs, &targets);
           const LmStepStats micro_stats =
               LmForwardBackward(compute, config.model, config.router, inputs, targets,
@@ -294,12 +356,12 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
         for (int64_t l = config.model.num_layers - 1; l >= 0; --l) {
           GradSegment& seg = segments[static_cast<size_t>(l)];
           seg.handle =
-              StartGradShardSync(group, rank, seg.send.data(), seg.padded,
+              StartGradShardSync(*comm_now, my, seg.send.data(), seg.padded,
                                  seg.shard.data(), config.overlap_grad_chunks,
                                  /*signal_now=*/false);
         }
         GradSegment& tail = segments.back();
-        tail.handle = StartGradShardSync(group, rank, tail.send.data(), tail.padded,
+        tail.handle = StartGradShardSync(*comm_now, my, tail.send.data(), tail.padded,
                                          tail.shard.data(), config.overlap_grad_chunks,
                                          /*signal_now=*/false);
 
@@ -354,9 +416,9 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
           gathers.push_back(graph.AddComm(
               "param_ag[" + std::to_string(s) + "]", /*stream=*/0,
               [&, seg] {
-                group.AllGather(rank, seg->shard.data(), seg->full.data(),
-                                seg->padded / dp);
-                return group.GroupStatus();
+                comm_now->AllGather(my, seg->shard.data(), seg->full.data(),
+                                    seg->padded / dp);
+                return comm_now->GroupStatus();
               },
               {wait}));
         }
@@ -394,7 +456,7 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
         for (GradSegment& seg : segments) {
           seg.handle.reset();
         }
-        if (record && rank == 0) {
+        if (record && my == 0) {
           curve.loss[static_cast<size_t>(step)] = stats.ce_loss;
         }
         return stats.ce_loss;
@@ -416,14 +478,14 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
         // ZeRO-1: reduce this rank's gradient shard, update the master
         // shard, and all-gather the updated parameters on the chosen wire.
         std::vector<float> grad_shard =
-            SyncGradShard(group, rank, flat.data(), padded, config.grad_sync);
+            SyncGradShard(*comm_now, my, flat.data(), padded, config.grad_sync);
         for (float& g : grad_shard) {
-          g /= static_cast<float>(dp);
+          g /= static_cast<float>(dp_now);
         }
         flat_adam.Step(grad_shard.data(), master_shard.data());
         std::vector<float> wire = master_shard;
         RoundFlatForWire(wire.data(), shard, config.param_gather_precision);
-        group.AllGather(rank, wire.data(), flat.data(), shard);
+        comm_now->AllGather(my, wire.data(), flat.data(), shard);
         cursor = 0;
         params.ForEach([&](const std::string&, Tensor& tensor) {
           for (int64_t i = 0; i < tensor.numel(); ++i) {
@@ -431,17 +493,17 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
           }
         });
       } else {
-        AllReduceGrads(group, rank, flat.data(), padded, config.grad_sync);
+        AllReduceGrads(*comm_now, my, flat.data(), padded, config.grad_sync);
         cursor = 0;
         grads.ForEach([&](const std::string&, Tensor& tensor) {
           for (int64_t i = 0; i < tensor.numel(); ++i) {
-            tensor[i] = flat[cursor++] / static_cast<float>(dp);
+            tensor[i] = flat[cursor++] / static_cast<float>(dp_now);
           }
         });
         adam.Step(grads.TensorListConst());
       }
 
-      if (record && rank == 0) {
+      if (record && my == 0) {
         curve.loss[static_cast<size_t>(step)] = stats.ce_loss;
       }
       return stats.ce_loss;
@@ -463,11 +525,61 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       run_step(-config.warmup_steps + step - 1000000, /*record=*/false);
     }
 
+    // Continue a previous run from its persisted checkpoint (the elastic
+    // bit-identity cross-check starts a fresh W-k run this way).
+    if (!config.init_checkpoint_path.empty()) {
+      Result<Checkpoint> loaded = LoadCheckpoint(config.init_checkpoint_path);
+      MSMOE_CHECK(loaded.ok()) << loaded.status().ToString();
+      const Status restored = RestoreParams(params, loaded.value().params);
+      MSMOE_CHECK(restored.ok()) << restored.ToString();
+      load_opt(loaded.value().optimizer_state);
+    }
+
+    // Gathers the full ZeRO state (masters + Adam moments) of the CURRENT
+    // membership into the elastic snapshot buffers; returns false (nothing
+    // committed) if the group failed mid-gather. The gathered padding is
+    // zero by construction (zero-padded grads keep zero moments and zero
+    // master updates), so trimming to total_elems is lossless.
+    auto gather_zero_snapshot = [&] {
+      std::vector<float> opt_blob = flat_adam.SaveState();  // [step, m, v]
+      MSMOE_CHECK_EQ(static_cast<int64_t>(opt_blob.size()), 1 + 2 * shard);
+      std::vector<float> master_full(static_cast<size_t>(padded), 0.0f);
+      std::vector<float> m_full(static_cast<size_t>(padded), 0.0f);
+      std::vector<float> v_full(static_cast<size_t>(padded), 0.0f);
+      // Commit on each gather's own status (the TryBarrier commit-token
+      // contract): every rank reaches the same verdict even when a fault
+      // lands right after the last gather closes.
+      Status gathered =
+          comm_now->TryAllGather(my, master_shard.data(), master_full.data(), shard);
+      if (gathered.ok()) {
+        gathered = comm_now->TryAllGather(my, opt_blob.data() + 1, m_full.data(), shard);
+      }
+      if (gathered.ok()) {
+        gathered = comm_now->TryAllGather(my, opt_blob.data() + 1 + shard,
+                                          v_full.data(), shard);
+      }
+      if (!gathered.ok()) {
+        return false;
+      }
+      master_full.resize(static_cast<size_t>(total_elems));
+      m_full.resize(static_cast<size_t>(total_elems));
+      v_full.resize(static_cast<size_t>(total_elems));
+      snapshot_master_full = std::move(master_full);
+      snapshot_m_full = std::move(m_full);
+      snapshot_v_full = std::move(v_full);
+      snapshot_opt_step = static_cast<int64_t>(opt_blob[0]);
+      return true;
+    };
+
     std::vector<float> checkpoint_params = SaveParams(params);
     std::vector<float> checkpoint_master = master_shard;
     std::vector<float> checkpoint_opt = save_opt();
-    int64_t checkpoint_step = 0;
-    if (file_checkpoints && rank == 0) {
+    int64_t checkpoint_step = config.first_step;
+    if (elastic_zero) {
+      MSMOE_CHECK(gather_zero_snapshot()) << "initial elastic snapshot failed: "
+                                          << comm_now->GroupStatus().ToString();
+    }
+    if (file_checkpoints && my == 0) {
       const Status saved =
           SaveCheckpoint(config.checkpoint_path, params, checkpoint_opt);
       MSMOE_CHECK(saved.ok()) << saved.ToString();
@@ -478,15 +590,23 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
     // in-flight fault could snapshot a step its peers never reached, and
     // recovery would resume from diverged states.
     auto try_snapshot = [&](int64_t step) {
-      group.Barrier(rank);
-      if (!group.GroupStatus().ok()) {
+      // The commit decision branches on the barrier's OWN returned status
+      // (serialized with concurrent aborts), never on a GroupStatus() read
+      // after the fact: a crash raised by a peer between one rank's barrier
+      // exit and another's status read would otherwise commit the snapshot
+      // on some ranks only, diverging checkpoint_step — and with it the
+      // resume step — across the group.
+      if (!comm_now->TryBarrier(my).ok()) {
+        return false;
+      }
+      if (elastic_zero && !gather_zero_snapshot()) {
         return false;
       }
       checkpoint_params = SaveParams(params);
       checkpoint_master = master_shard;
       checkpoint_opt = save_opt();
       checkpoint_step = step;
-      if (file_checkpoints && rank == 0) {
+      if (file_checkpoints && my == 0) {
         const Status saved =
             SaveCheckpoint(config.checkpoint_path, params, checkpoint_opt);
         MSMOE_CHECK(saved.ok()) << saved.ToString();
@@ -494,6 +614,10 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       return true;
     };
 
+    // Restores the snapshot at the CURRENT geometry (my, dp_now): after an
+    // elastic shrink the ZeRO state is re-sliced from the gathered full
+    // snapshot, so restoring at an unchanged world is bitwise identical to
+    // the plain per-shard copy.
     auto restore_snapshot = [&] {
       if (file_checkpoints) {
         Result<Checkpoint> loaded = LoadCheckpoint(config.checkpoint_path);
@@ -501,6 +625,20 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
         const Status restored = RestoreParams(params, loaded.value().params);
         MSMOE_CHECK(restored.ok()) << restored.ToString();
         load_opt(loaded.value().optimizer_state);
+      } else if (elastic_zero) {
+        LoadParams(params, checkpoint_params);
+        master_shard = ShardOfFlat(snapshot_master_full, total_elems, dp_now, my);
+        std::vector<float> blob;
+        blob.reserve(static_cast<size_t>(1 + 2 * shard));
+        blob.push_back(static_cast<float>(snapshot_opt_step));
+        const std::vector<float> m =
+            ShardOfFlat(snapshot_m_full, total_elems, dp_now, my);
+        const std::vector<float> v =
+            ShardOfFlat(snapshot_v_full, total_elems, dp_now, my);
+        blob.insert(blob.end(), m.begin(), m.end());
+        blob.insert(blob.end(), v.begin(), v.end());
+        flat_adam = FlatAdam(config.adam, shard);
+        flat_adam.LoadState(blob);
       } else {
         LoadParams(params, checkpoint_params);
         master_shard = checkpoint_master;
@@ -517,22 +655,26 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       for (float value : flat) {
         sum += static_cast<double>(value);
       }
-      const std::vector<double> sums = group.ExchangeScalars(rank, sum);
-      if (!group.GroupStatus().ok()) {
+      const std::vector<double> sums = comm_now->ExchangeScalars(my, sum);
+      if (!comm_now->GroupStatus().ok()) {
         return;
       }
-      for (int peer = 0; peer < dp; ++peer) {
+      for (int peer = 0; peer < dp_now; ++peer) {
         if (sums[static_cast<size_t>(peer)] != sum) {
-          group.Abort(DataLoss("replica checksum mismatch after step sync: rank " +
-                               std::to_string(rank) + " disagrees with rank " +
-                               std::to_string(peer)));
+          comm_now->Abort(DataLoss("replica checksum mismatch after step sync: rank " +
+                                   std::to_string(my) + " disagrees with rank " +
+                                   std::to_string(peer)));
           return;
         }
       }
     };
 
+    // Fault classification replica (elastic runs). Every rank classifies
+    // the SAME sticky error with the SAME suspect attribution, so the
+    // replicas reach identical verdicts without any extra coordination.
+    RecoveryPolicy policy(config.recovery_policy);
     int64_t recoveries_used = 0;
-    int64_t step = 0;
+    int64_t step = config.first_step;
     while (step < config.steps) {
       if (config.restart_every > 0 && step > 0 && step % config.restart_every == 0 &&
           step != checkpoint_step) {
@@ -545,7 +687,7 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
         LoadParams(params, checkpoint_params);
         master_shard = checkpoint_master;
         load_opt(checkpoint_opt);
-        if (rank == 0) {
+        if (my == 0) {
           curve.restart_steps.push_back(step);
         }
       }
@@ -556,37 +698,188 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       }
       if (step_ran) {
         run_step(step, /*record=*/true);
-        if (config.guard_grad_checksum && group.GroupStatus().ok()) {
+        if (config.guard_grad_checksum && comm_now->GroupStatus().ok()) {
           checksum_guard();
         }
       }
-      const Status status = group.GroupStatus();
+      const Status status = comm_now->GroupStatus();
       if (status.ok()) {
+        if (config.elastic) {
+          policy.OnStepSuccess();
+        }
         ++step;
         continue;
       }
       // A fault surfaced somewhere in this step: every rank observes the
       // same sticky error (the collectives all route through the cancelled
-      // barrier), so every rank takes this path at the same loop iteration.
+      // barrier). A rank whose step completed just before a peer raised the
+      // fault may read OK here and enter recovery one iteration later — the
+      // rollback below re-aligns everyone at step = checkpoint_step, which
+      // the barrier-gated snapshot keeps identical across the group.
+      if (!config.elastic) {
+        // Legacy rollback path: every recoverable fault is retried. Codes
+        // outside the rollback-repairable set (see IsRetryableFault) are
+        // logic errors that would fail identically on replay — fail loudly.
+        MSMOE_CHECK(IsRetryableFault(status) ||
+                    status.code() == StatusCode::kDataLoss)
+            << "non-recoverable failure at step " << step << ": "
+            << status.ToString();
+        ++recoveries_used;
+        MSMOE_CHECK_LE(recoveries_used, config.max_recoveries)
+            << "training failed at step " << step << " and exhausted "
+            << config.max_recoveries << " recoveries: " << status.ToString();
+        comm_now->RecoveryBarrier(my);
+        restore_snapshot();
+        if (my == 0) {
+          RecoveryEvent event;
+          event.failed_step = step;
+          event.resumed_step = checkpoint_step;
+          event.steps_lost = step - checkpoint_step;
+          event.cause = status.ToString();
+          event.world_after = 0;
+          curve.recoveries.push_back(event);
+        }
+        step = checkpoint_step;
+        continue;
+      }
+
+      // --- Elastic fault classification ---------------------------------
+      // Attribution: the communicator's shared suspect (explicit abort
+      // culprit, or the barrier arrival bitmap on a timeout), falling back
+      // to the straggler report over the epoch's telemetry for deadline
+      // faults with no bitmap attribution. Both inputs are identical on
+      // every rank.
+      int suspect = comm_now->SuspectRank();
+      if (suspect < 0 && status.code() == StatusCode::kDeadlineExceeded) {
+        const StragglerReport report =
+            DetectStragglers(comm_now->telemetry().Events());
+        double worst_lag = 0.0;
+        for (const RankHealth& health : report.ranks) {
+          if (health.straggler && health.mean_entry_lag_us > worst_lag) {
+            worst_lag = health.mean_entry_lag_us;
+            suspect = health.rank;
+          }
+        }
+      }
+      const int culprit_global =
+          (suspect >= 0 && suspect < dp_now)
+              ? members_now[static_cast<size_t>(suspect)]
+              : -1;
+      const RecoveryDecision decision = policy.OnFailure(status, culprit_global);
+      MSMOE_CHECK(decision.verdict != FaultVerdict::kFatal)
+          << "fatal failure at step " << step << " (" << decision.reason
+          << "): " << status.ToString();
       ++recoveries_used;
       MSMOE_CHECK_LE(recoveries_used, config.max_recoveries)
           << "training failed at step " << step << " and exhausted "
           << config.max_recoveries << " recoveries: " << status.ToString();
-      group.RecoveryBarrier(rank);
+
+      if (decision.verdict == FaultVerdict::kTransient) {
+        comm_now->RecoveryBarrier(my);
+        if (decision.backoff_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(decision.backoff_ms));
+        }
+        restore_snapshot();
+        if (my == 0) {
+          RecoveryEvent event;
+          event.failed_step = step;
+          event.resumed_step = checkpoint_step;
+          event.steps_lost = step - checkpoint_step;
+          event.cause = status.ToString();
+          event.verdict = decision.verdict;
+          event.culprit_rank = decision.culprit_rank;
+          event.world_after = dp_now;
+          event.backoff_ms = decision.backoff_ms;
+          curve.recoveries.push_back(event);
+        }
+        step = checkpoint_step;
+        continue;
+      }
+
+      // Permanent verdict: evict the culprit and continue on the survivors.
+      MSMOE_CHECK_GE(culprit_global, 0)
+          << "permanent verdict without a culprit: " << decision.reason;
+      MSMOE_CHECK_GE(dp_now - 1, config.min_world)
+          << "cannot shrink below min_world=" << config.min_world << " (world "
+          << dp_now << ", evicting rank " << culprit_global << ")";
+      if (rank == culprit_global) {
+        // This thread IS the evicted rank. It reached the same replicated
+        // verdict from the same sticky error, recognized itself, and leaves
+        // the rank loop; the survivors rendezvous in Shrink WITHOUT it (a
+        // dead rank can't be required for its own funeral). Its stale
+        // communicator stays valid — retired — for any pointer still held.
+        return;
+      }
+      const Status shrunk = elastic.Shrink(rank, {culprit_global});
+      MSMOE_CHECK(shrunk.ok()) << "elastic shrink failed at step " << step
+                               << ": " << shrunk.ToString();
+      comm_now = elastic.comm();
+      my = elastic.EpochRank(rank);
+      MSMOE_CHECK_GE(my, 0);
+      dp_now = elastic.size();
+      members_now = elastic.members();
+      // Re-plan the per-rank geometry for the shrunk world, then restore
+      // the snapshot resharded at the new boundaries.
+      padded = PaddedGradCount(total_elems, dp_now);
+      shard = padded / dp_now;
+      flat.assign(static_cast<size_t>(padded), 0.0f);
       restore_snapshot();
-      if (rank == 0) {
+      {
+        // Cross-rank checksum of the resharded state BEFORE the first
+        // degraded step: a reshard bug must surface here as DataLoss, not
+        // three steps later as a silently forked loss curve. Params (and
+        // for ZeRO the gathered full snapshots) are replicated, so their
+        // sums must agree bitwise across all survivors.
+        double state_sum = 0.0;
+        const std::vector<float> restored = SaveParams(params);
+        for (float value : restored) {
+          state_sum += static_cast<double>(value);
+        }
+        if (elastic_zero) {
+          for (float value : snapshot_master_full) {
+            state_sum += static_cast<double>(value);
+          }
+          for (float value : snapshot_m_full) {
+            state_sum += static_cast<double>(value);
+          }
+          for (float value : snapshot_v_full) {
+            state_sum += static_cast<double>(value);
+          }
+        }
+        const std::vector<double> sums = comm_now->ExchangeScalars(my, state_sum);
+        const Status guard = comm_now->GroupStatus();
+        MSMOE_CHECK(guard.ok())
+            << "post-shrink validation collective failed: " << guard.ToString();
+        for (int peer = 0; peer < dp_now; ++peer) {
+          if (sums[static_cast<size_t>(peer)] != state_sum) {
+            comm_now->Abort(
+                DataLoss("resharded state diverged across survivors after the "
+                         "shrink (rank " + std::to_string(my) +
+                         " disagrees with rank " + std::to_string(peer) + ")"));
+          }
+        }
+        MSMOE_CHECK(comm_now->GroupStatus().ok())
+            << "post-shrink reshard validation failed: "
+            << comm_now->GroupStatus().ToString();
+      }
+      if (my == 0) {
         RecoveryEvent event;
         event.failed_step = step;
         event.resumed_step = checkpoint_step;
         event.steps_lost = step - checkpoint_step;
         event.cause = status.ToString();
+        event.verdict = decision.verdict;
+        event.culprit_rank = culprit_global;
+        event.world_after = dp_now;
         curve.recoveries.push_back(event);
       }
       step = checkpoint_step;
     }
   });
+  curve.final_world = elastic.size();
   if (config.capture_comm_events) {
-    curve.comm_events = comm->telemetry().Events();
+    curve.comm_events = elastic.Events();
   }
   return curve;
 }

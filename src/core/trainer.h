@@ -26,6 +26,7 @@
 #include "src/comm/communicator.h"
 #include "src/comm/fault.h"
 #include "src/comm/telemetry.h"
+#include "src/core/recovery_policy.h"
 #include "src/model/config.h"
 #include "src/model/lm.h"
 #include "src/model/optimizer.h"
@@ -115,6 +116,24 @@ struct NumericTrainConfig {
   // Copy the communicator's telemetry into TrainCurve::comm_events so the
   // caller can run straggler detection / trace export over the run.
   bool capture_comm_events = false;
+
+  // --- Elastic degraded-mode recovery --------------------------------------
+  // Classify faults through RecoveryPolicy instead of retrying every one:
+  // transient verdicts roll back with exponential backoff; a PERMANENT
+  // verdict evicts the culprit rank and training continues on the shrunk
+  // world (src/comm/elastic.h) from a resharded snapshot. Incompatible with
+  // restart_every (the Fig 19 restart pattern assumes a fixed world).
+  bool elastic = false;
+  RecoveryPolicyConfig recovery_policy;
+  // Refuse (CHECK) to shrink below this many survivors.
+  int min_world = 1;
+  // Start from this checkpoint file instead of fresh init (non-ZeRO only:
+  // file checkpoints hold replicated state). With first_step > 0 the run
+  // continues at that step — batches, loss indices, and snapshots line up
+  // with the run that wrote the file, so a fresh W-k run started from a
+  // shrunk run's snapshot replays its post-shrink curve bit for bit.
+  std::string init_checkpoint_path;
+  int64_t first_step = 0;
 };
 
 // One recovery incident: training failed at `failed_step`, rolled back to
@@ -128,13 +147,20 @@ struct RecoveryEvent {
   int64_t resumed_step = 0;
   int64_t steps_lost = 0;  // failed_step - resumed_step (recomputed work)
   std::string cause;       // first error observed on the group
+  // Elastic runs additionally classify the incident:
+  FaultVerdict verdict = FaultVerdict::kTransient;
+  int culprit_rank = -1;   // attributed global rank (-1 unknown)
+  int world_after = 0;     // world size after handling (0 = non-elastic run)
+  double backoff_ms = 0.0; // backoff slept before the transient retry
 };
 
 struct TrainCurve {
-  std::vector<double> loss;            // CE loss per step (rank 0)
+  std::vector<double> loss;            // CE loss per step (lowest live rank)
   std::vector<int64_t> restart_steps;  // steps at which a restart occurred
   std::vector<RecoveryEvent> recoveries;
   std::vector<CommEvent> comm_events;  // when capture_comm_events is set
+  // Ranks still training at the end (== dp_size unless elastic shrank).
+  int final_world = 0;
 };
 
 // Rejects contradictory configurations (currently: overlap_grad_sync

@@ -1,5 +1,6 @@
 #include "src/model/checkpoint.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -138,6 +139,76 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
     }
   }
   return checkpoint;
+}
+
+int64_t PaddedShardElems(int64_t total_elems, int world) {
+  MSMOE_CHECK_GT(world, 0);
+  MSMOE_CHECK_GE(total_elems, 0);
+  return (total_elems + world - 1) / world * world;
+}
+
+std::vector<float> ShardOfFlat(const std::vector<float>& full, int64_t total_elems,
+                               int world, int rank) {
+  MSMOE_CHECK_EQ(static_cast<int64_t>(full.size()), total_elems);
+  MSMOE_CHECK_GE(rank, 0);
+  MSMOE_CHECK_LT(rank, world);
+  const int64_t shard = PaddedShardElems(total_elems, world) / world;
+  std::vector<float> out(static_cast<size_t>(shard), 0.0f);
+  const int64_t begin = rank * shard;
+  const int64_t end = std::min(begin + shard, total_elems);
+  for (int64_t i = begin; i < end; ++i) {
+    out[static_cast<size_t>(i - begin)] = full[static_cast<size_t>(i)];
+  }
+  return out;
+}
+
+Result<std::vector<float>> GatherFlatFromShards(
+    const std::vector<std::vector<float>>& shards, int64_t total_elems) {
+  if (shards.empty()) {
+    return InvalidArgument("GatherFlatFromShards: no shards");
+  }
+  const int world = static_cast<int>(shards.size());
+  const int64_t expect = PaddedShardElems(total_elems, world) / world;
+  std::vector<float> full;
+  full.reserve(static_cast<size_t>(expect) * shards.size());
+  for (int rank = 0; rank < world; ++rank) {
+    const std::vector<float>& shard = shards[static_cast<size_t>(rank)];
+    if (static_cast<int64_t>(shard.size()) != expect) {
+      return InvalidArgument("GatherFlatFromShards: shard " + std::to_string(rank) +
+                             " has " + std::to_string(shard.size()) +
+                             " elements, layout expects " + std::to_string(expect));
+    }
+    full.insert(full.end(), shard.begin(), shard.end());
+  }
+  // The padding must be zero; anything else means the shards came from a
+  // different layout (wrong total) and trimming would silently drop state.
+  for (size_t i = static_cast<size_t>(total_elems); i < full.size(); ++i) {
+    if (full[i] != 0.0f) {
+      return InvalidArgument(
+          "GatherFlatFromShards: nonzero padding at flat index " + std::to_string(i) +
+          "; shards do not match total_elems=" + std::to_string(total_elems));
+    }
+  }
+  full.resize(static_cast<size_t>(total_elems));
+  return full;
+}
+
+Result<std::vector<std::vector<float>>> ReshardFlatState(
+    const std::vector<std::vector<float>>& shards, int64_t total_elems,
+    int to_world) {
+  if (to_world <= 0) {
+    return InvalidArgument("ReshardFlatState: to_world must be > 0");
+  }
+  Result<std::vector<float>> full = GatherFlatFromShards(shards, total_elems);
+  if (!full.ok()) {
+    return full.status();
+  }
+  std::vector<std::vector<float>> out;
+  out.reserve(static_cast<size_t>(to_world));
+  for (int rank = 0; rank < to_world; ++rank) {
+    out.push_back(ShardOfFlat(full.value(), total_elems, to_world, rank));
+  }
+  return out;
 }
 
 Status RestoreParams(LmParams& params, const std::vector<float>& blob) {

@@ -47,6 +47,37 @@ Status RestoreParams(LmParams& params, const std::vector<float>& blob);
 // Flattens params in ForEach order (the SaveCheckpoint layout).
 std::vector<float> FlattenParams(const LmParams& params);
 
+// --- World-size-crossing resharding (elastic recovery) ---------------------
+//
+// ZeRO-1 shards a flat `total` - element state across `world` ranks with
+// zero-padding to a multiple of `world` (see src/parallel/dp_grad_sync.h).
+// These helpers move such state between world sizes: state saved at W ranks
+// restores onto W-k survivors after an elastic shrink, and back onto W+k
+// after a re-grow. All are pure functions of their inputs — resharding the
+// same state to any world size and gathering it back is bitwise lossless
+// (the padding is always zero and always trimmed).
+
+// Padded per-world flat length: ceil(total / world) * world.
+int64_t PaddedShardElems(int64_t total_elems, int world);
+
+// Rank `rank`'s shard of a full `total_elems` blob under `world`-way
+// sharding: elements [rank*S, (rank+1)*S) of the zero-padded blob, where
+// S = PaddedShardElems / world. The tail shard is zero-padded.
+std::vector<float> ShardOfFlat(const std::vector<float>& full, int64_t total_elems,
+                               int world, int rank);
+
+// Inverse of ShardOfFlat over all ranks: concatenates the shards and trims
+// the padding back to `total_elems`. Shard sizes must be equal; fails on a
+// layout mismatch.
+Result<std::vector<float>> GatherFlatFromShards(
+    const std::vector<std::vector<float>>& shards, int64_t total_elems);
+
+// Reshards from one world size to another: gather + re-slice. shards.size()
+// is the source world; returns `to_world` shards.
+Result<std::vector<std::vector<float>>> ReshardFlatState(
+    const std::vector<std::vector<float>>& shards, int64_t total_elems,
+    int to_world);
+
 }  // namespace msmoe
 
 #endif  // MSMOE_SRC_MODEL_CHECKPOINT_H_

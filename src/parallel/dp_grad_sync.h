@@ -37,6 +37,16 @@ enum class GradSyncMode {
 
 const char* GradSyncModeName(GradSyncMode mode);
 
+// Canonical padded gradient/optimizer-state length for n-way ZeRO-1
+// sharding: ceil(total / n) * n, so every rank owns an equal
+// PaddedGradCount / n slice and the tail rank's slice is zero-padded. The
+// trainer's initial geometry, the elastic post-shrink re-plan, and the
+// checkpoint reshard helpers (src/model/checkpoint.h) all route through
+// this one definition so their layouts can never drift apart.
+inline int64_t PaddedGradCount(int64_t total_elems, int n) {
+  return (total_elems + n - 1) / n * n;
+}
+
 // Reduces `grads` (count floats, identical layout on every rank) across the
 // group; returns this rank's shard (count / n floats, count must divide).
 // The reduction is a plain sum (callers average by pre-scaling).

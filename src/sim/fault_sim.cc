@@ -42,14 +42,26 @@ FaultSimResult SimulateFaultyRun(const FaultSimConfig& config) {
     }
   }
 
-  // Synchronous job: the iteration runs at the slowest member's pace.
+  // Synchronous job: the iteration runs at the slowest member's pace. In
+  // elastic mode dead ranks have left the membership: they neither pace the
+  // job nor participate, and ring-collective time scales with the live
+  // membership's (n-1)/n factor relative to the initial world.
   std::vector<double> bandwidth(static_cast<size_t>(config.ranks), 1.0);
+  std::vector<char> alive(static_cast<size_t>(config.ranks), 1);
+  int alive_count = config.ranks;
   auto iteration_time = [&] {
     double slowest = 1.0;
-    for (double factor : bandwidth) {
-      slowest = std::min(slowest, factor);
+    for (int rank = 0; rank < config.ranks; ++rank) {
+      if (alive[static_cast<size_t>(rank)]) {
+        slowest = std::min(slowest, bandwidth[static_cast<size_t>(rank)]);
+      }
     }
-    return config.compute_us + config.comm_us / slowest;
+    double ring_ratio = 1.0;
+    if (config.ranks > 1 && alive_count != config.ranks) {
+      ring_ratio = (static_cast<double>(alive_count - 1) / alive_count) /
+                   (static_cast<double>(config.ranks - 1) / config.ranks);
+    }
+    return config.compute_us + config.comm_us * ring_ratio / slowest;
   };
 
   SimEngine engine;
@@ -93,11 +105,22 @@ FaultSimResult SimulateFaultyRun(const FaultSimConfig& config) {
     // checkpoint, and everything since the checkpoint is replayed.
     if (next_failure < failures.size() &&
         failures[next_failure]->at_us < start + duration) {
-      const double fail_time = std::max(failures[next_failure]->at_us, start);
+      const SimFaultEvent& failure = *failures[next_failure];
+      const double fail_time = std::max(failure.at_us, start);
       ++next_failure;
       ++result.failures;
-      const double resume =
-          fail_time + config.detect_timeout_us + config.restart_us;
+      double resume;
+      if (config.elastic && alive_count > 1 &&
+          alive[static_cast<size_t>(failure.rank)]) {
+        // Shrink to survivors: no respawn — after detection the remaining
+        // ranks rebuild the communicator and reshard optimizer state, then
+        // replay from the checkpoint on the smaller world.
+        alive[static_cast<size_t>(failure.rank)] = 0;
+        --alive_count;
+        resume = fail_time + config.detect_timeout_us + config.reshard_us;
+      } else {
+        resume = fail_time + config.detect_timeout_us + config.restart_us;
+      }
       result.stall_us += resume - start;
       result.iterations_replayed += iteration - last_checkpoint;
       iteration = last_checkpoint;
@@ -115,6 +138,12 @@ FaultSimResult SimulateFaultyRun(const FaultSimConfig& config) {
   result.slowdown =
       result.fault_free_us > 0.0 ? result.total_us / result.fault_free_us : 1.0;
   result.iteration_us = iteration_time();
+  result.final_ranks = alive_count;
+  result.throughput_factor =
+      result.iteration_us > 0.0
+          ? (static_cast<double>(alive_count) / config.ranks) *
+                (base_iteration / result.iteration_us)
+          : 1.0;
   return result;
 }
 

@@ -52,6 +52,15 @@ struct FaultSimConfig {
   double restart_us = 20000.0;
   int64_t checkpoint_every = 10;  // iterations between checkpoints
   std::vector<SimFaultEvent> events;
+
+  // Elastic degraded mode: a kFailRank no longer respawns the rank — after
+  // the detection deadline the survivors pay `reshard_us` (communicator
+  // rebuild + optimizer-state reshard), roll back to the checkpoint, and
+  // continue on the SHRUNK world. Ring-collective comm time scales with the
+  // membership's (n-1)/n factor; global throughput additionally drops by
+  // the lost ranks' share of the batch (see FaultSimResult).
+  bool elastic = false;
+  double reshard_us = 0.0;
 };
 
 struct FaultSimResult {
@@ -61,8 +70,15 @@ struct FaultSimResult {
   double stall_us = 0.0;       // detection + restart time across failures
   int64_t iterations_replayed = 0;  // work redone after rollbacks
   int64_t failures = 0;
-  // Final per-iteration time (reflects any surviving link degradation).
+  // Final per-iteration time (reflects any surviving link degradation and,
+  // in elastic mode, the shrunk membership's ring factor).
   double iteration_us = 0.0;
+  // Ranks still in the job at the end (== config.ranks unless elastic).
+  int final_ranks = 0;
+  // End-state global throughput relative to the fault-free full world:
+  // (final_ranks / ranks) * (fault-free iteration_us / final iteration_us).
+  // The degraded-mode prediction the elastic bench cross-checks against.
+  double throughput_factor = 1.0;
 };
 
 // Replays the event schedule on the discrete-event engine and returns the

@@ -173,5 +173,19 @@ TEST(TableTest, FmtHelpers) {
   EXPECT_EQ(TablePrinter::Fmt(static_cast<int64_t>(42)), "42");
 }
 
+TEST(StatusTest, IsRetryableFaultCoversExactlyTheTransientCodes) {
+  // The recovery paths (legacy rollback and elastic classification) both
+  // route through this predicate: a timed-out or aborted collective is
+  // worth retrying; corrupted data and config/logic errors are not — a
+  // retry would reproduce them identically.
+  EXPECT_TRUE(IsRetryableFault(DeadlineExceeded("peer missing")));
+  EXPECT_TRUE(IsRetryableFault(Aborted("rank crashed")));
+  EXPECT_FALSE(IsRetryableFault(DataLoss("checksum mismatch")));
+  EXPECT_FALSE(IsRetryableFault(InvalidArgument("bad config")));
+  EXPECT_FALSE(IsRetryableFault(FailedPrecondition("stale epoch")));
+  EXPECT_FALSE(IsRetryableFault(Internal("bug")));
+  EXPECT_FALSE(IsRetryableFault(Status::Ok()));
+}
+
 }  // namespace
 }  // namespace msmoe

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/comm/communicator.h"
+#include "src/comm/health.h"
 #include "src/hw/gpu_spec.h"
 #include "src/sim/comm_crosscheck.h"
 #include "src/sim/cost_model.h"
@@ -267,6 +268,41 @@ TEST(CommTelemetryTest, CapacityBoundsEventGrowth) {
   comm.telemetry().Clear();
   EXPECT_EQ(comm.telemetry().event_count(), 0u);
   EXPECT_EQ(comm.telemetry().dropped(), 0u);
+}
+
+TEST(StragglerDetectorTest, TruncatedStreamKeepsTheHealthyRanksLateCollectives) {
+  // Regression: a crashed rank's event stream ends early. Truncating every
+  // stream to the shortest one would discard the surviving ranks' later
+  // collectives — exactly the instances that carry the fault signature
+  // here: rank 1 only starts lagging AFTER rank 2's stream ends.
+  auto event = [](int rank, double start_us) {
+    CommEvent e;
+    e.rank = rank;
+    e.start_us = start_us;
+    return e;
+  };
+  const std::vector<CommEvent> events = {
+      event(0, 0.0),   event(1, 0.0),   event(2, 0.0),    // instance 0
+      event(0, 100.0), event(1, 100.0), event(2, 100.0),  // instance 1
+      event(0, 200.0), event(1, 250.0),                   // rank 2 crashed
+      event(0, 300.0), event(1, 350.0),
+  };
+  StragglerConfig config;
+  config.threshold_us = 20.0;
+  config.min_collectives = 2;
+  const StragglerReport report = DetectStragglers(events, config);
+
+  // All four instances are matched over the ranks that reached them.
+  EXPECT_EQ(report.collectives_matched, 4);
+  ASSERT_EQ(report.ranks.size(), 3u);
+  EXPECT_EQ(report.ranks[0].collectives, 4);
+  EXPECT_EQ(report.ranks[1].collectives, 4);
+  EXPECT_EQ(report.ranks[2].collectives, 2);  // its own participation only
+  // Rank 1's lag lives entirely in instances 2 and 3: mean (0+0+50+50)/4.
+  EXPECT_DOUBLE_EQ(report.ranks[1].mean_entry_lag_us, 25.0);
+  EXPECT_TRUE(report.ranks[1].straggler);
+  EXPECT_FALSE(report.ranks[0].straggler);
+  EXPECT_FALSE(report.ranks[2].straggler);
 }
 
 }  // namespace

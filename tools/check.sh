@@ -4,7 +4,7 @@
 # fault/recovery machinery, and a Release-mode perf smoke test of the GEMM
 # compute backend. The collectives run real thread ranks over shared
 # buffers, so comm_test / kernel_test / parallel_test / telemetry_test /
-# fault_test / fused_ops_test / exec_graph_test under TSan are the
+# fault_test / elastic_test / fused_ops_test / exec_graph_test under TSan are the
 # races-or-not verdict for the whole substrate (fused_ops_test hammers the
 # chunked async pipelines; exec_graph_test hammers the runtime task-graph
 # executor across streams and randomized schedules); fault_test and the
@@ -13,7 +13,9 @@
 # below the naive reference, the overlap smoke fails if the fused
 # all-gather+GEMM pipeline stops beating the unfused sequence, and the
 # scheduler smoke fails if a searched schedule replayed on the real
-# executor stops beating the naive single-stream order.
+# executor stops beating the naive single-stream order, and the elastic
+# smoke fails if a permanent rank eviction stops shrinking to a
+# bit-identical W-1 curve (bench_fault_recovery --check).
 #
 #   $ tools/check.sh
 set -euo pipefail
@@ -25,25 +27,28 @@ cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j
 
 echo
-echo "== TSan: comm_test + kernel_test + parallel_test + telemetry_test + fault_test + fused_ops_test + exec_graph_test =="
+echo "== TSan: comm_test + kernel_test + parallel_test + telemetry_test + fault_test + elastic_test + fused_ops_test + exec_graph_test =="
 cmake -B build-tsan -S . -DMSMOE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target comm_test kernel_test parallel_test \
-  telemetry_test fault_test fused_ops_test exec_graph_test bench_fault_recovery >/dev/null
+  telemetry_test fault_test elastic_test fused_ops_test exec_graph_test \
+  bench_fault_recovery >/dev/null
 ./build-tsan/tests/comm_test
 ./build-tsan/tests/kernel_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/telemetry_test
 ./build-tsan/tests/fault_test
+./build-tsan/tests/elastic_test
 ./build-tsan/tests/fused_ops_test
 ./build-tsan/tests/exec_graph_test
 (cd build-tsan/bench && ./bench_fault_recovery >/dev/null)
 
 echo
-echo "== ASan: fault_test + checkpoint/recovery paths =="
+echo "== ASan: fault_test + elastic_test + checkpoint/recovery paths =="
 cmake -B build-asan -S . -DMSMOE_SANITIZE=address >/dev/null
-cmake --build build-asan -j --target fault_test model_test trainer_test \
-  fused_ops_test >/dev/null
+cmake --build build-asan -j --target fault_test elastic_test model_test \
+  trainer_test fused_ops_test >/dev/null
 ./build-asan/tests/fault_test
+./build-asan/tests/elastic_test
 ./build-asan/tests/model_test
 ./build-asan/tests/trainer_test
 ./build-asan/tests/fused_ops_test
@@ -62,6 +67,11 @@ echo "== overlap smoke: fused all-gather+GEMM beats unfused (bench_fig15 --check
 echo
 echo "== scheduler smoke: searched schedule beats naive on the real executor (bench_ablation_scheduler --check) =="
 (cd build-release/bench && ./bench_ablation_scheduler --check)
+
+echo
+echo "== elastic smoke: permanent eviction shrinks W->W-1 bit-identically (bench_fault_recovery --check) =="
+cmake --build build-release -j --target bench_fault_recovery >/dev/null
+(cd build-release/bench && ./bench_fault_recovery --check)
 
 echo
 echo "all checks passed"
