@@ -92,6 +92,32 @@ class Voidify {
 #define MSMOE_CHECK_GT(a, b) MSMOE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
 #define MSMOE_CHECK_GE(a, b) MSMOE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
 
+// MSMOE_DCHECK*: assertions on per-element hot paths (Tensor::operator[] /
+// At and similar). Active in Debug builds (no NDEBUG) and in sanitizer
+// builds (CMake defines MSMOE_DCHECK_ALWAYS_ON whenever MSMOE_SANITIZE is
+// set — the default RelWithDebInfo base of those builds would otherwise
+// define NDEBUG and silently disable them). In optimized builds they
+// compile to nothing: the condition is parsed but never evaluated.
+#if !defined(NDEBUG) || defined(MSMOE_DCHECK_ALWAYS_ON)
+#define MSMOE_DCHECK_IS_ON 1
+#else
+#define MSMOE_DCHECK_IS_ON 0
+#endif
+
+#if MSMOE_DCHECK_IS_ON
+#define MSMOE_DCHECK(cond) MSMOE_CHECK(cond)
+#else
+#define MSMOE_DCHECK(cond) \
+  while (false) MSMOE_CHECK(cond)
+#endif
+
+#define MSMOE_DCHECK_EQ(a, b) MSMOE_DCHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MSMOE_DCHECK_NE(a, b) MSMOE_DCHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MSMOE_DCHECK_LT(a, b) MSMOE_DCHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MSMOE_DCHECK_LE(a, b) MSMOE_DCHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MSMOE_DCHECK_GT(a, b) MSMOE_DCHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MSMOE_DCHECK_GE(a, b) MSMOE_DCHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
 }  // namespace msmoe
 
 #endif  // MSMOE_SRC_BASE_LOGGING_H_

@@ -7,6 +7,7 @@
 #include <sched.h>
 #endif
 
+#include "src/base/arena.h"
 #include "src/base/logging.h"
 
 namespace msmoe {
@@ -228,15 +229,17 @@ std::unique_ptr<CommHandle> AsyncCommDriver::StartAllGather(
     const int n = params.group_size;
     const int eb = params.elem_bytes;
     const int chunk_count = h->num_chunks();
-    std::vector<uint8_t> scratch;
+    // Comm-proxy threads are persistent, so the workspace slot survives the
+    // op and later steps reuse it verbatim.
+    Workspace& ws = ThreadWorkspace();
     for (int c = 0; c < chunk_count; ++c) {
       const double start = params.telemetry->NowUs();
       const int64_t begin = h->layout().begin(c);
       const int64_t elems = h->layout().size(c);
       const int64_t chunk_bytes = elems * eb;
-      scratch.resize(static_cast<size_t>(n) * static_cast<size_t>(chunk_bytes));
+      uint8_t* scratch = ws.Bytes("asynccomm.ag.scratch", n * chunk_bytes);
       const Status status = params.channel->TryAllGather(
-          params.member, send_bytes + begin * eb, scratch.data(), chunk_bytes);
+          params.member, send_bytes + begin * eb, scratch, chunk_bytes);
       if (!status.ok()) {
         h->barrier_.Cancel(status);
         break;
@@ -245,12 +248,12 @@ std::unique_ptr<CommHandle> AsyncCommDriver::StartAllGather(
         // The monolithic EndOp flips one bit anywhere in the receive
         // buffer; chunked ops restrict the flip to the final chunk's slice
         // (still unpublished, so consumers never race with the injection).
-        FlipOneBit(scratch.data(), static_cast<int64_t>(scratch.size()),
+        FlipOneBit(scratch, static_cast<int64_t>(n) * chunk_bytes,
                    params.fault.corrupt_seed);
       }
       for (int src = 0; src < n; ++src) {
         std::memcpy(recv_bytes + (static_cast<int64_t>(src) * count + begin) * eb,
-                    scratch.data() + static_cast<int64_t>(src) * chunk_bytes,
+                    scratch + static_cast<int64_t>(src) * chunk_bytes,
                     static_cast<size_t>(chunk_bytes));
       }
       params.telemetry->Record(ChunkEvent(params, CommOp::kAllGather, "ring", elems,
@@ -274,7 +277,7 @@ std::unique_ptr<CommHandle> AsyncCommDriver::StartReduceScatter(
   params.thread->Submit([params, h, send, recv, count] {
     const int n = params.group_size;
     const int chunk_count = h->num_chunks();
-    std::vector<float> scratch;
+    Workspace& ws = ThreadWorkspace();
     for (int c = 0; c < chunk_count; ++c) {
       Status status = h->barrier_.WaitSignal(c);
       if (!status.ok()) {
@@ -287,13 +290,13 @@ std::unique_ptr<CommHandle> AsyncCommDriver::StartReduceScatter(
       // Pack every destination's slice of this chunk contiguously: block d
       // of the chunked reduce-scatter is rows [begin, begin+elems) of the
       // full op's block d.
-      scratch.resize(static_cast<size_t>(n) * static_cast<size_t>(elems));
+      float* scratch = ws.Floats("asynccomm.rs.scratch", n * elems);
       for (int dst = 0; dst < n; ++dst) {
-        std::memcpy(scratch.data() + static_cast<int64_t>(dst) * elems,
+        std::memcpy(scratch + static_cast<int64_t>(dst) * elems,
                     send + static_cast<int64_t>(dst) * count + begin,
                     static_cast<size_t>(elems) * sizeof(float));
       }
-      status = params.channel->TryReduceScatter(params.member, scratch.data(),
+      status = params.channel->TryReduceScatter(params.member, scratch,
                                                 recv + begin, elems);
       if (!status.ok()) {
         h->barrier_.Cancel(status);
@@ -374,8 +377,7 @@ std::unique_ptr<CommHandle> AsyncCommDriver::StartAllToAllV(
     }
     auto* recv_bytes =
         static_cast<uint8_t*>(resize_recv(recv_prefix[static_cast<size_t>(n)]));
-    std::vector<uint8_t> send_scratch;
-    std::vector<uint8_t> recv_scratch;
+    Workspace& ws = ThreadWorkspace();
     std::vector<int64_t> chunk_send_bytes(static_cast<size_t>(n), 0);
     std::vector<int64_t> chunk_recv_counts;
     // A chunk's sub-layout within each pair block mirrors the monolithic
@@ -388,11 +390,11 @@ std::unique_ptr<CommHandle> AsyncCommDriver::StartAllToAllV(
         chunk_send_bytes[static_cast<size_t>(dst)] = pair_at(params.member, dst).size(c) * eb;
         send_total += pair_at(params.member, dst).size(c);
       }
-      send_scratch.resize(static_cast<size_t>(send_total) * static_cast<size_t>(eb));
+      uint8_t* send_scratch = ws.Bytes("asynccomm.a2av.send", send_total * eb);
       int64_t packed = 0;
       for (int dst = 0; dst < n; ++dst) {
         const ChunkLayout& pl = pair_at(params.member, dst);
-        std::memcpy(send_scratch.data() + packed * eb,
+        std::memcpy(send_scratch + packed * eb,
                     send_bytes + (send_prefix[static_cast<size_t>(dst)] + pl.begin(c)) * eb,
                     static_cast<size_t>(pl.size(c)) * static_cast<size_t>(eb));
         packed += pl.size(c);
@@ -401,24 +403,23 @@ std::unique_ptr<CommHandle> AsyncCommDriver::StartAllToAllV(
       for (int src = 0; src < n; ++src) {
         recv_total += pair_at(src, params.member).size(c);
       }
-      recv_scratch.resize(static_cast<size_t>(recv_total) * static_cast<size_t>(eb));
+      uint8_t* recv_scratch = ws.Bytes("asynccomm.a2av.recv", recv_total * eb);
       uint64_t wire = 0;
-      Status st = params.channel->TryAllToAllV(params.member, send_scratch.data(),
-                                               chunk_send_bytes, recv_scratch.data(),
+      Status st = params.channel->TryAllToAllV(params.member, send_scratch,
+                                               chunk_send_bytes, recv_scratch,
                                                &chunk_recv_counts, &wire);
       if (!st.ok()) {
         h->barrier_.Cancel(st);
         break;
       }
       if (c == chunks - 1 && params.fault.corrupt) {
-        FlipOneBit(recv_scratch.data(), static_cast<int64_t>(recv_scratch.size()),
-                   params.fault.corrupt_seed);
+        FlipOneBit(recv_scratch, recv_total * eb, params.fault.corrupt_seed);
       }
       int64_t unpacked = 0;
       for (int src = 0; src < n; ++src) {
         const ChunkLayout& pl = pair_at(src, params.member);
         std::memcpy(recv_bytes + (recv_prefix[static_cast<size_t>(src)] + pl.begin(c)) * eb,
-                    recv_scratch.data() + unpacked * eb,
+                    recv_scratch + unpacked * eb,
                     static_cast<size_t>(pl.size(c)) * static_cast<size_t>(eb));
         unpacked += pl.size(c);
       }

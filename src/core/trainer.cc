@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 
+#include "src/base/arena.h"
 #include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/comm/communicator.h"
@@ -133,9 +136,10 @@ void RoundFlatForWire(float* data, int64_t count, TrainPrecision precision) {
 std::vector<float> SaveParams(const LmParams& params) {
   std::vector<float> blob;
   params.ForEachConst([&blob](const std::string&, const Tensor& tensor) {
-    for (int64_t i = 0; i < tensor.numel(); ++i) {
-      blob.push_back(tensor[i]);
-    }
+    const size_t cursor = blob.size();
+    blob.resize(cursor + static_cast<size_t>(tensor.numel()));
+    std::memcpy(blob.data() + cursor, tensor.data(),
+                static_cast<size_t>(tensor.numel()) * sizeof(float));
   });
   return blob;
 }
@@ -143,9 +147,9 @@ std::vector<float> SaveParams(const LmParams& params) {
 void LoadParams(LmParams& params, const std::vector<float>& blob) {
   size_t cursor = 0;
   params.ForEach([&](const std::string&, Tensor& tensor) {
-    for (int64_t i = 0; i < tensor.numel(); ++i) {
-      tensor[i] = blob[cursor++];
-    }
+    std::memcpy(tensor.data(), blob.data() + cursor,
+                static_cast<size_t>(tensor.numel()) * sizeof(float));
+    cursor += static_cast<size_t>(tensor.numel());
   });
   MSMOE_CHECK_EQ(cursor, blob.size());
 }
@@ -316,9 +320,16 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
     std::vector<float> snapshot_v_full;
     int64_t snapshot_opt_step = 0;
 
+    // Batch buffers, hoisted out of the step loop so MakeTrainingBatch's
+    // resize is a no-op at steady state.
+    std::vector<int64_t> inputs;
+    std::vector<int64_t> targets;
+
     auto run_step = [&](int64_t step, bool record) {
       // Low-precision compute copy; masters stay FP32 (in `params` or in the
       // ZeRO master shard).
+      std::optional<MemoryScope> cast_scope;
+      cast_scope.emplace("param_cast");
       LmParams compute = params;
       RoundParams(compute, config.precision);
 
@@ -326,12 +337,12 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       // stay FP32 throughout; only the post-accumulation communication is
       // compressed).
       LmParams grads = LmParams::ZerosLike(config.model);
+      cast_scope.reset();
       LmStepStats stats;
       const int64_t accum = std::max<int64_t>(1, config.grad_accum_steps);
       const auto run_micro_batches = [&](const LayerGradCallback& on_layer_grads) {
+        MemoryScope scope("fwd_bwd");
         for (int64_t micro = 0; micro < accum; ++micro) {
-          std::vector<int64_t> inputs;
-          std::vector<int64_t> targets;
           MakeTrainingBatch(config.model, config.seed, step * accum + micro, my,
                             config.batch_per_rank, &inputs, &targets);
           const LmStepStats micro_stats =
@@ -376,9 +387,9 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
             size_t cur = 0;
             grads.layers[static_cast<size_t>(l)].ForEachConst(
                 [&](const std::string&, const Tensor& tensor) {
-                  for (int64_t i = 0; i < tensor.numel(); ++i) {
-                    seg.send[cur++] = tensor[i];
-                  }
+                  std::memcpy(seg.send.data() + cur, tensor.data(),
+                              static_cast<size_t>(tensor.numel()) * sizeof(float));
+                  cur += static_cast<size_t>(tensor.numel());
                 });
             std::fill(seg.send.begin() + static_cast<int64_t>(cur), seg.send.end(),
                       0.0f);
@@ -390,9 +401,9 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
           GradSegment& t = segments.back();
           size_t cur = 0;
           const auto pack = [&](const Tensor& tensor) {
-            for (int64_t i = 0; i < tensor.numel(); ++i) {
-              t.send[cur++] = tensor[i];
-            }
+            std::memcpy(t.send.data() + cur, tensor.data(),
+                        static_cast<size_t>(tensor.numel()) * sizeof(float));
+            cur += static_cast<size_t>(tensor.numel());
           };
           pack(grads.embedding);
           pack(grads.final_gain);
@@ -425,6 +436,7 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
         graph.AddCompute(
             "grad_unpack+adam",
             [&] {
+              MemoryScope scope("optimizer");
               for (int64_t l = 0; l < config.model.num_layers; ++l) {
                 GradSegment& seg = segments[static_cast<size_t>(l)];
                 size_t cur = 0;
@@ -468,36 +480,53 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       // as the layer callbacks fire instead).
       size_t cursor = 0;
       grads.ForEachConst([&](const std::string&, const Tensor& tensor) {
-        for (int64_t i = 0; i < tensor.numel(); ++i) {
-          flat[cursor++] = tensor[i];
-        }
+        std::memcpy(flat.data() + cursor, tensor.data(),
+                    static_cast<size_t>(tensor.numel()) * sizeof(float));
+        cursor += static_cast<size_t>(tensor.numel());
       });
       std::fill(flat.begin() + static_cast<int64_t>(cursor), flat.end(), 0.0f);
 
       if (config.zero_shard_optimizer) {
         // ZeRO-1: reduce this rank's gradient shard, update the master
         // shard, and all-gather the updated parameters on the chosen wire.
-        std::vector<float> grad_shard =
-            SyncGradShard(*comm_now, my, flat.data(), padded, config.grad_sync);
-        for (float& g : grad_shard) {
-          g /= static_cast<float>(dp_now);
+        // The shard and wire staging live in the rank thread's workspace —
+        // reused verbatim every step.
+        Workspace& ws = ThreadWorkspace();
+        float* grad_shard = ws.Floats("trainer.grad_shard", shard);
+        {
+          MemoryScope scope("grad_sync");
+          SyncGradShardInto(*comm_now, my, flat.data(), padded, config.grad_sync,
+                            grad_shard);
         }
-        flat_adam.Step(grad_shard.data(), master_shard.data());
-        std::vector<float> wire = master_shard;
-        RoundFlatForWire(wire.data(), shard, config.param_gather_precision);
-        comm_now->AllGather(my, wire.data(), flat.data(), shard);
+        for (int64_t i = 0; i < shard; ++i) {
+          grad_shard[i] /= static_cast<float>(dp_now);
+        }
+        {
+          MemoryScope scope("optimizer");
+          flat_adam.Step(grad_shard, master_shard.data());
+        }
+        MemoryScope scope("grad_sync");
+        float* wire = ws.Floats("trainer.wire", shard);
+        std::memcpy(wire, master_shard.data(), static_cast<size_t>(shard) * sizeof(float));
+        RoundFlatForWire(wire, shard, config.param_gather_precision);
+        comm_now->AllGather(my, wire, flat.data(), shard);
         cursor = 0;
         params.ForEach([&](const std::string&, Tensor& tensor) {
-          for (int64_t i = 0; i < tensor.numel(); ++i) {
-            tensor[i] = flat[cursor++];
-          }
+          std::memcpy(tensor.data(), flat.data() + cursor,
+                      static_cast<size_t>(tensor.numel()) * sizeof(float));
+          cursor += static_cast<size_t>(tensor.numel());
         });
       } else {
-        AllReduceGrads(*comm_now, my, flat.data(), padded, config.grad_sync);
+        {
+          MemoryScope scope("grad_sync");
+          AllReduceGrads(*comm_now, my, flat.data(), padded, config.grad_sync);
+        }
+        MemoryScope scope("optimizer");
         cursor = 0;
         grads.ForEach([&](const std::string&, Tensor& tensor) {
+          float* d = tensor.data();
           for (int64_t i = 0; i < tensor.numel(); ++i) {
-            tensor[i] = flat[cursor++] / static_cast<float>(dp_now);
+            d[i] = flat[cursor++] / static_cast<float>(dp_now);
           }
         });
         adam.Step(grads.TensorListConst());

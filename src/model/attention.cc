@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/base/arena.h"
 #include "src/base/logging.h"
 #include "src/base/parallel_for.h"
 #include "src/tensor/tensor_ops.h"
@@ -52,23 +53,28 @@ Tensor AttentionCore(const Tensor& q, const Tensor& k, const Tensor& v, int64_t 
   const int64_t d = q.dim(2);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
 
-  Tensor out({s, hq, d});
-  Tensor probs({hq, s, s});
+  // Fully written below: every head writes its probs slab (zeros included,
+  // for the causal mask) and its out slices.
+  Tensor out = Tensor::Uninit({s, hq, d});
+  Tensor probs = Tensor::Uninit({hq, s, s});
   // Heads split across the intra-rank worker pool: each head owns its probs
   // slab and its (strided) slices of `out`, so shards write disjoint memory
   // and results are independent of the head-to-worker assignment.
   ParallelFor(hq, /*grain=*/1, [&](int64_t h0, int64_t h1) {
-    std::vector<float> qh(static_cast<size_t>(s * d));
-    std::vector<float> kvh(static_cast<size_t>(s * d));
-    std::vector<float> oh(static_cast<size_t>(s * d));
+    // Per-worker scratch from the thread workspace: the worker pool threads
+    // persist, so steady-state steps reuse these without allocating.
+    Workspace& ws = ThreadWorkspace();
+    float* qh = ws.Floats("attn.qh", s * d);
+    float* kvh = ws.Floats("attn.kvh", s * d);
+    float* oh = ws.Floats("attn.oh", s * d);
     for (int64_t head = h0; head < h1; ++head) {
       const int64_t kv_head = head / gqa_ratio;
       float* scores = probs.data() + head * s * s;
       // scores = scale * Q_h @ K_h^T over the full [s, s] square (the
       // nested GEMM runs inline on this shard)...
-      GatherHead(q.data(), s, hq, head, d, qh.data());
-      GatherHead(k.data(), s, hkv, kv_head, d, kvh.data());
-      Gemm(false, true, s, s, d, scale, qh.data(), kvh.data(), 0.0f, scores);
+      GatherHead(q.data(), s, hq, head, d, qh);
+      GatherHead(k.data(), s, hkv, kv_head, d, kvh);
+      Gemm(false, true, s, s, d, scale, qh, kvh, 0.0f, scores);
       // ...then causal softmax per row: only keys 0..t survive.
       for (int64_t t = 0; t < s; ++t) {
         float* prob_row = scores + t * s;
@@ -91,9 +97,9 @@ Tensor AttentionCore(const Tensor& q, const Tensor& k, const Tensor& v, int64_t 
       }
       // out_h = probs @ V_h; masked entries are exact zeros, so the full
       // GEMM equals the causal sum.
-      GatherHead(v.data(), s, hkv, kv_head, d, kvh.data());
-      Gemm(false, false, s, d, s, 1.0f, scores, kvh.data(), 0.0f, oh.data());
-      ScatterHead(oh.data(), s, hq, head, d, out.data());
+      GatherHead(v.data(), s, hkv, kv_head, d, kvh);
+      Gemm(false, false, s, d, s, 1.0f, scores, kvh, 0.0f, oh);
+      ScatterHead(oh, s, hq, head, d, out.data());
     }
   });
   if (cache != nullptr) {
@@ -122,6 +128,7 @@ AttentionCoreGrads AttentionCoreBackward(const Tensor& dout, const Tensor& q, co
   // run in ascending order, keeping the accumulation order identical to the
   // serial loop for any worker count.
   ParallelFor(hkv, /*grain=*/1, [&](int64_t kv0, int64_t kv1) {
+    float* dp = ThreadWorkspace().Floats("attn.dp", s);
     for (int64_t kv_head = kv0; kv_head < kv1; ++kv_head) {
       for (int64_t sub = 0; sub < gqa_ratio; ++sub) {
         const int64_t head = kv_head * gqa_ratio + sub;
@@ -134,22 +141,20 @@ AttentionCoreGrads AttentionCoreBackward(const Tensor& dout, const Tensor& q, co
           // dV[u] += p[u] * dout; dp[u] = dout . v[u].
           // Softmax backward: dscore[u] = p[u] * (dp[u] - sum_w p[w] dp[w]).
           double dot_p_dp = 0.0;
-          // First pass computes dp and the weighted sum.
-          // Reuse a small stack buffer via vector for clarity (s is small here).
-          std::vector<float> dp(static_cast<size_t>(t) + 1);
+          // First pass computes dp[0..t] and the weighted sum.
           for (int64_t u = 0; u <= t; ++u) {
             const float* v_vec = v.data() + (u * hkv + kv_head) * d;
             float acc = 0.0f;
             for (int64_t e = 0; e < d; ++e) {
               acc += dout_vec[e] * v_vec[e];
             }
-            dp[static_cast<size_t>(u)] = acc;
+            dp[u] = acc;
             dot_p_dp += static_cast<double>(prob_row[u]) * acc;
           }
           for (int64_t u = 0; u <= t; ++u) {
             const float p_u = prob_row[u];
             const float dscore =
-                p_u * (dp[static_cast<size_t>(u)] - static_cast<float>(dot_p_dp));
+                p_u * (dp[u] - static_cast<float>(dot_p_dp));
             const float* k_vec = k.data() + (u * hkv + kv_head) * d;
             float* dk_vec = grads.dk.data() + (u * hkv + kv_head) * d;
             float* dv_vec = grads.dv.data() + (u * hkv + kv_head) * d;

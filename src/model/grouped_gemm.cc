@@ -35,7 +35,9 @@ Tensor GroupedGemm(const Tensor& x, const std::vector<int64_t>& offsets,
   }
 
   const auto start = std::chrono::steady_clock::now();
-  Tensor y({x.dim(0), out_dim});
+  // Every row of y belongs to exactly one expert's contiguous range and is
+  // written by that expert's beta == 0 GEMM (empty experts own no rows).
+  Tensor y = Tensor::Uninit({x.dim(0), out_dim});
   // Expert groups split across the intra-rank worker pool; each expert's
   // output rows are disjoint, and the per-expert GEMM (nested, hence inline)
   // is itself independent of the expert-to-worker assignment, so results are
@@ -71,9 +73,10 @@ GroupedGemmGrads GroupedGemmBackward(const Tensor& dy, const Tensor& x,
 
   const auto start = std::chrono::steady_clock::now();
   GroupedGemmGrads grads;
-  grads.dx = Tensor({x.dim(0), in_dim});
+  grads.dx = Tensor::Uninit({x.dim(0), in_dim});  // fully written, as y above
   grads.dweights.reserve(weights.size());
   for (size_t e = 0; e < weights.size(); ++e) {
+    // Zeros, NOT Uninit: an expert with zero rows never writes its dW.
     grads.dweights.emplace_back(weights[e].shape());
   }
   // dx rows and dweights[e] are disjoint per expert.

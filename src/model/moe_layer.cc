@@ -107,9 +107,9 @@ Tensor MoeLayerForward(const MoeLayerParams& params, const ModelConfig& config,
 
   // Fused QKV projection, then split and RoPE.
   Tensor qkv = MatMul(cache->ln1_out, params.w_qkv);
-  cache->q = Tensor({tokens, hq * d});
-  cache->k = Tensor({tokens, hkv * d});
-  cache->v = Tensor({tokens, hkv * d});
+  cache->q = Tensor::Uninit({tokens, hq * d});
+  cache->k = Tensor::Uninit({tokens, hkv * d});
+  cache->v = Tensor::Uninit({tokens, hkv * d});
   for (int64_t t = 0; t < tokens; ++t) {
     const float* row = qkv.data() + t * config.qkv_out_dim();
     std::copy(row, row + hq * d, cache->q.data() + t * hq * d);
@@ -118,7 +118,7 @@ Tensor MoeLayerForward(const MoeLayerParams& params, const ModelConfig& config,
   }
   const std::vector<int64_t> positions = SequencePositions(seq_len);
   cache->attn.assign(static_cast<size_t>(batch), AttentionCoreCache{});
-  cache->attn_out = Tensor({tokens, config.hidden});
+  cache->attn_out = Tensor::Uninit({tokens, config.hidden});
   for (int64_t b = 0; b < batch; ++b) {
     Tensor q_seq = cache->q.SliceRows(b * seq_len, (b + 1) * seq_len)
                        .Reshaped({seq_len, hq, d});
@@ -189,6 +189,8 @@ MoeLayerGrads MoeLayerBackward(const MoeLayerParams& params, const ModelConfig& 
   grads.dparams = MoeLayerParams::ZerosLike(config);
 
   // --- Combine backward: dout -> dfc2_out and dcombine_weight. ---
+  // Both stay zero-initialized: dropped slots leave dcombine entries (and,
+  // with capacity dropping, dfc2_out rows) untouched.
   Tensor dfc2_out({cache.fc2_out.dim(0), config.hidden});
   Tensor dcombine({tokens, k_slots});
   for (int64_t t = 0; t < tokens; ++t) {
@@ -245,9 +247,9 @@ MoeLayerGrads MoeLayerBackward(const MoeLayerParams& params, const ModelConfig& 
   Tensor dattn_out = std::move(out_proj_grads.da);
 
   // --- Attention core + RoPE backward, per sequence. ---
-  Tensor dq({tokens, hq * d});
-  Tensor dk({tokens, hkv * d});
-  Tensor dv({tokens, hkv * d});
+  Tensor dq = Tensor::Uninit({tokens, hq * d});
+  Tensor dk = Tensor::Uninit({tokens, hkv * d});
+  Tensor dv = Tensor::Uninit({tokens, hkv * d});
   const std::vector<int64_t> positions = SequencePositions(seq_len);
   for (int64_t b = 0; b < batch; ++b) {
     Tensor dout_seq = dattn_out.SliceRows(b * seq_len, (b + 1) * seq_len)
@@ -271,7 +273,7 @@ MoeLayerGrads MoeLayerBackward(const MoeLayerParams& params, const ModelConfig& 
   }
 
   // --- Reassemble dqkv and run QKV projection backward. ---
-  Tensor dqkv({tokens, config.qkv_out_dim()});
+  Tensor dqkv = Tensor::Uninit({tokens, config.qkv_out_dim()});
   for (int64_t t = 0; t < tokens; ++t) {
     float* row = dqkv.data() + t * config.qkv_out_dim();
     std::copy(dq.data() + t * hq * d, dq.data() + (t + 1) * hq * d, row);

@@ -23,15 +23,15 @@ RoutingResult RouteTokens(const Tensor& logits, const RouterConfig& config) {
   result.top_k = k;
   result.probs = Softmax(logits);
   result.expert_index.assign(static_cast<size_t>(tokens * k), 0);
-  result.combine_weight = Tensor({tokens, k});
+  result.combine_weight = Tensor::Uninit({tokens, k});  // every slot written below
   result.dropped.assign(static_cast<size_t>(tokens * k), 0);
   result.expert_counts.assign(static_cast<size_t>(experts), 0);
 
   // Top-k selection per token (descending prob, ties by lower expert index),
   // then renormalize the selected probabilities to combine weights.
+  std::vector<int64_t> order(static_cast<size_t>(experts));
   for (int64_t t = 0; t < tokens; ++t) {
     const float* p = result.probs.data() + t * experts;
-    std::vector<int64_t> order(static_cast<size_t>(experts));
     for (int64_t e = 0; e < experts; ++e) {
       order[static_cast<size_t>(e)] = e;
     }

@@ -41,26 +41,35 @@ const char* QuantGranularityName(QuantGranularity granularity) {
   return "unknown";
 }
 
-QuantizedMatrix Quantize(const float* data, int64_t rows, int64_t cols,
-                         const QuantConfig& config) {
+int64_t QuantScalesCount(int64_t rows, int64_t cols, const QuantConfig& config) {
+  switch (config.granularity) {
+    case QuantGranularity::kPerTensor:
+      return 1;
+    case QuantGranularity::kPerToken:
+      return rows;
+    case QuantGranularity::kPerChannel:
+      return cols;
+    case QuantGranularity::kPerChannelGrouped:
+      return std::max<int64_t>(1, CeilDiv(rows, config.group_size)) * cols;
+  }
+  return 0;
+}
+
+void QuantizeInto(const float* data, int64_t rows, int64_t cols, const QuantConfig& config,
+                  uint8_t* codes_out, float* scales_out) {
   MSMOE_CHECK_GE(rows, 0);
   MSMOE_CHECK_GE(cols, 0);
-  QuantizedMatrix out;
-  out.rows = rows;
-  out.cols = cols;
-  out.config = config;
-  out.codes.resize(static_cast<size_t>(rows * cols));
 
   auto encode_with_scale = [&](int64_t r, int64_t c, float scale) {
     const float value = data[r * cols + c];
-    out.codes[static_cast<size_t>(r * cols + c)] = Fp8Encode(value / scale, config.format);
+    codes_out[r * cols + c] = Fp8Encode(value / scale, config.format);
   };
 
   switch (config.granularity) {
     case QuantGranularity::kPerTensor: {
       const float amax = SliceAmax(data, rows * cols, 1);
       const float scale = AmaxToScale(amax, config.format);
-      out.scales = {scale};
+      scales_out[0] = scale;
       for (int64_t r = 0; r < rows; ++r) {
         for (int64_t c = 0; c < cols; ++c) {
           encode_with_scale(r, c, scale);
@@ -69,11 +78,10 @@ QuantizedMatrix Quantize(const float* data, int64_t rows, int64_t cols,
       break;
     }
     case QuantGranularity::kPerToken: {
-      out.scales.resize(static_cast<size_t>(rows));
       for (int64_t r = 0; r < rows; ++r) {
         const float amax = SliceAmax(data + r * cols, cols, 1);
         const float scale = AmaxToScale(amax, config.format);
-        out.scales[static_cast<size_t>(r)] = scale;
+        scales_out[r] = scale;
         for (int64_t c = 0; c < cols; ++c) {
           encode_with_scale(r, c, scale);
         }
@@ -81,15 +89,13 @@ QuantizedMatrix Quantize(const float* data, int64_t rows, int64_t cols,
       break;
     }
     case QuantGranularity::kPerChannel: {
-      out.scales.resize(static_cast<size_t>(cols));
       for (int64_t c = 0; c < cols; ++c) {
         const float amax = SliceAmax(data + c, rows, cols);
-        const float scale = AmaxToScale(amax, config.format);
-        out.scales[static_cast<size_t>(c)] = scale;
+        scales_out[c] = AmaxToScale(amax, config.format);
       }
       for (int64_t r = 0; r < rows; ++r) {
         for (int64_t c = 0; c < cols; ++c) {
-          encode_with_scale(r, c, out.scales[static_cast<size_t>(c)]);
+          encode_with_scale(r, c, scales_out[c]);
         }
       }
       break;
@@ -97,7 +103,6 @@ QuantizedMatrix Quantize(const float* data, int64_t rows, int64_t cols,
     case QuantGranularity::kPerChannelGrouped: {
       MSMOE_CHECK_GT(config.group_size, 0);
       const int64_t num_groups = std::max<int64_t>(1, CeilDiv(rows, config.group_size));
-      out.scales.resize(static_cast<size_t>(num_groups * cols));
       for (int64_t g = 0; g < num_groups; ++g) {
         const int64_t row_begin = g * config.group_size;
         const int64_t row_end = std::min(rows, row_begin + config.group_size);
@@ -105,7 +110,7 @@ QuantizedMatrix Quantize(const float* data, int64_t rows, int64_t cols,
           const float amax =
               SliceAmax(data + row_begin * cols + c, row_end - row_begin, cols);
           const float scale = AmaxToScale(amax, config.format);
-          out.scales[static_cast<size_t>(g * cols + c)] = scale;
+          scales_out[g * cols + c] = scale;
           for (int64_t r = row_begin; r < row_end; ++r) {
             encode_with_scale(r, c, scale);
           }
@@ -114,25 +119,33 @@ QuantizedMatrix Quantize(const float* data, int64_t rows, int64_t cols,
       break;
     }
   }
+}
+
+QuantizedMatrix Quantize(const float* data, int64_t rows, int64_t cols,
+                         const QuantConfig& config) {
+  QuantizedMatrix out;
+  out.rows = rows;
+  out.cols = cols;
+  out.config = config;
+  out.codes.resize(static_cast<size_t>(rows * cols));
+  out.scales.resize(static_cast<size_t>(QuantScalesCount(rows, cols, config)));
+  QuantizeInto(data, rows, cols, config, out.codes.data(), out.scales.data());
   return out;
 }
 
-void Dequantize(const QuantizedMatrix& quantized, float* out) {
-  const int64_t rows = quantized.rows;
-  const int64_t cols = quantized.cols;
-  const QuantConfig& config = quantized.config;
-
+void DequantizeInto(const uint8_t* codes, const float* scales, int64_t rows, int64_t cols,
+                    const QuantConfig& config, float* out) {
   auto scale_at = [&](int64_t r, int64_t c) -> float {
     switch (config.granularity) {
       case QuantGranularity::kPerTensor:
-        return quantized.scales[0];
+        return scales[0];
       case QuantGranularity::kPerToken:
-        return quantized.scales[static_cast<size_t>(r)];
+        return scales[r];
       case QuantGranularity::kPerChannel:
-        return quantized.scales[static_cast<size_t>(c)];
+        return scales[c];
       case QuantGranularity::kPerChannelGrouped: {
         const int64_t group = r / config.group_size;
-        return quantized.scales[static_cast<size_t>(group * cols + c)];
+        return scales[group * cols + c];
       }
     }
     return 1.0f;
@@ -140,10 +153,14 @@ void Dequantize(const QuantizedMatrix& quantized, float* out) {
 
   for (int64_t r = 0; r < rows; ++r) {
     for (int64_t c = 0; c < cols; ++c) {
-      const uint8_t code = quantized.codes[static_cast<size_t>(r * cols + c)];
-      out[r * cols + c] = Fp8Decode(code, config.format) * scale_at(r, c);
+      out[r * cols + c] = Fp8Decode(codes[r * cols + c], config.format) * scale_at(r, c);
     }
   }
+}
+
+void Dequantize(const QuantizedMatrix& quantized, float* out) {
+  DequantizeInto(quantized.codes.data(), quantized.scales.data(), quantized.rows,
+                 quantized.cols, quantized.config, out);
 }
 
 std::vector<float> QuantizeRoundTrip(const float* data, int64_t rows, int64_t cols,

@@ -56,12 +56,26 @@ struct QuantizedMatrix {
   }
 };
 
+// Number of scales a [rows x cols] matrix carries under `config` (the
+// layout of QuantizedMatrix::scales and the scales_out buffers below).
+int64_t QuantScalesCount(int64_t rows, int64_t cols, const QuantConfig& config);
+
 // Quantizes `data` (row-major rows x cols). Zero tensors get scale 1.
 QuantizedMatrix Quantize(const float* data, int64_t rows, int64_t cols,
                          const QuantConfig& config);
 
+// Allocation-free variant for hot comm paths: writes rows * cols codes and
+// QuantScalesCount scales into caller-owned buffers. Bitwise identical to
+// Quantize.
+void QuantizeInto(const float* data, int64_t rows, int64_t cols, const QuantConfig& config,
+                  uint8_t* codes_out, float* scales_out);
+
 // Dequantizes into `out` (must hold rows * cols floats).
 void Dequantize(const QuantizedMatrix& quantized, float* out);
+
+// Allocation-free variant over raw code/scale buffers (same layouts).
+void DequantizeInto(const uint8_t* codes, const float* scales, int64_t rows, int64_t cols,
+                    const QuantConfig& config, float* out);
 
 // Round-trip convenience: returns the dequantized values.
 std::vector<float> QuantizeRoundTrip(const float* data, int64_t rows, int64_t cols,

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/base/arena.h"
 #include "src/base/logging.h"
 #include "src/numerics/bf16.h"
 
@@ -23,29 +24,40 @@ std::vector<float> SyncGradShard(Communicator& comm, int rank, const float* grad
                                  int64_t count, GradSyncMode mode) {
   const int n = comm.size();
   MSMOE_CHECK_EQ(count % n, 0);
+  std::vector<float> out(static_cast<size_t>(count / n));
+  SyncGradShardInto(comm, rank, grads, count, mode, out.data());
+  return out;
+}
+
+void SyncGradShardInto(Communicator& comm, int rank, const float* grads, int64_t count,
+                       GradSyncMode mode, float* shard_out) {
+  const int n = comm.size();
+  MSMOE_CHECK_EQ(count % n, 0);
   const int64_t shard = count / n;
-  std::vector<float> out(static_cast<size_t>(shard));
+  float* out = shard_out;
 
   switch (mode) {
     case GradSyncMode::kFp32ReduceScatter: {
-      comm.ReduceScatter(rank, grads, out.data(), shard);
+      comm.ReduceScatter(rank, grads, out, shard);
       break;
     }
     case GradSyncMode::kBf16AllToAll: {
       // One-time cast to BF16, then each rank collects its shard from every
-      // peer and reduces LOCALLY in FP32 (Fig 10's design).
-      std::vector<float> wire(static_cast<size_t>(count));
+      // peer and reduces LOCALLY in FP32 (Fig 10's design). The wire/recv
+      // staging lives in the rank thread's workspace (reused every step).
+      Workspace& ws = ThreadWorkspace();
+      float* wire = ws.Floats("gradsync.wire", count);
       for (int64_t i = 0; i < count; ++i) {
-        wire[static_cast<size_t>(i)] = Bf16Round(grads[i]);
+        wire[i] = Bf16Round(grads[i]);
       }
-      std::vector<float> recv(static_cast<size_t>(count));
-      comm.AllToAll(rank, wire.data(), recv.data(), shard);
+      float* recv = ws.Floats("gradsync.recv", count);
+      comm.AllToAll(rank, wire, recv, shard);
       for (int64_t i = 0; i < shard; ++i) {
         double sum = 0.0;  // FP32/FP64 accumulation of BF16 values
         for (int src = 0; src < n; ++src) {
-          sum += static_cast<double>(recv[static_cast<size_t>(src * shard + i)]);
+          sum += static_cast<double>(recv[src * shard + i]);
         }
-        out[static_cast<size_t>(i)] = static_cast<float>(sum);
+        out[i] = static_cast<float>(sum);
       }
       break;
     }
@@ -56,24 +68,24 @@ std::vector<float> SyncGradShard(Communicator& comm, int rank, const float* grad
       // the wire. The exchange below gathers every rank's BF16 contribution
       // for this rank's chunk, then replays exactly that sequential
       // rounded accumulation (ring order starting at rank+1).
-      std::vector<float> wire(static_cast<size_t>(count));
+      Workspace& ws = ThreadWorkspace();
+      float* wire = ws.Floats("gradsync.wire", count);
       for (int64_t i = 0; i < count; ++i) {
-        wire[static_cast<size_t>(i)] = Bf16Round(grads[i]);
+        wire[i] = Bf16Round(grads[i]);
       }
-      std::vector<float> recv(static_cast<size_t>(count));
-      comm.AllToAll(rank, wire.data(), recv.data(), shard);
+      float* recv = ws.Floats("gradsync.recv", count);
+      comm.AllToAll(rank, wire, recv, shard);
       for (int64_t i = 0; i < shard; ++i) {
-        float partial = recv[static_cast<size_t>(((rank + 1) % n) * shard + i)];
+        float partial = recv[((rank + 1) % n) * shard + i];
         for (int step = 2; step <= n; ++step) {
           const int src = (rank + step) % n;
-          partial = Bf16Round(partial + recv[static_cast<size_t>(src * shard + i)]);
+          partial = Bf16Round(partial + recv[src * shard + i]);
         }
-        out[static_cast<size_t>(i)] = partial;
+        out[i] = partial;
       }
       break;
     }
   }
-  return out;
 }
 
 std::unique_ptr<CommHandle> StartGradShardSync(Communicator& comm, int rank,
@@ -103,8 +115,9 @@ void AllReduceGrads(Communicator& comm, int rank, float* grads, int64_t count,
                     GradSyncMode mode) {
   const int n = comm.size();
   MSMOE_CHECK_EQ(count % n, 0);
-  std::vector<float> shard = SyncGradShard(comm, rank, grads, count, mode);
-  comm.AllGather(rank, shard.data(), grads, count / n);
+  float* shard = ThreadWorkspace().Floats("gradsync.shard", count / n);
+  SyncGradShardInto(comm, rank, grads, count, mode, shard);
+  comm.AllGather(rank, shard, grads, count / n);
 }
 
 int64_t GradSyncWireBytes(GradSyncMode mode, int64_t count, int n) {

@@ -53,6 +53,13 @@ inline int64_t PaddedGradCount(int64_t total_elems, int n) {
 std::vector<float> SyncGradShard(Communicator& comm, int rank, const float* grads,
                                  int64_t count, GradSyncMode mode);
 
+// Allocation-free variant for the hot step loop: writes the shard into
+// `shard_out` (count / n floats, caller-owned) and stages the BF16 wire
+// copies in the calling thread's workspace, so a steady-state step acquires
+// no fresh memory.
+void SyncGradShardInto(Communicator& comm, int rank, const float* grads, int64_t count,
+                       GradSyncMode mode, float* shard_out);
+
 // Nonblocking FP32 reduce-scatter of a gradient segment (the §5 inter-op
 // overlap primitive): the transfer runs chunk by chunk on the rank's
 // comm-proxy thread while the caller keeps computing (e.g. the remaining

@@ -1,28 +1,12 @@
 #include "src/parallel/fp8_comm.h"
 
-#include <vector>
+#include <algorithm>
 
+#include "src/base/arena.h"
 #include "src/base/logging.h"
 #include "src/base/math_util.h"
 
 namespace msmoe {
-namespace {
-
-int64_t ScalesPerChunk(int64_t rows, int64_t cols, const QuantConfig& config) {
-  switch (config.granularity) {
-    case QuantGranularity::kPerTensor:
-      return 1;
-    case QuantGranularity::kPerToken:
-      return rows;
-    case QuantGranularity::kPerChannel:
-      return cols;
-    case QuantGranularity::kPerChannelGrouped:
-      return std::max<int64_t>(1, CeilDiv(rows, config.group_size)) * cols;
-  }
-  return 0;
-}
-
-}  // namespace
 
 Tensor Fp8ReduceScatter(Communicator& comm, int rank, const Tensor& data,
                         int64_t shard_rows, const QuantConfig& config) {
@@ -31,47 +15,41 @@ Tensor Fp8ReduceScatter(Communicator& comm, int rank, const Tensor& data,
   MSMOE_CHECK_EQ(data.dim(0), n * shard_rows);
   const int64_t cols = data.dim(1);
   const int64_t chunk_codes = shard_rows * cols;
-  const int64_t chunk_scales = ScalesPerChunk(shard_rows, cols, config);
+  const int64_t chunk_scales = QuantScalesCount(shard_rows, cols, config);
 
-  // Quantize each destination chunk independently.
-  std::vector<uint8_t> send_codes(static_cast<size_t>(n * chunk_codes));
-  std::vector<float> send_scales(static_cast<size_t>(n * chunk_scales));
+  // Quantize each destination chunk directly into its slice of the send
+  // staging; the staging lives in the calling rank thread's workspace, so a
+  // steady-state step reuses the previous step's buffers.
+  Workspace& ws = ThreadWorkspace();
+  uint8_t* send_codes = ws.Bytes("fp8.rs.send_codes", n * chunk_codes);
+  float* send_scales = ws.Floats("fp8.rs.send_scales", n * chunk_scales);
   for (int dst = 0; dst < n; ++dst) {
-    QuantizedMatrix q =
-        Quantize(data.data() + static_cast<int64_t>(dst) * chunk_codes, shard_rows, cols,
-                 config);
-    MSMOE_CHECK_EQ(static_cast<int64_t>(q.scales.size()), chunk_scales);
-    std::copy(q.codes.begin(), q.codes.end(),
-              send_codes.begin() + static_cast<int64_t>(dst) * chunk_codes);
-    std::copy(q.scales.begin(), q.scales.end(),
-              send_scales.begin() + static_cast<int64_t>(dst) * chunk_scales);
+    QuantizeInto(data.data() + static_cast<int64_t>(dst) * chunk_codes, shard_rows, cols,
+                 config, send_codes + static_cast<int64_t>(dst) * chunk_codes,
+                 send_scales + static_cast<int64_t>(dst) * chunk_scales);
   }
 
-  std::vector<uint8_t> recv_codes(send_codes.size());
-  std::vector<float> recv_scales(send_scales.size());
-  comm.AllToAll(rank, send_codes.data(), recv_codes.data(), chunk_codes);
-  comm.AllToAll(rank, send_scales.data(), recv_scales.data(), chunk_scales);
+  uint8_t* recv_codes = ws.Bytes("fp8.rs.recv_codes", n * chunk_codes);
+  float* recv_scales = ws.Floats("fp8.rs.recv_scales", n * chunk_scales);
+  comm.AllToAll(rank, send_codes, recv_codes, chunk_codes);
+  comm.AllToAll(rank, send_scales, recv_scales, chunk_scales);
 
   // Dequantize each source's chunk and reduce in FP32 (double accumulator).
-  Tensor out({shard_rows, cols});
-  std::vector<double> acc(static_cast<size_t>(chunk_codes), 0.0);
-  std::vector<float> dequant(static_cast<size_t>(chunk_codes));
+  // `out` is fully written by the acc copy-out loop below, so Uninit is safe.
+  Tensor out = Tensor::Uninit({shard_rows, cols});
+  double* acc = ws.Doubles("fp8.rs.acc", chunk_codes);
+  std::fill(acc, acc + chunk_codes, 0.0);
+  float* dequant = ws.Floats("fp8.rs.dequant", chunk_codes);
   for (int src = 0; src < n; ++src) {
-    QuantizedMatrix q;
-    q.rows = shard_rows;
-    q.cols = cols;
-    q.config = config;
-    q.codes.assign(recv_codes.begin() + static_cast<int64_t>(src) * chunk_codes,
-                   recv_codes.begin() + static_cast<int64_t>(src + 1) * chunk_codes);
-    q.scales.assign(recv_scales.begin() + static_cast<int64_t>(src) * chunk_scales,
-                    recv_scales.begin() + static_cast<int64_t>(src + 1) * chunk_scales);
-    Dequantize(q, dequant.data());
+    DequantizeInto(recv_codes + static_cast<int64_t>(src) * chunk_codes,
+                   recv_scales + static_cast<int64_t>(src) * chunk_scales, shard_rows,
+                   cols, config, dequant);
     for (int64_t i = 0; i < chunk_codes; ++i) {
-      acc[static_cast<size_t>(i)] += dequant[static_cast<size_t>(i)];
+      acc[i] += dequant[i];
     }
   }
   for (int64_t i = 0; i < chunk_codes; ++i) {
-    out[i] = static_cast<float>(acc[static_cast<size_t>(i)]);
+    out[i] = static_cast<float>(acc[i]);
   }
   return out;
 }
@@ -83,32 +61,32 @@ Tensor Fp8AllGather(Communicator& comm, int rank, const Tensor& local,
   const int64_t rows = local.dim(0);
   const int64_t cols = local.dim(1);
   const int64_t chunk_codes = rows * cols;
-  const int64_t chunk_scales = ScalesPerChunk(rows, cols, config);
+  const int64_t chunk_scales = QuantScalesCount(rows, cols, config);
 
-  QuantizedMatrix q = Quantize(local.data(), rows, cols, config);
-  std::vector<uint8_t> all_codes(static_cast<size_t>(n * chunk_codes));
-  std::vector<float> all_scales(static_cast<size_t>(n * chunk_scales));
-  comm.AllGather(rank, q.codes.data(), all_codes.data(), chunk_codes);
-  comm.AllGather(rank, q.scales.data(), all_scales.data(), chunk_scales);
+  Workspace& ws = ThreadWorkspace();
+  uint8_t* local_codes = ws.Bytes("fp8.ag.local_codes", chunk_codes);
+  float* local_scales = ws.Floats("fp8.ag.local_scales", chunk_scales);
+  QuantizeInto(local.data(), rows, cols, config, local_codes, local_scales);
 
-  Tensor out({n * rows, cols});
+  uint8_t* all_codes = ws.Bytes("fp8.ag.all_codes", n * chunk_codes);
+  float* all_scales = ws.Floats("fp8.ag.all_scales", n * chunk_scales);
+  comm.AllGather(rank, local_codes, all_codes, chunk_codes);
+  comm.AllGather(rank, local_scales, all_scales, chunk_scales);
+
+  // Each source chunk dequantizes into its contiguous row range, covering
+  // every element of the gathered output.
+  Tensor out = Tensor::Uninit({n * rows, cols});
   for (int src = 0; src < n; ++src) {
-    QuantizedMatrix chunk;
-    chunk.rows = rows;
-    chunk.cols = cols;
-    chunk.config = config;
-    chunk.codes.assign(all_codes.begin() + static_cast<int64_t>(src) * chunk_codes,
-                       all_codes.begin() + static_cast<int64_t>(src + 1) * chunk_codes);
-    chunk.scales.assign(all_scales.begin() + static_cast<int64_t>(src) * chunk_scales,
-                        all_scales.begin() + static_cast<int64_t>(src + 1) * chunk_scales);
-    Dequantize(chunk, out.data() + static_cast<int64_t>(src) * chunk_codes);
+    DequantizeInto(all_codes + static_cast<int64_t>(src) * chunk_codes,
+                   all_scales + static_cast<int64_t>(src) * chunk_scales, rows, cols,
+                   config, out.data() + static_cast<int64_t>(src) * chunk_codes);
   }
   return out;
 }
 
 int64_t Fp8ReduceScatterWireBytes(int64_t rows, int64_t cols, const QuantConfig& config,
                                   int n) {
-  const int64_t per_chunk = rows * cols + ScalesPerChunk(rows, cols, config) * 4;
+  const int64_t per_chunk = rows * cols + QuantScalesCount(rows, cols, config) * 4;
   return (n - 1) * per_chunk;
 }
 

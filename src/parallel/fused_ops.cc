@@ -49,8 +49,8 @@ std::unique_ptr<FusedPipeline> RecordFusedAllGatherGemm(const ShardContext& ctx,
   const int64_t cols = w.dim(1);
 
   auto pipe = std::make_unique<FusedPipeline>();
-  pipe->staging.assign(static_cast<size_t>(n) * rows_local * k, 0.0f);
-  pipe->y = Tensor({static_cast<int64_t>(n) * rows_local, cols});
+  pipe->staging.Resize(static_cast<int64_t>(n) * rows_local * k);
+  pipe->y = Tensor::Uninit({static_cast<int64_t>(n) * rows_local, cols});
   const int num_chunks = static_cast<int>(CeilDiv(rows_local, row_tile));
   // Start at record time, on the rank's main thread: the per-rank Start*
   // FIFO contract is schedule-independent by construction.
@@ -122,8 +122,8 @@ std::unique_ptr<FusedPipeline> RecordFusedGemmReduceScatter(const ShardContext& 
   const int64_t count = rows_out * cols;
 
   auto pipe = std::make_unique<FusedPipeline>();
-  pipe->staging.assign(static_cast<size_t>(rows) * cols, 0.0f);
-  pipe->y = Tensor({rows_out, cols});
+  pipe->staging.Resize(rows * cols);
+  pipe->y = Tensor::Uninit({rows_out, cols});
   const int num_chunks = static_cast<int>(CeilDiv(rows_out, row_tile));
   // Producer-gated: the comm thread blocks per chunk until the signal op
   // below declares the tile's slice of the send buffer final.
@@ -189,7 +189,7 @@ std::unique_ptr<FusedPipeline> RecordFusedAllGatherScatterGroupedGemm(
   const int64_t cols = expert_weights[0].dim(1);
 
   auto pipe = std::make_unique<FusedPipeline>();
-  pipe->staging.assign(static_cast<size_t>(n) * t_local * h, 0.0f);
+  pipe->staging.Resize(static_cast<int64_t>(n) * t_local * h);
   // Start the (big) token payload streaming on the comm thread first; the
   // (small) routing gather and the bucket build below overlap with it —
   // both happen at record time, before any graph op runs.
@@ -226,7 +226,7 @@ std::unique_ptr<FusedPipeline> RecordFusedAllGatherScatterGroupedGemm(
     pipe->row_token.insert(pipe->row_token.end(), rows.begin(), rows.end());
   }
   const int64_t total_rows = static_cast<int64_t>(pipe->row_token.size());
-  pipe->y = Tensor({total_rows, cols});
+  pipe->y = Tensor::Uninit({total_rows, cols});
 
   state->out_begin.assign(static_cast<size_t>(experts_per_rank) + 1, 0);
   for (int64_t e = 0; e < experts_per_rank; ++e) {
@@ -289,7 +289,8 @@ std::unique_ptr<FusedPipeline> RecordFusedAllGatherScatterGroupedGemm(
                         for (int64_t i = i0; i < i1; ++i) {
                           const int64_t e = ready[static_cast<size_t>(i)];
                           const auto& rows = state->bucket[static_cast<size_t>(e)];
-                          Tensor ffn_in({static_cast<int64_t>(rows.size()), h});
+                          Tensor ffn_in =
+                              Tensor::Uninit({static_cast<int64_t>(rows.size()), h});
                           for (size_t r = 0; r < rows.size(); ++r) {
                             std::copy(p->staging.data() + rows[r] * h,
                                       p->staging.data() + (rows[r] + 1) * h,

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/arena.h"
 #include "src/core/exec_graph.h"
 #include "src/parallel/sp_attention.h"
 #include "src/tensor/tensor.h"
@@ -36,7 +37,10 @@ namespace msmoe {
 // The recorded closures also reference the caller's input tensors (x_local,
 // weights), which must outlive execution — the usual eager call pattern.
 struct FusedPipeline {
-  std::vector<float> staging;      // gathered input (AG) or send buffer (RS)
+  // Pool-backed and UNINITIALIZED on record: the all-gather overwrites every
+  // gathered row, and the reduce-scatter send slices are all written by
+  // beta == 0 tile GEMMs before their signal releases them.
+  PooledBuffer staging;            // gathered input (AG) or send buffer (RS)
   Tensor y;                        // pipeline output
   std::vector<int64_t> row_token;  // grouped-GEMM only: token of each row
   std::unique_ptr<CommHandle> handle;

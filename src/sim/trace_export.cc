@@ -80,7 +80,8 @@ Status WriteChromeTrace(const std::string& path, const std::vector<SimOp>& ops,
 std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
                                     const std::string& process_name,
                                     const StragglerReport* health,
-                                    const std::vector<CompEvent>* comp_events) {
+                                    const std::vector<CompEvent>* comp_events,
+                                    const MemStatsSnapshot* mem) {
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\""
@@ -159,15 +160,45 @@ std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
       out << buffer << ",\"args\":{}}";
     }
   }
+  if (mem != nullptr) {
+    // One lane past the last rank's comm lane, so the memory rows sort
+    // below the timelines they annotate.
+    const int mem_tid = 2 * (max_rank + 1);
+    out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << mem_tid
+        << ",\"args\":{\"name\":\"memory\"}}";
+    const auto mem_event = [&](const std::string& name, uint64_t acquires,
+                               uint64_t pool_hits, uint64_t heap_allocs,
+                               uint64_t acquired_bytes, double hit_rate) {
+      char buffer[224];
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"args\":{\"acquires\":%llu,\"pool_hits\":%llu,"
+                    "\"heap_allocs\":%llu,\"acquired_bytes\":%llu,"
+                    "\"pool_hit_rate\":%.4f}}",
+                    static_cast<unsigned long long>(acquires),
+                    static_cast<unsigned long long>(pool_hits),
+                    static_cast<unsigned long long>(heap_allocs),
+                    static_cast<unsigned long long>(acquired_bytes), hit_rate);
+      out << ",{\"name\":\"" << JsonEscape(name)
+          << "\",\"cat\":\"memory\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
+          << mem_tid << ",\"ts\":0" << buffer;
+    };
+    mem_event("mem total", mem->acquires, mem->pool_hits, mem->heap_allocs,
+              mem->acquired_bytes, mem->hit_rate());
+    for (const MemPhaseSnapshot& phase : mem->phases) {
+      mem_event("mem " + phase.name, phase.acquires, phase.pool_hits,
+                phase.heap_allocs, phase.acquired_bytes, phase.hit_rate());
+    }
+  }
   out << "]}";
   return out.str();
 }
 
 Status WriteCommTrace(const std::string& path, const std::vector<CommEvent>& events,
                       const std::string& process_name, const StragglerReport* health,
-                      const std::vector<CompEvent>* comp_events) {
-  return WriteString(path,
-                     CommEventsToChromeTrace(events, process_name, health, comp_events));
+                      const std::vector<CompEvent>* comp_events,
+                      const MemStatsSnapshot* mem) {
+  return WriteString(path, CommEventsToChromeTrace(events, process_name, health,
+                                                   comp_events, mem));
 }
 
 }  // namespace msmoe

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/arena.h"
 #include "src/base/status.h"
 #include "src/comm/health.h"
 #include "src/comm/telemetry.h"
@@ -51,15 +52,23 @@ Status WriteChromeTrace(const std::string& path, const std::vector<SimOp>& ops,
 //
 // When comp_events (CommTelemetry::CompEvents()) is supplied, each span is
 // emitted on its rank's main lane under category "compute".
+//
+// When mem (GetMemStats()) is supplied, one instant event per MemoryScope
+// phase — plus a "mem total" event — is emitted on a dedicated "memory"
+// lane, each carrying that phase's acquires / pool hits / heap (pool-miss)
+// allocations / bytes and pool hit rate, so allocation behavior is
+// inspectable on the same timeline as the collectives it rides along.
 std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
                                     const std::string& process_name = "msmoe-run",
                                     const StragglerReport* health = nullptr,
-                                    const std::vector<CompEvent>* comp_events = nullptr);
+                                    const std::vector<CompEvent>* comp_events = nullptr,
+                                    const MemStatsSnapshot* mem = nullptr);
 
 Status WriteCommTrace(const std::string& path, const std::vector<CommEvent>& events,
                       const std::string& process_name = "msmoe-run",
                       const StragglerReport* health = nullptr,
-                      const std::vector<CompEvent>* comp_events = nullptr);
+                      const std::vector<CompEvent>* comp_events = nullptr,
+                      const MemStatsSnapshot* mem = nullptr);
 
 }  // namespace msmoe
 

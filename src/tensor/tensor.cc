@@ -1,7 +1,9 @@
 #include "src/tensor/tensor.h"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
+#include <utility>
 
 namespace msmoe {
 namespace {
@@ -18,39 +20,90 @@ int64_t NumelOf(const std::vector<int64_t>& shape) {
 }  // namespace
 
 Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)), numel_(NumelOf(shape_)) {
-  data_.assign(static_cast<size_t>(numel_), 0.0f);
+  data_ = ArenaAcquireFloats(numel_);
+  if (numel_ > 0) std::memset(data_, 0, static_cast<size_t>(numel_) * sizeof(float));
+}
+
+Tensor::~Tensor() { ArenaReleaseFloats(data_, numel_); }
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_), numel_(other.numel_) {
+  data_ = ArenaAcquireFloats(numel_);
+  if (numel_ > 0) {
+    std::memcpy(data_, other.data_, static_cast<size_t>(numel_) * sizeof(float));
+  }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  if (numel_ != other.numel_) {
+    ArenaReleaseFloats(data_, numel_);
+    data_ = ArenaAcquireFloats(other.numel_);
+    numel_ = other.numel_;
+  }
+  shape_ = other.shape_;
+  if (numel_ > 0) {
+    std::memcpy(data_, other.data_, static_cast<size_t>(numel_) * sizeof(float));
+  }
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)), data_(other.data_), numel_(other.numel_) {
+  other.shape_.clear();
+  other.data_ = nullptr;
+  other.numel_ = 0;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  ArenaReleaseFloats(data_, numel_);
+  shape_ = std::move(other.shape_);
+  data_ = other.data_;
+  numel_ = other.numel_;
+  other.shape_.clear();
+  other.data_ = nullptr;
+  other.numel_ = 0;
+  return *this;
 }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
 
+Tensor Tensor::Uninit(std::vector<int64_t> shape) {
+  Tensor out;
+  out.shape_ = std::move(shape);
+  out.numel_ = NumelOf(out.shape_);
+  out.data_ = ArenaAcquireFloats(out.numel_);
+  return out;
+}
+
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
-  Tensor out(std::move(shape));
+  Tensor out = Uninit(std::move(shape));
   out.Fill(value);
   return out;
 }
 
 Tensor Tensor::Randn(std::vector<int64_t> shape, Rng& rng, float mean, float stddev) {
-  Tensor out(std::move(shape));
+  Tensor out = Uninit(std::move(shape));
   for (int64_t i = 0; i < out.numel_; ++i) {
-    out.data_[static_cast<size_t>(i)] = static_cast<float>(rng.NextGaussian(mean, stddev));
+    out.data_[i] = static_cast<float>(rng.NextGaussian(mean, stddev));
   }
   return out;
 }
 
 Tensor Tensor::Uniform(std::vector<int64_t> shape, Rng& rng, float lo, float hi) {
-  Tensor out(std::move(shape));
+  Tensor out = Uninit(std::move(shape));
   for (int64_t i = 0; i < out.numel_; ++i) {
-    out.data_[static_cast<size_t>(i)] = static_cast<float>(rng.NextUniform(lo, hi));
+    out.data_[i] = static_cast<float>(rng.NextUniform(lo, hi));
   }
   return out;
 }
 
 Tensor Tensor::FromVector(std::vector<int64_t> shape, std::vector<float> values) {
-  Tensor out;
-  out.shape_ = std::move(shape);
-  out.numel_ = NumelOf(out.shape_);
+  Tensor out = Uninit(std::move(shape));
   MSMOE_CHECK_EQ(out.numel_, static_cast<int64_t>(values.size()));
-  out.data_ = std::move(values);
+  if (out.numel_ > 0) {
+    std::memcpy(out.data_, values.data(), static_cast<size_t>(out.numel_) * sizeof(float));
+  }
   return out;
 }
 
@@ -60,55 +113,72 @@ int64_t Tensor::dim(int i) const {
   return shape_[static_cast<size_t>(i)];
 }
 
-float& Tensor::At(int64_t i, int64_t j) {
+float& Tensor::AtChecked(int64_t i) {
+  MSMOE_CHECK_GE(i, 0);
+  MSMOE_CHECK_LT(i, numel_);
+  return data_[i];
+}
+
+float Tensor::AtChecked(int64_t i) const { return const_cast<Tensor*>(this)->AtChecked(i); }
+
+float& Tensor::AtChecked(int64_t i, int64_t j) {
   MSMOE_CHECK_EQ(ndim(), 2);
+  MSMOE_CHECK_GE(i, 0);
   MSMOE_CHECK_LT(i, shape_[0]);
+  MSMOE_CHECK_GE(j, 0);
   MSMOE_CHECK_LT(j, shape_[1]);
-  return data_[static_cast<size_t>(i * shape_[1] + j)];
+  return data_[i * shape_[1] + j];
 }
 
-float Tensor::At(int64_t i, int64_t j) const { return const_cast<Tensor*>(this)->At(i, j); }
+float Tensor::AtChecked(int64_t i, int64_t j) const {
+  return const_cast<Tensor*>(this)->AtChecked(i, j);
+}
 
-float& Tensor::At(int64_t i, int64_t j, int64_t k) {
+float& Tensor::AtChecked(int64_t i, int64_t j, int64_t k) {
   MSMOE_CHECK_EQ(ndim(), 3);
+  MSMOE_CHECK_GE(i, 0);
   MSMOE_CHECK_LT(i, shape_[0]);
+  MSMOE_CHECK_GE(j, 0);
   MSMOE_CHECK_LT(j, shape_[1]);
+  MSMOE_CHECK_GE(k, 0);
   MSMOE_CHECK_LT(k, shape_[2]);
-  return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  return data_[(i * shape_[1] + j) * shape_[2] + k];
 }
 
-float Tensor::At(int64_t i, int64_t j, int64_t k) const {
-  return const_cast<Tensor*>(this)->At(i, j, k);
+float Tensor::AtChecked(int64_t i, int64_t j, int64_t k) const {
+  return const_cast<Tensor*>(this)->AtChecked(i, j, k);
 }
 
 Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
   MSMOE_CHECK_EQ(NumelOf(new_shape), numel_);
-  Tensor out;
-  out.shape_ = std::move(new_shape);
-  out.numel_ = numel_;
-  out.data_ = data_;
+  Tensor out = Uninit(std::move(new_shape));
+  if (numel_ > 0) {
+    std::memcpy(out.data_, data_, static_cast<size_t>(numel_) * sizeof(float));
+  }
   return out;
 }
 
-void Tensor::Fill(float value) { data_.assign(data_.size(), value); }
+void Tensor::Fill(float value) {
+  for (int64_t i = 0; i < numel_; ++i) data_[i] = value;
+}
 
 void Tensor::AddInPlace(const Tensor& other) {
   MSMOE_CHECK(SameShape(*this, other)) << ShapeString() << " vs " << other.ShapeString();
   for (int64_t i = 0; i < numel_; ++i) {
-    data_[static_cast<size_t>(i)] += other.data_[static_cast<size_t>(i)];
+    data_[i] += other.data_[i];
   }
 }
 
 void Tensor::ScaleInPlace(float factor) {
-  for (float& v : data_) {
-    v *= factor;
+  for (int64_t i = 0; i < numel_; ++i) {
+    data_[i] *= factor;
   }
 }
 
 void Tensor::AxpyInPlace(float alpha, const Tensor& other) {
   MSMOE_CHECK(SameShape(*this, other));
   for (int64_t i = 0; i < numel_; ++i) {
-    data_[static_cast<size_t>(i)] += alpha * other.data_[static_cast<size_t>(i)];
+    data_[i] += alpha * other.data_[i];
   }
 }
 
@@ -118,24 +188,26 @@ Tensor Tensor::SliceRows(int64_t row_begin, int64_t row_end) const {
   MSMOE_CHECK_LE(row_begin, row_end);
   MSMOE_CHECK_LE(row_end, shape_[0]);
   const int64_t cols = shape_[1];
-  Tensor out({row_end - row_begin, cols});
-  std::copy(data_.begin() + static_cast<size_t>(row_begin * cols),
-            data_.begin() + static_cast<size_t>(row_end * cols), out.data_.begin());
+  Tensor out = Uninit({row_end - row_begin, cols});
+  if (out.numel_ > 0) {
+    std::memcpy(out.data_, data_ + row_begin * cols,
+                static_cast<size_t>(out.numel_) * sizeof(float));
+  }
   return out;
 }
 
 double Tensor::SumAbs() const {
   double total = 0.0;
-  for (float v : data_) {
-    total += std::fabs(static_cast<double>(v));
+  for (int64_t i = 0; i < numel_; ++i) {
+    total += std::fabs(static_cast<double>(data_[i]));
   }
   return total;
 }
 
 double Tensor::MaxAbs() const {
   double max_abs = 0.0;
-  for (float v : data_) {
-    max_abs = std::fmax(max_abs, std::fabs(static_cast<double>(v)));
+  for (int64_t i = 0; i < numel_; ++i) {
+    max_abs = std::fmax(max_abs, std::fabs(static_cast<double>(data_[i])));
   }
   return max_abs;
 }
@@ -145,11 +217,9 @@ double Tensor::RelativeL2Diff(const Tensor& other) const {
   double diff_sq = 0.0;
   double ref_sq = 0.0;
   for (int64_t i = 0; i < numel_; ++i) {
-    const double d = static_cast<double>(data_[static_cast<size_t>(i)]) -
-                     static_cast<double>(other.data_[static_cast<size_t>(i)]);
+    const double d = static_cast<double>(data_[i]) - static_cast<double>(other.data_[i]);
     diff_sq += d * d;
-    ref_sq += static_cast<double>(other.data_[static_cast<size_t>(i)]) *
-              static_cast<double>(other.data_[static_cast<size_t>(i)]);
+    ref_sq += static_cast<double>(other.data_[i]) * static_cast<double>(other.data_[i]);
   }
   if (ref_sq == 0.0) {
     return diff_sq == 0.0 ? 0.0 : std::sqrt(diff_sq);

@@ -25,7 +25,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   MSMOE_CHECK_EQ(a.ndim(), 2);
   MSMOE_CHECK_EQ(b.ndim(), 2);
   MSMOE_CHECK_EQ(a.dim(1), b.dim(0));
-  Tensor c({a.dim(0), b.dim(1)});
+  Tensor c = Tensor::Uninit({a.dim(0), b.dim(1)});
   Gemm(false, false, a.dim(0), b.dim(1), a.dim(1), 1.0f, a.data(), b.data(), 0.0f, c.data());
   return c;
 }
@@ -34,7 +34,7 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   MSMOE_CHECK_EQ(a.ndim(), 2);
   MSMOE_CHECK_EQ(b.ndim(), 2);
   MSMOE_CHECK_EQ(a.dim(1), b.dim(1));
-  Tensor c({a.dim(0), b.dim(0)});
+  Tensor c = Tensor::Uninit({a.dim(0), b.dim(0)});
   Gemm(false, true, a.dim(0), b.dim(0), a.dim(1), 1.0f, a.data(), b.data(), 0.0f, c.data());
   return c;
 }
@@ -43,7 +43,7 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
   MSMOE_CHECK_EQ(a.ndim(), 2);
   MSMOE_CHECK_EQ(b.ndim(), 2);
   MSMOE_CHECK_EQ(a.dim(0), b.dim(0));
-  Tensor c({a.dim(1), b.dim(1)});
+  Tensor c = Tensor::Uninit({a.dim(1), b.dim(1)});
   Gemm(true, false, a.dim(1), b.dim(1), a.dim(0), 1.0f, a.data(), b.data(), 0.0f, c.data());
   return c;
 }
@@ -57,8 +57,13 @@ MatMulGrads MatMulBackward(const Tensor& dc, const Tensor& a, const Tensor& b) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   MSMOE_CHECK(SameShape(a, b));
-  Tensor out = a;
-  out.AddInPlace(b);
+  Tensor out = Tensor::Uninit(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    po[i] = pa[i] + pb[i];
+  }
   return out;
 }
 
@@ -66,7 +71,7 @@ Tensor Softmax(const Tensor& x) {
   MSMOE_CHECK_EQ(x.ndim(), 2);
   const int64_t rows = x.dim(0);
   const int64_t cols = x.dim(1);
-  Tensor y({rows, cols});
+  Tensor y = Tensor::Uninit({rows, cols});
   for (int64_t r = 0; r < rows; ++r) {
     const float* in = x.data() + r * cols;
     float* out = y.data() + r * cols;
@@ -91,7 +96,7 @@ Tensor SoftmaxBackward(const Tensor& dy, const Tensor& y) {
   MSMOE_CHECK(SameShape(dy, y));
   const int64_t rows = y.dim(0);
   const int64_t cols = y.dim(1);
-  Tensor dx({rows, cols});
+  Tensor dx = Tensor::Uninit({rows, cols});
   for (int64_t r = 0; r < rows; ++r) {
     const float* dy_row = dy.data() + r * cols;
     const float* y_row = y.data() + r * cols;
@@ -113,8 +118,8 @@ Tensor RmsNorm(const Tensor& x, const Tensor& gain, Tensor* inv_rms_out) {
   const int64_t cols = x.dim(1);
   MSMOE_CHECK_EQ(gain.numel(), cols);
   constexpr double kEps = 1e-6;
-  Tensor y({rows, cols});
-  Tensor inv_rms({rows});
+  Tensor y = Tensor::Uninit({rows, cols});
+  Tensor inv_rms = Tensor::Uninit({rows});
   for (int64_t r = 0; r < rows; ++r) {
     const float* in = x.data() + r * cols;
     double sum_sq = 0.0;
@@ -139,7 +144,7 @@ RmsNormGrads RmsNormBackward(const Tensor& dy, const Tensor& x, const Tensor& ga
   const int64_t rows = x.dim(0);
   const int64_t cols = x.dim(1);
   RmsNormGrads grads;
-  grads.dx = Tensor({rows, cols});
+  grads.dx = Tensor::Uninit({rows, cols});
   grads.dgain = Tensor({cols});
   for (int64_t r = 0; r < rows; ++r) {
     const float* dy_row = dy.data() + r * cols;
@@ -168,7 +173,7 @@ inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 }  // namespace
 
 Tensor Silu(const Tensor& x) {
-  Tensor y = x;
+  Tensor y = Tensor::Uninit(x.shape());
   for (int64_t i = 0; i < y.numel(); ++i) {
     y[i] = x[i] * Sigmoid(x[i]);
   }
@@ -177,7 +182,7 @@ Tensor Silu(const Tensor& x) {
 
 Tensor SwiGlu(const Tensor& gate, const Tensor& linear) {
   MSMOE_CHECK(SameShape(gate, linear));
-  Tensor y = gate;
+  Tensor y = Tensor::Uninit(gate.shape());
   for (int64_t i = 0; i < y.numel(); ++i) {
     y[i] = gate[i] * Sigmoid(gate[i]) * linear[i];
   }
@@ -188,8 +193,8 @@ SwiGluGrads SwiGluBackward(const Tensor& dy, const Tensor& gate, const Tensor& l
   MSMOE_CHECK(SameShape(dy, gate));
   MSMOE_CHECK(SameShape(dy, linear));
   SwiGluGrads grads;
-  grads.dgate = Tensor(gate.shape());
-  grads.dlinear = Tensor(linear.shape());
+  grads.dgate = Tensor::Uninit(gate.shape());
+  grads.dlinear = Tensor::Uninit(linear.shape());
   for (int64_t i = 0; i < dy.numel(); ++i) {
     const float sig = Sigmoid(gate[i]);
     const float silu = gate[i] * sig;
@@ -245,7 +250,7 @@ void RopeBackwardInPlace(Tensor& dx, const std::vector<int64_t>& positions, int6
 Tensor GatherRows(const Tensor& x, const std::vector<int64_t>& row_map) {
   MSMOE_CHECK_EQ(x.ndim(), 2);
   const int64_t cols = x.dim(1);
-  Tensor out({static_cast<int64_t>(row_map.size()), cols});
+  Tensor out = Tensor::Uninit({static_cast<int64_t>(row_map.size()), cols});
   for (size_t i = 0; i < row_map.size(); ++i) {
     const int64_t src = row_map[i];
     MSMOE_CHECK_GE(src, 0);

@@ -305,5 +305,22 @@ TEST(StragglerDetectorTest, TruncatedStreamKeepsTheHealthyRanksLateCollectives) 
   EXPECT_FALSE(report.ranks[2].straggler);
 }
 
+TEST(CommTelemetryTest, TraceEmbedsMemStatsPhases) {
+  ResetMemStats();
+  {
+    MemoryScope scope("trace_test_phase");
+    void* p = ArenaAcquire(1024);
+    ArenaRelease(p, 1024);
+  }
+  const MemStatsSnapshot mem = GetMemStats();
+  const std::string json = CommEventsToChromeTrace(
+      {}, "msmoe-run", /*health=*/nullptr, /*comp_events=*/nullptr, &mem);
+  EXPECT_NE(json.find("\"name\":\"memory\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"mem total\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"mem trace_test_phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool_hit_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"heap_allocs\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace msmoe

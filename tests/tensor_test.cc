@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
+#include "src/base/arena.h"
+#include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/tensor/tensor.h"
 #include "src/tensor/tensor_ops.h"
@@ -328,6 +331,151 @@ TEST(CrossEntropyTest, PerfectPredictionNearZeroLoss) {
   CrossEntropyResult result = CrossEntropy(logits, {2, 0});
   EXPECT_LT(result.mean_loss, 1e-6);
 }
+
+// ---------------------------------------------------------------------------
+// Pooled storage (src/base/arena.h) behind Tensor.
+// ---------------------------------------------------------------------------
+
+TEST(ArenaTensorTest, UninitFullyWrittenIsWellDefined) {
+  Tensor t = Tensor::Uninit({4, 8});
+  EXPECT_EQ(t.numel(), 32);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(i);
+  }
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], static_cast<float>(i));
+  }
+}
+
+TEST(ArenaTensorTest, ZerosIsZeroEvenOnRecycledBlocks) {
+  // Dirty a block, return it to the pool, then demand zeros at the same
+  // size class: the value constructor must clear recycled contents.
+  { Tensor dirty = Tensor::Full({4, 8}, 9.0f); }
+  Tensor clean = Tensor::Zeros({4, 8});
+  for (int64_t i = 0; i < clean.numel(); ++i) {
+    EXPECT_EQ(clean[i], 0.0f);
+  }
+}
+
+TEST(ArenaTensorTest, PoolServesMatchingSizeClassAcrossShapes) {
+  // LIFO reuse: a freed [4, 8] block backs the next same-class request, no
+  // matter its shape ([8, 4], [32] — all 32 floats).
+  const float* freed = nullptr;
+  {
+    Tensor a = Tensor::Uninit({4, 8});
+    freed = a.data();
+  }
+  Tensor b = Tensor::Uninit({8, 4});
+  EXPECT_EQ(b.data(), freed);
+  const float* freed_b = b.data();
+  b = Tensor();  // release
+  Tensor c = Tensor::Uninit({32});
+  EXPECT_EQ(c.data(), freed_b);
+}
+
+TEST(ArenaTensorTest, MoveStealsBlockCopyIsDeep) {
+  Tensor a = Tensor::Full({16}, 3.0f);
+  const float* block = a.data();
+  Tensor moved = std::move(a);
+  EXPECT_EQ(moved.data(), block);
+  EXPECT_EQ(a.numel(), 0);
+  EXPECT_EQ(a.data(), nullptr);
+
+  Tensor copy = moved;
+  EXPECT_NE(copy.data(), moved.data());
+  copy[0] = -1.0f;
+  EXPECT_EQ(moved[0], 3.0f);
+}
+
+TEST(ArenaTensorTest, CopyAssignReusesBufferOnMatchingNumel) {
+  Tensor dst = Tensor::Zeros({4, 8});
+  const float* block = dst.data();
+  Tensor src = Tensor::Full({32}, 2.0f);
+  dst = src;
+  EXPECT_EQ(dst.data(), block);  // same numel: buffer kept, shape updated
+  EXPECT_EQ(dst.ndim(), 1);
+  EXPECT_EQ(dst[31], 2.0f);
+}
+
+TEST(ArenaStatsTest, SecondAcquireOfAClassIsAPoolHit) {
+  ArenaTrim();
+  ResetMemStats();
+  void* p = ArenaAcquire(3 << 20);  // 3 MB -> 4 MB class, cold after the trim
+  ArenaRelease(p, 3 << 20);
+  void* q = ArenaAcquire(3 << 20);
+  const MemStatsSnapshot stats = GetMemStats();
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(stats.acquires, 2u);
+  EXPECT_EQ(stats.heap_allocs, 1u);
+  EXPECT_EQ(stats.pool_hits, 1u);
+  EXPECT_EQ(stats.releases, 1u);
+  ArenaRelease(q, 3 << 20);
+}
+
+TEST(ArenaStatsTest, PoolingDisabledMakesEveryAcquireAHeapAlloc) {
+  SetArenaPoolingEnabled(false);
+  ResetMemStats();
+  for (int i = 0; i < 3; ++i) {
+    Tensor t = Tensor::Uninit({64});
+    t[0] = 1.0f;
+  }
+  const MemStatsSnapshot stats = GetMemStats();
+  SetArenaPoolingEnabled(true);
+  EXPECT_EQ(stats.heap_allocs, 3u);
+  EXPECT_EQ(stats.pool_hits, 0u);
+}
+
+TEST(ArenaStatsTest, MemoryScopeAttributesThisThreadsTraffic) {
+  ResetMemStats();
+  {
+    MemoryScope scope("tensor_test_phase");
+    Tensor t = Tensor::Uninit({128});
+    t[0] = 1.0f;
+  }
+  Tensor outside = Tensor::Uninit({128});
+  outside[0] = 1.0f;
+  const MemStatsSnapshot stats = GetMemStats();
+  bool found = false;
+  for (const MemPhaseSnapshot& phase : stats.phases) {
+    if (phase.name == "tensor_test_phase") {
+      found = true;
+      EXPECT_EQ(phase.acquires, 1u);
+      EXPECT_EQ(phase.acquired_bytes, 128u * sizeof(float));
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(stats.acquires, 2u);
+}
+
+TEST(WorkspaceTest, SameTagReturnsSameBufferUntilItGrows) {
+  Workspace& ws = ThreadWorkspace();
+  float* first = ws.Floats("tensor_test.ws", 100);
+  float* again = ws.Floats("tensor_test.ws", 80);  // fits: same buffer
+  EXPECT_EQ(again, first);
+  first[0] = 42.0f;
+  EXPECT_EQ(ws.Floats("tensor_test.ws", 100)[0], 42.0f);  // contents persist
+  float* other = ws.Floats("tensor_test.ws2", 100);
+  EXPECT_NE(other, first);  // distinct tags are distinct slots
+}
+
+TEST(ArenaTensorTest, AtCheckedFailsHardOnOutOfRangeInEveryBuild) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.AtChecked(1, 2), 0.0f);
+  ScopedThrowOnFatal throw_on_fatal;
+  EXPECT_THROW(t.AtChecked(2, 0), FatalError);
+  EXPECT_THROW(t.AtChecked(0, 3), FatalError);
+  EXPECT_THROW(t.AtChecked(6), FatalError);
+}
+
+#if MSMOE_DCHECK_IS_ON
+TEST(ArenaTensorTest, DcheckedAccessorsFailWhenDchecksAreOn) {
+  Tensor t = Tensor::Zeros({2, 3});
+  ScopedThrowOnFatal throw_on_fatal;
+  EXPECT_THROW(t[-1], FatalError);
+  EXPECT_THROW(t[6], FatalError);
+  EXPECT_THROW(t.At(2, 0), FatalError);
+}
+#endif
 
 }  // namespace
 }  // namespace msmoe

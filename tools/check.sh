@@ -13,9 +13,12 @@
 # below the naive reference, the overlap smoke fails if the fused
 # all-gather+GEMM pipeline stops beating the unfused sequence, and the
 # scheduler smoke fails if a searched schedule replayed on the real
-# executor stops beating the naive single-stream order, and the elastic
+# executor stops beating the naive single-stream order, the elastic
 # smoke fails if a permanent rank eviction stops shrinking to a
-# bit-identical W-1 curve (bench_fault_recovery --check).
+# bit-identical W-1 curve (bench_fault_recovery --check), and the memory
+# smoke fails if the steady-state training step ever hits the system
+# allocator again or pooled storage changes a bit of the numerics
+# (bench_memory --check).
 #
 #   $ tools/check.sh
 set -euo pipefail
@@ -27,11 +30,12 @@ cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j
 
 echo
-echo "== TSan: comm_test + kernel_test + parallel_test + telemetry_test + fault_test + elastic_test + fused_ops_test + exec_graph_test =="
+echo "== TSan: tensor_test + comm_test + kernel_test + parallel_test + telemetry_test + fault_test + elastic_test + fused_ops_test + exec_graph_test =="
 cmake -B build-tsan -S . -DMSMOE_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target comm_test kernel_test parallel_test \
+cmake --build build-tsan -j --target tensor_test comm_test kernel_test parallel_test \
   telemetry_test fault_test elastic_test fused_ops_test exec_graph_test \
   bench_fault_recovery >/dev/null
+./build-tsan/tests/tensor_test
 ./build-tsan/tests/comm_test
 ./build-tsan/tests/kernel_test
 ./build-tsan/tests/parallel_test
@@ -43,10 +47,11 @@ cmake --build build-tsan -j --target comm_test kernel_test parallel_test \
 (cd build-tsan/bench && ./bench_fault_recovery >/dev/null)
 
 echo
-echo "== ASan: fault_test + elastic_test + checkpoint/recovery paths =="
+echo "== ASan: tensor_test + fault_test + elastic_test + checkpoint/recovery paths =="
 cmake -B build-asan -S . -DMSMOE_SANITIZE=address >/dev/null
-cmake --build build-asan -j --target fault_test elastic_test model_test \
+cmake --build build-asan -j --target tensor_test fault_test elastic_test model_test \
   trainer_test fused_ops_test >/dev/null
+./build-asan/tests/tensor_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/elastic_test
 ./build-asan/tests/model_test
@@ -72,6 +77,11 @@ echo
 echo "== elastic smoke: permanent eviction shrinks W->W-1 bit-identically (bench_fault_recovery --check) =="
 cmake --build build-release -j --target bench_fault_recovery >/dev/null
 (cd build-release/bench && ./bench_fault_recovery --check)
+
+echo
+echo "== memory smoke: zero steady-state heap allocs + pooled bitwise identity (bench_memory --check) =="
+cmake --build build-release -j --target bench_memory >/dev/null
+(cd build-release/bench && ./bench_memory --check)
 
 echo
 echo "all checks passed"
