@@ -55,6 +55,18 @@ void CommTelemetry::RecordComp(CompEvent event) {
   comp_events_.push_back(std::move(event));
 }
 
+void CommTelemetry::RecordDispatch(DispatchEvent event) {
+  if (!enabled_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dispatch_events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  dispatch_events_.push_back(std::move(event));
+}
+
 std::vector<CommEvent> CommTelemetry::Events() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_;
@@ -63,6 +75,11 @@ std::vector<CommEvent> CommTelemetry::Events() const {
 std::vector<CompEvent> CommTelemetry::CompEvents() const {
   std::lock_guard<std::mutex> lock(mu_);
   return comp_events_;
+}
+
+std::vector<DispatchEvent> CommTelemetry::DispatchEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatch_events_;
 }
 
 size_t CommTelemetry::event_count() const {
@@ -79,6 +96,7 @@ void CommTelemetry::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   comp_events_.clear();
+  dispatch_events_.clear();
   dropped_ = 0;
   epoch_ = std::chrono::steady_clock::now();
 }

@@ -76,6 +76,24 @@ struct CompEvent {
   double duration_us = 0.0;
 };
 
+// One EP dispatch/combine round: how many rows this rank's experts received
+// and how skewed the routing was. rows_max / mean rows is the expert-load
+// imbalance the load-balanced GroupedGemm tile queue exists to absorb —
+// 1.0 means perfectly balanced, E_local means one expert took everything.
+// Rendered on the Chrome trace's dedicated "dispatch" lane
+// (src/sim/trace_export).
+struct DispatchEvent {
+  std::string name;          // e.g. "ep_dispatch_fwd"
+  int rank = 0;
+  int64_t experts = 0;       // local experts on this rank
+  int64_t rows_total = 0;    // rows dispatched to this rank this step
+  int64_t rows_max = 0;      // hottest local expert's row count
+  double imbalance = 1.0;    // rows_max / mean rows (1.0 when rows_total == 0)
+  int chunks = 1;            // wire chunks (1 = blocking reference path)
+  double start_us = 0.0;
+  double duration_us = 0.0;
+};
+
 class CommTelemetry {
  public:
   CommTelemetry();
@@ -87,9 +105,11 @@ class CommTelemetry {
   // (counted by dropped()) instead of growing without bound.
   void Record(CommEvent event);
   void RecordComp(CompEvent event);
+  void RecordDispatch(DispatchEvent event);
 
   std::vector<CommEvent> Events() const;
   std::vector<CompEvent> CompEvents() const;
+  std::vector<DispatchEvent> DispatchEvents() const;
   size_t event_count() const;
   uint64_t dropped() const;
   void Clear();  // also re-anchors the epoch
@@ -106,6 +126,7 @@ class CommTelemetry {
   mutable std::mutex mu_;
   std::vector<CommEvent> events_;
   std::vector<CompEvent> comp_events_;
+  std::vector<DispatchEvent> dispatch_events_;
   std::chrono::steady_clock::time_point epoch_;
   uint64_t dropped_ = 0;
   size_t capacity_ = 1 << 20;

@@ -1,7 +1,9 @@
 #include "src/model/grouped_gemm.h"
 
+#include <algorithm>
 #include <chrono>
 
+#include "src/base/arena.h"
 #include "src/base/logging.h"
 #include "src/base/parallel_for.h"
 #include "src/tensor/gemm_kernel.h"
@@ -19,43 +21,92 @@ double GroupedFlops(const Tensor& x, const std::vector<int64_t>& offsets,
   return backward ? 2.0 * fwd : fwd;
 }
 
+// Tile height of the flattened work queue. Small enough that a hot expert
+// fans out over every worker, large enough that one task amortizes the
+// blocked kernel's panel setup.
+constexpr int64_t kRowPanel = 64;
+
+// One entry of the flattened queue. weight_grad tasks (backward only) cover
+// the expert's whole row range: dW accumulates over rows, so splitting it
+// would change the reduction order and break bitwise determinism.
+struct GemmTask {
+  int64_t expert = 0;
+  int64_t begin = 0;  // absolute row in x / y / dy
+  int64_t rows = 0;
+  bool weight_grad = false;
+};
+
+// Flattens the non-empty experts' (expert × row-panel) tiles — zero-row
+// experts are short-circuited here, before any worker sees them. With
+// `with_weight_grad`, each expert's dW task is emitted next to its row
+// tiles so ParallelFor's contiguous shards mix the two task kinds. The
+// queue lives in the calling thread's workspace: zero steady-state allocs.
+GemmTask* BuildTaskQueue(const std::vector<int64_t>& offsets, int64_t num_experts,
+                         bool with_weight_grad, int64_t* task_count) {
+  int64_t tasks = 0;
+  for (int64_t e = 0; e < num_experts; ++e) {
+    const int64_t rows =
+        offsets[static_cast<size_t>(e) + 1] - offsets[static_cast<size_t>(e)];
+    if (rows == 0) {
+      continue;
+    }
+    tasks += (rows + kRowPanel - 1) / kRowPanel + (with_weight_grad ? 1 : 0);
+  }
+  GemmTask* queue = reinterpret_cast<GemmTask*>(ThreadWorkspace().Bytes(
+      "grouped_gemm.tasks", std::max<int64_t>(1, tasks) * static_cast<int64_t>(sizeof(GemmTask))));
+  int64_t at = 0;
+  for (int64_t e = 0; e < num_experts; ++e) {
+    const int64_t begin = offsets[static_cast<size_t>(e)];
+    const int64_t rows = offsets[static_cast<size_t>(e) + 1] - begin;
+    if (rows == 0) {
+      continue;
+    }
+    if (with_weight_grad) {
+      queue[at++] = GemmTask{e, begin, rows, /*weight_grad=*/true};
+    }
+    for (int64_t r = 0; r < rows; r += kRowPanel) {
+      queue[at++] = GemmTask{e, begin + r, std::min(kRowPanel, rows - r), false};
+    }
+  }
+  *task_count = at;
+  return queue;
+}
+
 }  // namespace
 
 Tensor GroupedGemm(const Tensor& x, const std::vector<int64_t>& offsets,
-                   const std::vector<Tensor>& weights) {
+                   const Tensor* weights, int64_t num_experts) {
   MSMOE_CHECK_EQ(x.ndim(), 2);
-  MSMOE_CHECK(!weights.empty());
-  MSMOE_CHECK_EQ(offsets.size(), weights.size() + 1);
+  MSMOE_CHECK_GT(num_experts, 0);
+  MSMOE_CHECK_EQ(static_cast<int64_t>(offsets.size()), num_experts + 1);
   MSMOE_CHECK_EQ(offsets.back(), x.dim(0));
   const int64_t in_dim = x.dim(1);
   const int64_t out_dim = weights[0].dim(1);
-  for (const Tensor& w : weights) {
-    MSMOE_CHECK_EQ(w.dim(0), in_dim);
-    MSMOE_CHECK_EQ(w.dim(1), out_dim);
+  for (int64_t e = 0; e < num_experts; ++e) {
+    MSMOE_CHECK_EQ(weights[e].dim(0), in_dim);
+    MSMOE_CHECK_EQ(weights[e].dim(1), out_dim);
   }
 
   const auto start = std::chrono::steady_clock::now();
   // Every row of y belongs to exactly one expert's contiguous range and is
-  // written by that expert's beta == 0 GEMM (empty experts own no rows).
+  // written by exactly one tile's beta == 0 GEMM (empty experts own no rows).
   Tensor y = Tensor::Uninit({x.dim(0), out_dim});
-  // Expert groups split across the intra-rank worker pool; each expert's
-  // output rows are disjoint, and the per-expert GEMM (nested, hence inline)
-  // is itself independent of the expert-to-worker assignment, so results are
-  // bit-identical for any worker count.
-  ParallelFor(static_cast<int64_t>(weights.size()), /*grain=*/1,
-              [&](int64_t e0, int64_t e1) {
-                for (int64_t e = e0; e < e1; ++e) {
-                  const int64_t begin = offsets[static_cast<size_t>(e)];
-                  const int64_t rows = offsets[static_cast<size_t>(e) + 1] - begin;
-                  if (rows == 0) {
-                    continue;
-                  }
-                  GemmBlocked(false, false, rows, out_dim, in_dim, 1.0f,
-                              x.data() + begin * in_dim,
-                              weights[static_cast<size_t>(e)].data(), 0.0f,
-                              y.data() + begin * out_dim);
-                }
-              });
+  // The flattened tile queue splits across the worker pool; tiles are
+  // near-uniform row panels, so grain 1 is the balanced choice and the
+  // effective granularity scales with total rows, not expert count. Each
+  // output row's accumulation is a single GEMM over the full k dimension —
+  // independent of the tile-to-worker assignment — so results are
+  // bit-identical for any worker count and any panel size.
+  int64_t task_count = 0;
+  const GemmTask* queue = BuildTaskQueue(offsets, num_experts, false, &task_count);
+  ParallelFor(task_count, /*grain=*/1, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const GemmTask& task = queue[t];
+      GemmBlocked(false, false, task.rows, out_dim, in_dim, 1.0f,
+                  x.data() + task.begin * in_dim, weights[task.expert].data(), 0.0f,
+                  y.data() + task.begin * out_dim);
+    }
+  });
   const double micros =
       std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
           .count();
@@ -64,47 +115,63 @@ Tensor GroupedGemm(const Tensor& x, const std::vector<int64_t>& offsets,
   return y;
 }
 
+Tensor GroupedGemm(const Tensor& x, const std::vector<int64_t>& offsets,
+                   const std::vector<Tensor>& weights) {
+  MSMOE_CHECK(!weights.empty());
+  return GroupedGemm(x, offsets, weights.data(), static_cast<int64_t>(weights.size()));
+}
+
 GroupedGemmGrads GroupedGemmBackward(const Tensor& dy, const Tensor& x,
                                      const std::vector<int64_t>& offsets,
-                                     const std::vector<Tensor>& weights) {
+                                     const Tensor* weights, int64_t num_experts) {
   const int64_t in_dim = x.dim(1);
   const int64_t out_dim = dy.dim(1);
   MSMOE_CHECK_EQ(dy.dim(0), x.dim(0));
+  MSMOE_CHECK_GT(num_experts, 0);
+  MSMOE_CHECK_EQ(static_cast<int64_t>(offsets.size()), num_experts + 1);
 
   const auto start = std::chrono::steady_clock::now();
   GroupedGemmGrads grads;
   grads.dx = Tensor::Uninit({x.dim(0), in_dim});  // fully written, as y above
-  grads.dweights.reserve(weights.size());
-  for (size_t e = 0; e < weights.size(); ++e) {
+  grads.dweights.reserve(static_cast<size_t>(num_experts));
+  for (int64_t e = 0; e < num_experts; ++e) {
     // Zeros, NOT Uninit: an expert with zero rows never writes its dW.
     grads.dweights.emplace_back(weights[e].shape());
   }
-  // dx rows and dweights[e] are disjoint per expert.
-  ParallelFor(static_cast<int64_t>(weights.size()), /*grain=*/1,
-              [&](int64_t e0, int64_t e1) {
-                for (int64_t e = e0; e < e1; ++e) {
-                  const int64_t begin = offsets[static_cast<size_t>(e)];
-                  const int64_t rows = offsets[static_cast<size_t>(e) + 1] - begin;
-                  if (rows == 0) {
-                    continue;
-                  }
-                  // dx = dy @ W^T
-                  GemmBlocked(false, true, rows, in_dim, out_dim, 1.0f,
-                              dy.data() + begin * out_dim,
-                              weights[static_cast<size_t>(e)].data(), 0.0f,
-                              grads.dx.data() + begin * in_dim);
-                  // dW = x^T @ dy
-                  GemmBlocked(true, false, in_dim, out_dim, rows, 1.0f,
-                              x.data() + begin * in_dim, dy.data() + begin * out_dim,
-                              0.0f, grads.dweights[static_cast<size_t>(e)].data());
-                }
-              });
+  // One queue mixes the row-panel dx tiles with the whole-expert dW tasks;
+  // dx rows and dweights[e] are disjoint across tasks.
+  int64_t task_count = 0;
+  const GemmTask* queue = BuildTaskQueue(offsets, num_experts, true, &task_count);
+  ParallelFor(task_count, /*grain=*/1, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const GemmTask& task = queue[t];
+      if (task.weight_grad) {
+        // dW = x^T @ dy over the expert's FULL row range (row reduction).
+        GemmBlocked(true, false, in_dim, out_dim, task.rows, 1.0f,
+                    x.data() + task.begin * in_dim, dy.data() + task.begin * out_dim,
+                    0.0f, grads.dweights[static_cast<size_t>(task.expert)].data());
+      } else {
+        // dx = dy @ W^T, row-split safe.
+        GemmBlocked(false, true, task.rows, in_dim, out_dim, 1.0f,
+                    dy.data() + task.begin * out_dim, weights[task.expert].data(), 0.0f,
+                    grads.dx.data() + task.begin * in_dim);
+      }
+    }
+  });
   const double micros =
       std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start)
           .count();
   internal::RecordGroupedGemmCall(GroupedFlops(x, offsets, out_dim, /*backward=*/true),
                                   micros);
   return grads;
+}
+
+GroupedGemmGrads GroupedGemmBackward(const Tensor& dy, const Tensor& x,
+                                     const std::vector<int64_t>& offsets,
+                                     const std::vector<Tensor>& weights) {
+  MSMOE_CHECK(!weights.empty());
+  return GroupedGemmBackward(dy, x, offsets, weights.data(),
+                             static_cast<int64_t>(weights.size()));
 }
 
 }  // namespace msmoe

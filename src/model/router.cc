@@ -28,20 +28,31 @@ RoutingResult RouteTokens(const Tensor& logits, const RouterConfig& config) {
   result.expert_counts.assign(static_cast<size_t>(experts), 0);
 
   // Top-k selection per token (descending prob, ties by lower expert index),
-  // then renormalize the selected probabilities to combine weights.
-  std::vector<int64_t> order(static_cast<size_t>(experts));
+  // then renormalize the selected probabilities to combine weights. A
+  // streaming small-k insertion replaces the per-token partial_sort: experts
+  // scan in ascending index keeping a k-deep sorted buffer, and the strict
+  // `>` comparisons reproduce the partial_sort tie-breaking exactly — an
+  // equal-probability later index never displaces an earlier one. The hot
+  // path per expert is one compare against the current floor; the shift
+  // loop only runs on the O(k log e) actual insertions.
+  std::vector<int64_t> order(static_cast<size_t>(k));
   for (int64_t t = 0; t < tokens; ++t) {
     const float* p = result.probs.data() + t * experts;
+    int64_t filled = 0;
     for (int64_t e = 0; e < experts; ++e) {
-      order[static_cast<size_t>(e)] = e;
+      const float v = p[e];
+      if (filled == k && !(v > p[order[static_cast<size_t>(k - 1)]])) {
+        continue;  // below (or tied with) the floor: partial_sort keeps the
+                   // earlier index, so e loses
+      }
+      int64_t pos = std::min(filled, k - 1);
+      while (pos > 0 && v > p[order[static_cast<size_t>(pos - 1)]]) {
+        order[static_cast<size_t>(pos)] = order[static_cast<size_t>(pos - 1)];
+        --pos;
+      }
+      order[static_cast<size_t>(pos)] = e;
+      filled = std::min(filled + 1, k);
     }
-    std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                      [p](int64_t a, int64_t b) {
-                        if (p[a] != p[b]) {
-                          return p[a] > p[b];
-                        }
-                        return a < b;
-                      });
     double selected_sum = 0.0;
     for (int64_t slot = 0; slot < k; ++slot) {
       selected_sum += p[order[static_cast<size_t>(slot)]];

@@ -1,39 +1,839 @@
 #include "src/parallel/ep_ffn.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "src/base/arena.h"
 #include "src/base/logging.h"
+#include "src/base/parallel_for.h"
+#include "src/comm/async_comm.h"
+#include "src/comm/communicator.h"
+#include "src/core/exec_graph.h"
 #include "src/model/grouped_gemm.h"
+#include "src/tensor/gemm_kernel.h"
 #include "src/tensor/tensor_ops.h"
 
 namespace msmoe {
 namespace {
 
-// Local expert weight views (the module only multiplies by the owner's
-// experts; weights arrive as the full vector so tests can share one set).
-std::vector<Tensor> LocalWeights(const std::vector<Tensor>& all, int rank, int64_t e_local) {
-  std::vector<Tensor> local;
-  local.reserve(static_cast<size_t>(e_local));
-  for (int64_t e = 0; e < e_local; ++e) {
-    local.push_back(all[static_cast<size_t>(rank * e_local + e)]);
+EpPipelineConfig g_pipeline_config;
+
+// Same expression as SwiGlu in tensor_ops.cc — the pipelined path applies
+// it per expert row range and must stay bitwise identical to the
+// whole-tensor call the blocking path makes.
+inline float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// Workspace-backed int64 scratch (tags are literals; buffers are grow-only
+// and thread-persistent, so the steady state allocates nothing).
+int64_t* WsInts(const char* tag, int64_t count) {
+  return reinterpret_cast<int64_t*>(ThreadWorkspace().Bytes(
+      tag, std::max<int64_t>(count, 1) * static_cast<int64_t>(sizeof(int64_t))));
+}
+
+// Per-rank-thread receive staging for the chunked wire. StartAllToAllV
+// resizes the inner vectors on the comm thread once the counts exchange
+// fixes the totals; rank threads are persistent, so capacities carry over
+// across steps and the steady state performs no fresh heap allocation.
+// The outer vectors are only resized before any handle holds an inner
+// pointer (a grow would otherwise move the inner vectors).
+struct PipelineScratch {
+  std::vector<std::vector<float>> recv_f32;
+  std::vector<std::vector<uint8_t>> recv_u8;
+  std::vector<std::vector<float>> ret_recv;
+};
+
+PipelineScratch& TlsScratch() {
+  thread_local PipelineScratch scratch;
+  return scratch;
+}
+
+// One DispatchEvent per forward dispatch round: the per-expert load profile
+// rendered on the Chrome trace's "dispatch" lane.
+void RecordDispatchTelemetry(const ShardContext& ctx, const char* name, int chunks,
+                             const std::vector<int64_t>& local_offsets, double start_us) {
+  CommTelemetry& telemetry = ctx.comm->telemetry();
+  if (!telemetry.enabled() || local_offsets.empty()) {
+    return;
   }
-  return local;
+  const int64_t e_local = static_cast<int64_t>(local_offsets.size()) - 1;
+  DispatchEvent event;
+  event.name = name;
+  event.rank = ctx.rank;
+  event.experts = e_local;
+  event.chunks = chunks;
+  event.rows_total = local_offsets.back();
+  for (int64_t e = 0; e < e_local; ++e) {
+    event.rows_max = std::max(
+        event.rows_max, local_offsets[static_cast<size_t>(e + 1)] -
+                            local_offsets[static_cast<size_t>(e)]);
+  }
+  event.imbalance =
+      event.rows_total > 0
+          ? static_cast<double>(event.rows_max) * static_cast<double>(e_local) /
+                static_cast<double>(event.rows_total)
+          : 1.0;
+  event.start_us = start_us;
+  event.duration_us = telemetry.NowUs() - start_us;
+  telemetry.RecordDispatch(std::move(event));
 }
 
 struct ExpertBlock {
   Tensor fc1, fc3, fc2_in, fc2_out;
 };
 
-// Runs FC1/FC3 -> SwiGLU -> FC2 over rows grouped by local expert.
+// Runs FC1/FC3 -> SwiGLU -> FC2 over rows grouped by local expert. Weights
+// are spans into the caller's full per-expert vectors — no copies.
 ExpertBlock RunExperts(const Tensor& ffn_in, const std::vector<int64_t>& offsets,
-                       const std::vector<Tensor>& w1, const std::vector<Tensor>& w3,
-                       const std::vector<Tensor>& w2) {
+                       const Tensor* w1, const Tensor* w3, const Tensor* w2,
+                       int64_t e_local) {
   ExpertBlock block;
-  block.fc1 = GroupedGemm(ffn_in, offsets, w1);
-  block.fc3 = GroupedGemm(ffn_in, offsets, w3);
+  block.fc1 = GroupedGemm(ffn_in, offsets, w1, e_local);
+  block.fc3 = GroupedGemm(ffn_in, offsets, w3, e_local);
   block.fc2_in = SwiGlu(block.fc1, block.fc3);
-  block.fc2_out = GroupedGemm(block.fc2_in, offsets, w2);
+  block.fc2_out = GroupedGemm(block.fc2_in, offsets, w2, e_local);
   return block;
+}
+
+// Packs this rank's dispatch rows chunk by chunk and starts one A2AV
+// handle per chunk as soon as its rows are staged — packing (and, in FP8
+// mode, quantizing) chunk i+1 overlaps the wire of chunk i. FP8 rows carry
+// h codes plus their per-token scale in one payload (quantize-on-pack: no
+// separate quantization pre-pass or scale exchange).
+std::vector<std::unique_ptr<CommHandle>> StartDispatchChunks(
+    const ShardContext& ctx, const EpFfnCache& cache, const Tensor& x_local,
+    int64_t h, PipelineScratch* scratch) {
+  const int n = ctx.size();
+  const int C = cache.pipeline_chunks;
+  const int64_t total_send = static_cast<int64_t>(cache.send_token.size());
+  const bool fp8 = cache.fp8_wire;
+  const QuantConfig quant = cache.wire_quant;
+  const int64_t row_bytes = h + static_cast<int64_t>(sizeof(float));
+  Workspace& ws = ThreadWorkspace();
+  scratch->recv_f32.resize(static_cast<size_t>(C));
+  scratch->recv_u8.resize(static_cast<size_t>(C));
+  float* stage_f = nullptr;
+  uint8_t* stage_q = nullptr;
+  if (fp8) {
+    stage_q = ws.Bytes("ep.a2a.dispatch8", std::max<int64_t>(total_send * row_bytes, 1));
+  } else {
+    stage_f = ws.Floats("ep.a2a.dispatch", std::max<int64_t>(total_send * h, 1));
+  }
+  std::vector<std::unique_ptr<CommHandle>> handles(static_cast<size_t>(C));
+  std::vector<int64_t> counts(static_cast<size_t>(n));
+  for (int c = 0; c < C; ++c) {
+    const int64_t base = cache.send_chunk_base[static_cast<size_t>(c)];
+    const int64_t rows_c = cache.send_chunk_base[static_cast<size_t>(c) + 1] - base;
+    if (fp8) {
+      ParallelFor(rows_c, 16, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const int64_t p = base + r;
+          const float* row =
+              x_local.data() + cache.send_token[static_cast<size_t>(p)] * h;
+          uint8_t* out = stage_q + p * row_bytes;
+          float scale = 0.0f;
+          QuantizeInto(row, 1, h, quant, out, &scale);
+          std::memcpy(out + h, &scale, sizeof(float));
+        }
+      });
+      for (int d = 0; d < n; ++d) {
+        counts[static_cast<size_t>(d)] =
+            cache.send_chunk_counts[static_cast<size_t>(c * n + d)] * row_bytes;
+      }
+      handles[static_cast<size_t>(c)] = ctx.comm->StartAllToAllV<uint8_t>(
+          ctx.rank, stage_q + base * row_bytes, counts,
+          &scratch->recv_u8[static_cast<size_t>(c)], /*num_chunks=*/1);
+    } else {
+      ParallelFor(rows_c, 32, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const int64_t p = base + r;
+          std::memcpy(stage_f + p * h,
+                      x_local.data() + cache.send_token[static_cast<size_t>(p)] * h,
+                      static_cast<size_t>(h) * sizeof(float));
+        }
+      });
+      for (int d = 0; d < n; ++d) {
+        counts[static_cast<size_t>(d)] =
+            cache.send_chunk_counts[static_cast<size_t>(c * n + d)] * h;
+      }
+      handles[static_cast<size_t>(c)] = ctx.comm->StartAllToAllV<float>(
+          ctx.rank, stage_f + base * h, counts,
+          &scratch->recv_f32[static_cast<size_t>(c)], /*num_chunks=*/1);
+    }
+  }
+  return handles;
+}
+
+// Delivers one landed dispatch chunk's rows into `dst` at their grouped
+// positions (dequantizing on the fly in FP8 mode).
+Status ScatterChunkRows(const EpFfnCache& cache, PipelineScratch* scratch, int c,
+                        int64_t h, bool fp8, const QuantConfig& quant, Tensor* dst) {
+  const int64_t row_bytes = h + static_cast<int64_t>(sizeof(float));
+  const int64_t base = cache.recv_chunk_base[static_cast<size_t>(c)];
+  const int64_t rows_c = cache.recv_chunk_base[static_cast<size_t>(c) + 1] - base;
+  if (fp8) {
+    const uint8_t* buf = scratch->recv_u8[static_cast<size_t>(c)].data();
+    ParallelFor(rows_c, 16, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const uint8_t* src = buf + r * row_bytes;
+        float scale = 0.0f;
+        std::memcpy(&scale, src + h, sizeof(float));
+        DequantizeInto(src, &scale, 1, h, quant,
+                       dst->data() +
+                           cache.chunk_to_sorted[static_cast<size_t>(base + r)] * h);
+      }
+    });
+  } else {
+    const float* buf = scratch->recv_f32[static_cast<size_t>(c)].data();
+    ParallelFor(rows_c, 32, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        std::memcpy(dst->data() +
+                        cache.chunk_to_sorted[static_cast<size_t>(base + r)] * h,
+                    buf + r * h, static_cast<size_t>(h) * sizeof(float));
+      }
+    });
+  }
+  return Status::Ok();
+}
+
+// Records the receive side of a chunked dispatch on `graph`: a chained
+// stream-1 wait per chunk plus a chained stream-0 scatter delivering that
+// chunk's rows into `dst` at their grouped positions (dequantizing on the
+// fly in FP8 mode). Returns the scatter op ids so callers can hang
+// per-expert work off the chunk that completes an expert's rows; the chain
+// makes scatter[c] transitively cover every earlier chunk.
+std::vector<int> AddScatterChain(ExecGraph* graph, const EpFfnCache& cache,
+                                 const std::vector<std::unique_ptr<CommHandle>>& handles,
+                                 PipelineScratch* scratch, int64_t h, bool fp8,
+                                 Tensor* dst) {
+  const int C = cache.pipeline_chunks;
+  const QuantConfig quant = cache.wire_quant;
+  const EpFfnCache* cache_p = &cache;
+  std::vector<int> scatter_ids(static_cast<size_t>(C), -1);
+  int prev_wait = -1;
+  int prev_scatter = -1;
+  for (int c = 0; c < C; ++c) {
+    std::vector<int> wait_deps;
+    if (prev_wait >= 0) {
+      wait_deps.push_back(prev_wait);
+    }
+    CommHandle* handle = handles[static_cast<size_t>(c)].get();
+    const int wait =
+        graph->AddComm("ep_dispatch_wait[" + std::to_string(c) + "]", /*stream=*/1,
+                       [handle] { return handle->WaitAll(); }, wait_deps);
+    std::vector<int> deps{wait};
+    if (prev_scatter >= 0) {
+      deps.push_back(prev_scatter);
+    }
+    const int scatter = graph->AddCompute(
+        "ep_scatter[" + std::to_string(c) + "]",
+        [cache_p, scratch, dst, c, h, fp8, quant] {
+          return ScatterChunkRows(*cache_p, scratch, c, h, fp8, quant, dst);
+        },
+        deps, "scatter");
+    scatter_ids[static_cast<size_t>(c)] = scatter;
+    prev_wait = wait;
+    prev_scatter = scatter;
+  }
+  return scatter_ids;
+}
+
+// The fused kAllToAll forward (§4.2, Fig 7). Bitwise identical to the
+// blocking reference: chunks partition the local token range in ascending
+// order so every per-destination send order, the grouped receive order,
+// and each token's combine accumulation order match the legacy path
+// exactly — only the schedule changes.
+Tensor PipelinedForwardA2A(const ShardContext& ctx, const ModelConfig& config,
+                           const EpPipelineConfig& pipe, const std::vector<Tensor>& w1,
+                           const std::vector<Tensor>& w3, const std::vector<Tensor>& w2,
+                           const Tensor& x_local, const RoutingResult& routing,
+                           EpFfnCache* cache) {
+  const int n = ctx.size();
+  const int64_t e_local = config.num_experts / n;
+  const int64_t h = config.hidden;
+  const int64_t t_local = x_local.dim(0);
+  const int64_t k = routing.top_k;
+  const int C = std::max(1, std::min(pipe.num_chunks, 64));
+  const double start_us = ctx.comm->telemetry().NowUs();
+
+  cache->pipeline_chunks = C;
+  cache->fp8_wire = pipe.fp8_dispatch;
+  cache->wire_quant = pipe.quant;
+  cache->wire_quant.granularity = QuantGranularity::kPerToken;
+  cache->recv_to_sorted.clear();  // pipelined caches use chunk_to_sorted
+
+  // --- Counting-sort permutation: one O(T·k) counting pass plus one
+  // cursor pass replace the legacy per-(dst, token) rescans. Send order is
+  // (chunk, dst, token asc, slot asc); per destination the concatenated
+  // chunks reproduce the legacy token-ascending order. ---
+  const ChunkLayout tokens(t_local, C, /*quantum=*/1, /*pad_chunks=*/true);
+  cache->send_chunk_counts.assign(static_cast<size_t>(C) * static_cast<size_t>(n), 0);
+  const auto copy_dst = [&](int64_t idx) -> int {  // -1 = dropped copy
+    if (routing.dropped[static_cast<size_t>(idx)] != 0) {
+      return -1;
+    }
+    return static_cast<int>(routing.expert_index[static_cast<size_t>(idx)] / e_local);
+  };
+  for (int c = 0; c < C; ++c) {
+    for (int64_t t = tokens.begin(c); t < tokens.end(c); ++t) {
+      for (int64_t slot = 0; slot < k; ++slot) {
+        const int dst = copy_dst(t * k + slot);
+        if (dst >= 0) {
+          ++cache->send_chunk_counts[static_cast<size_t>(c * n + dst)];
+        }
+      }
+    }
+  }
+  const int64_t num_segs = static_cast<int64_t>(C) * n;
+  int64_t* seg_off = WsInts("ep.send_seg", num_segs + 1);
+  seg_off[0] = 0;
+  for (int64_t i = 0; i < num_segs; ++i) {
+    seg_off[i + 1] = seg_off[i] + cache->send_chunk_counts[static_cast<size_t>(i)];
+  }
+  cache->send_chunk_base.assign(static_cast<size_t>(C) + 1, 0);
+  for (int c = 0; c <= C; ++c) {
+    cache->send_chunk_base[static_cast<size_t>(c)] = seg_off[static_cast<int64_t>(c) * n];
+  }
+  const int64_t total_send = seg_off[num_segs];
+  cache->send_counts.assign(static_cast<size_t>(n), 0);
+  for (int c = 0; c < C; ++c) {
+    for (int d = 0; d < n; ++d) {
+      cache->send_counts[static_cast<size_t>(d)] +=
+          cache->send_chunk_counts[static_cast<size_t>(c * n + d)];
+    }
+  }
+  cache->send_token.assign(static_cast<size_t>(total_send), 0);
+  cache->send_slot.assign(static_cast<size_t>(total_send), 0);
+  int64_t* send_expert = WsInts("ep.send_expert", total_send);
+  int64_t* cursor = WsInts("ep.send_cursor", n);
+  for (int c = 0; c < C; ++c) {
+    for (int d = 0; d < n; ++d) {
+      cursor[d] = seg_off[static_cast<int64_t>(c) * n + d];
+    }
+    for (int64_t t = tokens.begin(c); t < tokens.end(c); ++t) {
+      for (int64_t slot = 0; slot < k; ++slot) {
+        const int dst = copy_dst(t * k + slot);
+        if (dst < 0) {
+          continue;
+        }
+        const int64_t p = cursor[dst]++;
+        cache->send_token[static_cast<size_t>(p)] = t;
+        cache->send_slot[static_cast<size_t>(p)] = slot;
+        send_expert[p] = routing.expert_index[static_cast<size_t>(t * k + slot)];
+      }
+    }
+  }
+
+  // --- One metadata all-to-all: per destination the C per-chunk row
+  // counts followed by every row's expert id in send order. Replaces the
+  // legacy separate id exchange and lets the receiver build the full
+  // grouped permutation before any row data lands. ---
+  int64_t* meta_send = WsInts("ep.meta_send", static_cast<int64_t>(n) * C + total_send);
+  std::vector<int64_t> meta_counts(static_cast<size_t>(n));
+  {
+    int64_t at = 0;
+    for (int d = 0; d < n; ++d) {
+      const int64_t mark = at;
+      for (int c = 0; c < C; ++c) {
+        meta_send[at++] = cache->send_chunk_counts[static_cast<size_t>(c * n + d)];
+      }
+      for (int c = 0; c < C; ++c) {
+        const int64_t seg_begin = seg_off[static_cast<int64_t>(c) * n + d];
+        const int64_t seg_end =
+            seg_begin + cache->send_chunk_counts[static_cast<size_t>(c * n + d)];
+        for (int64_t p = seg_begin; p < seg_end; ++p) {
+          meta_send[at++] = send_expert[p];
+        }
+      }
+      meta_counts[static_cast<size_t>(d)] = at - mark;
+    }
+  }
+  // Same uniform-t_local capacity assumption as the legacy id exchange.
+  int64_t* meta_recv = WsInts("ep.meta_recv", static_cast<int64_t>(n) * (C + t_local * k));
+  std::vector<int64_t> meta_recv_counts;
+  ctx.comm->AllToAllV(ctx.rank, meta_send, meta_counts, meta_recv, &meta_recv_counts);
+  Tensor y_local({t_local, h});
+  if (!ctx.comm->GroupStatus().ok() ||
+      meta_recv_counts.size() != static_cast<size_t>(n)) {
+    return y_local;  // degraded group: match the collectives' zero-fill
+  }
+
+  // --- Receiver tables. Legacy receive order is source-major; within one
+  // source, chunk-ascending equals token-ascending, so enumerating
+  // (src, chunk, row) reconstructs exactly the blocking path's receive
+  // order — the grouped row numbering is bitwise-compatible. ---
+  cache->recv_counts.assign(static_cast<size_t>(n), 0);
+  cache->recv_chunk_counts.assign(static_cast<size_t>(C) * static_cast<size_t>(n), 0);
+  int64_t* src_off = WsInts("ep.meta_src_off", n);
+  {
+    int64_t off = 0;
+    for (int src = 0; src < n; ++src) {
+      src_off[src] = off;
+      off += meta_recv_counts[static_cast<size_t>(src)];
+    }
+  }
+  for (int src = 0; src < n; ++src) {
+    MSMOE_CHECK_GE(meta_recv_counts[static_cast<size_t>(src)], C);
+    for (int c = 0; c < C; ++c) {
+      const int64_t cnt = meta_recv[src_off[src] + c];
+      cache->recv_chunk_counts[static_cast<size_t>(c * n + src)] = cnt;
+      cache->recv_counts[static_cast<size_t>(src)] += cnt;
+    }
+  }
+  int64_t total_recv = 0;
+  for (int64_t v : cache->recv_counts) {
+    total_recv += v;
+  }
+  // Chunk-order segment offsets: within chunk c segments are ordered by
+  // source rank — exactly the layout of handle c's receive buffer.
+  cache->recv_chunk_base.assign(static_cast<size_t>(C) + 1, 0);
+  int64_t* rseg_off = WsInts("ep.recv_seg", num_segs);
+  {
+    int64_t at = 0;
+    for (int c = 0; c < C; ++c) {
+      cache->recv_chunk_base[static_cast<size_t>(c)] = at;
+      for (int src = 0; src < n; ++src) {
+        rseg_off[static_cast<int64_t>(c) * n + src] = at;
+        at += cache->recv_chunk_counts[static_cast<size_t>(c * n + src)];
+      }
+    }
+    cache->recv_chunk_base[static_cast<size_t>(C)] = at;
+    MSMOE_CHECK_EQ(at, total_recv);
+  }
+  std::vector<int64_t>& offsets = cache->local_offsets;
+  offsets.assign(static_cast<size_t>(e_local) + 1, 0);
+  int64_t* counts_e = WsInts("ep.expert_counts", e_local);
+  std::fill(counts_e, counts_e + e_local, 0);
+  for (int src = 0; src < n; ++src) {
+    const int64_t* ids = meta_recv + src_off[src] + C;
+    const int64_t rows_src = cache->recv_counts[static_cast<size_t>(src)];
+    for (int64_t j = 0; j < rows_src; ++j) {
+      const int64_t e = ids[j] - ctx.rank * e_local;
+      MSMOE_CHECK_GE(e, 0);
+      MSMOE_CHECK_LT(e, e_local);
+      ++counts_e[e];
+    }
+  }
+  for (int64_t e = 0; e < e_local; ++e) {
+    offsets[static_cast<size_t>(e + 1)] = offsets[static_cast<size_t>(e)] + counts_e[e];
+  }
+  int64_t* cursor_e = WsInts("ep.expert_cursor", e_local);
+  for (int64_t e = 0; e < e_local; ++e) {
+    cursor_e[e] = offsets[static_cast<size_t>(e)];
+  }
+  cache->chunk_to_sorted.assign(static_cast<size_t>(total_recv), 0);
+  for (int src = 0; src < n; ++src) {
+    const int64_t* ids = meta_recv + src_off[src] + C;
+    int64_t j = 0;
+    for (int c = 0; c < C; ++c) {
+      const int64_t cnt = cache->recv_chunk_counts[static_cast<size_t>(c * n + src)];
+      const int64_t seg = rseg_off[static_cast<int64_t>(c) * n + src];
+      for (int64_t jj = 0; jj < cnt; ++jj, ++j) {
+        const int64_t e = ids[j] - ctx.rank * e_local;
+        cache->chunk_to_sorted[static_cast<size_t>(seg + jj)] = cursor_e[e]++;
+      }
+    }
+  }
+
+  // --- Per-chunk gather order: chunk c's grouped rows, ascending. Sorting
+  // each chunk's chunk_to_sorted slice groups its rows by (expert, source,
+  // token) — the grouped order restricted to the chunk — so chunk c's
+  // expert compute runs as ONE dense GEMM per expert over gathered rows
+  // instead of hundreds of 1-row GEMMs (within a (chunk, source) segment
+  // rows alternate experts in token order). Row gather + row-partitioned
+  // GEMM leaves every row's arithmetic untouched: bitwise identical. ---
+  const int64_t f = w1[0].dim(1);
+  const Tensor* w1_loc = w1.data() + ctx.rank * e_local;
+  const Tensor* w3_loc = w3.data() + ctx.rank * e_local;
+  const Tensor* w2_loc = w2.data() + ctx.rank * e_local;
+  int64_t* gather = WsInts("ep.chunk_gather", total_recv);
+  for (int c = 0; c < C; ++c) {
+    const int64_t chunk_begin = cache->recv_chunk_base[static_cast<size_t>(c)];
+    const int64_t chunk_end = cache->recv_chunk_base[static_cast<size_t>(c) + 1];
+    std::copy(cache->chunk_to_sorted.begin() + chunk_begin,
+              cache->chunk_to_sorted.begin() + chunk_end, gather + chunk_begin);
+    std::sort(gather + chunk_begin, gather + chunk_end);
+  }
+
+  // --- Dispatch wire, expert compute, and combine wire on ONE exec graph.
+  // Stream 0 (the rank thread) runs the declared order
+  //   scatter[0], ffn_chunk[0], combine_pack[0], scatter[1], ...
+  // while stream 1 waits chunks off the wire — so while chunk c is in the
+  // expert GEMMs, chunk c+1's dispatch and chunk c-1's combine are both in
+  // flight (the §4.2 pipeline). Packing (and FP8 quantizing) of dispatch
+  // chunk i+1 already overlapped chunk i's wire inside
+  // StartDispatchChunks. Combine Starts are issued from the CHAINED
+  // combine_pack ops — all on the calling rank thread, in declared order,
+  // identical on every rank — so the per-rank Start FIFO contract of
+  // async_comm.h holds exactly as in eager code. Within a chunk the send
+  // order is (dst, token, slot), so each token's combine accumulation
+  // keeps the legacy (owner rank asc, slot asc) order — bitwise identical.
+  cache->ffn_in = Tensor::Uninit({total_recv, h});
+  cache->fc1_out = Tensor::Uninit({total_recv, f});
+  cache->fc3_out = Tensor::Uninit({total_recv, f});
+  cache->fc2_in = Tensor::Uninit({total_recv, f});
+  cache->fc2_out = Tensor::Uninit({total_recv, h});
+  cache->returned_rows = Tensor::Uninit({total_send, h});
+  PipelineScratch& scratch = TlsScratch();
+  scratch.ret_recv.resize(static_cast<size_t>(C));
+  Workspace& ws = ThreadWorkspace();
+  float* ret_stage = ws.Floats("ep.a2a.combine", std::max<int64_t>(total_recv * h, 1));
+  std::vector<std::unique_ptr<CommHandle>> ret_handles(static_cast<size_t>(C));
+  std::vector<std::unique_ptr<CommHandle>> handles =
+      StartDispatchChunks(ctx, *cache, x_local, h, &scratch);
+  {
+    ExecGraph graph;
+    EpFfnCache* cache_p = cache;
+    PipelineScratch* scratch_p = &scratch;
+    std::vector<std::unique_ptr<CommHandle>>* ret_handles_p = &ret_handles;
+    Communicator* comm = ctx.comm;
+    const int rank = ctx.rank;
+    const bool fp8 = cache->fp8_wire;
+    const QuantConfig quant = cache->wire_quant;
+    std::vector<int> pack_ids(static_cast<size_t>(C), -1);
+    int prev_dwait = -1;
+    int prev_s0 = -1;  // chains every stream-0 op in declared order
+    for (int c = 0; c < C; ++c) {
+      std::vector<int> wait_deps;
+      if (prev_dwait >= 0) {
+        wait_deps.push_back(prev_dwait);
+      }
+      CommHandle* handle = handles[static_cast<size_t>(c)].get();
+      const int dwait =
+          graph.AddComm("ep_dispatch_wait[" + std::to_string(c) + "]", /*stream=*/1,
+                        [handle] { return handle->WaitAll(); }, wait_deps);
+      std::vector<int> scatter_deps{dwait};
+      if (prev_s0 >= 0) {
+        scatter_deps.push_back(prev_s0);
+      }
+      const int scatter = graph.AddCompute(
+          "ep_scatter[" + std::to_string(c) + "]",
+          [cache_p, scratch_p, c, h, fp8, quant] {
+            return ScatterChunkRows(*cache_p, scratch_p, c, h, fp8, quant,
+                                    &cache_p->ffn_in);
+          },
+          scatter_deps, "scatter");
+      const int ffn = graph.AddCompute(
+          "ep_ffn_chunk[" + std::to_string(c) + "]",
+          [cache_p, gather, c, e_local, w1_loc, w3_loc, w2_loc, h, f] {
+            const int64_t base = cache_p->recv_chunk_base[static_cast<size_t>(c)];
+            const int64_t rows_c =
+                cache_p->recv_chunk_base[static_cast<size_t>(c) + 1] - base;
+            if (rows_c == 0) {
+              return Status::Ok();
+            }
+            const int64_t* gidx = gather + base;
+            Workspace& cws = ThreadWorkspace();
+            float* in_s = cws.Floats("ep.chunk.in", rows_c * h);
+            float* fc1_s = cws.Floats("ep.chunk.fc1", rows_c * f);
+            float* fc3_s = cws.Floats("ep.chunk.fc3", rows_c * f);
+            float* mid_s = cws.Floats("ep.chunk.mid", rows_c * f);
+            float* out_s = cws.Floats("ep.chunk.out", rows_c * h);
+            ParallelFor(rows_c, 32, [&](int64_t r0, int64_t r1) {
+              for (int64_t r = r0; r < r1; ++r) {
+                std::memcpy(in_s + r * h, cache_p->ffn_in.data() + gidx[r] * h,
+                            static_cast<size_t>(h) * sizeof(float));
+              }
+            });
+            const std::vector<int64_t>& off = cache_p->local_offsets;
+            for (int64_t e = 0; e < e_local; ++e) {
+              const int64_t lo =
+                  std::lower_bound(gidx, gidx + rows_c, off[static_cast<size_t>(e)]) -
+                  gidx;
+              const int64_t hi =
+                  std::lower_bound(gidx, gidx + rows_c,
+                                   off[static_cast<size_t>(e + 1)]) -
+                  gidx;
+              const int64_t m = hi - lo;
+              if (m == 0) {
+                continue;
+              }
+              GemmBlocked(false, false, m, f, h, 1.0f, in_s + lo * h,
+                          w1_loc[e].data(), 0.0f, fc1_s + lo * f);
+              GemmBlocked(false, false, m, f, h, 1.0f, in_s + lo * h,
+                          w3_loc[e].data(), 0.0f, fc3_s + lo * f);
+              float* gated = mid_s + lo * f;
+              const float* gate = fc1_s + lo * f;
+              const float* linear = fc3_s + lo * f;
+              for (int64_t i = 0; i < m * f; ++i) {
+                gated[i] = gate[i] * Sigmoid(gate[i]) * linear[i];
+              }
+              GemmBlocked(false, false, m, h, f, 1.0f, gated, w2_loc[e].data(),
+                          0.0f, out_s + lo * h);
+            }
+            ParallelFor(rows_c, 32, [&](int64_t r0, int64_t r1) {
+              for (int64_t r = r0; r < r1; ++r) {
+                const int64_t g = gidx[r];
+                std::memcpy(cache_p->fc1_out.data() + g * f, fc1_s + r * f,
+                            static_cast<size_t>(f) * sizeof(float));
+                std::memcpy(cache_p->fc3_out.data() + g * f, fc3_s + r * f,
+                            static_cast<size_t>(f) * sizeof(float));
+                std::memcpy(cache_p->fc2_in.data() + g * f, mid_s + r * f,
+                            static_cast<size_t>(f) * sizeof(float));
+                std::memcpy(cache_p->fc2_out.data() + g * h, out_s + r * h,
+                            static_cast<size_t>(h) * sizeof(float));
+              }
+            });
+            return Status::Ok();
+          },
+          {scatter}, "gemm");
+      const int pack = graph.AddCompute(
+          "ep_combine_pack[" + std::to_string(c) + "]",
+          [cache_p, scratch_p, ret_handles_p, comm, rank, ret_stage, c, h] {
+            const int n_ranks = static_cast<int>(cache_p->recv_counts.size());
+            const int64_t base = cache_p->recv_chunk_base[static_cast<size_t>(c)];
+            const int64_t rows_c =
+                cache_p->recv_chunk_base[static_cast<size_t>(c) + 1] - base;
+            ParallelFor(rows_c, 32, [&](int64_t r0, int64_t r1) {
+              for (int64_t r = r0; r < r1; ++r) {
+                std::memcpy(
+                    ret_stage + (base + r) * h,
+                    cache_p->fc2_out.data() +
+                        cache_p->chunk_to_sorted[static_cast<size_t>(base + r)] * h,
+                    static_cast<size_t>(h) * sizeof(float));
+              }
+            });
+            std::vector<int64_t> counts(static_cast<size_t>(n_ranks));
+            for (int src = 0; src < n_ranks; ++src) {
+              counts[static_cast<size_t>(src)] =
+                  cache_p->recv_chunk_counts[static_cast<size_t>(c * n_ranks + src)] *
+                  h;
+            }
+            (*ret_handles_p)[static_cast<size_t>(c)] = comm->StartAllToAllV<float>(
+                rank, ret_stage + base * h, counts,
+                &scratch_p->ret_recv[static_cast<size_t>(c)], /*num_chunks=*/1);
+            return Status::Ok();
+          },
+          {ffn}, "pack");
+      pack_ids[static_cast<size_t>(c)] = pack;
+      prev_dwait = dwait;
+      prev_s0 = pack;
+    }
+    const RoutingResult* routing_p = &routing;
+    float* y = y_local.data();
+    int prev_cwait = prev_dwait;
+    int prev_acc = prev_s0;
+    for (int c = 0; c < C; ++c) {
+      std::vector<int> cwait_deps{pack_ids[static_cast<size_t>(c)]};
+      if (prev_cwait >= 0) {
+        cwait_deps.push_back(prev_cwait);
+      }
+      const int cwait = graph.AddComm(
+          "ep_combine_wait[" + std::to_string(c) + "]", /*stream=*/1,
+          [ret_handles_p, c] {
+            return (*ret_handles_p)[static_cast<size_t>(c)]->WaitAll();
+          },
+          cwait_deps);
+      std::vector<int> acc_deps{cwait};
+      if (prev_acc >= 0) {
+        acc_deps.push_back(prev_acc);
+      }
+      const int acc = graph.AddCompute(
+          "ep_combine[" + std::to_string(c) + "]",
+          [cache_p, scratch_p, routing_p, y, c, h] {
+            const int64_t base = cache_p->send_chunk_base[static_cast<size_t>(c)];
+            const int64_t rows_c =
+                cache_p->send_chunk_base[static_cast<size_t>(c) + 1] - base;
+            if (rows_c == 0) {
+              return Status::Ok();
+            }
+            const float* buf = scratch_p->ret_recv[static_cast<size_t>(c)].data();
+            std::memcpy(cache_p->returned_rows.data() + base * h, buf,
+                        static_cast<size_t>(rows_c * h) * sizeof(float));
+            for (int64_t j = 0; j < rows_c; ++j) {
+              const int64_t p = base + j;
+              const int64_t t = cache_p->send_token[static_cast<size_t>(p)];
+              const float weight = routing_p->combine_weight.At(
+                  t, cache_p->send_slot[static_cast<size_t>(p)]);
+              const float* row = buf + j * h;
+              float* out = y + t * h;
+              for (int64_t col = 0; col < h; ++col) {
+                out[col] += weight * row[col];
+              }
+            }
+            return Status::Ok();
+          },
+          acc_deps, "combine");
+      prev_cwait = cwait;
+      prev_acc = acc;
+    }
+    const ExecResult result = graph.Execute(/*num_streams=*/2);
+    handles.clear();
+    ret_handles.clear();
+    if (!result.status.ok()) {
+      return Tensor({t_local, h});
+    }
+  }
+  RecordDispatchTelemetry(ctx, "ep_dispatch_fwd", C, offsets, start_us);
+  return y_local;
+}
+
+// Backward of the fused pipeline: both wire directions run as per-chunk
+// handles on exec graphs (FP32 — only the forward dispatch optionally
+// quantizes). Accumulation orders match the legacy backward exactly.
+EpFfnGrads PipelinedBackwardA2A(const ShardContext& ctx, const ModelConfig& config,
+                                const std::vector<Tensor>& w1,
+                                const std::vector<Tensor>& w3,
+                                const std::vector<Tensor>& w2, const Tensor& dy_local,
+                                const RoutingResult& routing, const EpFfnCache& cache) {
+  const int n = ctx.size();
+  const int64_t e_local = config.num_experts / n;
+  const int64_t h = config.hidden;
+  const int64_t t_local = dy_local.dim(0);
+  const int64_t k = routing.top_k;
+  const int C = cache.pipeline_chunks;
+  const int64_t total_send = static_cast<int64_t>(cache.send_token.size());
+  const int64_t total_recv = cache.recv_chunk_base[static_cast<size_t>(C)];
+
+  EpFfnGrads grads;
+  grads.dcombine_local = Tensor({t_local, k});
+  grads.dx_local = Tensor({t_local, h});
+
+  Workspace& ws = ThreadWorkspace();
+  PipelineScratch& scratch = TlsScratch();
+  scratch.recv_f32.resize(static_cast<size_t>(C));
+  scratch.ret_recv.resize(static_cast<size_t>(C));
+
+  // --- Combine backward at the source: weight the incoming grads per
+  // copy, read off the combine-weight grads, ship chunk by chunk. ---
+  float* ship = ws.Floats("ep.a2a.dispatch", std::max<int64_t>(total_send * h, 1));
+  std::vector<std::unique_ptr<CommHandle>> handles(static_cast<size_t>(C));
+  {
+    std::vector<int64_t> counts(static_cast<size_t>(n));
+    for (int c = 0; c < C; ++c) {
+      const int64_t base = cache.send_chunk_base[static_cast<size_t>(c)];
+      const int64_t rows_c = cache.send_chunk_base[static_cast<size_t>(c) + 1] - base;
+      ParallelFor(rows_c, 16, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const int64_t p = base + r;
+          const int64_t t = cache.send_token[static_cast<size_t>(p)];
+          const int64_t slot = cache.send_slot[static_cast<size_t>(p)];
+          const float weight = routing.combine_weight.At(t, slot);
+          const float* dy_row = dy_local.data() + t * h;
+          const float* ret_row = cache.returned_rows.data() + p * h;
+          float* out = ship + p * h;
+          float dot = 0.0f;
+          for (int64_t col = 0; col < h; ++col) {
+            out[col] = weight * dy_row[col];
+            dot += dy_row[col] * ret_row[col];
+          }
+          grads.dcombine_local.At(t, slot) = dot;
+        }
+      });
+      for (int d = 0; d < n; ++d) {
+        counts[static_cast<size_t>(d)] =
+            cache.send_chunk_counts[static_cast<size_t>(c * n + d)] * h;
+      }
+      handles[static_cast<size_t>(c)] = ctx.comm->StartAllToAllV<float>(
+          ctx.rank, ship + base * h, counts,
+          &scratch.recv_f32[static_cast<size_t>(c)], /*num_chunks=*/1);
+    }
+  }
+  Tensor dfc2_out = Tensor::Uninit({total_recv, h});
+  {
+    ExecGraph graph;
+    AddScatterChain(&graph, cache, handles, &scratch, h, /*fp8=*/false, &dfc2_out);
+    const ExecResult result = graph.Execute(/*num_streams=*/2);
+    handles.clear();
+    if (!result.status.ok()) {
+      return grads;
+    }
+  }
+
+  // --- Expert backward chain (span weights, load-balanced tile queue). ---
+  GroupedGemmGrads fc2_grads =
+      GroupedGemmBackward(dfc2_out, cache.fc2_in, cache.local_offsets,
+                          w2.data() + ctx.rank * e_local, e_local);
+  grads.dw2 = std::move(fc2_grads.dweights);
+  SwiGluGrads swiglu_grads = SwiGluBackward(fc2_grads.dx, cache.fc1_out, cache.fc3_out);
+  GroupedGemmGrads fc1_grads =
+      GroupedGemmBackward(swiglu_grads.dgate, cache.ffn_in, cache.local_offsets,
+                          w1.data() + ctx.rank * e_local, e_local);
+  GroupedGemmGrads fc3_grads =
+      GroupedGemmBackward(swiglu_grads.dlinear, cache.ffn_in, cache.local_offsets,
+                          w3.data() + ctx.rank * e_local, e_local);
+  grads.dw1 = std::move(fc1_grads.dweights);
+  grads.dw3 = std::move(fc3_grads.dweights);
+  Tensor dffn_in = Add(fc1_grads.dx, fc3_grads.dx);
+
+  // --- Return the input grads chunk by chunk, accumulating into dx_local
+  // as chunks land (per token the order is again (owner asc, slot asc)). ---
+  float* ret_stage = ws.Floats("ep.a2a.combine", std::max<int64_t>(total_recv * h, 1));
+  std::vector<std::unique_ptr<CommHandle>> ret_handles(static_cast<size_t>(C));
+  {
+    std::vector<int64_t> counts(static_cast<size_t>(n));
+    for (int c = 0; c < C; ++c) {
+      const int64_t base = cache.recv_chunk_base[static_cast<size_t>(c)];
+      const int64_t rows_c = cache.recv_chunk_base[static_cast<size_t>(c) + 1] - base;
+      ParallelFor(rows_c, 32, [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          std::memcpy(ret_stage + (base + r) * h,
+                      dffn_in.data() +
+                          cache.chunk_to_sorted[static_cast<size_t>(base + r)] * h,
+                      static_cast<size_t>(h) * sizeof(float));
+        }
+      });
+      for (int src = 0; src < n; ++src) {
+        counts[static_cast<size_t>(src)] =
+            cache.recv_chunk_counts[static_cast<size_t>(c * n + src)] * h;
+      }
+      ret_handles[static_cast<size_t>(c)] = ctx.comm->StartAllToAllV<float>(
+          ctx.rank, ret_stage + base * h, counts,
+          &scratch.ret_recv[static_cast<size_t>(c)], /*num_chunks=*/1);
+    }
+  }
+  {
+    ExecGraph graph;
+    const EpFfnCache* cache_p = &cache;
+    PipelineScratch* scratch_p = &scratch;
+    float* dx = grads.dx_local.data();
+    int prev_wait = -1;
+    int prev_acc = -1;
+    for (int c = 0; c < C; ++c) {
+      std::vector<int> wait_deps;
+      if (prev_wait >= 0) {
+        wait_deps.push_back(prev_wait);
+      }
+      CommHandle* handle = ret_handles[static_cast<size_t>(c)].get();
+      const int wait =
+          graph.AddComm("ep_dx_wait[" + std::to_string(c) + "]", /*stream=*/1,
+                        [handle] { return handle->WaitAll(); }, wait_deps);
+      std::vector<int> deps{wait};
+      if (prev_acc >= 0) {
+        deps.push_back(prev_acc);
+      }
+      const int acc = graph.AddCompute(
+          "ep_dx_acc[" + std::to_string(c) + "]",
+          [cache_p, scratch_p, dx, c, h] {
+            const int64_t base = cache_p->send_chunk_base[static_cast<size_t>(c)];
+            const int64_t rows_c =
+                cache_p->send_chunk_base[static_cast<size_t>(c) + 1] - base;
+            if (rows_c == 0) {
+              return Status::Ok();
+            }
+            const float* buf = scratch_p->ret_recv[static_cast<size_t>(c)].data();
+            for (int64_t j = 0; j < rows_c; ++j) {
+              const int64_t t = cache_p->send_token[static_cast<size_t>(base + j)];
+              const float* row = buf + j * h;
+              float* out = dx + t * h;
+              for (int64_t col = 0; col < h; ++col) {
+                out[col] += row[col];
+              }
+            }
+            return Status::Ok();
+          },
+          deps, "combine");
+      prev_wait = wait;
+      prev_acc = acc;
+    }
+    graph.Execute(/*num_streams=*/2);
+    ret_handles.clear();
+  }
+  return grads;
 }
 
 }  // namespace
@@ -48,6 +848,14 @@ const char* EpDispatchModeName(EpDispatchMode mode) {
   return "unknown";
 }
 
+EpPipelineConfig GetEpPipelineConfig() { return g_pipeline_config; }
+
+void SetEpPipelineConfig(EpPipelineConfig config) {
+  config.num_chunks = std::max(1, std::min(config.num_chunks, 64));
+  config.quant.granularity = QuantGranularity::kPerToken;
+  g_pipeline_config = config;
+}
+
 Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispatchMode mode,
                     const std::vector<Tensor>& w1, const std::vector<Tensor>& w3,
                     const std::vector<Tensor>& w2, const Tensor& x_local,
@@ -60,12 +868,20 @@ Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispat
   const int64_t t_local = x_local.dim(0);
   const int64_t k = routing_local.top_k;
   MSMOE_CHECK_EQ(routing_local.tokens, t_local);
+  const double start_us = ctx.comm->telemetry().NowUs();
 
-  const std::vector<Tensor> w1_loc = LocalWeights(w1, ctx.rank, e_local);
-  const std::vector<Tensor> w3_loc = LocalWeights(w3, ctx.rank, e_local);
-  const std::vector<Tensor> w2_loc = LocalWeights(w2, ctx.rank, e_local);
+  const Tensor* w1_loc = w1.data() + ctx.rank * e_local;
+  const Tensor* w3_loc = w3.data() + ctx.rank * e_local;
+  const Tensor* w2_loc = w2.data() + ctx.rank * e_local;
 
   if (mode == EpDispatchMode::kAllToAll) {
+    const EpPipelineConfig pipe = GetEpPipelineConfig();
+    if (pipe.enabled) {
+      return PipelinedForwardA2A(ctx, config, pipe, w1, w3, w2, x_local, routing_local,
+                                 cache);
+    }
+    cache->pipeline_chunks = 0;  // blocking reference: backward takes the legacy path
+
     // --- Dispatch: pack kept token copies by destination (expert owner). ---
     cache->send_counts.assign(static_cast<size_t>(n), 0);
     cache->send_token.clear();
@@ -141,7 +957,7 @@ Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispat
 
     // --- Expert computation. ---
     ExpertBlock block = RunExperts(cache->ffn_in, cache->local_offsets, w1_loc, w3_loc,
-                                   w2_loc);
+                                   w2_loc, e_local);
     cache->fc1_out = std::move(block.fc1);
     cache->fc3_out = std::move(block.fc3);
     cache->fc2_in = std::move(block.fc2_in);
@@ -176,6 +992,8 @@ Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispat
         out[c] += weight * row[c];
       }
     }
+    RecordDispatchTelemetry(ctx, "ep_dispatch_fwd", /*chunks=*/1, cache->local_offsets,
+                            start_us);
     return y_local;
   }
 
@@ -222,7 +1040,8 @@ Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispat
   const int64_t rows = static_cast<int64_t>(cache->copy_token.size());
   cache->ffn_in = GatherRows(cache->x_all, cache->copy_token);
 
-  ExpertBlock block = RunExperts(cache->ffn_in, cache->local_offsets, w1_loc, w3_loc, w2_loc);
+  ExpertBlock block = RunExperts(cache->ffn_in, cache->local_offsets, w1_loc, w3_loc,
+                                 w2_loc, e_local);
   cache->fc1_out = std::move(block.fc1);
   cache->fc3_out = std::move(block.fc3);
   cache->fc2_in = std::move(block.fc2_in);
@@ -242,6 +1061,8 @@ Tensor EpFfnForward(const ShardContext& ctx, const ModelConfig& config, EpDispat
   }
   Tensor y_local({t_local, h});
   ctx.comm->ReduceScatter(ctx.rank, full_out.data(), y_local.data(), t_local * h);
+  RecordDispatchTelemetry(ctx, "ep_dispatch_fwd", /*chunks=*/1, cache->local_offsets,
+                          start_us);
   return y_local;
 }
 
@@ -256,9 +1077,13 @@ EpFfnGrads EpFfnBackward(const ShardContext& ctx, const ModelConfig& config,
   const int64_t t_local = dy_local.dim(0);
   const int64_t k = routing_local.top_k;
 
-  const std::vector<Tensor> w1_loc = LocalWeights(w1, ctx.rank, e_local);
-  const std::vector<Tensor> w3_loc = LocalWeights(w3, ctx.rank, e_local);
-  const std::vector<Tensor> w2_loc = LocalWeights(w2, ctx.rank, e_local);
+  if (mode == EpDispatchMode::kAllToAll && cache.pipeline_chunks > 0) {
+    return PipelinedBackwardA2A(ctx, config, w1, w3, w2, dy_local, routing_local, cache);
+  }
+
+  const Tensor* w1_loc = w1.data() + ctx.rank * e_local;
+  const Tensor* w3_loc = w3.data() + ctx.rank * e_local;
+  const Tensor* w2_loc = w2.data() + ctx.rank * e_local;
 
   EpFfnGrads grads;
   grads.dcombine_local = Tensor({t_local, k});
@@ -307,13 +1132,15 @@ EpFfnGrads EpFfnBackward(const ShardContext& ctx, const ModelConfig& config,
                 dfc2_out.data() + row * h);
     }
     GroupedGemmGrads fc2_grads =
-        GroupedGemmBackward(dfc2_out, cache.fc2_in, cache.local_offsets, w2_loc);
+        GroupedGemmBackward(dfc2_out, cache.fc2_in, cache.local_offsets, w2_loc, e_local);
     grads.dw2 = std::move(fc2_grads.dweights);
     SwiGluGrads swiglu_grads = SwiGluBackward(fc2_grads.dx, cache.fc1_out, cache.fc3_out);
     GroupedGemmGrads fc1_grads =
-        GroupedGemmBackward(swiglu_grads.dgate, cache.ffn_in, cache.local_offsets, w1_loc);
+        GroupedGemmBackward(swiglu_grads.dgate, cache.ffn_in, cache.local_offsets, w1_loc,
+                            e_local);
     GroupedGemmGrads fc3_grads =
-        GroupedGemmBackward(swiglu_grads.dlinear, cache.ffn_in, cache.local_offsets, w3_loc);
+        GroupedGemmBackward(swiglu_grads.dlinear, cache.ffn_in, cache.local_offsets,
+                            w3_loc, e_local);
     grads.dw1 = std::move(fc1_grads.dweights);
     grads.dw3 = std::move(fc3_grads.dweights);
     Tensor dffn_in = Add(fc1_grads.dx, fc3_grads.dx);
@@ -372,13 +1199,15 @@ EpFfnGrads EpFfnBackward(const ShardContext& ctx, const ModelConfig& config,
   }
 
   GroupedGemmGrads fc2_grads =
-      GroupedGemmBackward(dfc2_out, cache.fc2_in, cache.local_offsets, w2_loc);
+      GroupedGemmBackward(dfc2_out, cache.fc2_in, cache.local_offsets, w2_loc, e_local);
   grads.dw2 = std::move(fc2_grads.dweights);
   SwiGluGrads swiglu_grads = SwiGluBackward(fc2_grads.dx, cache.fc1_out, cache.fc3_out);
   GroupedGemmGrads fc1_grads =
-      GroupedGemmBackward(swiglu_grads.dgate, cache.ffn_in, cache.local_offsets, w1_loc);
+      GroupedGemmBackward(swiglu_grads.dgate, cache.ffn_in, cache.local_offsets, w1_loc,
+                          e_local);
   GroupedGemmGrads fc3_grads =
-      GroupedGemmBackward(swiglu_grads.dlinear, cache.ffn_in, cache.local_offsets, w3_loc);
+      GroupedGemmBackward(swiglu_grads.dlinear, cache.ffn_in, cache.local_offsets, w3_loc,
+                          e_local);
   grads.dw1 = std::move(fc1_grads.dweights);
   grads.dw3 = std::move(fc3_grads.dweights);
   Tensor dffn_in = Add(fc1_grads.dx, fc3_grads.dx);
@@ -402,7 +1231,21 @@ void EpFfnRematerialize(const ShardContext& ctx, const ModelConfig& config,
   const int64_t t_local = x_local.dim(0);
 
   if (cache->ffn_in.empty()) {
-    if (mode == EpDispatchMode::kAllToAll) {
+    if (mode == EpDispatchMode::kAllToAll && cache->pipeline_chunks > 0) {
+      // Replay the pipelined chunked dispatch (re-quantizing in FP8 mode —
+      // per-token scales make the codes bitwise the forward's).
+      const int C = cache->pipeline_chunks;
+      const int64_t total_recv = cache->recv_chunk_base[static_cast<size_t>(C)];
+      PipelineScratch& scratch = TlsScratch();
+      std::vector<std::unique_ptr<CommHandle>> handles =
+          StartDispatchChunks(ctx, *cache, x_local, h, &scratch);
+      cache->ffn_in = Tensor::Uninit({total_recv, h});
+      ExecGraph graph;
+      AddScatterChain(&graph, *cache, handles, &scratch, h, cache->fp8_wire,
+                      &cache->ffn_in);
+      graph.Execute(/*num_streams=*/2);
+      handles.clear();
+    } else if (mode == EpDispatchMode::kAllToAll) {
       // Re-pack the rows this rank dispatched (send_token preserves the
       // forward order) and replay the all-to-all.
       const int64_t total_sent = static_cast<int64_t>(cache->send_token.size());

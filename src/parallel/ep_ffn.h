@@ -14,6 +14,24 @@
 // Rank r owns experts [r*E/n, (r+1)*E/n). Both modes produce bitwise-equal
 // results to the single-rank reference (same routing in, same combine out);
 // expert-weight gradients are complete on the owner rank (no extra sync).
+//
+// The kAllToAll path is a fused pipeline (the paper's §4.2 fused dispatch
+// kernels, Fig 7): a counting-sort permutation built in one O(T·k) pass
+// replaces the per-token pack/sort loops, the wire runs as per-chunk
+// StartAllToAllV handles recorded on an ExecGraph so packing/quantizing
+// chunk i+1 overlaps the transfer of chunk i in both directions, and each
+// local expert's FC1→SwiGLU→FC2 chain fires as soon as its last input chunk
+// lands — expert compute hides the remaining dispatch wire. An optional
+// quantize-on-pack FP8 mode calls QuantizeInto per row straight into the
+// send staging (codes + per-token scale share one wire payload) instead of
+// running a separate quantization pre-pass. The pipeline is bitwise
+// identical to the blocking reference for every chunk count and worker
+// count: chunks partition the LOCAL token range in ascending order, so the
+// receiver reconstructs exactly the legacy source-major grouped row order,
+// and each token's combine accumulation keeps the legacy (owner rank asc,
+// slot asc) order. SetEpPipelineConfig toggles the pipeline; the blocking
+// reference path is kept both as the fallback and as the baseline the
+// property tests and bench_fig7_dispatch pin the pipeline against.
 #ifndef MSMOE_SRC_PARALLEL_EP_FFN_H_
 #define MSMOE_SRC_PARALLEL_EP_FFN_H_
 
@@ -22,6 +40,7 @@
 
 #include "src/model/config.h"
 #include "src/model/router.h"
+#include "src/numerics/quantize.h"
 #include "src/parallel/sp_attention.h"
 #include "src/tensor/tensor.h"
 
@@ -33,6 +52,25 @@ enum class EpDispatchMode {
 };
 
 const char* EpDispatchModeName(EpDispatchMode mode);
+
+// Process-wide configuration of the fused kAllToAll dispatch pipeline. Set
+// it before entering the ranks (RunOnRanks); every rank must see the same
+// values — the chunk count shapes the collective sequence. num_chunks is
+// clamped to [1, 64]. fp8_dispatch quantizes the forward dispatch wire
+// (activations) per token, fusing QuantizeInto into the pack; the combine
+// and backward wires stay FP32 (the reference the FP8 path is tested
+// against applies the same per-row round trip). quant.granularity is
+// forced to kPerToken — the only granularity whose scales are per-row and
+// therefore identical whether rows are quantized packed or in place.
+struct EpPipelineConfig {
+  bool enabled = true;
+  int num_chunks = 4;
+  bool fp8_dispatch = false;
+  QuantConfig quant;
+};
+
+EpPipelineConfig GetEpPipelineConfig();
+void SetEpPipelineConfig(EpPipelineConfig config);
 
 struct EpFfnCache {
   // Expert computation inputs/outputs, rows grouped by local expert.
@@ -48,8 +86,25 @@ struct EpFfnCache {
   std::vector<int64_t> recv_counts;   // rows received from each rank
   std::vector<int64_t> send_token;    // per sent row: local token index
   std::vector<int64_t> send_slot;     // per sent row: top-k slot
-  std::vector<int64_t> recv_to_sorted;  // received row -> grouped row
+  std::vector<int64_t> recv_to_sorted;  // received row -> grouped row (legacy)
   Tensor returned_rows;               // expert outputs back at the source
+
+  // Fused-pipeline bookkeeping (kAllToAll with the pipeline enabled). Send
+  // rows are enumerated chunk-major — (chunk, dst rank, token asc, slot
+  // asc) — where chunks partition the local token range in ascending
+  // order; send_token/send_slot/returned_rows above use this order. The
+  // receive side keeps two enumerations of the same rows: "legacy order"
+  // (source-major, exactly the blocking path's receive order, which
+  // chunk_to_sorted maps to grouped rows) and "chunk order" (chunk-major,
+  // the order rows land on the wire).
+  int pipeline_chunks = 0;                 // C used by the forward (0 = blocking)
+  bool fp8_wire = false;                   // forward dispatch was quantize-on-pack
+  QuantConfig wire_quant;
+  std::vector<int64_t> send_chunk_counts;  // [C*n] rows in (chunk, dst) segment
+  std::vector<int64_t> send_chunk_base;    // [C+1] send-row prefix per chunk
+  std::vector<int64_t> recv_chunk_counts;  // [C*n] rows in (chunk, src) segment
+  std::vector<int64_t> recv_chunk_base;    // [C+1] chunk-order recv prefix
+  std::vector<int64_t> chunk_to_sorted;    // chunk-order recv pos -> grouped row
 
   // kAllGatherScatter bookkeeping.
   Tensor x_all;                         // [t_total, h] gathered tokens
@@ -85,7 +140,9 @@ EpFfnGrads EpFfnBackward(const ShardContext& ctx, const ModelConfig& config,
 // (the paper's "re-performing RMSNorm and all-gather"), and `fc2_in` by
 // re-applying SwiGLU to the retained fc1/fc3 outputs. Collective: all ranks
 // of the group must call it together. Fields already present are left
-// untouched.
+// untouched. A cache produced by the pipelined forward replays the
+// pipelined (chunked, quantize-on-pack) dispatch so the rebuilt ffn_in is
+// bitwise the forward's.
 void EpFfnRematerialize(const ShardContext& ctx, const ModelConfig& config,
                         EpDispatchMode mode, const Tensor& x_local, EpFfnCache* cache);
 

@@ -81,7 +81,8 @@ std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
                                     const std::string& process_name,
                                     const StragglerReport* health,
                                     const std::vector<CompEvent>* comp_events,
-                                    const MemStatsSnapshot* mem) {
+                                    const MemStatsSnapshot* mem,
+                                    const std::vector<DispatchEvent>* dispatch_events) {
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\""
@@ -94,6 +95,11 @@ std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
   }
   if (comp_events != nullptr) {
     for (const CompEvent& event : *comp_events) {
+      max_rank = std::max(max_rank, event.rank);
+    }
+  }
+  if (dispatch_events != nullptr) {
+    for (const DispatchEvent& event : *dispatch_events) {
       max_rank = std::max(max_rank, event.rank);
     }
   }
@@ -189,6 +195,28 @@ std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
                 phase.heap_allocs, phase.acquired_bytes, phase.hit_rate());
     }
   }
+  if (dispatch_events != nullptr && !dispatch_events->empty()) {
+    // Right below the memory lane (which sits at 2 * (max_rank + 1)), so the
+    // routing-skew annotations sort under the rank timelines they explain.
+    const int dispatch_tid = 2 * (max_rank + 1) + 1;
+    out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << dispatch_tid
+        << ",\"args\":{\"name\":\"dispatch\"}}";
+    for (const DispatchEvent& event : *dispatch_events) {
+      char buffer[256];
+      out << ",{\"name\":\"" << JsonEscape(event.name)
+          << "\",\"cat\":\"dispatch\",\"ph\":\"X\",\"pid\":1,\"tid\":" << dispatch_tid;
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"rank\":%d,\"experts\":%lld,"
+                    "\"rows_total\":%lld,\"rows_max\":%lld,\"imbalance\":%.4f,"
+                    "\"chunks\":%d}}",
+                    event.start_us, event.duration_us, event.rank,
+                    static_cast<long long>(event.experts),
+                    static_cast<long long>(event.rows_total),
+                    static_cast<long long>(event.rows_max), event.imbalance,
+                    event.chunks);
+      out << buffer;
+    }
+  }
   out << "]}";
   return out.str();
 }
@@ -196,9 +224,10 @@ std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
 Status WriteCommTrace(const std::string& path, const std::vector<CommEvent>& events,
                       const std::string& process_name, const StragglerReport* health,
                       const std::vector<CompEvent>* comp_events,
-                      const MemStatsSnapshot* mem) {
+                      const MemStatsSnapshot* mem,
+                      const std::vector<DispatchEvent>* dispatch_events) {
   return WriteString(path, CommEventsToChromeTrace(events, process_name, health,
-                                                   comp_events, mem));
+                                                   comp_events, mem, dispatch_events));
 }
 
 }  // namespace msmoe

@@ -58,17 +58,25 @@ Status WriteChromeTrace(const std::string& path, const std::vector<SimOp>& ops,
 // lane, each carrying that phase's acquires / pool hits / heap (pool-miss)
 // allocations / bytes and pool hit rate, so allocation behavior is
 // inspectable on the same timeline as the collectives it rides along.
+//
+// When dispatch_events (CommTelemetry::DispatchEvents()) is supplied, each
+// EP dispatch round is emitted as a span on a dedicated "dispatch" lane
+// carrying the per-expert load profile (rows total / max and the
+// max-over-mean imbalance), so routing skew is visible next to the
+// all-to-alls it causes.
 std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
                                     const std::string& process_name = "msmoe-run",
                                     const StragglerReport* health = nullptr,
                                     const std::vector<CompEvent>* comp_events = nullptr,
-                                    const MemStatsSnapshot* mem = nullptr);
+                                    const MemStatsSnapshot* mem = nullptr,
+                                    const std::vector<DispatchEvent>* dispatch_events = nullptr);
 
 Status WriteCommTrace(const std::string& path, const std::vector<CommEvent>& events,
                       const std::string& process_name = "msmoe-run",
                       const StragglerReport* health = nullptr,
                       const std::vector<CompEvent>* comp_events = nullptr,
-                      const MemStatsSnapshot* mem = nullptr);
+                      const MemStatsSnapshot* mem = nullptr,
+                      const std::vector<DispatchEvent>* dispatch_events = nullptr);
 
 }  // namespace msmoe
 

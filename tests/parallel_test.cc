@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -383,6 +384,67 @@ TEST_P(FfnParallelTest, EpMatchesSingleRankForwardBackward) {
 INSTANTIATE_TEST_SUITE_P(BothDispatchModes, FfnParallelTest,
                          ::testing::Values(EpDispatchMode::kAllToAll,
                                            EpDispatchMode::kAllGatherScatter));
+
+// Quantize-on-pack FP8 dispatch: quantizing each row directly into the send
+// staging (codes + per-token scale on one wire payload) must be BITWISE the
+// same as the two-pass reference — round-tripping x through per-token FP8
+// first, then running the blocking FP32 dispatch on the already-quantized
+// activations. Routing stays on the ORIGINAL x in both runs (the router is
+// upstream of the dispatch quantization).
+TEST_F(FfnParallelTest, PipelinedFp8DispatchMatchesRoundTripReference) {
+  const int n = 2;
+  const int64_t t_local = x_full_.dim(0) / n;
+  const int64_t h = config_.hidden;
+  QuantConfig quant;
+  quant.granularity = QuantGranularity::kPerToken;
+
+  const EpPipelineConfig saved = GetEpPipelineConfig();
+  EpPipelineConfig pc;
+  pc.enabled = true;
+  pc.num_chunks = 3;
+  pc.fp8_dispatch = true;
+  pc.quant = quant;
+  SetEpPipelineConfig(pc);
+  FlatCommunicator fp8_group(n);
+  std::vector<Tensor> y_fp8(n);
+  RunOnRanks(n, [&](int rank) {
+    ShardContext ctx{&fp8_group, rank};
+    Tensor x_local = x_full_.SliceRows(rank * t_local, (rank + 1) * t_local);
+    RoutingResult routing = RouteTokens(MatMul(x_local, w_gate_), router_);
+    EpFfnCache cache;
+    y_fp8[static_cast<size_t>(rank)] =
+        EpFfnForward(ctx, config_, EpDispatchMode::kAllToAll, w1_, w3_, w2_,
+                     x_local, routing, &cache);
+  });
+
+  pc = EpPipelineConfig{};
+  pc.enabled = false;
+  SetEpPipelineConfig(pc);
+  FlatCommunicator ref_group(n);
+  std::vector<Tensor> y_ref(n);
+  RunOnRanks(n, [&](int rank) {
+    ShardContext ctx{&ref_group, rank};
+    Tensor x_local = x_full_.SliceRows(rank * t_local, (rank + 1) * t_local);
+    RoutingResult routing = RouteTokens(MatMul(x_local, w_gate_), router_);
+    Tensor x_q = Tensor::FromVector(
+        {t_local, h}, QuantizeRoundTrip(x_local.data(), t_local, h, quant));
+    EpFfnCache cache;
+    y_ref[static_cast<size_t>(rank)] =
+        EpFfnForward(ctx, config_, EpDispatchMode::kAllToAll, w1_, w3_, w2_, x_q,
+                     routing, &cache);
+  });
+  SetEpPipelineConfig(saved);
+
+  for (int rank = 0; rank < n; ++rank) {
+    const Tensor& a = y_fp8[static_cast<size_t>(rank)];
+    const Tensor& b = y_ref[static_cast<size_t>(rank)];
+    ASSERT_EQ(a.numel(), b.numel()) << rank;
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          static_cast<size_t>(a.numel()) * sizeof(float)),
+              0)
+        << rank;
+  }
+}
 
 TEST_F(FfnParallelTest, TpFfnMatchesSingleRank) {
   const int n = 2;

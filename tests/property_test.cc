@@ -2,7 +2,9 @@
 // exercised with parameterized gtest over shapes, group sizes, and formats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <tuple>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "src/model/router.h"
 #include "src/numerics/bf16.h"
 #include "src/numerics/quantize.h"
+#include "src/parallel/ep_ffn.h"
 #include "src/parallel/fused_ops.h"
 #include "src/parallel/sp_attention.h"
 #include "src/tensor/tensor_ops.h"
@@ -538,6 +541,324 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 4),       // workers
                        ::testing::Values(1, 2, 3),       // streams
                        ::testing::Values<uint64_t>(1, 7, 23)));
+
+// --- Fused EP dispatch pipeline: the pipelined kAllToAll path must be
+// BITWISE equal to the blocking reference — outputs, gradients, AND the
+// rematerialized ffn_in — for every (worker count, chunk count, routing
+// skew) cell. Skewed logits concentrate tokens on one or two experts so
+// ragged per-(chunk, rank) segments (including empty ones) are exercised,
+// and chunk counts that don't divide the token count produce uneven
+// chunks. To shrink a failing cell, rerun with the printed parameters. ---
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+struct EpPipelineRun {
+  std::vector<Tensor> y, dx, dcombine, ffn_in;
+  std::vector<std::vector<Tensor>> dw1, dw3, dw2;
+};
+
+class EpPipelineSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(EpPipelineSweepTest, PipelinedBitwiseEqualsBlocking) {
+  const auto [workers, chunks, seed] = GetParam();
+  const int n = 4;
+  ModelConfig config = TinyMoeConfig(8, 2);
+  config.hidden = 32;
+  config.ffn_hidden = 24;
+  const int64_t t_local = 12;  // chunks=5/8 -> uneven or sub-token chunks
+  const int64_t tokens = n * t_local;
+
+  Rng rng(seed * 131 + 7);
+  std::vector<Tensor> w1, w3, w2;
+  for (int64_t e = 0; e < config.num_experts; ++e) {
+    w1.push_back(Tensor::Randn({config.hidden, config.ffn_hidden}, rng, 0.0f, 0.2f));
+    w3.push_back(Tensor::Randn({config.hidden, config.ffn_hidden}, rng, 0.0f, 0.2f));
+    w2.push_back(Tensor::Randn({config.ffn_hidden, config.hidden}, rng, 0.0f, 0.2f));
+  }
+  Tensor w_gate = Tensor::Randn({config.hidden, config.num_experts}, rng, 0.0f, 0.3f);
+  Tensor x_full = Tensor::Randn({tokens, config.hidden}, rng);
+  Tensor dy_full = Tensor::Randn({tokens, config.hidden}, rng);
+  // Skew the routing: two experts get a large logit bias, so some ranks
+  // receive most rows while (chunk, src) segments elsewhere come up empty.
+  Tensor logits_full = MatMul(x_full, w_gate);
+  const int64_t hot_a = static_cast<int64_t>(seed % 8);
+  const int64_t hot_b = static_cast<int64_t>((seed * 3 + 1) % 8);
+  for (int64_t t = 0; t < tokens; ++t) {
+    logits_full.At(t, hot_a) += 2.5f;
+    logits_full.At(t, hot_b) += 1.5f;
+  }
+  RouterConfig router;
+  router.num_experts = config.num_experts;
+  router.top_k = config.top_k;
+
+  const int restore_workers = ParallelWorkerCount();
+  SetParallelWorkerCount(workers);
+  const EpPipelineConfig saved = GetEpPipelineConfig();
+
+  // `remat` drops ffn_in after the forward and rebuilds it with the
+  // collective replay before the backward, so the backward result also
+  // pins the rematerialized dispatch bitwise.
+  const auto run = [&](bool pipelined, bool remat, EpPipelineRun* out) {
+    EpPipelineConfig pc;
+    pc.enabled = pipelined;
+    pc.num_chunks = chunks;
+    SetEpPipelineConfig(pc);
+    FlatCommunicator group(n);
+    out->y.resize(static_cast<size_t>(n));
+    out->dx.resize(static_cast<size_t>(n));
+    out->dcombine.resize(static_cast<size_t>(n));
+    out->ffn_in.resize(static_cast<size_t>(n));
+    out->dw1.resize(static_cast<size_t>(n));
+    out->dw3.resize(static_cast<size_t>(n));
+    out->dw2.resize(static_cast<size_t>(n));
+    RunOnRanks(n, [&, remat](int rank) {
+      const size_t r = static_cast<size_t>(rank);
+      ShardContext ctx{&group, rank};
+      Tensor x_local = x_full.SliceRows(rank * t_local, (rank + 1) * t_local);
+      Tensor dy_local = dy_full.SliceRows(rank * t_local, (rank + 1) * t_local);
+      RoutingResult routing = RouteTokens(
+          logits_full.SliceRows(rank * t_local, (rank + 1) * t_local), router);
+      EpFfnCache cache;
+      out->y[r] = EpFfnForward(ctx, config, EpDispatchMode::kAllToAll, w1, w3, w2,
+                               x_local, routing, &cache);
+      if (remat) {
+        cache.ffn_in = Tensor();
+        EpFfnRematerialize(ctx, config, EpDispatchMode::kAllToAll, x_local, &cache);
+      }
+      EpFfnGrads grads = EpFfnBackward(ctx, config, EpDispatchMode::kAllToAll, w1,
+                                       w3, w2, dy_local, routing, cache);
+      out->ffn_in[r] = std::move(cache.ffn_in);
+      out->dx[r] = std::move(grads.dx_local);
+      out->dcombine[r] = std::move(grads.dcombine_local);
+      out->dw1[r] = std::move(grads.dw1);
+      out->dw3[r] = std::move(grads.dw3);
+      out->dw2[r] = std::move(grads.dw2);
+    });
+  };
+
+  EpPipelineRun blocking, pipelined;
+  run(/*pipelined=*/false, /*remat=*/false, &blocking);
+  run(/*pipelined=*/true, /*remat=*/true, &pipelined);
+  SetEpPipelineConfig(saved);
+  SetParallelWorkerCount(restore_workers);
+
+  const int64_t e_local = config.num_experts / n;
+  for (int rank = 0; rank < n; ++rank) {
+    const size_t r = static_cast<size_t>(rank);
+    const auto cell = [&](const char* what) {
+      return ::testing::Message()
+             << what << " workers=" << workers << " chunks=" << chunks
+             << " seed=" << seed << " rank=" << rank;
+    };
+    EXPECT_TRUE(BitwiseEqual(pipelined.y[r], blocking.y[r])) << cell("y");
+    EXPECT_TRUE(BitwiseEqual(pipelined.ffn_in[r], blocking.ffn_in[r]))
+        << cell("remat ffn_in");
+    EXPECT_TRUE(BitwiseEqual(pipelined.dx[r], blocking.dx[r])) << cell("dx");
+    EXPECT_TRUE(BitwiseEqual(pipelined.dcombine[r], blocking.dcombine[r]))
+        << cell("dcombine");
+    for (int64_t e = 0; e < e_local; ++e) {
+      const size_t le = static_cast<size_t>(e);
+      EXPECT_TRUE(BitwiseEqual(pipelined.dw1[r][le], blocking.dw1[r][le]))
+          << cell("dw1") << " expert=" << e;
+      EXPECT_TRUE(BitwiseEqual(pipelined.dw3[r][le], blocking.dw3[r][le]))
+          << cell("dw3") << " expert=" << e;
+      EXPECT_TRUE(BitwiseEqual(pipelined.dw2[r][le], blocking.dw2[r][le]))
+          << cell("dw2") << " expert=" << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PipelineGrid, EpPipelineSweepTest,
+    ::testing::Combine(::testing::Values(1, 3),        // workers
+                       ::testing::Values(1, 2, 5, 8),  // chunks
+                       ::testing::Values<uint64_t>(11, 29)));
+
+// --- Counting-sort permutation tables: the chunked send/recv bookkeeping
+// the pipeline builds must round-trip — chunk_to_sorted a bijection onto
+// the grouped rows, per-chunk segment counts consistent with their prefix
+// bases, send order (chunk, dst, token asc) with every non-dropped
+// (token, slot) dispatched exactly once, and each receiver's per-(chunk,
+// src) counts equal to the sender's mirrored per-(chunk, dst) counts. ---
+
+TEST(EpPipelinePermutationTest, DispatchTablesRoundTrip) {
+  const int n = 3;
+  const int chunks = 3;
+  ModelConfig config = TinyMoeConfig(6, 2);
+  config.hidden = 16;
+  config.ffn_hidden = 12;
+  const int64_t t_local = 10;  // 10 tokens over 3 chunks: uneven chunks
+  const int64_t k = config.top_k;
+
+  Rng rng(97);
+  std::vector<Tensor> w1, w3, w2;
+  for (int64_t e = 0; e < config.num_experts; ++e) {
+    w1.push_back(Tensor::Randn({config.hidden, config.ffn_hidden}, rng, 0.0f, 0.2f));
+    w3.push_back(Tensor::Randn({config.hidden, config.ffn_hidden}, rng, 0.0f, 0.2f));
+    w2.push_back(Tensor::Randn({config.ffn_hidden, config.hidden}, rng, 0.0f, 0.2f));
+  }
+  Tensor w_gate = Tensor::Randn({config.hidden, config.num_experts}, rng, 0.0f, 0.3f);
+  Tensor x_full = Tensor::Randn({n * t_local, config.hidden}, rng);
+  RouterConfig router;
+  router.num_experts = config.num_experts;
+  router.top_k = k;
+
+  const EpPipelineConfig saved = GetEpPipelineConfig();
+  EpPipelineConfig pc;
+  pc.enabled = true;
+  pc.num_chunks = chunks;
+  SetEpPipelineConfig(pc);
+  FlatCommunicator group(n);
+  std::vector<EpFfnCache> caches(static_cast<size_t>(n));
+  std::vector<RoutingResult> routings(static_cast<size_t>(n));
+  RunOnRanks(n, [&](int rank) {
+    const size_t r = static_cast<size_t>(rank);
+    ShardContext ctx{&group, rank};
+    Tensor x_local = x_full.SliceRows(rank * t_local, (rank + 1) * t_local);
+    routings[r] = RouteTokens(MatMul(x_local, w_gate), router);
+    EpFfnForward(ctx, config, EpDispatchMode::kAllToAll, w1, w3, w2, x_local,
+                 routings[r], &caches[r]);
+  });
+  SetEpPipelineConfig(saved);
+
+  for (int rank = 0; rank < n; ++rank) {
+    const EpFfnCache& cache = caches[static_cast<size_t>(rank)];
+    const RoutingResult& routing = routings[static_cast<size_t>(rank)];
+    ASSERT_EQ(cache.pipeline_chunks, chunks) << rank;
+    const int C = cache.pipeline_chunks;
+
+    // Send side: prefix bases frame the per-chunk count segments, and the
+    // (chunk, dst, token asc, slot asc) enumeration covers exactly the
+    // non-dropped routed copies.
+    ASSERT_EQ(cache.send_chunk_base.size(), static_cast<size_t>(C + 1)) << rank;
+    ASSERT_EQ(cache.send_chunk_counts.size(), static_cast<size_t>(C * n)) << rank;
+    EXPECT_EQ(cache.send_chunk_base[0], 0) << rank;
+    const int64_t total_send = static_cast<int64_t>(cache.send_token.size());
+    EXPECT_EQ(cache.send_chunk_base[static_cast<size_t>(C)], total_send) << rank;
+    int64_t cursor = 0;
+    for (int c = 0; c < C; ++c) {
+      int64_t chunk_rows = 0;
+      for (int dst = 0; dst < n; ++dst) {
+        const int64_t rows = cache.send_chunk_counts[static_cast<size_t>(c * n + dst)];
+        ASSERT_GE(rows, 0);
+        // Within one (chunk, dst) segment tokens ascend, slots ascend
+        // within a token — the counting-sort emission order.
+        for (int64_t i = cursor + 1; i < cursor + rows; ++i) {
+          const size_t a = static_cast<size_t>(i - 1);
+          const size_t b = static_cast<size_t>(i);
+          const int64_t key_a = cache.send_token[a] * k + cache.send_slot[a];
+          const int64_t key_b = cache.send_token[b] * k + cache.send_slot[b];
+          EXPECT_LT(key_a, key_b) << "rank=" << rank << " chunk=" << c
+                                  << " dst=" << dst << " row=" << i;
+        }
+        cursor += rows;
+      }
+      chunk_rows = cursor - cache.send_chunk_base[static_cast<size_t>(c)];
+      EXPECT_EQ(chunk_rows, cache.send_chunk_base[static_cast<size_t>(c + 1)] -
+                                cache.send_chunk_base[static_cast<size_t>(c)])
+          << "rank=" << rank << " chunk=" << c;
+    }
+    EXPECT_EQ(cursor, total_send) << rank;
+    std::vector<int> dispatched(static_cast<size_t>(t_local * k), 0);
+    for (int64_t i = 0; i < total_send; ++i) {
+      const int64_t t = cache.send_token[static_cast<size_t>(i)];
+      const int64_t slot = cache.send_slot[static_cast<size_t>(i)];
+      ASSERT_GE(t, 0);
+      ASSERT_LT(t, t_local);
+      ASSERT_GE(slot, 0);
+      ASSERT_LT(slot, k);
+      ++dispatched[static_cast<size_t>(t * k + slot)];
+    }
+    for (int64_t t = 0; t < t_local; ++t) {
+      for (int64_t slot = 0; slot < k; ++slot) {
+        const size_t i = static_cast<size_t>(t * k + slot);
+        EXPECT_EQ(dispatched[i], routing.dropped[i] != 0 ? 0 : 1)
+            << "rank=" << rank << " token=" << t << " slot=" << slot;
+      }
+    }
+
+    // Receive side: chunk-order prefix matches the grouped row total and
+    // chunk_to_sorted is a bijection onto the grouped rows.
+    const int64_t total_recv = cache.local_offsets.back();
+    ASSERT_EQ(cache.recv_chunk_base.size(), static_cast<size_t>(C + 1)) << rank;
+    ASSERT_EQ(cache.recv_chunk_counts.size(), static_cast<size_t>(C * n)) << rank;
+    EXPECT_EQ(cache.recv_chunk_base[static_cast<size_t>(C)], total_recv) << rank;
+    int64_t recv_sum = 0;
+    for (int c = 0; c < C; ++c) {
+      int64_t chunk_rows = 0;
+      for (int src = 0; src < n; ++src) {
+        chunk_rows += cache.recv_chunk_counts[static_cast<size_t>(c * n + src)];
+      }
+      EXPECT_EQ(chunk_rows, cache.recv_chunk_base[static_cast<size_t>(c + 1)] -
+                                cache.recv_chunk_base[static_cast<size_t>(c)])
+          << "rank=" << rank << " chunk=" << c;
+      recv_sum += chunk_rows;
+    }
+    EXPECT_EQ(recv_sum, total_recv) << rank;
+    ASSERT_EQ(cache.chunk_to_sorted.size(), static_cast<size_t>(total_recv)) << rank;
+    std::vector<int64_t> image = cache.chunk_to_sorted;
+    std::sort(image.begin(), image.end());
+    for (int64_t i = 0; i < total_recv; ++i) {
+      ASSERT_EQ(image[static_cast<size_t>(i)], i) << rank;
+    }
+
+    // Cross-rank: what rank `src` says it sends us per chunk is exactly
+    // what we recorded as received from it.
+    for (int c = 0; c < C; ++c) {
+      for (int src = 0; src < n; ++src) {
+        EXPECT_EQ(cache.recv_chunk_counts[static_cast<size_t>(c * n + src)],
+                  caches[static_cast<size_t>(src)]
+                      .send_chunk_counts[static_cast<size_t>(c * n + rank)])
+            << "rank=" << rank << " chunk=" << c << " src=" << src;
+      }
+    }
+  }
+}
+
+// --- Router top-k: the branchless streaming insertion must reproduce the
+// partial_sort reference exactly — descending probability, ties broken
+// toward the lower expert index — including on logits quantized to a
+// coarse grid so exact float ties are common. ---
+
+TEST(RouterTopKTest, StreamingInsertionMatchesStableSortWithTies) {
+  const int64_t experts = 7;
+  const int64_t k = 3;
+  const int64_t tokens = 64;
+  Rng rng(5);
+  Tensor logits({tokens, experts});
+  for (int64_t t = 0; t < tokens; ++t) {
+    for (int64_t e = 0; e < experts; ++e) {
+      // Half-integer grid: rows of 7 draws from ~13 distinct values force
+      // frequent exact ties.
+      logits.At(t, e) =
+          0.5f * std::round(2.0f * static_cast<float>(rng.NextGaussian()));
+    }
+  }
+  RouterConfig config;
+  config.num_experts = experts;
+  config.top_k = k;
+  RoutingResult routing = RouteTokens(logits, config);
+
+  for (int64_t t = 0; t < tokens; ++t) {
+    std::vector<int64_t> order(static_cast<size_t>(experts));
+    std::iota(order.begin(), order.end(), int64_t{0});
+    // stable_sort on strictly-descending prob keeps the lower expert index
+    // first among ties — the documented partial_sort tie-break.
+    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return routing.probs.At(t, a) > routing.probs.At(t, b);
+    });
+    for (int64_t slot = 0; slot < k; ++slot) {
+      EXPECT_EQ(routing.expert_index[static_cast<size_t>(t * k + slot)],
+                order[static_cast<size_t>(slot)])
+          << "token=" << t << " slot=" << slot;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace msmoe

@@ -4,21 +4,27 @@
 # fault/recovery machinery, and a Release-mode perf smoke test of the GEMM
 # compute backend. The collectives run real thread ranks over shared
 # buffers, so comm_test / kernel_test / parallel_test / telemetry_test /
-# fault_test / elastic_test / fused_ops_test / exec_graph_test under TSan are the
-# races-or-not verdict for the whole substrate (fused_ops_test hammers the
-# chunked async pipelines; exec_graph_test hammers the runtime task-graph
-# executor across streams and randomized schedules); fault_test and the
-# recovery bench under ASan cover the checkpoint IO and buffer-corruption
-# paths; the perf smoke fails if the blocked GEMM kernel ever regresses
+# fault_test / elastic_test / fused_ops_test / exec_graph_test / property_test
+# under TSan are the races-or-not verdict for the whole substrate
+# (fused_ops_test hammers the chunked async pipelines; exec_graph_test
+# hammers the runtime task-graph executor across streams and randomized
+# schedules; property_test sweeps the fused EP dispatch pipeline across
+# worker and chunk counts); fault_test and the recovery bench under ASan
+# cover the checkpoint IO and buffer-corruption paths, and parallel_test /
+# property_test under ASan cover the Workspace-staged dispatch packing;
+# the perf smoke fails if the blocked GEMM kernel ever regresses
 # below the naive reference, the overlap smoke fails if the fused
 # all-gather+GEMM pipeline stops beating the unfused sequence, and the
 # scheduler smoke fails if a searched schedule replayed on the real
 # executor stops beating the naive single-stream order, the elastic
 # smoke fails if a permanent rank eviction stops shrinking to a
-# bit-identical W-1 curve (bench_fault_recovery --check), and the memory
+# bit-identical W-1 curve (bench_fault_recovery --check), the memory
 # smoke fails if the steady-state training step ever hits the system
 # allocator again or pooled storage changes a bit of the numerics
-# (bench_memory --check).
+# (bench_memory --check), and the dispatch smoke fails if the pipelined
+# EP dispatch stops beating the blocking path by 1.3x under a calibrated
+# wire, stops being bitwise identical, or allocates in steady state
+# (bench_fig7_dispatch --check).
 #
 #   $ tools/check.sh
 set -euo pipefail
@@ -30,11 +36,11 @@ cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j
 
 echo
-echo "== TSan: tensor_test + comm_test + kernel_test + parallel_test + telemetry_test + fault_test + elastic_test + fused_ops_test + exec_graph_test =="
+echo "== TSan: tensor_test + comm_test + kernel_test + parallel_test + telemetry_test + fault_test + elastic_test + fused_ops_test + exec_graph_test + property_test =="
 cmake -B build-tsan -S . -DMSMOE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target tensor_test comm_test kernel_test parallel_test \
   telemetry_test fault_test elastic_test fused_ops_test exec_graph_test \
-  bench_fault_recovery >/dev/null
+  property_test bench_fault_recovery >/dev/null
 ./build-tsan/tests/tensor_test
 ./build-tsan/tests/comm_test
 ./build-tsan/tests/kernel_test
@@ -44,19 +50,22 @@ cmake --build build-tsan -j --target tensor_test comm_test kernel_test parallel_
 ./build-tsan/tests/elastic_test
 ./build-tsan/tests/fused_ops_test
 ./build-tsan/tests/exec_graph_test
+./build-tsan/tests/property_test
 (cd build-tsan/bench && ./bench_fault_recovery >/dev/null)
 
 echo
-echo "== ASan: tensor_test + fault_test + elastic_test + checkpoint/recovery paths =="
+echo "== ASan: tensor_test + fault_test + elastic_test + parallel_test + property_test + checkpoint/recovery paths =="
 cmake -B build-asan -S . -DMSMOE_SANITIZE=address >/dev/null
 cmake --build build-asan -j --target tensor_test fault_test elastic_test model_test \
-  trainer_test fused_ops_test >/dev/null
+  trainer_test fused_ops_test parallel_test property_test >/dev/null
 ./build-asan/tests/tensor_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/elastic_test
 ./build-asan/tests/model_test
 ./build-asan/tests/trainer_test
 ./build-asan/tests/fused_ops_test
+./build-asan/tests/parallel_test
+./build-asan/tests/property_test
 
 echo
 echo "== perf smoke: Release blocked GEMM >= naive (bench_micro_kernels --check) =="
@@ -82,6 +91,11 @@ echo
 echo "== memory smoke: zero steady-state heap allocs + pooled bitwise identity (bench_memory --check) =="
 cmake --build build-release -j --target bench_memory >/dev/null
 (cd build-release/bench && ./bench_memory --check)
+
+echo
+echo "== dispatch smoke: pipelined EP dispatch beats blocking 1.3x, bitwise, zero-alloc (bench_fig7_dispatch --check) =="
+cmake --build build-release -j --target bench_fig7_dispatch >/dev/null
+(cd build-release/bench && ./bench_fig7_dispatch --check)
 
 echo
 echo "all checks passed"
