@@ -141,10 +141,12 @@ constexpr double kWireLatencyUs = 20.0;
 struct SchedulePoint {
   double sim_us = 0.0;
   double measured_ms = 0.0;
+  TimingStats measured_stats;  // p10/p90 spread + rep count behind measured_ms
 };
 
 struct MeasuredScheduleReport {
   double comp_ms = 0.0;
+  TimingStats comp_stats;  // spread behind comp_ms
   double wire_ms = 0.0;
   int chunks = 0;
   SchedulePoint naive;
@@ -237,8 +239,9 @@ MeasuredScheduleReport RunMeasuredAblation() {
   // Calibrate the emulated wire to comm ~= comp (same recipe as
   // bench_fig15): time the naive schedule with the wire model off, then
   // size bytes/us so the ring volume costs one compute phase.
-  const double comp_s =
-      MedianSecondsOfN(kWarmup, kReps, [&] { run_schedule(naive_order, naive_streams, 1); });
+  report.comp_stats =
+      TimedStatsOfN(kWarmup, kReps, [&] { run_schedule(naive_order, naive_streams, 1); });
+  const double comp_s = report.comp_stats.median_s;
   report.comp_ms = comp_s * 1e3;
   const uint64_t ring_bytes = static_cast<uint64_t>(kRanks - 1) *
                               static_cast<uint64_t>(kRowsLocal * kK) * sizeof(float);
@@ -297,23 +300,23 @@ MeasuredScheduleReport RunMeasuredAblation() {
   }
 
   // Measure all three schedules on the real executor.
-  report.naive.measured_ms =
-      MedianSecondsOfN(kWarmup, kReps, [&] { run_schedule(naive_order, naive_streams, 1); }) *
-      1e3;
+  report.naive.measured_stats =
+      TimedStatsOfN(kWarmup, kReps, [&] { run_schedule(naive_order, naive_streams, 1); });
+  report.naive.measured_ms = report.naive.measured_stats.median_s * 1e3;
   std::vector<Tensor> y_naive;
   for (Tensor& t : y) {
     y_naive.push_back(std::move(t));
   }
-  report.holistic.measured_ms =
-      MedianSecondsOfN(kWarmup, kReps, [&] { run_schedule({}, {}, 2); }) * 1e3;
+  report.holistic.measured_stats =
+      TimedStatsOfN(kWarmup, kReps, [&] { run_schedule({}, {}, 2); });
+  report.holistic.measured_ms = report.holistic.measured_stats.median_s * 1e3;
   std::vector<Tensor> y_holistic;
   for (Tensor& t : y) {
     y_holistic.push_back(std::move(t));
   }
-  report.searched.measured_ms =
-      MedianSecondsOfN(kWarmup, kReps,
-                       [&] { run_schedule(searched_order, searched_streams, 2); }) *
-      1e3;
+  report.searched.measured_stats = TimedStatsOfN(
+      kWarmup, kReps, [&] { run_schedule(searched_order, searched_streams, 2); });
+  report.searched.measured_ms = report.searched.measured_stats.median_s * 1e3;
 
   // Bitwise identity across every schedule (all ran the same arithmetic).
   const size_t out_bytes = static_cast<size_t>(kRanks * kRowsLocal * kCols) * sizeof(float);
@@ -385,21 +388,30 @@ void WriteScheduleJson(const MeasuredScheduleReport& report) {
   if (json == nullptr) {
     return;
   }
+  std::string comp_spread;
+  AppendTimingSpreadJson(&comp_spread, "comp", report.comp_stats);
+  const auto point_spread = [](const SchedulePoint& point) {
+    std::string out;
+    AppendTimingSpreadJson(&out, "measured", point.measured_stats);
+    return out;
+  };
   std::fprintf(
       json,
       "{\"bench\": \"ablation_scheduler\", \"ranks\": %d, \"rows_local\": %lld, "
       "\"k\": %lld, \"cols\": %lld, \"chunks\": %d, \"warmup\": %d, \"reps\": %d, "
-      "\"comp_ms\": %.3f, \"wire_ms\": %.3f,\n"
-      "  \"naive\": {\"sim_us\": %.1f, \"measured_ms\": %.3f},\n"
-      "  \"holistic\": {\"sim_us\": %.1f, \"measured_ms\": %.3f},\n"
-      "  \"searched\": {\"sim_us\": %.1f, \"measured_ms\": %.3f},\n"
+      "\"comp_ms\": %.3f, %s, \"wire_ms\": %.3f,\n"
+      "  \"naive\": {\"sim_us\": %.1f, \"measured_ms\": %.3f, %s},\n"
+      "  \"holistic\": {\"sim_us\": %.1f, \"measured_ms\": %.3f, %s},\n"
+      "  \"searched\": {\"sim_us\": %.1f, \"measured_ms\": %.3f, %s},\n"
       "  \"searched_vs_naive_measured\": %.3f, \"measured_vs_predicted\": %.3f, "
       "\"all_bitwise\": %s}\n",
       kRanks, static_cast<long long>(kRowsLocal), static_cast<long long>(kK),
       static_cast<long long>(kCols), report.chunks, kWarmup, kReps, report.comp_ms,
-      report.wire_ms, report.naive.sim_us, report.naive.measured_ms,
-      report.holistic.sim_us, report.holistic.measured_ms, report.searched.sim_us,
-      report.searched.measured_ms,
+      comp_spread.c_str(), report.wire_ms, report.naive.sim_us,
+      report.naive.measured_ms, point_spread(report.naive).c_str(),
+      report.holistic.sim_us, report.holistic.measured_ms,
+      point_spread(report.holistic).c_str(), report.searched.sim_us,
+      report.searched.measured_ms, point_spread(report.searched).c_str(),
       report.searched.measured_ms > 0.0
           ? report.naive.measured_ms / report.searched.measured_ms
           : 0.0,

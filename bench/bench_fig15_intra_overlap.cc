@@ -64,10 +64,13 @@ struct MeasuredPoint {
   double fused_ms = 0.0;
   double speedup = 0.0;
   bool bitwise_equal = false;
+  TimingStats unfused_stats;  // p10/p90 spread + rep count behind unfused_ms
+  TimingStats fused_stats;    // ... and behind fused_ms
 };
 
 struct MeasuredReport {
   double comp_ms = 0.0;  // unfused step wall time with the wire model off
+  TimingStats comp_stats;  // spread behind comp_ms
   double wire_ms = 0.0;  // modeled all-gather wire occupancy after calibration
   double predicted_speedup = 0.0;  // overlap_sim at the best point's tiling
   std::vector<MeasuredPoint> points;
@@ -121,7 +124,8 @@ MeasuredReport RunMeasured() {
   // phase (comm ≈ comp, the regime where overlap pays): measure the step
   // with the wire model off, then size bytes/us so the ring volume takes
   // that long on the wire.
-  const double comp_s = MedianSecondsOfN(kWarmup, kReps, run_unfused);
+  report.comp_stats = TimedStatsOfN(kWarmup, kReps, run_unfused);
+  const double comp_s = report.comp_stats.median_s;
   report.comp_ms = comp_s * 1e3;
   const uint64_t ring_bytes = static_cast<uint64_t>(kRanks - 1) *
                               static_cast<uint64_t>(kRowsLocal * kK) * sizeof(float);
@@ -139,15 +143,16 @@ MeasuredReport RunMeasured() {
       point.workers = workers;
       point.row_tile = tile;
       point.num_chunks = CeilDiv(kRowsLocal, tile);
-      point.unfused_ms = MedianSecondsOfN(kWarmup, kReps, run_unfused) * 1e3;
-      point.fused_ms = MedianSecondsOfN(kWarmup, kReps, [&] {
-                         RunOnRanks(kRanks, [&](int rank) {
-                           ShardContext ctx{&comm, rank};
-                           y_fused[static_cast<size_t>(rank)] = FusedAllGatherGemm(
-                               ctx, x_locals[static_cast<size_t>(rank)], w, tile);
-                         });
-                       }) *
-                       1e3;
+      point.unfused_stats = TimedStatsOfN(kWarmup, kReps, run_unfused);
+      point.unfused_ms = point.unfused_stats.median_s * 1e3;
+      point.fused_stats = TimedStatsOfN(kWarmup, kReps, [&] {
+        RunOnRanks(kRanks, [&](int rank) {
+          ShardContext ctx{&comm, rank};
+          y_fused[static_cast<size_t>(rank)] = FusedAllGatherGemm(
+              ctx, x_locals[static_cast<size_t>(rank)], w, tile);
+        });
+      });
+      point.fused_ms = point.fused_stats.median_s * 1e3;
       point.speedup = point.unfused_ms / point.fused_ms;
       point.bitwise_equal = true;
       for (int rank = 0; rank < kRanks; ++rank) {
@@ -181,16 +186,18 @@ void WriteMeasuredJson(const MeasuredReport& report) {
     return;
   }
   const MeasuredPoint* best = report.Best(0);
+  std::string comp_spread;
+  AppendTimingSpreadJson(&comp_spread, "comp", report.comp_stats);
   std::fprintf(json,
                "{\"bench\": \"fig15_intra_overlap\", \"ranks\": %d, "
                "\"rows_local\": %lld, \"k\": %lld, \"cols\": %lld, "
-               "\"warmup\": %d, \"reps\": %d, \"comp_ms\": %.3f, "
+               "\"warmup\": %d, \"reps\": %d, \"comp_ms\": %.3f, %s, "
                "\"wire_ms\": %.3f, \"predicted_speedup\": %.3f, "
                "\"best_speedup\": %.3f, \"overlap_efficiency\": %.3f, "
                "\"all_bitwise\": %s, \"points\": [",
                kRanks, static_cast<long long>(kRowsLocal), static_cast<long long>(kK),
                static_cast<long long>(kCols), kWarmup, kReps, report.comp_ms,
-               report.wire_ms, report.predicted_speedup,
+               comp_spread.c_str(), report.wire_ms, report.predicted_speedup,
                best != nullptr ? best->speedup : 0.0,
                report.predicted_speedup > 0.0 && best != nullptr
                    ? best->speedup / report.predicted_speedup
@@ -198,14 +205,19 @@ void WriteMeasuredJson(const MeasuredReport& report) {
                report.all_bitwise ? "true" : "false");
   for (size_t i = 0; i < report.points.size(); ++i) {
     const MeasuredPoint& point = report.points[i];
+    std::string spread;
+    AppendTimingSpreadJson(&spread, "unfused", point.unfused_stats);
+    spread += ", ";
+    AppendTimingSpreadJson(&spread, "fused", point.fused_stats);
     std::fprintf(json,
                  "%s\n  {\"workers\": %d, \"row_tile\": %lld, \"chunks\": %lld, "
                  "\"unfused_ms\": %.3f, \"fused_ms\": %.3f, \"speedup\": %.3f, "
-                 "\"bitwise\": %s}",
+                 "%s, \"bitwise\": %s}",
                  i == 0 ? "" : ",", point.workers,
                  static_cast<long long>(point.row_tile),
                  static_cast<long long>(point.num_chunks), point.unfused_ms,
-                 point.fused_ms, point.speedup, point.bitwise_equal ? "true" : "false");
+                 point.fused_ms, point.speedup, spread.c_str(),
+                 point.bitwise_equal ? "true" : "false");
   }
   std::fprintf(json, "\n]}\n");
   std::fclose(json);

@@ -65,10 +65,13 @@ struct MeasuredPoint {
   double pipelined_ms = 0.0;
   double speedup = 0.0;
   bool bitwise_equal = false;
+  TimingStats blocking_stats;   // p10/p90 spread + rep count behind blocking_ms
+  TimingStats pipelined_stats;  // ... and behind pipelined_ms
 };
 
 struct MeasuredReport {
   double comp_ms = 0.0;       // blocking step wall time with the wire model off
+  TimingStats comp_stats;     // spread behind comp_ms
   double wire_ms = 0.0;       // modeled wire occupancy of one step after calibration
   uint64_t step_wire_bytes = 0;
   uint64_t steady_heap_allocs = 0;  // pool misses across steady-state pipelined steps
@@ -142,7 +145,8 @@ MeasuredReport RunMeasured() {
   // with the wire model off, read the step's wire bytes off the
   // communicator, and size bytes/us so that volume takes that long.
   set_pipeline(false, 1);
-  const double comp_s = MedianSecondsOfN(kWarmup, kReps, [&] { run_step(&y_blocking); });
+  report.comp_stats = TimedStatsOfN(kWarmup, kReps, [&] { run_step(&y_blocking); });
+  const double comp_s = report.comp_stats.median_s;
   report.comp_ms = comp_s * 1e3;
   const uint64_t bytes_before = comm.wire_bytes();
   run_step(&y_blocking);
@@ -157,16 +161,18 @@ MeasuredReport RunMeasured() {
   for (int workers : {1, 2}) {
     SetParallelWorkerCount(workers);
     set_pipeline(false, 1);
-    const double blocking_ms =
-        MedianSecondsOfN(kWarmup, kReps, [&] { run_step(&y_blocking); }) * 1e3;
+    const TimingStats blocking_stats =
+        TimedStatsOfN(kWarmup, kReps, [&] { run_step(&y_blocking); });
     for (int chunks : {2, 4, 8}) {
       MeasuredPoint point;
       point.workers = workers;
       point.chunks = chunks;
-      point.blocking_ms = blocking_ms;
+      point.blocking_stats = blocking_stats;
+      point.blocking_ms = blocking_stats.median_s * 1e3;
       set_pipeline(true, chunks);
-      point.pipelined_ms =
-          MedianSecondsOfN(kWarmup, kReps, [&] { run_step(&y_pipelined); }) * 1e3;
+      point.pipelined_stats =
+          TimedStatsOfN(kWarmup, kReps, [&] { run_step(&y_pipelined); });
+      point.pipelined_ms = point.pipelined_stats.median_s * 1e3;
       point.speedup = point.blocking_ms / point.pipelined_ms;
       point.bitwise_equal = true;
       for (int rank = 0; rank < kRanks; ++rank) {
@@ -279,27 +285,33 @@ void WriteJson(const std::vector<AnalyticRow>& rows, const MeasuredReport* measu
   std::fprintf(json.get(), "]");
   if (measured != nullptr) {
     const MeasuredPoint* best = measured->Best();
+    std::string comp_spread;
+    AppendTimingSpreadJson(&comp_spread, "comp", measured->comp_stats);
     std::fprintf(json.get(),
                  ",\"measured\":{\"ranks\":%d,\"experts\":%lld,\"tokens_local\":%lld,"
                  "\"hidden\":%lld,\"top_k\":%lld,\"warmup\":%d,\"reps\":%d,"
-                 "\"comp_ms\":%.3f,\"wire_ms\":%.3f,\"step_wire_bytes\":%llu,"
+                 "\"comp_ms\":%.3f,%s,\"wire_ms\":%.3f,\"step_wire_bytes\":%llu,"
                  "\"best_speedup\":%.3f,\"all_bitwise\":%s,"
                  "\"steady_heap_allocs\":%llu,\"points\":[",
                  kRanks, static_cast<long long>(kExperts),
                  static_cast<long long>(kTokensLocal), static_cast<long long>(kHidden),
                  static_cast<long long>(kTopK), kWarmup, kReps, measured->comp_ms,
-                 measured->wire_ms,
+                 comp_spread.c_str(), measured->wire_ms,
                  static_cast<unsigned long long>(measured->step_wire_bytes),
                  best != nullptr ? best->speedup : 0.0,
                  measured->all_bitwise ? "true" : "false",
                  static_cast<unsigned long long>(measured->steady_heap_allocs));
     for (size_t i = 0; i < measured->points.size(); ++i) {
       const MeasuredPoint& point = measured->points[i];
+      std::string spread;
+      AppendTimingSpreadJson(&spread, "blocking", point.blocking_stats);
+      spread += ", ";
+      AppendTimingSpreadJson(&spread, "pipelined", point.pipelined_stats);
       std::fprintf(json.get(),
                    "%s\n  {\"workers\":%d,\"chunks\":%d,\"blocking_ms\":%.3f,"
-                   "\"pipelined_ms\":%.3f,\"speedup\":%.3f,\"bitwise\":%s}",
+                   "\"pipelined_ms\":%.3f,\"speedup\":%.3f,%s,\"bitwise\":%s}",
                    i == 0 ? "" : ",", point.workers, point.chunks, point.blocking_ms,
-                   point.pipelined_ms, point.speedup,
+                   point.pipelined_ms, point.speedup, spread.c_str(),
                    point.bitwise_equal ? "true" : "false");
     }
     std::fprintf(json.get(), "\n]}");

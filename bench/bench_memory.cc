@@ -134,6 +134,8 @@ bool BitwiseEqual(const std::vector<double>& a, const std::vector<double>& b) {
 struct FusedTiming {
   double pooled_ms = 0.0;
   double unpooled_ms = 0.0;
+  TimingStats pooled_stats;    // p10/p90 spread + rep count behind pooled_ms
+  TimingStats unpooled_stats;  // ... and behind unpooled_ms
   bool bitwise = false;
 };
 
@@ -163,13 +165,15 @@ FusedTiming TimeFusedPipeline() {
   FusedTiming timing;
   SetArenaPoolingEnabled(false);
   ArenaTrim();
-  timing.unpooled_ms = MedianSecondsOfN(1, 5, run_fused) * 1e3;
+  timing.unpooled_stats = TimedStatsOfN(1, 5, run_fused);
+  timing.unpooled_ms = timing.unpooled_stats.median_s * 1e3;
   std::vector<Tensor> y_unpooled;
   for (int rank = 0; rank < kRanks; ++rank) {
     y_unpooled.push_back(y[static_cast<size_t>(rank)]);
   }
   SetArenaPoolingEnabled(true);
-  timing.pooled_ms = MedianSecondsOfN(1, 5, run_fused) * 1e3;
+  timing.pooled_stats = TimedStatsOfN(1, 5, run_fused);
+  timing.pooled_ms = timing.pooled_stats.median_s * 1e3;
   timing.bitwise = true;
   for (int rank = 0; rank < kRanks; ++rank) {
     timing.bitwise =
@@ -307,13 +311,17 @@ void WriteJson(const Report& report) {
                  static_cast<unsigned long long>(phase.heap_allocs),
                  static_cast<unsigned long long>(phase.acquired_bytes));
   }
+  std::string spread;
+  AppendTimingSpreadJson(&spread, "pooled", report.fused.pooled_stats);
+  spread += ", ";
+  AppendTimingSpreadJson(&spread, "unpooled", report.fused.unpooled_stats);
   std::fprintf(json,
                "\n], \"bitwise\": {\"replicated\": %s, \"zero\": %s, \"fused\": %s}, "
-               "\"fused_ms\": {\"pooled\": %.3f, \"unpooled\": %.3f}}\n",
+               "\"fused_ms\": {\"pooled\": %.3f, \"unpooled\": %.3f, %s}}\n",
                report.replicated_bitwise ? "true" : "false",
                report.zero_bitwise ? "true" : "false",
                report.fused.bitwise ? "true" : "false", report.fused.pooled_ms,
-               report.fused.unpooled_ms);
+               report.fused.unpooled_ms, spread.c_str());
   std::fclose(json);
   std::printf("machine-readable output: %s\n", json_path);
 }

@@ -41,6 +41,7 @@ struct GemmCase {
   double naive_gflops = 0.0;
   double blocked_1w_gflops = 0.0;
   double blocked_4w_gflops = 0.0;
+  TimingStats blocked_1w_stats;  // spread behind the headline blocked(1w) number
 };
 
 double Gflops(int64_t m, int64_t n, int64_t k, double seconds) {
@@ -57,15 +58,16 @@ GemmCase RunGemmCase(const std::string& op, bool trans_a, bool trans_b, int64_t 
   Tensor b = Tensor::Randn({b_elems}, rng);
   Tensor c({m * n});
 
-  GemmCase result{op, m, n, k, 0.0, 0.0, 0.0};
+  GemmCase result{op, m, n, k, 0.0, 0.0, 0.0, {}};
   result.naive_gflops = Gflops(m, n, k, MedianSecondsOfN(kWarmup, kReps, [&] {
     GemmNaive(trans_a, trans_b, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
   }));
   const int restore_workers = ParallelWorkerCount();
   SetParallelWorkerCount(1);
-  result.blocked_1w_gflops = Gflops(m, n, k, MedianSecondsOfN(kWarmup, kReps, [&] {
+  result.blocked_1w_stats = TimedStatsOfN(kWarmup, kReps, [&] {
     GemmBlocked(trans_a, trans_b, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
-  }));
+  });
+  result.blocked_1w_gflops = Gflops(m, n, k, result.blocked_1w_stats.median_s);
   SetParallelWorkerCount(4);
   result.blocked_4w_gflops = Gflops(m, n, k, MedianSecondsOfN(kWarmup, kReps, [&] {
     GemmBlocked(trans_a, trans_b, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
@@ -82,6 +84,7 @@ GemmCase RunGemmCase(const std::string& op, bool trans_a, bool trans_b, int64_t 
 struct TimedCase {
   std::string op;
   double median_us = 0.0;
+  TimingStats stats;  // p10/p90 spread + rep count behind median_us
 };
 
 TimedCase RunGroupedGemmCase(std::vector<GemmCase>* gemm_rows) {
@@ -108,10 +111,11 @@ TimedCase RunGroupedGemmCase(std::vector<GemmCase>* gemm_rows) {
                 y_naive.data() + begin * f);
     }
   });
-  const double blocked_s = MedianSecondsOfN(kWarmup, kReps, [&] {
+  const TimingStats blocked_stats = TimedStatsOfN(kWarmup, kReps, [&] {
     Tensor y = GroupedGemm(x, offsets, weights);
   });
-  GemmCase row{"grouped_gemm_e8", rows, f, h, 0.0, 0.0, 0.0};
+  const double blocked_s = blocked_stats.median_s;
+  GemmCase row{"grouped_gemm_e8", rows, f, h, 0.0, 0.0, 0.0, blocked_stats};
   row.naive_gflops = Gflops(rows, f, h, naive_s);
   row.blocked_1w_gflops = Gflops(rows, f, h, blocked_s);
   row.blocked_4w_gflops = row.blocked_1w_gflops;
@@ -120,7 +124,7 @@ TimedCase RunGroupedGemmCase(std::vector<GemmCase>* gemm_rows) {
               static_cast<long long>(h), row.naive_gflops, row.blocked_1w_gflops, "-",
               row.blocked_1w_gflops / row.naive_gflops);
   gemm_rows->push_back(row);
-  return TimedCase{"grouped_gemm_e8", blocked_s * 1e6};
+  return TimedCase{"grouped_gemm_e8", blocked_s * 1e6, blocked_stats};
 }
 
 TimedCase RunAttentionCase() {
@@ -129,11 +133,11 @@ TimedCase RunAttentionCase() {
   Tensor q = Tensor::Randn({seq, 4, 16}, rng);
   Tensor k = Tensor::Randn({seq, 2, 16}, rng);
   Tensor v = Tensor::Randn({seq, 2, 16}, rng);
-  const double s = MedianSecondsOfN(kWarmup, kReps, [&] {
+  const TimingStats stats = TimedStatsOfN(kWarmup, kReps, [&] {
     AttentionCoreCache cache;
     Tensor out = AttentionCore(q, k, v, 2, &cache);
   });
-  return TimedCase{"attention_core_s128", s * 1e6};
+  return TimedCase{"attention_core_s128", stats.median_s * 1e6, stats};
 }
 
 TimedCase RunRouterCase() {
@@ -143,10 +147,10 @@ TimedCase RunRouterCase() {
   config.num_experts = 64;
   config.top_k = 2;
   config.aux_loss_coeff = 0.01;
-  const double s = MedianSecondsOfN(kWarmup, kReps, [&] {
+  const TimingStats stats = TimedStatsOfN(kWarmup, kReps, [&] {
     RoutingResult routing = RouteTokens(logits, config);
   });
-  return TimedCase{"route_tokens_e64", s * 1e6};
+  return TimedCase{"route_tokens_e64", stats.median_s * 1e6, stats};
 }
 
 TimedCase RunQuantizeCase() {
@@ -159,16 +163,16 @@ TimedCase RunQuantizeCase() {
   }
   QuantConfig config;
   config.granularity = QuantGranularity::kPerToken;
-  const double s = MedianSecondsOfN(kWarmup, kReps, [&] {
+  const TimingStats stats = TimedStatsOfN(kWarmup, kReps, [&] {
     QuantizedMatrix quantized = Quantize(data.data(), rows, cols, config);
   });
-  return TimedCase{"quantize_fp8_per_token", s * 1e6};
+  return TimedCase{"quantize_fp8_per_token", stats.median_s * 1e6, stats};
 }
 
 TimedCase RunAllToAllCase() {
   const int n = 4;
   const int64_t count = 16384;
-  const double s = MedianSecondsOfN(kWarmup, kReps, [&] {
+  const TimingStats stats = TimedStatsOfN(kWarmup, kReps, [&] {
     FlatCommunicator group(n);
     RunOnRanks(n, [&](int rank) {
       std::vector<float> send(static_cast<size_t>(n) * count, 1.0f);
@@ -176,7 +180,7 @@ TimedCase RunAllToAllCase() {
       group.AllToAll(rank, send.data(), recv.data(), count);
     });
   });
-  return TimedCase{"all_to_all_4r_16k", s * 1e6};
+  return TimedCase{"all_to_all_4r_16k", stats.median_s * 1e6, stats};
 }
 
 int CheckMode() {
@@ -247,22 +251,26 @@ int Main(int argc, char** argv) {
                  GemmKernelUsesAvx2() ? "true" : "false", kWarmup, kReps);
     for (size_t i = 0; i < gemm_rows.size(); ++i) {
       const GemmCase& row = gemm_rows[i];
+      std::string spread;
+      AppendTimingSpreadJson(&spread, "blocked_1w", row.blocked_1w_stats);
       std::fprintf(json,
                    "%s\n  {\"op\": \"%s\", \"m\": %lld, \"n\": %lld, \"k\": %lld, "
                    "\"naive_gflops\": %.3f, \"blocked_1w_gflops\": %.3f, "
                    "\"blocked_4w_gflops\": %.3f, \"speedup_1w\": %.3f, "
-                   "\"speedup_4w\": %.3f}",
+                   "\"speedup_4w\": %.3f, %s}",
                    i == 0 ? "" : ",", row.op.c_str(), static_cast<long long>(row.m),
                    static_cast<long long>(row.n), static_cast<long long>(row.k),
                    row.naive_gflops, row.blocked_1w_gflops, row.blocked_4w_gflops,
                    row.blocked_1w_gflops / row.naive_gflops,
-                   row.blocked_4w_gflops / row.naive_gflops);
+                   row.blocked_4w_gflops / row.naive_gflops, spread.c_str());
     }
     std::fprintf(json, "\n], \"timed_us\": [");
     for (size_t i = 0; i < timed_rows.size(); ++i) {
-      std::fprintf(json, "%s\n  {\"op\": \"%s\", \"median_us\": %.1f}",
+      std::string spread;
+      AppendTimingSpreadJson(&spread, "wall", timed_rows[i].stats);
+      std::fprintf(json, "%s\n  {\"op\": \"%s\", \"median_us\": %.1f, %s}",
                    i == 0 ? "" : ",", timed_rows[i].op.c_str(),
-                   timed_rows[i].median_us);
+                   timed_rows[i].median_us, spread.c_str());
     }
     std::fprintf(json,
                  "\n], \"kernel_stats\": {\"gemm_calls\": %llu, \"gemm_flops\": %.3e, "

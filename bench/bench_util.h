@@ -22,13 +22,24 @@ inline void PrintPaperNote(const std::string& note) {
   std::printf("paper reference: %s\n\n", note.c_str());
 }
 
-// Wall-clock timing with warmup + median-of-N, so BENCH JSON numbers are
-// stable run-to-run (a single cold measurement can be 2x off: first-touch
-// page faults, frequency ramp, pool-thread spawn). Runs fn() `warmup` times
-// untimed, then `reps` timed times, and returns the median of the timed
-// repetitions in seconds.
+// Distribution summary of one timed region: median plus the p10/p90 spread
+// and the repetition count, so every BENCH_*.json block records how noisy
+// the measurement was instead of a bare point estimate.
+struct TimingStats {
+  double median_s = 0.0;
+  double p10_s = 0.0;
+  double p90_s = 0.0;
+  int reps = 0;
+};
+
+// Wall-clock timing with warmup + N timed repetitions, so BENCH JSON
+// numbers are stable run-to-run (a single cold measurement can be 2x off:
+// first-touch page faults, frequency ramp, pool-thread spawn). Runs fn()
+// `warmup` times untimed, then `reps` timed times, and summarizes the timed
+// repetitions. Percentiles use the nearest-rank method on the sorted
+// samples (exact sample values, no interpolation).
 template <typename Fn>
-double MedianSecondsOfN(int warmup, int reps, Fn&& fn) {
+TimingStats TimedStatsOfN(int warmup, int reps, Fn&& fn) {
   for (int i = 0; i < warmup; ++i) {
     fn();
   }
@@ -41,7 +52,38 @@ double MedianSecondsOfN(int warmup, int reps, Fn&& fn) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
   }
   std::sort(seconds.begin(), seconds.end());
-  return seconds[seconds.size() / 2];
+  const auto rank = [&](double pct) {
+    const auto n = static_cast<double>(seconds.size());
+    auto index = static_cast<size_t>(pct * (n - 1.0) + 0.5);
+    return seconds[std::min(index, seconds.size() - 1)];
+  };
+  TimingStats stats;
+  stats.median_s = seconds[seconds.size() / 2];
+  stats.p10_s = rank(0.10);
+  stats.p90_s = rank(0.90);
+  stats.reps = static_cast<int>(seconds.size());
+  return stats;
+}
+
+// Median-only convenience over TimedStatsOfN (legacy callers).
+template <typename Fn>
+double MedianSecondsOfN(int warmup, int reps, Fn&& fn) {
+  return TimedStatsOfN(warmup, reps, static_cast<Fn&&>(fn)).median_s;
+}
+
+// Appends the distribution fields every BENCH_*.json block carries next to
+// its headline number: "p10_<label>_ms":..,"p90_<label>_ms":..,
+// "reps_<label>":N. The rep count is label-scoped so a block that reports
+// several timed regions (e.g. fused AND unfused) stays free of duplicate
+// keys.
+inline void AppendTimingSpreadJson(std::string* out, const std::string& label,
+                                   const TimingStats& stats) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"p10_%s_ms\": %.4f, \"p90_%s_ms\": %.4f, \"reps_%s\": %d",
+                label.c_str(), stats.p10_s * 1e3, label.c_str(),
+                stats.p90_s * 1e3, label.c_str(), stats.reps);
+  *out += buffer;
 }
 
 }  // namespace msmoe

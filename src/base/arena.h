@@ -111,6 +111,14 @@ MemStatsSnapshot GetMemStats();
 // the current live level.
 void ResetMemStats();
 
+// Differences two snapshots' monotonic fields (after - before), including
+// the per-phase rows (matched by name; phases absent from `before` count
+// from zero). live_bytes/high_water_bytes carry `after`'s absolute values —
+// they are levels, not counters. The step profiler uses this to attribute
+// a window's allocation profile without resetting the global counters.
+MemStatsSnapshot MemStatsDelta(const MemStatsSnapshot& before,
+                               const MemStatsSnapshot& after);
+
 // RAII phase label for the telemetry: arena traffic on THIS thread while the
 // scope is alive is attributed to `phase` (a string literal; at most 32
 // distinct phases, extras fold into "other"). Scopes nest; the innermost

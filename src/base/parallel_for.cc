@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/base/logging.h"
+#include "src/obs/metrics.h"
 
 namespace msmoe {
 namespace {
@@ -149,6 +150,19 @@ void ParallelFor(int64_t n, int64_t grain,
   if (shards <= 1 || tls_in_parallel_shard) {
     fn(0, n);
     return;
+  }
+
+  // Registry feed for non-inline dispatches only: the inline fast path above
+  // must stay a branch, and per-region (not per-shard-iteration) granularity
+  // keeps the cost off the GEMM inner loops.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  if (registry.enabled()) {
+    static const MetricId regions_id =
+        registry.Counter("par.regions", "ParallelFor regions fanned out");
+    static const MetricId shards_id =
+        registry.Counter("par.shards", "ParallelFor shards dispatched");
+    registry.Add(regions_id, 1.0);
+    registry.Add(shards_id, static_cast<double>(shards));
   }
 
   WorkerPool& pool = WorkerPool::Get();

@@ -81,4 +81,16 @@ StragglerReport DetectStragglers(const std::vector<CommEvent>& events,
   return report;
 }
 
+int WorstStragglerRank(const StragglerReport& report) {
+  int suspect = -1;
+  double worst_lag = 0.0;
+  for (const RankHealth& health : report.ranks) {
+    if (health.straggler && health.mean_entry_lag_us > worst_lag) {
+      worst_lag = health.mean_entry_lag_us;
+      suspect = health.rank;
+    }
+  }
+  return suspect;
+}
+
 }  // namespace msmoe

@@ -65,6 +65,11 @@ struct StragglerReport {
 StragglerReport DetectStragglers(const std::vector<CommEvent>& events,
                                  const StragglerConfig& config = {});
 
+// The flagged rank with the worst mean entry lag in `report`, or -1 when no
+// rank was flagged. The single-suspect projection both the trainer's elastic
+// fault attribution and the obs layer's health summaries use.
+int WorstStragglerRank(const StragglerReport& report);
+
 }  // namespace msmoe
 
 #endif  // MSMOE_SRC_COMM_HEALTH_H_

@@ -94,6 +94,38 @@ struct DispatchEvent {
   double duration_us = 0.0;
 };
 
+// An online-detector verdict about one rank at one step (emitted by
+// obs/anomaly.h, rendered on the Chrome trace's "anomaly" lane by
+// sim/trace_export). Defined here — next to the other trace row types —
+// so the trace exporter does not depend on the obs layer.
+struct AnomalyEvent {
+  enum class Kind {
+    kStepTimeRegression,  // rank's step time spiked vs its own rolling window
+    kExposedCommSpike,    // rank's exposed (non-overlapped) comm spiked
+    kStragglerSuspect,    // cross-rank attribution: this rank is the laggard
+  };
+  Kind kind = Kind::kStepTimeRegression;
+  int rank = 0;
+  int64_t step = 0;
+  double ts_us = 0.0;        // telemetry-epoch time (trace placement)
+  double value_ms = 0.0;     // observed sample
+  double baseline_ms = 0.0;  // rolling-window mean it deviated from
+  double zscore = 0.0;
+  std::string detail;        // human-readable explanation for the trace row
+};
+
+const char* AnomalyKindName(AnomalyEvent::Kind kind);
+
+// Ring-buffer overflow accounting, split by event kind so a saturated
+// capacity names which stream went dark instead of folding every loss into
+// one number. Rendered as a trace-metadata warning row when total() > 0.
+struct TelemetryDropCounts {
+  uint64_t comm = 0;
+  uint64_t comp = 0;
+  uint64_t dispatch = 0;
+  uint64_t total() const { return comm + comp + dispatch; }
+};
+
 class CommTelemetry {
  public:
   CommTelemetry();
@@ -102,7 +134,7 @@ class CommTelemetry {
   double NowUs() const;
 
   // Thread-safe append. Beyond `capacity()` events the registry drops
-  // (counted by dropped()) instead of growing without bound.
+  // (counted per kind by drop_counts()) instead of growing without bound.
   void Record(CommEvent event);
   void RecordComp(CompEvent event);
   void RecordDispatch(DispatchEvent event);
@@ -111,7 +143,8 @@ class CommTelemetry {
   std::vector<CompEvent> CompEvents() const;
   std::vector<DispatchEvent> DispatchEvents() const;
   size_t event_count() const;
-  uint64_t dropped() const;
+  uint64_t dropped() const;  // total across kinds
+  TelemetryDropCounts drop_counts() const;
   void Clear();  // also re-anchors the epoch
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
@@ -128,7 +161,7 @@ class CommTelemetry {
   std::vector<CompEvent> comp_events_;
   std::vector<DispatchEvent> dispatch_events_;
   std::chrono::steady_clock::time_point epoch_;
-  uint64_t dropped_ = 0;
+  TelemetryDropCounts drops_;
   size_t capacity_ = 1 << 20;
   bool enabled_ = true;
 };

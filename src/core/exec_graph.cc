@@ -12,6 +12,7 @@
 #include "src/base/logging.h"
 #include "src/base/rng.h"
 #include "src/comm/collective_group.h"
+#include "src/obs/metrics.h"
 
 namespace msmoe {
 namespace {
@@ -282,6 +283,45 @@ ExecResult ExecGraph::Run(const std::vector<int>& order, const std::vector<int>&
   result.status = shared.error;
   for (const ExecOpTiming& timing : result.timings) {
     result.makespan_us = std::max(result.makespan_us, timing.end_us);
+  }
+
+  // Observability feed: per-stream busy split + the calling thread's
+  // per-step sink (the caller is the rank thread holding the ScopedStep, so
+  // the thread-local hand-off needs no synchronization). Runs after every
+  // stream drained — the timings are final.
+  {
+    double compute_busy = 0.0;
+    double comm_busy = 0.0;
+    for (size_t i = 0; i < result.timings.size(); ++i) {
+      const double busy = result.timings[i].end_us - result.timings[i].start_us;
+      if (streams[i] == 0) {
+        compute_busy += busy;
+      } else {
+        comm_busy += busy;
+      }
+    }
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    if (registry.enabled()) {
+      static const MetricId graphs_id =
+          registry.Counter("exec.graphs", "Task graphs executed");
+      static const MetricId makespan_id =
+          registry.Counter("exec.makespan_us", "Summed graph makespan (us)");
+      static const MetricId compute_id =
+          registry.Counter("exec.compute_busy_us", "Stream-0 op time (us)");
+      static const MetricId comm_id =
+          registry.Counter("exec.comm_busy_us", "Comm-stream op time (us)");
+      registry.Add(graphs_id, 1.0);
+      registry.Add(makespan_id, result.makespan_us);
+      registry.Add(compute_id, compute_busy);
+      registry.Add(comm_id, comm_busy);
+    }
+    if (ExecStepStats* sink = CurrentThreadExecStats()) {
+      sink->graphs += 1;
+      sink->makespan_us += result.makespan_us;
+      sink->compute_busy_us += compute_busy;
+      sink->comm_busy_us += comm_busy;
+      sink->bubble_us += std::max(0.0, result.makespan_us - compute_busy);
+    }
   }
   if (shared.exception != nullptr) {
     // Every stream has drained; surface the closure's exception (MSMOE_CHECK

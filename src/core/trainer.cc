@@ -221,6 +221,9 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       !config.checkpoint_path.empty() && !config.zero_shard_optimizer;
   TrainCurve curve;
   curve.loss.assign(static_cast<size_t>(config.steps), 0.0);
+  if (config.profiler != nullptr) {
+    config.profiler->set_world(dp);
+  }
 
   RunOnRanks(dp, [&](int rank) {
     // `rank` is this thread's GLOBAL (epoch-0) rank, fixed for its lifetime.
@@ -326,6 +329,12 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
     std::vector<int64_t> targets;
 
     auto run_step = [&](int64_t step, bool record) {
+      // Observability bracket: recorded steps only (warmup and replayed
+      // internals use negative/duplicate step ids), and inert when no
+      // profiler is configured — the uninstrumented step is byte-for-byte
+      // the code below.
+      ScopedStep obs_step(record ? config.profiler : nullptr, my, step,
+                          &comm_now->telemetry());
       // Low-precision compute copy; masters stay FP32 (in `params` or in the
       // ZeRO master shard).
       std::optional<MemoryScope> cast_scope;
@@ -471,6 +480,7 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
         if (record && my == 0) {
           curve.loss[static_cast<size_t>(step)] = stats.ce_loss;
         }
+        obs_step.set_loss(stats.ce_loss);
         return stats.ce_loss;
       }
 
@@ -535,6 +545,7 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       if (record && my == 0) {
         curve.loss[static_cast<size_t>(step)] = stats.ce_loss;
       }
+      obs_step.set_loss(stats.ce_loss);
       return stats.ce_loss;
     };
 
@@ -727,6 +738,16 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       }
       if (step_ran) {
         run_step(step, /*record=*/true);
+        if (config.profiler != nullptr && config.elastic) {
+          // Forward the detector's straggler verdict (an epoch-local rank)
+          // as an advisory attribution: first hint sticks, real fault
+          // attribution still wins inside SuspectRank. Every rank reads the
+          // same shared profiler, so the CAS race is benign.
+          const int hint = config.profiler->StragglerSuspect();
+          if (hint >= 0) {
+            comm_now->HintSuspect(hint);
+          }
+        }
         if (config.guard_grad_checksum && comm_now->GroupStatus().ok()) {
           checksum_guard();
         }
@@ -757,6 +778,9 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
         MSMOE_CHECK_LE(recoveries_used, config.max_recoveries)
             << "training failed at step " << step << " and exhausted "
             << config.max_recoveries << " recoveries: " << status.ToString();
+        if (my == 0 && config.profiler != nullptr) {
+          config.profiler->NoteRetry();
+        }
         comm_now->RecoveryBarrier(my);
         restore_snapshot();
         if (my == 0) {
@@ -780,15 +804,8 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       // every rank.
       int suspect = comm_now->SuspectRank();
       if (suspect < 0 && status.code() == StatusCode::kDeadlineExceeded) {
-        const StragglerReport report =
-            DetectStragglers(comm_now->telemetry().Events());
-        double worst_lag = 0.0;
-        for (const RankHealth& health : report.ranks) {
-          if (health.straggler && health.mean_entry_lag_us > worst_lag) {
-            worst_lag = health.mean_entry_lag_us;
-            suspect = health.rank;
-          }
-        }
+        suspect =
+            WorstStragglerRank(DetectStragglers(comm_now->telemetry().Events()));
       }
       const int culprit_global =
           (suspect >= 0 && suspect < dp_now)
@@ -802,6 +819,9 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       MSMOE_CHECK_LE(recoveries_used, config.max_recoveries)
           << "training failed at step " << step << " and exhausted "
           << config.max_recoveries << " recoveries: " << status.ToString();
+      if (my == 0 && config.profiler != nullptr) {
+        config.profiler->NoteRetry();
+      }
 
       if (decision.verdict == FaultVerdict::kTransient) {
         comm_now->RecoveryBarrier(my);
@@ -848,6 +868,13 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
       MSMOE_CHECK_GE(my, 0);
       dp_now = elastic.size();
       members_now = elastic.members();
+      if (my == 0 && config.profiler != nullptr) {
+        config.profiler->NoteEviction();
+        // New epoch => new (smaller) world for MFU attribution and the
+        // detector's cross-rank pass; partially-reported steps of the old
+        // epoch age out of the detector's pending map.
+        config.profiler->set_world(dp_now);
+      }
       // Re-plan the per-rank geometry for the shrunk world, then restore
       // the snapshot resharded at the new boundaries.
       padded = PaddedGradCount(total_elems, dp_now);
@@ -909,6 +936,18 @@ TrainCurve TrainLm(const NumericTrainConfig& config) {
   curve.final_world = elastic.size();
   if (config.capture_comm_events) {
     curve.comm_events = elastic.Events();
+  }
+  if (config.profiler != nullptr) {
+    // Write the run artifacts (metrics.jsonl / merged trace / prom snapshot)
+    // off the final epoch's telemetry. Finish is idempotent, so a caller
+    // aggregating several runs can call it again later; a write failure is
+    // an observability loss, not a training failure.
+    const Status obs_written =
+        config.profiler->Finish(&elastic.comm()->telemetry());
+    if (!obs_written.ok()) {
+      MSMOE_LOG(Warning) << "profiler artifacts not written: "
+                         << obs_written.ToString();
+    }
   }
   return curve;
 }

@@ -31,6 +31,7 @@
 #include "src/model/lm.h"
 #include "src/model/optimizer.h"
 #include "src/model/router.h"
+#include "src/obs/step_profiler.h"
 #include "src/parallel/dp_grad_sync.h"
 
 namespace msmoe {
@@ -134,6 +135,22 @@ struct NumericTrainConfig {
   // shrunk run's snapshot replays its post-shrink curve bit for bit.
   std::string init_checkpoint_path;
   int64_t first_step = 0;
+
+  // --- Observability (src/obs/step_profiler.h) -----------------------------
+  // When set, every recorded training step on every rank is bracketed by a
+  // ScopedStep: per-rank StepReports (compute / exposed comm / bubble / MFU
+  // / pool-hit / expert skew / loss) accumulate in the profiler, feed its
+  // online anomaly detector, and — on elastic runs — a detector straggler
+  // verdict is forwarded to the communicator as an advisory suspect hint
+  // (lowest-priority input to fault attribution). The trainer also reports
+  // retries and evictions, and updates the profiler's world after a shrink.
+  // Before TrainLm returns it calls profiler->Finish(...) with the final
+  // epoch's telemetry, writing metrics.jsonl / the merged trace / the
+  // Prometheus snapshot (Finish is idempotent — callers may call it again).
+  // Not owned; nullptr (the default) disables all of it — instrumented and
+  // uninstrumented runs are loss-bitwise-identical (bench_observability
+  // asserts this).
+  StepProfiler* profiler = nullptr;
 };
 
 // One recovery incident: training failed at `failed_step`, rolled back to

@@ -1,0 +1,375 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace msmoe {
+namespace {
+
+// One metric's slot in a per-thread shard. Cells are heap-pinned (shards
+// hold unique_ptrs) so the owner thread can record through a raw pointer
+// while the shard vector grows. The owner is the only writer; the
+// aggregator reads the atomics under the shard mutex, so relaxed ordering
+// suffices on both sides.
+struct Cell {
+  std::atomic<double> sum{0.0};        // counter total / histogram sum
+  std::atomic<uint64_t> count{0};      // histogram observation count
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets;  // histogram only
+  int num_buckets = 0;
+
+  void InitBuckets(int n) {
+    num_buckets = n;
+    buckets = std::make_unique<std::atomic<uint64_t>[]>(n);
+    for (int i = 0; i < n; ++i) buckets[i].store(0, std::memory_order_relaxed);
+  }
+};
+
+struct Def {
+  std::string name;
+  std::string help;
+  MetricType type;
+  std::vector<double> bounds;          // histogram only
+  std::atomic<double> gauge{0.0};      // gauge only
+};
+
+struct Shard {
+  std::mutex mu;  // guards cells growth and aggregator access
+  std::vector<std::unique_ptr<Cell>> cells;
+};
+
+void AddRelaxed(std::atomic<double>& a, double v) {
+  // Owner-thread-only writer: plain load+store, no CAS loop needed.
+  a.store(a.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+}
+
+std::string SanitizeProm(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricSnapshot* MetricsSnapshot::Find(const std::string& name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+struct MetricsRegistry::Impl {
+  std::mutex mu;  // guards defs_ growth, by_name_, shards_, retired_
+  std::deque<Def> defs;  // deque: stable refs across registration
+  std::atomic<int> def_count{0};
+  std::unordered_map<std::string, int> by_name;
+  std::vector<Shard*> shards;            // live recording threads
+  std::vector<std::unique_ptr<Cell>> retired;  // folded cells of dead threads
+
+  // Thread-local shard bookkeeping. The registry (and its Impl) is leaked,
+  // so RetireShard during thread-exit TLS teardown always has a live home.
+  struct ShardHandle {
+    Impl* home = nullptr;
+    Shard* shard = nullptr;
+    ~ShardHandle() {
+      if (home != nullptr && shard != nullptr) home->RetireShard(shard);
+    }
+  };
+
+  Shard* LocalShard() {
+    thread_local ShardHandle handle;
+    if (handle.shard == nullptr) {
+      auto* s = new Shard();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        shards.push_back(s);
+      }
+      handle.home = this;
+      handle.shard = s;
+    }
+    return handle.shard;
+  }
+
+  // Owner-thread-only; grows the shard to cover `index` and returns the
+  // pinned cell. Growth takes the shard mutex because the aggregator may be
+  // concurrently iterating `cells`.
+  Cell* CellAt(Shard* shard, int index) {
+    if (index < static_cast<int>(shard->cells.size()) &&
+        shard->cells[index] != nullptr) {
+      return shard->cells[index].get();
+    }
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (index >= static_cast<int>(shard->cells.size())) {
+      shard->cells.resize(index + 1);
+    }
+    if (shard->cells[index] == nullptr) {
+      auto cell = std::make_unique<Cell>();
+      if (defs[index].type == MetricType::kHistogram) {
+        cell->InitBuckets(static_cast<int>(defs[index].bounds.size()) + 1);
+      }
+      shard->cells[index] = std::move(cell);
+    }
+    return shard->cells[index].get();
+  }
+
+  // Fold a dying thread's shard into the retired accumulator so its history
+  // survives aggregation after the thread is gone.
+  void RetireShard(Shard* shard) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t i = 0; i < shards.size(); ++i) {
+      if (shards[i] == shard) {
+        shards.erase(shards.begin() + i);
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      if (retired.size() < shard->cells.size()) retired.resize(shard->cells.size());
+      for (size_t i = 0; i < shard->cells.size(); ++i) {
+        Cell* from = shard->cells[i].get();
+        if (from == nullptr) continue;
+        if (retired[i] == nullptr) {
+          auto cell = std::make_unique<Cell>();
+          if (defs[i].type == MetricType::kHistogram) {
+            cell->InitBuckets(static_cast<int>(defs[i].bounds.size()) + 1);
+          }
+          retired[i] = std::move(cell);
+        }
+        Cell* to = retired[i].get();
+        AddRelaxed(to->sum, from->sum.load(std::memory_order_relaxed));
+        to->count.fetch_add(from->count.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+        for (int b = 0; b < from->num_buckets; ++b) {
+          to->buckets[b].fetch_add(from->buckets[b].load(std::memory_order_relaxed),
+                                   std::memory_order_relaxed);
+        }
+      }
+    }
+    // No aggregator can reach the shard anymore (it left `shards` under
+    // im->mu, which we still hold) and its mutex must be unlocked before the
+    // object is destroyed.
+    delete shard;
+  }
+};
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+MetricsRegistry::Impl* MetricsRegistry::impl() {
+  Impl* existing = impl_.load(std::memory_order_acquire);
+  if (existing != nullptr) return existing;
+  Impl* fresh = new Impl();
+  if (impl_.compare_exchange_strong(existing, fresh, std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;
+  return existing;
+}
+
+MetricId MetricsRegistry::Register(const std::string& name, const std::string& help,
+                                   MetricType type, std::vector<double> bounds) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto it = im->by_name.find(name);
+  if (it != im->by_name.end()) {
+    if (im->defs[it->second].type != type) {
+      std::fprintf(stderr,
+                   "MetricsRegistry: metric '%s' re-registered as %s but was %s\n",
+                   name.c_str(), MetricTypeName(type),
+                   MetricTypeName(im->defs[it->second].type));
+      std::abort();
+    }
+    return MetricId{it->second};
+  }
+  int index = static_cast<int>(im->defs.size());
+  im->defs.emplace_back();
+  Def& def = im->defs.back();
+  def.name = name;
+  def.help = help;
+  def.type = type;
+  def.bounds = std::move(bounds);
+  im->by_name.emplace(name, index);
+  im->def_count.store(index + 1, std::memory_order_release);
+  return MetricId{index};
+}
+
+MetricId MetricsRegistry::Counter(const std::string& name, const std::string& help) {
+  return Register(name, help, MetricType::kCounter, {});
+}
+
+MetricId MetricsRegistry::Gauge(const std::string& name, const std::string& help) {
+  return Register(name, help, MetricType::kGauge, {});
+}
+
+MetricId MetricsRegistry::Histogram(const std::string& name, const std::string& help,
+                                    std::vector<double> bucket_bounds) {
+  return Register(name, help, MetricType::kHistogram, std::move(bucket_bounds));
+}
+
+void MetricsRegistry::Add(MetricId id, double value) {
+  if (!enabled() || !id.valid()) return;
+  Impl* im = impl();
+  if (id.index >= im->def_count.load(std::memory_order_acquire)) return;
+  Def& def = im->defs[id.index];
+  if (def.type == MetricType::kGauge) {
+    // Tolerate Add on a gauge as an accumulate-into-gauge (last-write-wins
+    // semantics do not compose with Add; keep it simple and atomic).
+    double cur = def.gauge.load(std::memory_order_relaxed);
+    while (!def.gauge.compare_exchange_weak(cur, cur + value,
+                                            std::memory_order_relaxed)) {
+    }
+    return;
+  }
+  Shard* shard = im->LocalShard();
+  Cell* cell = im->CellAt(shard, id.index);
+  AddRelaxed(cell->sum, value);
+  if (def.type == MetricType::kHistogram) {
+    cell->count.fetch_add(1, std::memory_order_relaxed);
+    int b = 0;
+    const int n = static_cast<int>(def.bounds.size());
+    while (b < n && value > def.bounds[b]) ++b;
+    cell->buckets[b].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void MetricsRegistry::Set(MetricId id, double value) {
+  if (!enabled() || !id.valid()) return;
+  Impl* im = impl();
+  if (id.index >= im->def_count.load(std::memory_order_acquire)) return;
+  im->defs[id.index].gauge.store(value, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  Impl* im = const_cast<MetricsRegistry*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  const int n = static_cast<int>(im->defs.size());
+  out.metrics.resize(n);
+  for (int i = 0; i < n; ++i) {
+    MetricSnapshot& m = out.metrics[i];
+    const Def& def = im->defs[i];
+    m.name = def.name;
+    m.help = def.help;
+    m.type = def.type;
+    if (def.type == MetricType::kGauge) {
+      m.value = def.gauge.load(std::memory_order_relaxed);
+      continue;
+    }
+    if (def.type == MetricType::kHistogram) {
+      m.histogram.bounds = def.bounds;
+      m.histogram.counts.assign(def.bounds.size() + 1, 0);
+    }
+    auto fold = [&](const Cell* cell) {
+      if (cell == nullptr) return;
+      m.value += cell->sum.load(std::memory_order_relaxed);
+      if (def.type == MetricType::kHistogram) {
+        m.histogram.sum += cell->sum.load(std::memory_order_relaxed);
+        m.histogram.count += cell->count.load(std::memory_order_relaxed);
+        for (int b = 0; b < cell->num_buckets; ++b) {
+          m.histogram.counts[b] +=
+              cell->buckets[b].load(std::memory_order_relaxed);
+        }
+      }
+    };
+    for (Shard* shard : im->shards) {
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      if (i < static_cast<int>(shard->cells.size())) fold(shard->cells[i].get());
+    }
+    if (i < static_cast<int>(im->retired.size())) fold(im->retired[i].get());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  MetricsSnapshot snap = Snapshot();
+  std::string out;
+  for (const MetricSnapshot& m : snap.metrics) {
+    const std::string name = SanitizeProm(m.name);
+    out += "# HELP " + name + " " + m.help + "\n";
+    out += "# TYPE " + name + " " + MetricTypeName(m.type) + std::string("\n");
+    if (m.type == MetricType::kHistogram) {
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < m.histogram.counts.size(); ++b) {
+        cumulative += m.histogram.counts[b];
+        out += name + "_bucket{le=\"";
+        if (b < m.histogram.bounds.size()) {
+          AppendDouble(&out, m.histogram.bounds[b]);
+        } else {
+          out += "+Inf";
+        }
+        out += "\"} " + std::to_string(cumulative) + "\n";
+      }
+      out += name + "_sum ";
+      AppendDouble(&out, m.histogram.sum);
+      out += "\n" + name + "_count " + std::to_string(m.histogram.count) + "\n";
+    } else {
+      out += name + " ";
+      AppendDouble(&out, m.value);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetValues() {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto zero = [](Cell* cell) {
+    if (cell == nullptr) return;
+    cell->sum.store(0.0, std::memory_order_relaxed);
+    cell->count.store(0, std::memory_order_relaxed);
+    for (int b = 0; b < cell->num_buckets; ++b) {
+      cell->buckets[b].store(0, std::memory_order_relaxed);
+    }
+  };
+  for (Shard* shard : im->shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    for (auto& cell : shard->cells) zero(cell.get());
+  }
+  for (auto& cell : im->retired) zero(cell.get());
+  for (Def& def : im->defs) def.gauge.store(0.0, std::memory_order_relaxed);
+}
+
+size_t MetricsRegistry::metric_count() const {
+  Impl* im = const_cast<MetricsRegistry*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  return im->defs.size();
+}
+
+namespace {
+thread_local ExecStepStats* g_exec_step_stats = nullptr;
+}  // namespace
+
+ExecStepStats* CurrentThreadExecStats() { return g_exec_step_stats; }
+
+ExecStepStats* SetCurrentThreadExecStats(ExecStepStats* stats) {
+  ExecStepStats* prev = g_exec_step_stats;
+  g_exec_step_stats = stats;
+  return prev;
+}
+
+}  // namespace msmoe

@@ -82,11 +82,23 @@ std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
                                     const StragglerReport* health,
                                     const std::vector<CompEvent>* comp_events,
                                     const MemStatsSnapshot* mem,
-                                    const std::vector<DispatchEvent>* dispatch_events) {
+                                    const std::vector<DispatchEvent>* dispatch_events,
+                                    const std::vector<AnomalyEvent>* anomalies,
+                                    const TelemetryDropCounts* drops) {
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\""
       << JsonEscape(process_name) << "\"}}";
+  if (drops != nullptr && drops->total() > 0) {
+    // A saturated ring buffer means this trace is INCOMPLETE — surface that
+    // as a loud metadata row instead of letting dropped events vanish.
+    out << ",{\"name\":\"[WARNING] telemetry dropped events\",\"cat\":\"telemetry\","
+        << "\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{"
+        << "\"dropped_comm\":" << drops->comm
+        << ",\"dropped_comp\":" << drops->comp
+        << ",\"dropped_dispatch\":" << drops->dispatch
+        << ",\"dropped_total\":" << drops->total() << "}}";
+  }
   int max_rank = -1;
   bool any_async = false;
   for (const CommEvent& event : events) {
@@ -217,6 +229,27 @@ std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
       out << buffer;
     }
   }
+  if (anomalies != nullptr && !anomalies->empty()) {
+    // Below memory (2*(max_rank+1)) and dispatch (+1): the detector's
+    // verdict lane, so a page is one glance away from its evidence.
+    const int anomaly_tid = 2 * (max_rank + 1) + 2;
+    out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << anomaly_tid
+        << ",\"args\":{\"name\":\"anomaly\"}}";
+    for (const AnomalyEvent& event : *anomalies) {
+      char buffer[192];
+      out << ",{\"name\":\"" << AnomalyKindName(event.kind)
+          << "\",\"cat\":\"anomaly\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
+          << anomaly_tid;
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"ts\":%.3f,\"args\":{\"rank\":%d,\"step\":%lld,"
+                    "\"value_ms\":%.3f,\"baseline_ms\":%.3f,\"zscore\":%.2f,"
+                    "\"detail\":\"",
+                    event.ts_us, event.rank,
+                    static_cast<long long>(event.step), event.value_ms,
+                    event.baseline_ms, event.zscore);
+      out << buffer << JsonEscape(event.detail) << "\"}}";
+    }
+  }
   out << "]}";
   return out.str();
 }
@@ -225,9 +258,12 @@ Status WriteCommTrace(const std::string& path, const std::vector<CommEvent>& eve
                       const std::string& process_name, const StragglerReport* health,
                       const std::vector<CompEvent>* comp_events,
                       const MemStatsSnapshot* mem,
-                      const std::vector<DispatchEvent>* dispatch_events) {
+                      const std::vector<DispatchEvent>* dispatch_events,
+                      const std::vector<AnomalyEvent>* anomalies,
+                      const TelemetryDropCounts* drops) {
   return WriteString(path, CommEventsToChromeTrace(events, process_name, health,
-                                                   comp_events, mem, dispatch_events));
+                                                   comp_events, mem, dispatch_events,
+                                                   anomalies, drops));
 }
 
 }  // namespace msmoe

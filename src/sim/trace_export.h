@@ -64,19 +64,33 @@ Status WriteChromeTrace(const std::string& path, const std::vector<SimOp>& ops,
 // carrying the per-expert load profile (rows total / max and the
 // max-over-mean imbalance), so routing skew is visible next to the
 // all-to-alls it causes.
+//
+// When anomalies (obs AnomalyDetector verdicts) are supplied, each verdict
+// is emitted as an instant event on a dedicated "anomaly" lane (kind as the
+// event name, z-score / baseline / detail in args) — the online detector's
+// pages land on the same timeline as the raw evidence.
+//
+// When drops (CommTelemetry::drop_counts()) reports total() > 0, a
+// trace-metadata warning row "[WARNING] telemetry dropped events" is
+// emitted carrying the per-kind drop counts, so a saturated ring buffer is
+// impossible to mistake for a quiet run.
 std::string CommEventsToChromeTrace(const std::vector<CommEvent>& events,
                                     const std::string& process_name = "msmoe-run",
                                     const StragglerReport* health = nullptr,
                                     const std::vector<CompEvent>* comp_events = nullptr,
                                     const MemStatsSnapshot* mem = nullptr,
-                                    const std::vector<DispatchEvent>* dispatch_events = nullptr);
+                                    const std::vector<DispatchEvent>* dispatch_events = nullptr,
+                                    const std::vector<AnomalyEvent>* anomalies = nullptr,
+                                    const TelemetryDropCounts* drops = nullptr);
 
 Status WriteCommTrace(const std::string& path, const std::vector<CommEvent>& events,
                       const std::string& process_name = "msmoe-run",
                       const StragglerReport* health = nullptr,
                       const std::vector<CompEvent>* comp_events = nullptr,
                       const MemStatsSnapshot* mem = nullptr,
-                      const std::vector<DispatchEvent>* dispatch_events = nullptr);
+                      const std::vector<DispatchEvent>* dispatch_events = nullptr,
+                      const std::vector<AnomalyEvent>* anomalies = nullptr,
+                      const TelemetryDropCounts* drops = nullptr);
 
 }  // namespace msmoe
 

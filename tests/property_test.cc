@@ -37,7 +37,9 @@ TEST_P(CollectiveSweepTest, AllReduceEqualsGatherThenSum) {
   const auto [n, count] = GetParam();
   FlatCommunicator ar_group(n);
   FlatCommunicator ag_group(n);
-  std::vector<bool> ok(static_cast<size_t>(n), false);
+  // One byte per rank: rank threads write concurrently, and vector<bool>'s
+  // packed bit references would race on the shared word.
+  std::vector<char> ok(static_cast<size_t>(n), 0);
   RunOnRanks(n, [&, n = n, count = count](int rank) {
     Rng rng(static_cast<uint64_t>(rank * 7919 + count));
     std::vector<float> send(static_cast<size_t>(count));
@@ -70,7 +72,9 @@ TEST_P(CollectiveSweepTest, AllToAllIsSelfInverse) {
   // A2A twice with symmetric block layout returns the original buffer.
   const auto [n, count] = GetParam();
   FlatCommunicator group(n);
-  std::vector<bool> ok(static_cast<size_t>(n), false);
+  // One byte per rank: rank threads write concurrently, and vector<bool>'s
+  // packed bit references would race on the shared word.
+  std::vector<char> ok(static_cast<size_t>(n), 0);
   RunOnRanks(n, [&, n = n, count = count](int rank) {
     Rng rng(static_cast<uint64_t>(rank + 31));
     std::vector<float> original(static_cast<size_t>(n * count));

@@ -41,7 +41,9 @@ TEST_P(RingAlgorithmTest, AllGatherMatchesDirect) {
   const int64_t count = 5;
   CollectiveGroup ring_group(n);
   CollectiveGroup direct_group(n);
-  std::vector<bool> ok(static_cast<size_t>(n), false);
+  // One byte per rank: rank threads write concurrently, and vector<bool>'s
+  // packed bit references would race on the shared word.
+  std::vector<char> ok(static_cast<size_t>(n), 0);
   RunOnRanks(n, [&](int rank) {
     Rng rng(static_cast<uint64_t>(rank) + 3);
     std::vector<float> send(static_cast<size_t>(count));

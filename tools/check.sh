@@ -24,7 +24,13 @@
 # (bench_memory --check), and the dispatch smoke fails if the pipelined
 # EP dispatch stops beating the blocking path by 1.3x under a calibrated
 # wire, stops being bitwise identical, or allocates in steady state
-# (bench_fig7_dispatch --check).
+# (bench_fig7_dispatch --check). obs_test under TSan is the verdict on the
+# metrics registry's sharded recording (concurrent threads + retirement
+# folds), and the observability smoke fails if profiling the fused pipeline
+# costs more than 2% wall clock, if a disabled registry stops being free
+# (steady-state heap allocs or measurable drag), if instrumenting a training
+# run changes one bit of the loss, or if an injected slow rank goes
+# undetected (bench_observability --check).
 #
 #   $ tools/check.sh
 set -euo pipefail
@@ -36,11 +42,11 @@ cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j
 
 echo
-echo "== TSan: tensor_test + comm_test + kernel_test + parallel_test + telemetry_test + fault_test + elastic_test + fused_ops_test + exec_graph_test + property_test =="
+echo "== TSan: tensor_test + comm_test + kernel_test + parallel_test + telemetry_test + fault_test + elastic_test + fused_ops_test + exec_graph_test + property_test + obs_test =="
 cmake -B build-tsan -S . -DMSMOE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target tensor_test comm_test kernel_test parallel_test \
   telemetry_test fault_test elastic_test fused_ops_test exec_graph_test \
-  property_test bench_fault_recovery >/dev/null
+  property_test obs_test bench_fault_recovery >/dev/null
 ./build-tsan/tests/tensor_test
 ./build-tsan/tests/comm_test
 ./build-tsan/tests/kernel_test
@@ -51,13 +57,14 @@ cmake --build build-tsan -j --target tensor_test comm_test kernel_test parallel_
 ./build-tsan/tests/fused_ops_test
 ./build-tsan/tests/exec_graph_test
 ./build-tsan/tests/property_test
+./build-tsan/tests/obs_test
 (cd build-tsan/bench && ./bench_fault_recovery >/dev/null)
 
 echo
-echo "== ASan: tensor_test + fault_test + elastic_test + parallel_test + property_test + checkpoint/recovery paths =="
+echo "== ASan: tensor_test + fault_test + elastic_test + parallel_test + property_test + obs_test + checkpoint/recovery paths =="
 cmake -B build-asan -S . -DMSMOE_SANITIZE=address >/dev/null
 cmake --build build-asan -j --target tensor_test fault_test elastic_test model_test \
-  trainer_test fused_ops_test parallel_test property_test >/dev/null
+  trainer_test fused_ops_test parallel_test property_test obs_test >/dev/null
 ./build-asan/tests/tensor_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/elastic_test
@@ -66,6 +73,7 @@ cmake --build build-asan -j --target tensor_test fault_test elastic_test model_t
 ./build-asan/tests/fused_ops_test
 ./build-asan/tests/parallel_test
 ./build-asan/tests/property_test
+./build-asan/tests/obs_test
 
 echo
 echo "== perf smoke: Release blocked GEMM >= naive (bench_micro_kernels --check) =="
@@ -96,6 +104,11 @@ echo
 echo "== dispatch smoke: pipelined EP dispatch beats blocking 1.3x, bitwise, zero-alloc (bench_fig7_dispatch --check) =="
 cmake --build build-release -j --target bench_fig7_dispatch >/dev/null
 (cd build-release/bench && ./bench_fig7_dispatch --check)
+
+echo
+echo "== observability smoke: <2% profiling overhead, disabled registry free, loss bitwise, slow rank detected (bench_observability --check) =="
+cmake --build build-release -j --target bench_observability >/dev/null
+(cd build-release/bench && ./bench_observability --check)
 
 echo
 echo "all checks passed"
